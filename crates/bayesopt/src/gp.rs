@@ -1,0 +1,182 @@
+//! A small Gaussian-process regressor with an RBF kernel.
+
+/// Gaussian process with an isotropic RBF kernel and additive noise,
+/// fitted by Cholesky decomposition.
+///
+/// Inputs are expected to be scaled to the unit hypercube by the caller
+/// (the optimizer does this), so a single length scale is adequate.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    xs: Vec<Vec<f64>>,
+    /// Cholesky factor L of (K + noise²·I).
+    chol: Vec<Vec<f64>>,
+    /// α = (K + noise²·I)⁻¹ y
+    alpha: Vec<f64>,
+    length_scale: f64,
+    signal: f64,
+    noise: f64,
+}
+
+fn rbf(a: &[f64], b: &[f64], length_scale: f64, signal: f64) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    signal * signal * (-0.5 * d2 / (length_scale * length_scale)).exp()
+}
+
+/// Cholesky decomposition of a symmetric positive-definite matrix.
+///
+/// Returns the lower-triangular factor, or `None` when the matrix is not
+/// positive definite (callers then increase the noise term).
+pub fn cholesky(a: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let n = a.len();
+    let mut l = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i][j];
+            for (lik, ljk) in l[i][..j].to_vec().iter().zip(&l[j][..j]) {
+                sum -= lik * ljk;
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i][j] = sum.sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    Some(l)
+}
+
+fn solve_lower(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i][k] * x[k];
+        }
+        x[i] = sum / l[i][i];
+    }
+    x
+}
+
+fn solve_upper_t(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    // Solves Lᵀ x = b given lower-triangular L.
+    let n = b.len();
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for k in (i + 1)..n {
+            sum -= l[k][i] * x[k];
+        }
+        x[i] = sum / l[i][i];
+    }
+    x
+}
+
+impl GaussianProcess {
+    /// Fits a GP to `(xs, ys)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` have different lengths or are empty.
+    pub fn fit(xs: Vec<Vec<f64>>, ys: &[f64], length_scale: f64, noise: f64) -> Self {
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        assert!(!xs.is_empty(), "cannot fit a GP to no data");
+        let n = xs.len();
+        let signal = {
+            let mean = ys.iter().sum::<f64>() / n as f64;
+            let var = ys.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / n as f64;
+            var.sqrt().max(1e-6)
+        };
+        let mut k = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                k[i][j] = rbf(&xs[i], &xs[j], length_scale, signal);
+            }
+        }
+        // Increase jitter until the kernel matrix is positive definite.
+        let mut jitter = noise * noise;
+        let chol = loop {
+            let mut kj = k.clone();
+            for (i, row) in kj.iter_mut().enumerate() {
+                row[i] += jitter;
+            }
+            if let Some(l) = cholesky(&kj) {
+                break l;
+            }
+            jitter = (jitter * 10.0).max(1e-10);
+        };
+        let tmp = solve_lower(&chol, ys);
+        let alpha = solve_upper_t(&chol, &tmp);
+        Self {
+            xs,
+            chol,
+            alpha,
+            length_scale,
+            signal,
+            noise,
+        }
+    }
+
+    /// Posterior mean and standard deviation at `x`.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let kstar: Vec<f64> = self
+            .xs
+            .iter()
+            .map(|xi| rbf(xi, x, self.length_scale, self.signal))
+            .collect();
+        let mean: f64 = kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
+        let v = solve_lower(&self.chol, &kstar);
+        let kxx = rbf(x, x, self.length_scale, self.signal) + self.noise * self.noise;
+        let var = (kxx - v.iter().map(|vi| vi * vi).sum::<f64>()).max(1e-12);
+        (mean, var.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = vec![vec![4.0, 2.0], vec![2.0, 3.0]];
+        let l = cholesky(&a).expect("spd");
+        // L Lᵀ = A
+        for i in 0..2 {
+            for j in 0..2 {
+                let v: f64 = (0..2).map(|k| l[i][k] * l[j][k]).sum();
+                assert!((v - a[i][j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn gp_interpolates_training_points() {
+        let xs = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let ys = [1.0, -1.0, 2.0];
+        let gp = GaussianProcess::fit(xs.clone(), &ys, 0.3, 1e-4);
+        for (x, y) in xs.iter().zip(&ys) {
+            let (mean, sd) = gp.predict(x);
+            assert!((mean - y).abs() < 0.05, "mean {mean} vs {y}");
+            assert!(sd < 0.1, "low uncertainty at data: {sd}");
+        }
+    }
+
+    #[test]
+    fn gp_uncertainty_grows_away_from_data() {
+        let xs = vec![vec![0.0], vec![0.1]];
+        let ys = [0.0, 0.1];
+        let gp = GaussianProcess::fit(xs, &ys, 0.2, 1e-4);
+        let (_, sd_near) = gp.predict(&[0.05]);
+        let (_, sd_far) = gp.predict(&[1.0]);
+        assert!(sd_far > sd_near * 2.0, "near {sd_near} far {sd_far}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Criterion micro-benchmarks for the performance-critical substrates:
+//! R-tree queries, the pixel-wise diamond search, full legalization runs,
+//! feature extraction, and the cell-wise network forward/backward.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use rl_legalizer::CellWiseNet;
+use rlleg_benchgen::{find_spec, generate};
+use rlleg_design::Design;
+use rlleg_geom::{rtree::RTree, Point, Rect};
+use rlleg_legalize::{
+    search::find_position, FeatureSpace, GcellGrid, Legalizer, Ordering, SearchConfig,
+};
+
+fn design(name: &str, scale: f64) -> Design {
+    generate(&find_spec(name).expect("spec").scaled(scale))
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree");
+    for n in [1_000i64, 10_000] {
+        let items: Vec<(Rect, i64)> = (0..n)
+            .map(|i| {
+                let x = (i * 613) % 100_000;
+                let y = (i * 2_777) % 100_000;
+                (Rect::new(x, y, x + 400, y + 2_000), i)
+            })
+            .collect();
+        let tree = RTree::bulk_load(items.clone());
+        group.bench_with_input(BenchmarkId::new("bulk_load", n), &items, |b, items| {
+            b.iter(|| RTree::bulk_load(items.clone()))
+        });
+        group.bench_with_input(BenchmarkId::new("query_window", n), &tree, |b, tree| {
+            b.iter(|| {
+                tree.query(&Rect::new(25_000, 25_000, 35_000, 35_000))
+                    .count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("nearest_2", n), &tree, |b, tree| {
+            b.iter(|| tree.nearest(Point::new(50_000, 50_000), 2).count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pixel_search");
+    let d = design("jpeg_encoder", 0.02);
+    let mut lg = Legalizer::new(&d);
+    let mut placed = d.clone();
+    lg.run(&mut placed, &Ordering::SizeDescending);
+    // Search for a fresh cell against the dense final occupancy.
+    let cell = placed.movable_ids().next().expect("cells");
+    group.bench_function("find_position_dense", |b| {
+        b.iter(|| {
+            find_position(
+                lg.grid(),
+                &placed,
+                cell,
+                placed.cell(cell).gp_pos,
+                SearchConfig::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_legalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("legalize_full");
+    group.sample_size(10);
+    for name in ["usb_phy", "wb_conmax_top"] {
+        let scale = if name == "usb_phy" { 1.0 } else { 0.02 };
+        let d = design(name, scale);
+        group.bench_function(BenchmarkId::new("size_ordered", name), |b| {
+            b.iter(|| {
+                let mut dd = d.clone();
+                let mut lg = Legalizer::new(&dd);
+                lg.run(&mut dd, &Ordering::SizeDescending)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_features(c: &mut Criterion) {
+    let mut group = c.benchmark_group("features");
+    let d = design("des3", 0.02);
+    let gcells = GcellGrid::auto(&d);
+    group.bench_function("feature_space_build", |b| {
+        b.iter(|| FeatureSpace::new(&d, &gcells))
+    });
+    let fs = FeatureSpace::new(&d, &gcells);
+    let cells: Vec<_> = d.movable_ids().collect();
+    group.bench_function("state_extraction", |b| b.iter(|| fs.state(&d, &cells)));
+    group.finish();
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cellwise_net");
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    for (h, n) in [(64usize, 200usize), (256, 200)] {
+        let mut net = CellWiseNet::new(h, &mut rng);
+        let state = rlleg_nn::Matrix::zeros(n, rlleg_legalize::NUM_FEATURES);
+        group.bench_function(BenchmarkId::new("forward", format!("h{h}_n{n}")), |b| {
+            b.iter(|| net.forward_inference(&state))
+        });
+        group.bench_function(
+            BenchmarkId::new("forward_backward", format!("h{h}_n{n}")),
+            |b| {
+                b.iter(|| {
+                    net.zero_grads();
+                    let f = net.forward(&state);
+                    let d: Vec<f32> = f.logits.iter().map(|_| 0.01).collect();
+                    net.backward(&d, 0.1);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rtree,
+    bench_search,
+    bench_legalize,
+    bench_features,
+    bench_network
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation — Gcell grid size.
+//!
+//! The paper argues the impact of Gcell partitioning on the size-ordered
+//! baseline is negligible (\[26\] vs \[26\]+G in Tables II–III) because the
+//! Gcells are large (≈200 µm, capped at 5×5). This bench sweeps the grid
+//! from 1×1 to 5×5 on several designs.
+//!
+//! ```text
+//! cargo run --release -p rlleg-bench --bin ablation_gcell -- --scale 0.01
+//! ```
+
+use rlleg_bench::{write_report, Args, RunResult};
+use rlleg_benchgen::{find_spec, generate};
+use rlleg_design::metrics::total_hpwl;
+use rlleg_legalize::{GcellGrid, Legalizer, Ordering};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepRow {
+    design: String,
+    grid: String,
+    result: RunResult,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.get("scale", 0.008);
+    let mut rows = Vec::new();
+
+    for name in ["des_perf_b_md1", "jpeg_encoder", "pci_bridge32_b_md2"] {
+        let spec = find_spec(name).expect("spec").scaled(scale);
+        let design = generate(&spec);
+        println!("\n=== {name} ({} cells) ===", design.num_movable());
+        println!(
+            "{:>6} {:>10} {:>10} {:>12} {:>7}",
+            "grid", "avg disp", "max disp", "HPWL", "failed"
+        );
+        for k in 1..=5usize {
+            let mut d = design.clone();
+            let hpwl_gp = total_hpwl(&d);
+            let t = std::time::Instant::now();
+            let gcells = GcellGrid::new(&d, k, k);
+            let mut lg = Legalizer::new(&d);
+            lg.run_gcells(&mut d, &Ordering::SizeDescending, &gcells);
+            let r = RunResult::measure(&d, hpwl_gp, t.elapsed().as_secs_f64());
+            println!(
+                "{:>6} {:>10.0} {:>10} {:>12} {:>7}",
+                format!("{k}x{k}"),
+                r.avg_disp,
+                r.max_disp,
+                r.hpwl,
+                r.failed
+            );
+            rows.push(SweepRow {
+                design: name.to_owned(),
+                grid: format!("{k}x{k}"),
+                result: r,
+            });
+        }
+    }
+
+    println!("\nexpected shape: QoR varies only mildly with the grid (the paper's\n[26] vs [26]+G comparison), with coarse grids slightly better on avg disp.");
+    let path = write_report("ablation_gcell", &rows);
+    println!("report: {}", path.display());
+}

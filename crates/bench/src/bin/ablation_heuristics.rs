@@ -1,0 +1,70 @@
+//! Ablation — the size-ordered baseline's heuristics.
+//!
+//! The paper's baseline compensates for its fixed ordering with
+//! rearrangement and cell-swap heuristics (Sec. II-B); RL-Legalizer uses
+//! none. This bench measures how much each heuristic contributes so the
+//! comparison in Tables II–III is transparent.
+//!
+//! ```text
+//! cargo run --release -p rlleg-bench --bin ablation_heuristics -- --scale 0.01
+//! ```
+
+use rlleg_bench::{write_report, Args, RunResult};
+use rlleg_benchgen::{find_spec, generate};
+use rlleg_design::metrics::total_hpwl;
+use rlleg_legalize::{Legalizer, Ordering};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    design: String,
+    variant: String,
+    result: RunResult,
+    improved_cells: usize,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.get("scale", 0.01);
+    let mut rows = Vec::new();
+
+    for name in ["des_perf_b_md2", "eth_top", "point_scalar_mult"] {
+        let spec = find_spec(name).expect("spec").scaled(scale);
+        let design = generate(&spec);
+        println!("\n=== {name} ({} cells) ===", design.num_movable());
+        println!(
+            "{:<22} {:>10} {:>10} {:>12} {:>9}",
+            "variant", "avg disp", "max disp", "HPWL", "improved"
+        );
+
+        for variant in ["plain", "+swap", "+rearrange", "+both"] {
+            let mut d = design.clone();
+            let hpwl_gp = total_hpwl(&d);
+            let t = std::time::Instant::now();
+            let mut lg = Legalizer::new(&d);
+            lg.run(&mut d, &Ordering::SizeDescending);
+            let mut improved = 0;
+            if variant == "+swap" || variant == "+both" {
+                improved += lg.swap_pass(&mut d);
+            }
+            if variant == "+rearrange" || variant == "+both" {
+                improved += lg.rearrange_pass(&mut d);
+            }
+            let r = RunResult::measure(&d, hpwl_gp, t.elapsed().as_secs_f64());
+            println!(
+                "{:<22} {:>10.0} {:>10} {:>12} {:>9}",
+                variant, r.avg_disp, r.max_disp, r.hpwl, improved
+            );
+            rows.push(Row {
+                design: name.to_owned(),
+                variant: variant.to_owned(),
+                result: r,
+                improved_cells: improved,
+            });
+        }
+    }
+
+    println!("\nexpected shape: each heuristic trims average displacement a little;\nneither changes who wins against the RL ordering.");
+    let path = write_report("ablation_heuristics", &rows);
+    println!("report: {}", path.display());
+}

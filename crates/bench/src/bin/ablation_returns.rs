@@ -1,0 +1,139 @@
+//! Ablation — return estimation and failure-credit variants.
+//!
+//! DESIGN.md calls out the reproduction's central algorithmic finding: the
+//! paper's Eq. 6 (batch-truncated returns, failure blamed on the failing
+//! pick) is too myopic at laptop training budgets, and the policy
+//! degenerates toward easy-cells-first, *increasing* legalization failures
+//! on dense designs. This bench quantifies that by training the same
+//! design under each combination and reporting the failure-rate trend and
+//! final policy quality.
+//!
+//! ```text
+//! cargo run --release -p rlleg-bench --bin ablation_returns -- --episodes 150
+//! ```
+
+use rl_legalizer::{train, ReturnMode, RlConfig, RlLegalizer};
+use rlleg_bench::{write_report, Args};
+use rlleg_benchgen::{find_spec, generate};
+use rlleg_design::metrics::{legalization_cost, total_hpwl};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationRow {
+    label: String,
+    early_failure_rate: f64,
+    late_failure_rate: f64,
+    best_episode_cost: f64,
+    greedy_cost: f64,
+    greedy_complete: bool,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let episodes: usize = args.get("episodes", 120);
+    let agents: usize = args.get("agents", 4);
+    // fft_2_md2 at this scale fails under ~30 % of random orders: hazardous
+    // enough that failure credit matters, mild enough that policies can
+    // escape the failure regime within a laptop budget.
+    let design_name: String = args.get("design", "fft_2_md2".to_owned());
+    let scale: f64 = args.get("scale", 0.01);
+
+    let spec = find_spec(&design_name).expect("spec").scaled(scale);
+    let design = generate(&spec);
+    let hpwl_gp = total_hpwl(&design);
+    println!(
+        "design {} ({} cells, density {:.2}) — the failure-prone benchmark\n",
+        design.name,
+        design.num_movable(),
+        design.density()
+    );
+
+    let variants: Vec<(&str, RlConfig)> = vec![
+        (
+            "Eq.6 as written (truncated, blame pick)",
+            RlConfig {
+                return_mode: ReturnMode::BatchTruncated,
+                blame_failed_pick: true,
+                terminate_on_failure: true,
+                pretrain_episodes: 0,
+                ..RlConfig::tuned()
+            },
+        ),
+        (
+            "n-step bootstrap",
+            RlConfig {
+                return_mode: ReturnMode::BatchBootstrap,
+                blame_failed_pick: true,
+                terminate_on_failure: true,
+                pretrain_episodes: 0,
+                ..RlConfig::tuned()
+            },
+        ),
+        (
+            "Monte-Carlo returns",
+            RlConfig {
+                return_mode: ReturnMode::MonteCarlo,
+                blame_failed_pick: true,
+                terminate_on_failure: false,
+                pretrain_episodes: 0,
+                ..RlConfig::tuned()
+            },
+        ),
+        (
+            "MC + no blame on failing pick",
+            RlConfig {
+                return_mode: ReturnMode::MonteCarlo,
+                blame_failed_pick: false,
+                terminate_on_failure: false,
+                pretrain_episodes: 0,
+                ..RlConfig::tuned()
+            },
+        ),
+        ("tuned (MC + no blame + warm start)", RlConfig::tuned()),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, base) in variants {
+        let cfg = RlConfig {
+            episodes,
+            agents,
+            ..base
+        };
+        let result = train(std::slice::from_ref(&design), &cfg);
+        let n = result.history.len();
+        let fail_rate = |slice: &[rl_legalizer::TrainSample]| {
+            slice.iter().filter(|s| s.failures > 0).count() as f64 / slice.len().max(1) as f64
+        };
+        let early = fail_rate(&result.history[..n / 4]);
+        let late = fail_rate(&result.history[3 * n / 4..]);
+        let best = result
+            .best_for_design(&design.name)
+            .map(|s| s.cost)
+            .unwrap_or(f64::NAN);
+        let mut d = design.clone();
+        let report = RlLegalizer::new(result.best_model).legalize(&mut d);
+        let greedy = legalization_cost(&d, hpwl_gp);
+        println!(
+            "{label:<42} fail-rate {:.0}%→{:.0}%  best-episode {best:6.1}  greedy {greedy:7.1} {}",
+            early * 100.0,
+            late * 100.0,
+            if report.is_complete() {
+                "(complete)"
+            } else {
+                "(FAILED)"
+            }
+        );
+        rows.push(AblationRow {
+            label: label.to_owned(),
+            early_failure_rate: early,
+            late_failure_rate: late,
+            best_episode_cost: best,
+            greedy_cost: greedy,
+            greedy_complete: report.is_complete(),
+        });
+    }
+
+    println!("\nexpected shape: the paper-literal variant's failure rate grows during training;\nMC + no-blame keeps it bounded, and the warm start both lowers it and yields a\ncomplete, better-than-baseline greedy policy.");
+    let path = write_report("ablation_returns", &rows);
+    println!("report: {}", path.display());
+}

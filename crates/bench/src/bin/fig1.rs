@@ -1,0 +1,135 @@
+//! Fig. 1 — effect of cell priority: cell-size distribution and the QoR
+//! distribution of random-ordered legalization vs the size-ordered result.
+//!
+//! The paper runs the academic legalizer 1 000 times with random orders on
+//! `usb_phy` (Nangate45, 75 % util) and `pci_bridge32_b_md3` (contest) and
+//! shows (a) >30 % of cells share the dominant size and (b) the QoR spread
+//! is wide, with the size-ordered result beatable (blue "improvement
+//! potential" regions).
+//!
+//! ```text
+//! cargo run --release -p rlleg-bench --bin fig1 -- --runs 1000 --scale 1.0
+//! ```
+
+use std::collections::BTreeMap;
+
+use rlleg_bench::{run_random_ordered, run_size_ordered, write_report, Args, RunResult};
+use rlleg_benchgen::{find_spec, generate};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct DesignReport {
+    design: String,
+    cells: usize,
+    size_histogram: Vec<(String, f64)>,
+    size_ordered: RunResult,
+    random: Vec<RunResult>,
+}
+
+fn stats(xs: &[f64]) -> (f64, f64, f64, f64) {
+    let n = xs.len().max(1) as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (mean, var.sqrt(), min, max)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let runs: u64 = args.get("runs", 200);
+    let scale: f64 = args.get("scale", 0.25);
+    let mut reports = Vec::new();
+
+    for name in ["usb_phy", "pci_bridge32_b_md3"] {
+        // usb_phy is tiny (321 cells) and runs at full scale; the contest
+        // design is scaled.
+        let spec = match name {
+            "usb_phy" => find_spec(name).expect("spec"),
+            _ => find_spec(name).expect("spec").scaled(scale.min(0.05)),
+        };
+        let design = generate(&spec);
+        println!(
+            "\n=== {} ({} cells, density {:.2}) ===",
+            name,
+            design.num_movable(),
+            design.density()
+        );
+
+        // (1) Cell-size distribution.
+        let mut hist: BTreeMap<(i64, u8), usize> = BTreeMap::new();
+        for id in design.movable_ids() {
+            let c = design.cell(id);
+            *hist
+                .entry((c.width / design.tech.site_width, c.height_rows))
+                .or_default() += 1;
+        }
+        let total = design.num_movable() as f64;
+        let mut sizes: Vec<((i64, u8), usize)> = hist.into_iter().collect();
+        sizes.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        println!("cell-size distribution (w_sites x h_rows : share):");
+        let mut size_histogram = Vec::new();
+        for ((w, h), n) in &sizes {
+            let share = *n as f64 / total;
+            let bar = "#".repeat((share * 60.0).round() as usize);
+            println!("  {w}x{h}: {:5.1}%  {bar}", share * 100.0);
+            size_histogram.push((format!("{w}x{h}"), share));
+        }
+        let dominant = sizes[0].1 as f64 / total;
+        println!(
+            "dominant size share = {:.1}% (paper: >30% in most designs)",
+            dominant * 100.0
+        );
+
+        // (2) Size-ordered reference (the red dashed line).
+        let (_, size_res) = run_size_ordered(&design, true);
+        println!(
+            "size-ordered [26]: avg_disp={:.0} max_disp={} hpwl={:.3e} ({} failed)",
+            size_res.avg_disp, size_res.max_disp, size_res.hpwl as f64, size_res.failed
+        );
+
+        // (3) Random-order distribution.
+        let random: Vec<RunResult> = (0..runs)
+            .map(|seed| run_random_ordered(&design, seed))
+            .collect();
+        let ok: Vec<&RunResult> = random.iter().filter(|r| r.failed == 0).collect();
+        println!("random orders: {} runs, {} complete", runs, ok.len());
+        for (label, metric, size_val) in [
+            (
+                "avg disp. (nm) ",
+                Box::new(|r: &RunResult| r.avg_disp) as Box<dyn Fn(&RunResult) -> f64>,
+                size_res.avg_disp,
+            ),
+            (
+                "max disp. (nm) ",
+                Box::new(|r: &RunResult| r.max_disp as f64),
+                size_res.max_disp as f64,
+            ),
+            (
+                "HPWL (nm)      ",
+                Box::new(|r: &RunResult| r.hpwl as f64),
+                size_res.hpwl as f64,
+            ),
+        ] {
+            let xs: Vec<f64> = ok.iter().map(|r| metric(r)).collect();
+            let (mu, sigma, min, max) = stats(&xs);
+            let better =
+                xs.iter().filter(|&&x| x < size_val).count() as f64 / xs.len().max(1) as f64;
+            println!(
+                "  {label} mu={mu:10.1} sigma={sigma:9.1} min={min:10.1} max={max:10.1} | size-ordered={size_val:10.1} | {:.0}% of random orders beat it",
+                better * 100.0
+            );
+        }
+
+        reports.push(DesignReport {
+            design: name.to_owned(),
+            cells: design.num_movable(),
+            size_histogram,
+            size_ordered: size_res,
+            random,
+        });
+    }
+
+    let path = write_report("fig1", &reports);
+    println!("\nreport: {}", path.display());
+}

@@ -1,0 +1,147 @@
+//! Table II — QoR comparison on the 23 training benchmarks: the
+//! size-ordered legalizer \[26\], its Gcell-partitioned variant \[26\]+G, and
+//! RL-Legalizer ("Ours").
+//!
+//! One shared model is trained over every training design (the paper's
+//! scheme); following the paper, "Ours" for training benchmarks is the best
+//! episode after convergence. Designs are scaled with `--scale` so the full
+//! table regenerates on a laptop; raise `--scale`/`--per-design` for closer
+//! fidelity.
+//!
+//! ```text
+//! cargo run --release -p rlleg-bench --bin table2 -- --scale 0.002 --per-design 8
+//! ```
+
+use rl_legalizer::{train, RlConfig};
+use rlleg_bench::{
+    normalized_average, run_size_ordered, run_size_ordered_gcells, write_report, Args, RunResult,
+};
+use rlleg_benchgen::{generate, training_suite};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    design: String,
+    cells: usize,
+    area_e11: f64,
+    density: f64,
+    gcells: String,
+    size: RunResult,
+    size_g: RunResult,
+    ours: RunResult,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.get("scale", 0.002);
+    let per_design: usize = args.get("per_design", 8);
+    let agents: usize = args.get("agents", 4);
+    let heuristics = !args.flag("no-heuristics");
+
+    let specs: Vec<_> = training_suite().iter().map(|s| s.scaled(scale)).collect();
+    let designs: Vec<_> = specs.iter().map(generate).collect();
+    println!(
+        "generated {} training designs at scale {scale} ({} total cells)",
+        designs.len(),
+        designs.iter().map(|d| d.num_movable()).sum::<usize>()
+    );
+
+    // Train the shared model (round-robin over all training designs).
+    let episodes = per_design * designs.len();
+    let cfg = RlConfig {
+        episodes,
+        agents,
+        ..RlConfig::tuned()
+    };
+    let t = std::time::Instant::now();
+    println!(
+        "training shared model: {} agents x {} episodes ({} visits per design) ...",
+        agents,
+        episodes,
+        per_design * agents
+    );
+    let result = train(&designs, &cfg);
+    println!("trained in {:.0}s", t.elapsed().as_secs_f64());
+
+    let mut rows = Vec::new();
+    for (spec, design) in specs.iter().zip(&designs) {
+        let (_, size) = run_size_ordered(design, heuristics);
+        let (_, size_g) = run_size_ordered_gcells(design, heuristics, Some(spec.paper_gcell_grid()));
+        let best = result
+            .best_for_design(&design.name)
+            .expect("every design trained at least once");
+        let ours = RunResult::from_qor(&best.qor, best.cost, 0.0);
+        let (nx, ny) = spec.paper_gcell_grid();
+        rows.push(Row {
+            design: design.name.clone(),
+            cells: design.num_movable(),
+            area_e11: (design.core.area() as f64) / 1e11,
+            density: design.density(),
+            gcells: format!("{nx}x{ny}"),
+            size,
+            size_g,
+            ours,
+        });
+    }
+
+    // Print the table in the paper's layout.
+    println!(
+        "\n{:<20} {:>7} {:>6} {:>5} {:>6} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8}",
+        "Benchmark", "#cells", "area", "dens", "Gcell",
+        "avg[26]", "avg[26]+G", "avgOurs",
+        "max[26]", "max[26]+G", "maxOurs",
+        "hp[26]", "hp[26]+G", "hpOurs"
+    );
+    for r in &rows {
+        let f = |x: &RunResult| {
+            if x.failed > 0 {
+                ("-".to_owned(), "-".to_owned(), "-".to_owned())
+            } else {
+                (
+                    format!("{:.0}", x.avg_disp),
+                    format!("{}", x.max_disp),
+                    format!("{:.3}", x.hpwl as f64 / 1e8),
+                )
+            }
+        };
+        let (a1, m1, h1) = f(&r.size);
+        let (a2, m2, h2) = f(&r.size_g);
+        let (a3, m3, h3) = f(&r.ours);
+        println!(
+            "{:<20} {:>7} {:>6.2} {:>5.2} {:>6} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8}",
+            r.design, r.cells, r.area_e11, r.density, r.gcells,
+            a1, a2, a3, m1, m2, m3, h1, h2, h3
+        );
+    }
+
+    // Normalized averages (Ours = 1.00), excluding failed designs per the
+    // paper's footnote.
+    let ours: Vec<RunResult> = rows.iter().map(|r| r.ours.clone()).collect();
+    let size: Vec<RunResult> = rows.iter().map(|r| r.size.clone()).collect();
+    let size_g: Vec<RunResult> = rows.iter().map(|r| r.size_g.clone()).collect();
+    println!("\nNorm avg. (Ours = 1.00):");
+    for (label, metric) in [
+        (
+            "avg disp",
+            Box::new(|r: &RunResult| r.avg_disp) as Box<dyn Fn(&RunResult) -> f64>,
+        ),
+        ("max disp", Box::new(|r: &RunResult| r.max_disp as f64)),
+        ("HPWL    ", Box::new(|r: &RunResult| r.hpwl as f64)),
+    ] {
+        println!(
+            "  {label}: [26]={:.2}  [26]+G={:.2}  Ours=1.00",
+            normalized_average(&ours, &size, &metric),
+            normalized_average(&ours, &size_g, &metric),
+        );
+    }
+    let fails = |v: &[RunResult]| v.iter().filter(|r| r.failed > 0).count();
+    println!(
+        "failed designs: [26]={} [26]+G={} Ours={}   (paper: [26] fails on des_perf_1)",
+        fails(&size),
+        fails(&size_g),
+        fails(&ours)
+    );
+
+    let path = write_report("table2", &rows);
+    println!("report: {}", path.display());
+}

@@ -1,0 +1,133 @@
+//! Table III — QoR and runtime on the five held-out test benchmarks with
+//! the *frozen* trained model.
+//!
+//! The paper trains on 80 % of the benchmarks and reports the first test
+//! result per held-out design, plus runtimes (\[26\] and \[26\]+G are fast;
+//! RL inference adds a few seconds, ~80 % of it feature extraction).
+//!
+//! ```text
+//! cargo run --release -p rlleg-bench --bin table3 -- --scale 0.002 --per-design 8
+//! ```
+
+use rl_legalizer::{train, RlConfig, RlLegalizer};
+use rlleg_bench::{
+    normalized_average, run_size_ordered, run_size_ordered_gcells, write_report, Args, RunResult,
+};
+use rlleg_benchgen::{generate, test_suite, training_suite};
+use rlleg_design::metrics::total_hpwl;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    design: String,
+    cells: usize,
+    density: f64,
+    size: RunResult,
+    size_g: RunResult,
+    ours: RunResult,
+    ours_feature_seconds: f64,
+    ours_network_seconds: f64,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.get("scale", 0.002);
+    let per_design: usize = args.get("per_design", 8);
+    let agents: usize = args.get("agents", 4);
+    let heuristics = !args.flag("no-heuristics");
+
+    // Train on the training suite.
+    let train_specs: Vec<_> = training_suite().iter().map(|s| s.scaled(scale)).collect();
+    let train_designs: Vec<_> = train_specs.iter().map(generate).collect();
+    let episodes = per_design * train_designs.len();
+    let cfg = RlConfig {
+        episodes,
+        agents,
+        ..RlConfig::tuned()
+    };
+    println!(
+        "training shared model on {} designs: {} agents x {} episodes ...",
+        train_designs.len(),
+        agents,
+        episodes
+    );
+    let t = std::time::Instant::now();
+    let result = train(&train_designs, &cfg);
+    println!(
+        "trained in {:.0}s; applying the frozen best checkpoint to the test suite\n",
+        t.elapsed().as_secs_f64()
+    );
+    let rl = RlLegalizer::new(result.best_model);
+
+    let mut rows = Vec::new();
+    for spec in test_suite().iter().map(|s| s.scaled(scale)) {
+        let design = generate(&spec);
+        let hpwl_gp = total_hpwl(&design);
+        let (_, size) = run_size_ordered(&design, heuristics);
+        let (_, size_g) = run_size_ordered_gcells(&design, heuristics, Some(spec.paper_gcell_grid()));
+        let mut d = design.clone();
+        let report = rl.legalize(&mut d);
+        let ours = RunResult::measure(&d, hpwl_gp, report.total_time.as_secs_f64());
+        rows.push(Row {
+            design: design.name.clone(),
+            cells: design.num_movable(),
+            density: design.density(),
+            size,
+            size_g,
+            ours,
+            ours_feature_seconds: report.feature_time.as_secs_f64(),
+            ours_network_seconds: report.network_time.as_secs_f64(),
+        });
+    }
+
+    println!(
+        "{:<20} {:>7} | {:>8} {:>8} {:>8} | {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8} | {:>7} {:>7} {:>7}",
+        "Benchmark", "#cells",
+        "avg[26]", "avg+G", "avgOurs",
+        "max[26]", "max+G", "maxOurs",
+        "hp[26]", "hp+G", "hpOurs",
+        "t[26]", "t+G", "tOurs"
+    );
+    for r in &rows {
+        println!(
+            "{:<20} {:>7} | {:>8.0} {:>8.0} {:>8.0} | {:>9} {:>9} {:>9} | {:>8.3} {:>8.3} {:>8.3} | {:>7.2} {:>7.2} {:>7.2}",
+            r.design, r.cells,
+            r.size.avg_disp, r.size_g.avg_disp, r.ours.avg_disp,
+            r.size.max_disp, r.size_g.max_disp, r.ours.max_disp,
+            r.size.hpwl as f64 / 1e8, r.size_g.hpwl as f64 / 1e8, r.ours.hpwl as f64 / 1e8,
+            r.size.seconds, r.size_g.seconds, r.ours.seconds,
+        );
+    }
+
+    let ours: Vec<RunResult> = rows.iter().map(|r| r.ours.clone()).collect();
+    let size: Vec<RunResult> = rows.iter().map(|r| r.size.clone()).collect();
+    let size_g: Vec<RunResult> = rows.iter().map(|r| r.size_g.clone()).collect();
+    println!("\nNorm avg. (Ours = 1.00):");
+    for (label, metric) in [
+        (
+            "avg disp",
+            Box::new(|r: &RunResult| r.avg_disp) as Box<dyn Fn(&RunResult) -> f64>,
+        ),
+        ("max disp", Box::new(|r: &RunResult| r.max_disp as f64)),
+        ("HPWL    ", Box::new(|r: &RunResult| r.hpwl as f64)),
+        ("runtime ", Box::new(|r: &RunResult| r.seconds)),
+    ] {
+        println!(
+            "  {label}: [26]={:.2}  [26]+G={:.2}  Ours=1.00",
+            normalized_average(&ours, &size, &metric),
+            normalized_average(&ours, &size_g, &metric),
+        );
+    }
+    let feat: f64 = rows.iter().map(|r| r.ours_feature_seconds).sum();
+    let net: f64 = rows.iter().map(|r| r.ours_network_seconds).sum();
+    let tot: f64 = rows.iter().map(|r| r.ours.seconds).sum();
+    println!(
+        "\nOurs time split: features {:.0}% / network {:.0}% of {:.2}s total (paper: ~80% feature extraction)",
+        100.0 * feat / tot.max(1e-9),
+        100.0 * net / tot.max(1e-9),
+        tot
+    );
+
+    let path = write_report("table3", &rows);
+    println!("report: {}", path.display());
+}

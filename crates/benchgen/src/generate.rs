@@ -1,0 +1,492 @@
+//! The synthetic design generator.
+//!
+//! Given a [`BenchmarkSpec`], [`generate`] builds a full [`Design`] whose
+//! statistics match the published row: cell count, mixed-height mix, core
+//! area/density, macros, fence regions, edge types, and a netlist with
+//! global-placement locality. See DESIGN.md §3 for the substitution
+//! rationale.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use rlleg_design::{CellId, Design, DesignBuilder, EdgeType, RailParity};
+use rlleg_geom::{Dbu, Point, Rect};
+
+use crate::placement::{clamp_into_bounds, refine, RefineConfig};
+use crate::spec::BenchmarkSpec;
+
+/// Samples a cell width in sites: the mix matches Fig. 1's observation that
+/// ~30 %+ of cells share the dominant size.
+fn sample_width(rng: &mut impl Rng) -> i64 {
+    match rng.gen_range(0..100) {
+        0..=37 => 1,
+        38..=72 => 2,
+        73..=89 => 3,
+        _ => 4,
+    }
+}
+
+/// Samples a cell height in rows given the multi-height ratio.
+fn sample_height(rng: &mut impl Rng, multi_ratio: f64) -> u8 {
+    if rng.gen_bool(multi_ratio) {
+        match rng.gen_range(0..100) {
+            0..=59 => 2,
+            60..=84 => 3,
+            _ => 4,
+        }
+    } else {
+        1
+    }
+}
+
+/// Generates a full synthetic design from `spec`.
+///
+/// The same spec (same seed) always yields the identical design.
+pub fn generate(spec: &BenchmarkSpec) -> Design {
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    let tech = spec.technology();
+    let sw = tech.site_width;
+    let rh = tech.row_height;
+
+    // 1. Sample the cell list, then size the core so density comes out
+    //    right: placeable = movable_area / density, core = placeable +
+    //    macro area.
+    let dims: Vec<(i64, u8)> = (0..spec.num_cells)
+        .map(|_| {
+            (
+                sample_width(&mut rng),
+                sample_height(&mut rng, spec.multi_height_ratio),
+            )
+        })
+        .collect();
+    let movable_area: f64 = dims
+        .iter()
+        .map(|&(w, h)| (w * sw * i64::from(h) * rh) as f64)
+        .sum();
+    let core_area = movable_area / spec.density / (1.0 - spec.macro_area_frac).max(0.05);
+    let side = core_area.sqrt();
+    // Rows have a floor (mixed-height cells need vertical room); the width
+    // then absorbs the rounding so the core area — and with it the spec's
+    // density — is preserved even at tiny scales.
+    let rows = ((side / rh as f64).round() as i64).max(8);
+    let sites_x = ((core_area / (rows * rh) as f64 / sw as f64).round() as i64).max(8);
+
+    let mut b = DesignBuilder::new(spec.name.clone(), tech.clone(), sites_x, rows);
+    if let Some(mr) = spec.max_disp_rows {
+        b.max_displacement(mr * rh);
+    }
+
+    // 2. Macros: random, aligned, pairwise non-overlapping.
+    let core = Rect::new(0, 0, sites_x * sw, rows * rh);
+    let mut macros: Vec<Rect> = Vec::new();
+    let target_macro_area = spec.macro_area_frac * core.area() as f64;
+    let mut macro_area = 0.0;
+    let mut attempts = 0;
+    while macro_area < target_macro_area && attempts < 4_000 {
+        attempts += 1;
+        let w_sites = rng.gen_range((sites_x / 14).max(2)..=(sites_x / 6).max(3));
+        let h_rows = rng.gen_range((rows / 14).max(2)..=(rows / 6).max(3));
+        if w_sites >= sites_x || h_rows >= rows {
+            continue;
+        }
+        let site = rng.gen_range(0..=(sites_x - w_sites));
+        let row = rng.gen_range(0..=(rows - h_rows));
+        let r = Rect::new(
+            site * sw,
+            row * rh,
+            (site + w_sites) * sw,
+            (row + h_rows) * rh,
+        );
+        // One pixel of margin keeps corridors placeable.
+        if macros.iter().any(|m| m.inflated(sw.max(rh)).overlaps(&r)) {
+            continue;
+        }
+        // Fixed cells share the Cell type, whose height is capped at the
+        // max cell height; taller macros are emitted as stacked row-bands.
+        let first_band = h_rows.min(i64::from(tech.max_height_rows));
+        b.add_fixed_cell(
+            format!("macro{}", macros.len()),
+            w_sites,
+            first_band as u8,
+            Point::new(r.lo.x, r.lo.y),
+        );
+        let mut placed = first_band;
+        let mut band = 1;
+        while placed < h_rows {
+            let this = (h_rows - placed).min(i64::from(tech.max_height_rows));
+            b.add_fixed_cell(
+                format!("macro{}_b{band}", macros.len()),
+                w_sites,
+                this as u8,
+                Point::new(r.lo.x, r.lo.y + placed * rh),
+            );
+            placed += this;
+            band += 1;
+        }
+        macro_area += r.area() as f64;
+        macros.push(r);
+    }
+
+    // 3. Fence regions: aligned rectangles, ~10 % of the core each,
+    //    disjoint from one another.
+    let mut fences: Vec<Rect> = Vec::new();
+    let mut fence_ids = Vec::new();
+    attempts = 0;
+    while fences.len() < spec.num_fences && attempts < 2_000 {
+        attempts += 1;
+        let w_sites = rng.gen_range((sites_x / 6).max(4)..=(sites_x / 3).max(5));
+        let h_rows = rng.gen_range((rows / 6).max(4)..=(rows / 3).max(5));
+        if w_sites >= sites_x || h_rows >= rows {
+            continue;
+        }
+        let site = rng.gen_range(0..=(sites_x - w_sites));
+        let row = rng.gen_range(0..=(rows - h_rows));
+        let r = Rect::new(
+            site * sw,
+            row * rh,
+            (site + w_sites) * sw,
+            (row + h_rows) * rh,
+        );
+        if fences.iter().any(|f| f.inflated(sw).overlaps(&r)) {
+            continue;
+        }
+        let id = b.add_region(format!("fence_{}", fences.len()), vec![r]);
+        fence_ids.push(id);
+        fences.push(r);
+    }
+
+    // Fence capacity: cap fenced-cell area at ~80 % of each region's
+    // placeable (macro-free) area so every fence stays legalizable.
+    let fence_capacity: Vec<f64> = fences
+        .iter()
+        .map(|f| {
+            let blocked: i64 = macros.iter().map(|m| m.overlap_area(f)).sum();
+            ((f.area() - blocked).max(0)) as f64 * spec.density.min(0.8)
+        })
+        .collect();
+    let mut fence_fill = vec![0.0f64; fences.len()];
+
+    // 4. Cells, allocated bin-by-bin in snake order so netlist index
+    //    locality becomes spatial locality with uniform density.
+    let bins_per_axis = ((spec.num_cells as f64 / 20.0).sqrt().ceil() as i64).max(1);
+    let bw = (core.width() / bins_per_axis).max(1);
+    let bh = (core.height() / bins_per_axis).max(1);
+    let mut bin_order = Vec::new();
+    for by in 0..bins_per_axis {
+        let xs: Vec<i64> = if by % 2 == 0 {
+            (0..bins_per_axis).collect()
+        } else {
+            (0..bins_per_axis).rev().collect()
+        };
+        for bx in xs {
+            bin_order.push((bx, by));
+        }
+    }
+    let bin_rect = |bx: i64, by: i64| {
+        Rect::new(
+            core.lo.x + bx * bw,
+            core.lo.y + by * bh,
+            (core.lo.x + (bx + 1) * bw).min(core.hi.x),
+            (core.lo.y + (by + 1) * bh).min(core.hi.y),
+        )
+    };
+    let capacity_of = |r: &Rect| {
+        let blocked: i64 = macros.iter().map(|m| m.overlap_area(r)).sum();
+        ((r.area() - blocked).max(0)) as f64 * spec.density
+    };
+
+    let mut cells: Vec<CellId> = Vec::with_capacity(spec.num_cells);
+    let mut bin_iter = bin_order.iter().cycle();
+    let mut current = *bin_iter.next().expect("bins");
+    let mut current_rect = bin_rect(current.0, current.1);
+    let mut current_fill = 0.0;
+    let mut current_cap = capacity_of(&current_rect);
+    for (i, &(w, h)) in dims.iter().enumerate() {
+        let area = (w * sw * i64::from(h) * rh) as f64;
+        // Advance to the next bin once this one is at capacity (skipping
+        // fully blocked bins).
+        let mut guard = 0;
+        while current_fill + area > current_cap && guard < bin_order.len() * 2 {
+            current = *bin_iter.next().expect("bins");
+            current_rect = bin_rect(current.0, current.1);
+            current_cap = capacity_of(&current_rect);
+            current_fill = 0.0;
+            guard += 1;
+        }
+        current_fill += area;
+        // Random position inside the bin, biased away from macros.
+        let (cw, ch) = (w * sw, i64::from(h) * rh);
+        let mut pos = Point::new(current_rect.lo.x, current_rect.lo.y);
+        for _ in 0..12 {
+            let x =
+                rng.gen_range(current_rect.lo.x..=(current_rect.hi.x - cw).max(current_rect.lo.x));
+            let y =
+                rng.gen_range(current_rect.lo.y..=(current_rect.hi.y - ch).max(current_rect.lo.y));
+            pos = Point::new(x, y);
+            let r = Rect::with_size(pos, cw, ch);
+            if !macros.iter().any(|m| m.overlaps(&r)) {
+                break;
+            }
+        }
+        let id = b.add_cell(format!("u{i}"), w, h, pos);
+        if spec.edge_types {
+            let roll = rng.gen_range(0..100);
+            if roll < 15 {
+                b.set_edges(id, EdgeType(1), EdgeType(1));
+            } else if roll < 23 {
+                b.set_edges(id, EdgeType(2), EdgeType(2));
+            }
+        }
+        // Fence membership: cells whose centre lands inside a fence belong
+        // to it, as long as the fence has capacity left (fences must stay
+        // legalizable: macros inside the rect eat placeable area).
+        let r = Rect::with_size(pos, cw, ch);
+        let centre = r.center();
+        let mut fence = fences.iter().position(|f| f.contains_point(centre));
+        if let Some(fi) = fence {
+            let cap = fence_capacity[fi];
+            if fence_fill[fi] + (cw * ch) as f64 <= cap {
+                fence_fill[fi] += (cw * ch) as f64;
+                b.assign_region(id, fence_ids[fi]);
+            } else {
+                fence = None;
+            }
+        }
+        if h % 2 == 0 {
+            // Pick a rail parity that has at least one feasible start row —
+            // inside the cell's fence when it has one, anywhere otherwise.
+            let (lo_row, hi_row) = match fence {
+                Some(fi) => (fences[fi].lo.y / rh, fences[fi].hi.y / rh),
+                None => (0, rows),
+            };
+            let feasible = |parity: RailParity| {
+                (lo_row..=(hi_row - i64::from(h)).max(lo_row)).any(|row| parity.allows_row(row))
+            };
+            let pick = if rng.gen_bool(0.5) {
+                RailParity::Even
+            } else {
+                RailParity::Odd
+            };
+            let other = if pick == RailParity::Even {
+                RailParity::Odd
+            } else {
+                RailParity::Even
+            };
+            b.set_rail(id, if feasible(pick) { pick } else { other });
+        }
+        cells.push(id);
+    }
+
+    // 5. Netlist with index locality (index ≈ space after snake
+    //    allocation): ~1.15 nets per cell, degrees 2-6, a few global nets
+    //    and boundary IO pins.
+    let n = cells.len();
+    let num_nets = (n as f64 * 1.15) as usize;
+    let window = (n / 80).max(12);
+    for ni in 0..num_nets {
+        let degree = match rng.gen_range(0..100) {
+            0..=54 => 2,
+            55..=74 => 3,
+            75..=89 => 4,
+            90..=96 => 5,
+            _ => 6,
+        };
+        let seed_idx = rng.gen_range(0..n);
+        let mut members = vec![seed_idx];
+        let mut guard = 0;
+        while members.len() < degree && guard < 40 {
+            guard += 1;
+            let lo = seed_idx.saturating_sub(window);
+            let hi = (seed_idx + window).min(n - 1);
+            let m = rng.gen_range(lo..=hi);
+            if !members.contains(&m) {
+                members.push(m);
+            }
+        }
+        if rng.gen_range(0..100) < 8 {
+            let far = rng.gen_range(0..n);
+            if !members.contains(&far) {
+                members.push(far);
+            }
+        }
+        let pins: Vec<(CellId, Dbu, Dbu)> = members
+            .into_iter()
+            .map(|m| {
+                let id = cells[m];
+                (
+                    id,
+                    rng.gen_range(0..=dims[m].0 * sw),
+                    rng.gen_range(0..=rh / 2),
+                )
+            })
+            .collect();
+        if rng.gen_range(0..100) < 2 {
+            let io = Point::new(
+                if rng.gen_bool(0.5) {
+                    core.lo.x
+                } else {
+                    core.hi.x
+                },
+                rng.gen_range(core.lo.y..core.hi.y),
+            );
+            b.add_net_with_fixed(format!("n{ni}"), pins, vec![io]);
+        } else {
+            b.add_net(format!("n{ni}"), pins);
+        }
+    }
+
+    let mut design = b.build();
+
+    // 6. Global-placement realism: jitter to create overlap, then a few
+    //    rounds of wirelength attraction + density spreading.
+    let jx = 3 * sw;
+    let jy = rh;
+    for id in design.cell_ids().collect::<Vec<_>>() {
+        if design.cell(id).is_movable() {
+            let c = design.cell_mut(id);
+            c.pos = c
+                .pos
+                .translated(rng.gen_range(-jx..=jx), rng.gen_range(-jy..=jy));
+        }
+    }
+    clamp_into_bounds(&mut design);
+    refine(&mut design, RefineConfig::default(), &mut rng);
+    design
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{find_spec, Family};
+
+    fn small_contest() -> BenchmarkSpec {
+        find_spec("des_perf_a_md1").expect("exists").scaled(0.004)
+    }
+
+    fn small_opencores() -> BenchmarkSpec {
+        find_spec("jpeg_encoder").expect("exists").scaled(0.01)
+    }
+
+    #[test]
+    fn determinism() {
+        let spec = small_contest();
+        let a = generate(&spec);
+        let c = generate(&spec);
+        assert_eq!(a.num_cells(), c.num_cells());
+        for (x, y) in a.cells.iter().zip(c.cells.iter()) {
+            assert_eq!(x.gp_pos, y.gp_pos);
+            assert_eq!(x.width, y.width);
+        }
+    }
+
+    #[test]
+    fn density_close_to_spec() {
+        let spec = small_opencores();
+        let d = generate(&spec);
+        assert_eq!(d.num_movable(), spec.num_cells);
+        let density = d.density();
+        assert!(
+            (density - spec.density).abs() < 0.12,
+            "density {density} vs spec {}",
+            spec.density
+        );
+    }
+
+    #[test]
+    fn contest_designs_have_structure() {
+        let spec = small_contest();
+        let d = generate(&spec);
+        assert!(d.fixed_ids().count() > 0, "macros present");
+        assert_eq!(d.regions.len(), spec.num_fences);
+        assert!(
+            d.cells.iter().any(|c| c.region.is_some()),
+            "some cells are fenced"
+        );
+        assert!(
+            d.cells.iter().any(|c| c.edge_left.0 != 0),
+            "edge types assigned"
+        );
+        assert!(d.max_displacement.is_some());
+        // Fenced cells actually start inside their region.
+        let rh = d.tech.row_height;
+        for c in d.cells.iter().filter(|c| c.region.is_some()) {
+            let reg = d.region(c.region.expect("fenced"));
+            assert!(
+                reg.contains(&c.rect(rh)),
+                "fenced cell at {} outside fence",
+                c.pos
+            );
+        }
+    }
+
+    #[test]
+    fn opencores_designs_are_plain() {
+        let spec = small_opencores();
+        assert_eq!(spec.family, Family::OpenCores);
+        let d = generate(&spec);
+        assert_eq!(d.fixed_ids().count(), 0);
+        assert!(d.regions.is_empty());
+        assert!(d.cells.iter().all(|c| c.edge_left.0 == 0));
+        // ~10 % multi-height.
+        let multi = d.cells.iter().filter(|c| c.height_rows > 1).count();
+        let ratio = multi as f64 / d.num_cells() as f64;
+        assert!((0.03..0.25).contains(&ratio), "multi-height ratio {ratio}");
+    }
+
+    #[test]
+    fn gp_has_overlaps_and_everything_in_core() {
+        let spec = small_opencores();
+        let d = generate(&spec);
+        let rh = d.tech.row_height;
+        for c in &d.cells {
+            assert!(d.core.contains(&c.rect(rh)));
+        }
+        // Global placement must be overlapping (otherwise legalization is
+        // trivial and order-insensitive).
+        let tree = rlleg_geom::rtree::RTree::bulk_load(
+            d.movable_ids()
+                .map(|id| (d.cell(id).rect(rh), id))
+                .collect::<Vec<_>>(),
+        );
+        let overlapping = d
+            .movable_ids()
+            .filter(|&id| {
+                let r = d.cell(id).rect(rh);
+                tree.query(&r).any(|(_, &v)| v != id)
+            })
+            .count();
+        assert!(
+            overlapping * 5 >= d.num_movable(),
+            "at least 20% of cells overlap something, got {overlapping}/{}",
+            d.num_movable()
+        );
+    }
+
+    #[test]
+    fn nets_are_mostly_local() {
+        let spec = small_opencores();
+        let d = generate(&spec);
+        let mut spans: Vec<i64> = (0..d.num_nets() as u32)
+            .map(|i| rlleg_design::metrics::net_hpwl(&d, rlleg_design::NetId(i)))
+            .collect();
+        spans.sort_unstable();
+        let median = spans[spans.len() / 2];
+        assert!(
+            median < d.core.width() / 2,
+            "median net span {median} should be well under the core width {}",
+            d.core.width()
+        );
+    }
+
+    #[test]
+    fn gcell_grid_scales_with_area() {
+        // Full-size des_perf_a_md1 is 8.1e11 nm² => ~900k x 900k => 5x5.
+        let spec = find_spec("des_perf_a_md1").expect("exists");
+        // Generating 108k cells is too slow for a unit test; check the
+        // formula through a mid-sized scale instead.
+        let d = generate(&spec.scaled(0.02));
+        let (nx, ny) = d.default_gcell_grid();
+        assert!(nx >= 1 && ny >= 1);
+    }
+}

@@ -1,0 +1,289 @@
+//! A lightweight global-placement substrate.
+//!
+//! The paper assumes "the result of the preceding global placement is
+//! well-optimized with respect to timing or wirelength" (Sec. II-A). The
+//! generator first lays cells out with density-controlled locality
+//! (see [`generate`](crate::generate)); this module then refines the
+//! placement like a quadratic global placer would: net-centroid attraction
+//! (wirelength) interleaved with bin-based density spreading, producing the
+//! overlapping, off-grid positions a legalizer actually sees.
+
+use rand::Rng;
+
+use rlleg_design::Design;
+use rlleg_geom::Point;
+
+/// Configuration for [`refine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineConfig {
+    /// Number of attraction+spreading rounds.
+    pub iterations: usize,
+    /// Step fraction toward the net centroid per round (0..1).
+    pub attraction: f64,
+    /// Step fraction away from overfull bins per round (0..1).
+    pub spreading: f64,
+    /// Bin utilization above which spreading kicks in.
+    pub overflow_threshold: f64,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 4,
+            attraction: 0.35,
+            spreading: 0.45,
+            overflow_threshold: 1.05,
+        }
+    }
+}
+
+/// Refines global-placement positions in place: pulls each movable cell
+/// toward the centroid of its nets, then pushes cells out of overfull bins,
+/// keeping fenced cells inside their regions and everything inside the core.
+pub fn refine(design: &mut Design, cfg: RefineConfig, rng: &mut impl Rng) {
+    let rh = design.tech.row_height;
+    let target_density = design.density().max(0.05);
+    // ~60 cells per spreading bin keeps the grid coarse enough to move mass.
+    let n = design.num_movable().max(1);
+    let bins_per_axis = (((n as f64) / 60.0).sqrt().ceil() as i64).max(1);
+    let core = design.core;
+    let bw = (core.width() / bins_per_axis).max(1);
+    let bh = (core.height() / bins_per_axis).max(1);
+    let bin_of = |p: Point| -> (i64, i64) {
+        (
+            ((p.x - core.lo.x) / bw).clamp(0, bins_per_axis - 1),
+            ((p.y - core.lo.y) / bh).clamp(0, bins_per_axis - 1),
+        )
+    };
+
+    for _ in 0..cfg.iterations {
+        // --- wirelength attraction ---
+        let targets: Vec<Option<Point>> = design
+            .cell_ids()
+            .map(|id| {
+                if !design.cell(id).is_movable() {
+                    return None;
+                }
+                let nets = design.nets_of(id);
+                if nets.is_empty() {
+                    return None;
+                }
+                let (mut sx, mut sy, mut k) = (0i128, 0i128, 0i128);
+                for &nid in nets {
+                    for pin in &design.net(nid).pins {
+                        let p = design.pin_pos(pin);
+                        sx += i128::from(p.x);
+                        sy += i128::from(p.y);
+                        k += 1;
+                    }
+                }
+                Some(Point::new((sx / k) as i64, (sy / k) as i64))
+            })
+            .collect();
+        for id in design.cell_ids().collect::<Vec<_>>() {
+            if let Some(t) = targets[id.index()] {
+                let c = design.cell_mut(id);
+                let dx = ((t.x - c.pos.x) as f64 * cfg.attraction) as i64;
+                let dy = ((t.y - c.pos.y) as f64 * cfg.attraction) as i64;
+                c.pos = c.pos.translated(dx, dy);
+            }
+        }
+
+        // --- density spreading ---
+        let mut fill = vec![0f64; (bins_per_axis * bins_per_axis) as usize];
+        for id in design.movable_ids() {
+            let c = design.cell(id);
+            let (bx, by) = bin_of(c.rect(rh).center());
+            fill[(by * bins_per_axis + bx) as usize] += c.area(rh) as f64;
+        }
+        let capacity = (bw * bh) as f64 * target_density;
+        for id in design.cell_ids().collect::<Vec<_>>() {
+            if !design.cell(id).is_movable() {
+                continue;
+            }
+            let centre = design.cell(id).rect(rh).center();
+            let (bx, by) = bin_of(centre);
+            let u = fill[(by * bins_per_axis + bx) as usize] / capacity.max(1.0);
+            if u <= cfg.overflow_threshold {
+                continue;
+            }
+            // Move toward the least-filled 4-neighbour.
+            let mut best: Option<(f64, i64, i64)> = None;
+            for (dx, dy) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
+                let (nx, ny) = (bx + dx, by + dy);
+                if nx < 0 || ny < 0 || nx >= bins_per_axis || ny >= bins_per_axis {
+                    continue;
+                }
+                let nu = fill[(ny * bins_per_axis + nx) as usize] / capacity.max(1.0);
+                if best.is_none_or(|(bu, _, _)| nu < bu) {
+                    best = Some((nu, dx, dy));
+                }
+            }
+            if let Some((nu, dx, dy)) = best {
+                if nu < u {
+                    let step = cfg.spreading * (u - nu).min(2.0) / 2.0;
+                    let jitter_x = rng.gen_range(-bw / 8..=bw / 8);
+                    let jitter_y = rng.gen_range(-bh / 8..=bh / 8);
+                    let c = design.cell_mut(id);
+                    c.pos = c.pos.translated(
+                        (dx as f64 * bw as f64 * step) as i64 + jitter_x,
+                        (dy as f64 * bh as f64 * step) as i64 + jitter_y,
+                    );
+                }
+            }
+        }
+
+        clamp_into_bounds(design);
+    }
+
+    // Final pass: fenced cells inside their regions, gp_pos snapshot.
+    clamp_into_bounds(design);
+    for id in design.cell_ids().collect::<Vec<_>>() {
+        if design.cell(id).is_movable() {
+            let p = design.cell(id).pos;
+            design.cell_mut(id).gp_pos = p;
+        }
+    }
+}
+
+/// Clamps every movable cell inside the core, and fenced cells inside (one
+/// rectangle of) their region.
+pub fn clamp_into_bounds(design: &mut Design) {
+    let rh = design.tech.row_height;
+    let core = design.core;
+    for id in design.cell_ids().collect::<Vec<_>>() {
+        let c = design.cell(id);
+        if !c.is_movable() {
+            continue;
+        }
+        let (w, h) = (c.width, c.height(rh));
+        let mut bounds = core;
+        if let Some(reg) = c.region {
+            // Clamp into the region rectangle nearest to the cell.
+            let pos = c.pos;
+            let region = design.region(reg);
+            if let Some(r) = region
+                .rects
+                .iter()
+                .filter(|r| r.width() >= w && r.height() >= h)
+                .min_by_key(|r| r.manhattan_to_point(pos))
+            {
+                bounds = *r;
+            }
+        }
+        let x = c
+            .pos
+            .x
+            .clamp(bounds.lo.x, (bounds.hi.x - w).max(bounds.lo.x));
+        let y = c
+            .pos
+            .y
+            .clamp(bounds.lo.y, (bounds.hi.y - h).max(bounds.lo.y));
+        design.cell_mut(id).pos = Point::new(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use rlleg_design::{metrics, DesignBuilder, Technology};
+    use rlleg_geom::Rect;
+
+    fn clustered_design() -> Design {
+        // All cells piled in one corner, chained by nets.
+        let mut b = DesignBuilder::new("rf", Technology::contest(), 100, 40);
+        for i in 0..120 {
+            b.add_cell(
+                format!("u{i}"),
+                1,
+                1,
+                Point::new((i % 10) * 40, (i / 10) * 150),
+            );
+        }
+        for i in 0..119u32 {
+            b.add_net(
+                format!("n{i}"),
+                vec![
+                    (rlleg_design::CellId(i), 0, 0),
+                    (rlleg_design::CellId(i + 1), 0, 0),
+                ],
+            );
+        }
+        b.build()
+    }
+
+    #[test]
+    fn refine_spreads_an_overfull_corner() {
+        let mut d = clustered_design();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let before_extent = d
+            .cells
+            .iter()
+            .map(|c| c.pos.x + c.pos.y)
+            .max()
+            .expect("cells");
+        refine(
+            &mut d,
+            RefineConfig {
+                iterations: 12,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let after_extent = d
+            .cells
+            .iter()
+            .map(|c| c.pos.x + c.pos.y)
+            .max()
+            .expect("cells");
+        assert!(
+            after_extent > before_extent,
+            "spreading must push cells outward: {before_extent} -> {after_extent}"
+        );
+        // Everything still inside the core.
+        let rh = d.tech.row_height;
+        for c in &d.cells {
+            assert!(d.core.contains(&c.rect(rh)), "cell at {} escaped", c.pos);
+        }
+        // gp_pos snapshot taken.
+        for c in d.cells.iter().filter(|c| c.is_movable()) {
+            assert_eq!(c.gp_pos, c.pos);
+        }
+    }
+
+    #[test]
+    fn attraction_shortens_a_stretched_net() {
+        let mut b = DesignBuilder::new("att", Technology::contest(), 100, 40);
+        let a = b.add_cell("a", 1, 1, Point::new(0, 0));
+        let c = b.add_cell("c", 1, 1, Point::new(19_000, 70_000));
+        b.add_net("n", vec![(a, 0, 0), (c, 0, 0)]);
+        let mut d = b.build();
+        let before = metrics::total_hpwl(&d);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        refine(
+            &mut d,
+            RefineConfig {
+                iterations: 3,
+                spreading: 0.0,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let after = metrics::total_hpwl(&d);
+        assert!(after < before, "hpwl {before} -> {after}");
+    }
+
+    #[test]
+    fn clamp_respects_fences() {
+        let mut b = DesignBuilder::new("cl", Technology::contest(), 100, 40);
+        let a = b.add_cell("a", 2, 1, Point::new(50_000, 50_000));
+        let r = b.add_region("f", vec![Rect::new(0, 0, 4_000, 8_000)]);
+        b.assign_region(a, r);
+        let mut d = b.build();
+        clamp_into_bounds(&mut d);
+        let rh = d.tech.row_height;
+        assert!(d.region(r).contains(&d.cell(a).rect(rh)));
+    }
+}

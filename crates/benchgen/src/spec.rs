@@ -1,0 +1,243 @@
+//! Benchmark specifications mirroring the paper's Tables II–III.
+//!
+//! The ICCAD-2017 contest and OpenCores benchmarks are not redistributable,
+//! so the reproduction regenerates designs with the *published
+//! characteristics* of each row: cell count, core area, density, Gcell
+//! grid, plus the structural traits of each family (contest designs have
+//! fences/macros/edge types and the contest technology; OpenCores designs
+//! are 75 %-utilization Nangate 45 nm with ~10 % multi-height cells).
+
+use serde::{Deserialize, Serialize};
+
+use rlleg_design::Technology;
+
+/// Which benchmark family a spec belongs to (white vs. gray rows of
+/// Tables II–III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Family {
+    /// ICCAD-2017 contest style: contest technology, fences on `_a`/`_b`
+    /// variants, macros, edge-spacing types, max-displacement constraint.
+    Contest,
+    /// OpenCores style: Nangate 45 nm, 75 % utilization, aspect ratio 1.0,
+    /// 10 % multi-height cells.
+    OpenCores,
+}
+
+/// A synthetic benchmark specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkSpec {
+    /// Design name (matches the paper's row).
+    pub name: String,
+    /// Benchmark family.
+    pub family: Family,
+    /// Number of movable cells at scale 1.0.
+    pub num_cells: usize,
+    /// Core area at scale 1.0, in dbu² (the paper reports e+11 units).
+    pub area: f64,
+    /// Target movable-area density (utilization).
+    pub density: f64,
+    /// Fraction of cells that are multi-height (2–4 rows).
+    pub multi_height_ratio: f64,
+    /// Fraction of the core covered by fixed macros.
+    pub macro_area_frac: f64,
+    /// Number of fence regions.
+    pub num_fences: usize,
+    /// Whether cells carry nonzero edge types (contest edge-spacing rule).
+    pub edge_types: bool,
+    /// Maximum-displacement constraint in rows of distance, if any.
+    pub max_disp_rows: Option<i64>,
+    /// RNG seed for generation.
+    pub seed: u64,
+    /// Core area of the *unscaled* design (used to derive the paper's
+    /// Gcell grid even for scaled-down instances).
+    pub full_area: f64,
+}
+
+impl BenchmarkSpec {
+    /// The spec scaled down (or up) by `scale`: cell count and area shrink
+    /// together so density and the per-Gcell structure are preserved. A
+    /// floor of 60 cells keeps tiny scales meaningful.
+    pub fn scaled(&self, scale: f64) -> BenchmarkSpec {
+        let mut s = self.clone();
+        s.num_cells = ((self.num_cells as f64 * scale).round() as usize).max(60);
+        s.area = self.area * (s.num_cells as f64 / self.num_cells as f64);
+        s
+    }
+
+    /// The Gcell grid the paper would use for the *full-size* design:
+    /// `ceil(side / 200 um)` per axis, capped at 5x5 (Sec. III-E-1). Stable
+    /// under [`scaled`](Self::scaled), so scaled benches can partition like
+    /// the paper's Tables II-III report.
+    pub fn paper_gcell_grid(&self) -> (usize, usize) {
+        let side = self.full_area.sqrt();
+        let per_axis = ((side / 200_000.0).ceil() as usize).clamp(1, 5);
+        (per_axis, per_axis)
+    }
+
+    /// The technology for this spec's family.
+    pub fn technology(&self) -> Technology {
+        match self.family {
+            Family::Contest => Technology::contest(),
+            Family::OpenCores => Technology::nangate45(),
+        }
+    }
+}
+
+fn contest(
+    name: &str,
+    num_cells: usize,
+    area_e11: f64,
+    density: f64,
+    macro_area_frac: f64,
+    num_fences: usize,
+    seed: u64,
+) -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: name.to_owned(),
+        family: Family::Contest,
+        num_cells,
+        area: area_e11 * 1e11,
+        density,
+        multi_height_ratio: 0.12,
+        macro_area_frac,
+        num_fences,
+        edge_types: true,
+        max_disp_rows: Some(120),
+        seed,
+        full_area: area_e11 * 1e11,
+    }
+}
+
+fn opencores(name: &str, num_cells: usize, area_e11: f64, seed: u64) -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: name.to_owned(),
+        family: Family::OpenCores,
+        num_cells,
+        area: area_e11 * 1e11,
+        density: 0.75,
+        multi_height_ratio: 0.10,
+        macro_area_frac: 0.0,
+        num_fences: 0,
+        edge_types: false,
+        max_disp_rows: None,
+        seed,
+        full_area: area_e11 * 1e11,
+    }
+}
+
+/// The 23 training benchmarks of Table II (18 contest + 5 OpenCores rows
+/// are actually 13 contest + 10 OpenCores; order follows the table).
+pub fn training_suite() -> Vec<BenchmarkSpec> {
+    vec![
+        contest("des_perf_1", 112_644, 1.98, 0.91, 0.00, 0, 11),
+        contest("des_perf_a_md1", 108_292, 8.10, 0.55, 0.15, 2, 12),
+        contest("des_perf_b_md1", 112_644, 3.60, 0.55, 0.10, 2, 13),
+        contest("des_perf_b_md2", 112_644, 3.60, 0.65, 0.10, 2, 14),
+        contest("edit_dist_1_md1", 130_661, 5.21, 0.67, 0.00, 0, 15),
+        contest("edit_dist_a_md2", 127_419, 6.40, 0.59, 0.15, 1, 16),
+        contest("edit_dist_a_md3", 127_419, 6.40, 0.57, 0.15, 1, 17),
+        contest("fft_2_md2", 32_281, 1.17, 0.83, 0.00, 0, 18),
+        contest("fft_a_md3", 30_631, 6.40, 0.31, 0.20, 1, 19),
+        contest("pci_bridge32_a_md2", 29_521, 1.60, 0.58, 0.15, 1, 20),
+        contest("pci_bridge32_b_md1", 28_920, 6.40, 0.26, 0.25, 2, 21),
+        contest("pci_bridge32_b_md2", 28_920, 6.40, 0.18, 0.25, 2, 22),
+        contest("pci_bridge32_b_md3", 28_920, 6.40, 0.22, 0.25, 2, 23),
+        opencores("aes_cipher_top", 10_006, 0.16, 24),
+        opencores("des3", 42_788, 1.02, 25),
+        opencores("eth_top", 41_871, 1.09, 26),
+        opencores("jpeg_encoder", 35_688, 0.83, 27),
+        opencores("mc_top", 4_576, 0.12, 28),
+        opencores("nova", 136_961, 3.46, 29),
+        opencores("sasc_top", 442, 0.01, 30),
+        opencores("spi_top", 1_486, 0.04, 31),
+        opencores("usb_phy", 321, 0.01, 32),
+        opencores("wb_conmax_top", 18_961, 0.43, 33),
+    ]
+}
+
+/// The 5 held-out test benchmarks of Table III.
+pub fn test_suite() -> Vec<BenchmarkSpec> {
+    vec![
+        contest("des_perf_a_md2", 108_292, 8.10, 0.56, 0.15, 2, 41),
+        contest("fft_a_md2", 30_631, 6.40, 0.32, 0.20, 1, 42),
+        contest("pci_bridge32_a_md1", 29_521, 1.60, 0.50, 0.15, 1, 43),
+        opencores("keccak", 24_902, 0.52, 44),
+        opencores("point_scalar_mult", 51_294, 1.14, 45),
+    ]
+}
+
+/// Looks a spec up by name across both suites.
+pub fn find_spec(name: &str) -> Option<BenchmarkSpec> {
+    training_suite()
+        .into_iter()
+        .chain(test_suite())
+        .find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_match_table_sizes() {
+        assert_eq!(training_suite().len(), 23);
+        assert_eq!(test_suite().len(), 5);
+    }
+
+    #[test]
+    fn all_names_unique() {
+        let mut names: Vec<String> = training_suite()
+            .into_iter()
+            .chain(test_suite())
+            .map(|s| s.name)
+            .collect();
+        let total = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), total);
+    }
+
+    #[test]
+    fn scaling_preserves_density() {
+        let s = find_spec("des_perf_1").expect("exists");
+        let small = s.scaled(0.05);
+        assert!((small.num_cells as f64 - 112_644.0 * 0.05).abs() < 1.0);
+        let cells_ratio = small.num_cells as f64 / s.num_cells as f64;
+        let area_ratio = small.area / s.area;
+        assert!((cells_ratio - area_ratio).abs() < 1e-9);
+        assert_eq!(small.density, s.density);
+    }
+
+    #[test]
+    fn scaling_has_floor() {
+        let s = find_spec("usb_phy").expect("exists");
+        assert_eq!(s.scaled(0.001).num_cells, 60);
+    }
+
+    #[test]
+    fn paper_gcell_grid_matches_table() {
+        // Table II: des_perf_1 is 3x3, des_perf_a_md1 is 5x5, usb_phy 1x1.
+        assert_eq!(find_spec("des_perf_1").unwrap().paper_gcell_grid(), (3, 3));
+        assert_eq!(find_spec("des_perf_a_md1").unwrap().paper_gcell_grid(), (5, 5));
+        assert_eq!(find_spec("usb_phy").unwrap().paper_gcell_grid(), (1, 1));
+        // Scaling does not change the paper grid.
+        assert_eq!(
+            find_spec("des_perf_1").unwrap().scaled(0.003).paper_gcell_grid(),
+            (3, 3)
+        );
+    }
+
+    #[test]
+    fn families_pick_technologies() {
+        assert_eq!(
+            find_spec("des_perf_1").unwrap().technology().name,
+            "iccad2017"
+        );
+        assert_eq!(find_spec("usb_phy").unwrap().technology().name, "nangate45");
+    }
+
+    #[test]
+    fn find_spec_misses_gracefully() {
+        assert!(find_spec("not_a_design").is_none());
+    }
+}

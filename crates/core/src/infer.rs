@@ -1,0 +1,250 @@
+//! Inference with a trained model (Sec. III-E-4, "test" process).
+//!
+//! The paper trains once on 80 % of the benchmarks and applies the frozen
+//! network to held-out designs: a few seconds of overhead for Gcell
+//! partitioning, feature extraction, and network evaluation, with ~80 % of
+//! the time in feature extraction. [`RlLegalizer`] reproduces that flow and
+//! reports the same timing split.
+
+use std::time::{Duration, Instant};
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use rlleg_design::{CellId, Design};
+use rlleg_nn::ops;
+
+use crate::env::LegalizeEnv;
+use crate::model::CellWiseNet;
+
+/// How actions are chosen at inference time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Selection {
+    /// Highest-priority cell first (deterministic; default).
+    #[default]
+    Greedy,
+    /// Categorical sampling from the priority vector with the given seed
+    /// (the training-time behaviour).
+    Sample(u64),
+}
+
+/// Outcome of one RL-ordered legalization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceReport {
+    /// Number of cells legalized.
+    pub legalized: usize,
+    /// Cells that failed to place (empty on success).
+    pub failed: Vec<CellId>,
+    /// Wall-clock total.
+    pub total_time: Duration,
+    /// Time spent extracting/normalizing features (the paper's dominant
+    /// cost).
+    pub feature_time: Duration,
+    /// Time spent in network forward passes.
+    pub network_time: Duration,
+}
+
+impl InferenceReport {
+    /// `true` when every movable cell was legalized.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// A legalizer driven by a trained cell-priority network.
+#[derive(Debug, Clone)]
+pub struct RlLegalizer {
+    model: CellWiseNet,
+    selection: Selection,
+    backend: crate::config::Backend,
+}
+
+impl RlLegalizer {
+    /// Wraps a trained model with greedy selection and the diamond-search
+    /// backend.
+    pub fn new(model: CellWiseNet) -> Self {
+        Self {
+            model,
+            selection: Selection::Greedy,
+            backend: crate::config::Backend::Diamond,
+        }
+    }
+
+    /// Sets the action-selection mode.
+    pub fn with_selection(mut self, selection: Selection) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Sets the legalizer backend the inference run drives.
+    pub fn with_backend(mut self, backend: crate::config::Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &CellWiseNet {
+        &self.model
+    }
+
+    /// Legalizes `design` in the RL-chosen order, mutating it in place.
+    ///
+    /// On a failure the affected subepisode is terminated (remaining cells
+    /// in that Gcell are attempted in the fallback size order so the run
+    /// still commits as much as possible, mirroring how the baseline
+    /// reports partial results).
+    pub fn legalize(&self, design: &mut Design) -> InferenceReport {
+        let t0 = Instant::now();
+        let mut feature_time = Duration::ZERO;
+        let mut network_time = Duration::ZERO;
+        let mut rng = match self.selection {
+            Selection::Greedy => ChaCha8Rng::seed_from_u64(0),
+            Selection::Sample(seed) => ChaCha8Rng::seed_from_u64(seed),
+        };
+
+        let gcells = rlleg_legalize::GcellGrid::auto(design);
+        let mut env = LegalizeEnv::with_options(design.clone(), gcells, self.backend);
+        let mut legalized = 0usize;
+        let mut failed = Vec::new();
+        for g in env.subepisode_order() {
+            let mut remaining = env.remaining_in(g);
+            while !remaining.is_empty() {
+                let tf = Instant::now();
+                let state = env.state(&remaining);
+                feature_time += tf.elapsed();
+                let tn = Instant::now();
+                let f = self.model.forward_inference(&state);
+                network_time += tn.elapsed();
+                let a = match self.selection {
+                    Selection::Greedy => f
+                        .logits
+                        .iter()
+                        .enumerate()
+                        .max_by(|x, y| x.1.total_cmp(y.1))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0),
+                    Selection::Sample(_) => sample(&ops::softmax(&f.logits), &mut rng),
+                };
+                let cell = remaining[a];
+                let outcome = env.step(cell);
+                if outcome.is_failure() {
+                    failed.push(cell);
+                    remaining.remove(a);
+                    // Subepisode terminated: drain the rest in size order
+                    // so the report covers every cell.
+                    for c in remaining.drain(..) {
+                        if env.step(c).is_failure() {
+                            failed.push(c);
+                        } else {
+                            legalized += 1;
+                        }
+                    }
+                } else {
+                    legalized += 1;
+                    remaining.remove(a);
+                }
+            }
+        }
+        *design = env.into_design();
+        InferenceReport {
+            legalized,
+            failed,
+            total_time: t0.elapsed(),
+            feature_time,
+            network_time,
+        }
+    }
+}
+
+fn sample(probs: &[f32], rng: &mut impl Rng) -> usize {
+    let x: f32 = rng.gen();
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if x < acc {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rlleg_design::{legality, DesignBuilder, Technology};
+    use rlleg_geom::Point;
+
+    fn design() -> Design {
+        let mut b = DesignBuilder::new("inf", Technology::contest(), 30, 8);
+        for i in 0..20i64 {
+            b.add_cell(
+                format!("u{i}"),
+                1 + i % 3,
+                1 + (i % 4 == 0) as u8,
+                Point::new((i * 450) % 5_000, (i * 1_300) % 14_000),
+            );
+        }
+        b.build()
+    }
+
+    fn untrained() -> RlLegalizer {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        RlLegalizer::new(CellWiseNet::new(8, &mut rng))
+    }
+
+    #[test]
+    fn untrained_model_still_legalizes_legally() {
+        let mut d = design();
+        let report = untrained().legalize(&mut d);
+        assert!(report.is_complete(), "failed: {:?}", report.failed);
+        assert_eq!(report.legalized, 20);
+        assert!(
+            legality::is_legal(&d),
+            "{:?}",
+            legality::check(&d, true).first()
+        );
+        assert!(report.total_time >= report.feature_time);
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let rl = untrained();
+        let mut d1 = design();
+        let mut d2 = design();
+        rl.legalize(&mut d1);
+        rl.legalize(&mut d2);
+        for (a, b) in d1.cells.iter().zip(d2.cells.iter()) {
+            assert_eq!(a.pos, b.pos);
+        }
+    }
+
+    #[test]
+    fn sampling_mode_runs_and_is_seeded() {
+        let rl = untrained().with_selection(Selection::Sample(5));
+        let mut d1 = design();
+        let mut d2 = design();
+        rl.legalize(&mut d1);
+        rl.legalize(&mut d2);
+        for (a, b) in d1.cells.iter().zip(d2.cells.iter()) {
+            assert_eq!(a.pos, b.pos, "same seed, same result");
+        }
+        assert!(legality::is_legal(&d1));
+    }
+
+    #[test]
+    fn failure_fallback_covers_all_cells() {
+        // One cell is impossible; everything else must still commit.
+        let mut b = DesignBuilder::new("f", Technology::contest(), 8, 2);
+        for i in 0..4i64 {
+            b.add_cell(format!("u{i}"), 1, 1, Point::new(i * 200, 0));
+        }
+        b.add_cell("impossible", 8, 2, Point::new(0, 0));
+        b.add_fixed_cell("m", 8, 1, Point::new(0, 2_000));
+        let mut d = b.build();
+        let report = untrained().legalize(&mut d);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.legalized, 4);
+    }
+}

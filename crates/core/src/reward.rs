@@ -1,0 +1,118 @@
+//! The reward function of Eq. 2.
+//!
+//! ```text
+//! r(s,a) = k1/disp + k2/Δhpwl   if disp > k1
+//!        = 1       + k2/Δhpwl   if disp ≤ k1
+//!        = −5                    on legalization failure
+//! ```
+//!
+//! `k1` is the threshold of inevitable displacement — one placement site
+//! (footnote 2: 200 nm contest / 190 nm Nangate). `k2` normalizes the ΔHPWL
+//! term into `[0, 1]`; a zero (or improving) ΔHPWL scores the full 1.
+
+use serde::{Deserialize, Serialize};
+
+use rlleg_design::Design;
+use rlleg_geom::Dbu;
+
+/// Reward the environment returns when the pixel search finds no position.
+pub const FAIL_REWARD: f32 = -5.0;
+
+/// Per-design reward normalization constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardParams {
+    /// Displacement threshold (one site width).
+    pub k1: Dbu,
+    /// ΔHPWL normalizer (one site width, making the term ≤ 1 for any
+    /// degradation of at least one site).
+    pub k2: f64,
+}
+
+impl RewardParams {
+    /// Derives the constants from the design's technology, as footnote 2
+    /// prescribes.
+    pub fn for_design(design: &Design) -> Self {
+        Self {
+            k1: design.tech.site_width,
+            k2: design.tech.site_width as f64,
+        }
+    }
+
+    /// Reward for a successful placement with displacement `disp` and HPWL
+    /// change `dhpwl` (positive = degradation).
+    pub fn step_reward(&self, disp: Dbu, dhpwl: Dbu) -> f32 {
+        let disp_term = if disp <= self.k1 {
+            1.0
+        } else {
+            self.k1 as f64 / disp as f64
+        };
+        let hpwl_term = if (dhpwl as f64) <= self.k2 {
+            1.0
+        } else {
+            self.k2 / dhpwl as f64
+        };
+        (disp_term + hpwl_term) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlleg_design::{DesignBuilder, Technology};
+    use rlleg_geom::Point;
+
+    fn params() -> RewardParams {
+        let mut b = DesignBuilder::new("r", Technology::contest(), 10, 4);
+        b.add_cell("a", 1, 1, Point::ORIGIN);
+        RewardParams::for_design(&b.build())
+    }
+
+    #[test]
+    fn derives_site_width() {
+        let p = params();
+        assert_eq!(p.k1, 200);
+        assert_eq!(p.k2, 200.0);
+    }
+
+    #[test]
+    fn perfect_step_scores_two() {
+        let p = params();
+        assert_eq!(p.step_reward(0, 0), 2.0);
+        assert_eq!(
+            p.step_reward(200, -500),
+            2.0,
+            "within threshold, improving hpwl"
+        );
+    }
+
+    #[test]
+    fn reward_decays_with_displacement() {
+        let p = params();
+        let near = p.step_reward(400, 0);
+        let far = p.step_reward(4_000, 0);
+        assert!(near > far);
+        assert!((near - (0.5 + 1.0)).abs() < 1e-6);
+        assert!((far - (0.05 + 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reward_decays_with_hpwl_degradation() {
+        let p = params();
+        let small = p.step_reward(0, 400);
+        let large = p.step_reward(0, 20_000);
+        assert!(small > large);
+        assert!((small - (1.0 + 0.5)).abs() < 1e-6);
+        assert!((large - (1.0 + 0.01)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bounds() {
+        let p = params();
+        // Any successful step is in (0, 2].
+        for (d, h) in [(0, 0), (1, 1), (10_000, 10_000), (999_999, 999_999)] {
+            let r = p.step_reward(d, h);
+            assert!(r > 0.0 && r <= 2.0, "r({d},{h}) = {r}");
+        }
+        assert!(FAIL_REWARD.is_sign_negative());
+    }
+}

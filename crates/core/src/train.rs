@@ -1,0 +1,692 @@
+//! The A3C training loop (Algorithm 1, Sec. III-C).
+//!
+//! Multiple actor-critic agents run on their own environment copies and
+//! asynchronously update a shared global network: every `B` steps each
+//! agent computes the combined loss (Eq. 3: policy + β·value + η·entropy)
+//! over its trajectory slice, backpropagates through its *local* network,
+//! clips the gradient to a global norm of 0.1, applies one shared-Adam
+//! update to the global parameters, and refreshes its local copy.
+
+use parking_lot::Mutex;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use rlleg_design::Design;
+use rlleg_nn::{ops, optim::Adam, Matrix};
+
+use crate::config::{ReturnMode, RlConfig, StateMode};
+use crate::env::LegalizeEnv;
+use crate::model::CellWiseNet;
+
+/// One point of the learning curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainSample {
+    /// Agent index.
+    pub agent: usize,
+    /// Episode index within that agent.
+    pub episode: usize,
+    /// Design name the episode ran on.
+    pub design: String,
+    /// Legalization cost at episode end (lower is better).
+    pub cost: f64,
+    /// Number of cells that failed to legalize.
+    pub failures: usize,
+    /// Full QoR of the episode's final placement.
+    pub qor: rlleg_design::metrics::Qor,
+}
+
+/// Output of [`train`].
+#[derive(Debug)]
+pub struct TrainResult {
+    /// The final global network.
+    pub model: CellWiseNet,
+    /// The checkpoint with the lowest episode cost seen during training.
+    /// The paper reports "the best results after training converged" for
+    /// the training benchmarks and uses the trained model for tests; this
+    /// is the corresponding validation-selected model.
+    pub best_model: CellWiseNet,
+    /// Learning-curve samples from every agent.
+    pub history: Vec<TrainSample>,
+}
+
+impl TrainResult {
+    /// Mean cost of the last `k` episodes across agents (convergence
+    /// summary for Fig. 5b / Fig. 6).
+    pub fn tail_cost(&self, k: usize) -> f64 {
+        let n = self.history.len();
+        if n == 0 {
+            return f64::NAN;
+        }
+        let tail = &self.history[n.saturating_sub(k)..];
+        tail.iter().map(|s| s.cost).sum::<f64>() / tail.len() as f64
+    }
+
+    /// The best episode recorded for `design` (lowest legalization cost) —
+    /// what Table II reports for training benchmarks.
+    pub fn best_for_design(&self, design: &str) -> Option<&TrainSample> {
+        self.history
+            .iter()
+            .filter(|s| s.design == design)
+            .min_by(|a, b| a.cost.total_cmp(&b.cost))
+    }
+}
+
+struct Shared {
+    /// Global parameters + shared Adam state.
+    net: Mutex<(Vec<f32>, Adam)>,
+    history: Mutex<Vec<TrainSample>>,
+    /// Best (cost, parameter snapshot) over all agents and episodes.
+    best: Mutex<(f64, Vec<f32>)>,
+}
+
+/// One step stored in the mini-batch.
+struct Step {
+    state: Matrix,
+    /// Selectable-cell mask (None in reduced mode: everything selectable).
+    mask: Option<Vec<bool>>,
+    action: usize,
+    reward: f32,
+    /// The pick failed to legalize (see `RlConfig::blame_failed_pick`).
+    failed: bool,
+}
+
+/// Samples an index from a probability vector.
+fn sample_categorical(probs: &[f32], rng: &mut impl Rng) -> usize {
+    let x: f32 = rng.gen();
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if x < acc {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+fn masked_logits(logits: &[f32], mask: Option<&Vec<bool>>) -> Vec<f32> {
+    match mask {
+        None => logits.to_vec(),
+        Some(m) => logits
+            .iter()
+            .zip(m)
+            .map(|(&l, &ok)| if ok { l } else { -1e9 })
+            .collect(),
+    }
+}
+
+/// Discounted returns over `rewards`, seeded with `tail` past the horizon
+/// (0 for truncated/Monte-Carlo ends, `V(s_end)` for bootstrapping).
+fn discounted_returns(
+    rewards: impl DoubleEndedIterator<Item = f32>,
+    gamma: f32,
+    tail: f32,
+) -> Vec<f32> {
+    let mut q: Vec<f32> = rewards
+        .rev()
+        .scan(tail, |acc, r| {
+            *acc = r + gamma * *acc;
+            Some(*acc)
+        })
+        .collect();
+    q.reverse();
+    q
+}
+
+/// Computes losses over a batch with precomputed targets `q` and applies
+/// one asynchronous global update.
+fn update(
+    local: &mut CellWiseNet,
+    shared: &Shared,
+    batch: &[Step],
+    q: &[f32],
+    cfg: &RlConfig,
+    lr: f32,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    debug_assert_eq!(batch.len(), q.len());
+    // Advantages (with the current local value function).
+    let mut advs: Vec<f32> = batch
+        .iter()
+        .zip(q)
+        .map(|(step, &qt)| qt - local.forward_inference(&step.state).value)
+        .collect();
+    if cfg.normalize_advantage && advs.len() > 1 {
+        let mean = advs.iter().sum::<f32>() / advs.len() as f32;
+        let var = advs.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / advs.len() as f32;
+        let sd = var.sqrt().max(1e-6);
+        for a in &mut advs {
+            *a = (*a - mean) / sd;
+        }
+    }
+
+    local.zero_grads();
+    let scale = 1.0 / batch.len() as f32;
+    for (t, step) in batch.iter().enumerate() {
+        let f = local.forward(&step.state);
+        let logits = masked_logits(&f.logits, step.mask.as_ref());
+        let probs = ops::softmax(&logits);
+        let adv = advs[t];
+        let entropy = ops::entropy(&probs);
+        let mut d_logits = vec![0f32; probs.len()];
+        for (i, &p) in probs.iter().enumerate() {
+            // Policy loss gradient: (p_i − 1{i=a}) · Adv.
+            let policy = (p - f32::from(i == step.action)) * adv;
+            // Entropy loss L = Σ p ln p; dL/dz_i = p_i (ln p_i + H).
+            let ent = if p > 0.0 { p * (p.ln() + entropy) } else { 0.0 };
+            d_logits[i] = (policy + cfg.entropy_coeff * ent) * scale;
+        }
+        if step.failed && !cfg.blame_failed_pick {
+            // The cell would have failed whenever picked from here on;
+            // only the earlier congestion-causing steps carry the blame
+            // (through their returns).
+            d_logits.fill(0.0);
+        }
+        // Value loss: β · SmoothL1(V, Q) (Eq. 7), gradient w.r.t. V.
+        let d_value = cfg.value_coeff * ops::smooth_l1_grad(f.value, q[t]) * scale;
+        local.backward(&d_logits, d_value);
+    }
+    let mut grads = local.grads_flat();
+    rlleg_nn::optim::clip_global_norm(&mut grads, cfg.grad_clip);
+
+    let mut g = shared.net.lock();
+    let (params, adam) = &mut *g;
+    adam.lr = lr;
+    adam.step(params, &grads);
+    let snapshot = params.clone();
+    drop(g);
+    local.set_params_flat(&snapshot);
+}
+
+/// Runs one agent's subepisode under the given state mode, pushing steps
+/// into batches and updating as Algorithm 1 prescribes. Returns the number
+/// of legalization failures encountered (with the paper's
+/// terminate-on-failure semantics this is 0 or 1).
+fn run_subepisode(
+    env: &mut LegalizeEnv,
+    g: usize,
+    local: &mut CellWiseNet,
+    shared: &Shared,
+    cfg: &RlConfig,
+    lr: f32,
+    rng: &mut impl Rng,
+) -> usize {
+    let all = env.remaining_in(g);
+    if all.is_empty() {
+        return 0;
+    }
+    let mut batch: Vec<Step> = Vec::new();
+    let mut failures = 0usize;
+    match cfg.state_mode {
+        StateMode::Reduced => {
+            let mut remaining = all;
+            while !remaining.is_empty() {
+                let state = env.state(&remaining);
+                let f = local.forward_inference(&state);
+                let probs = ops::softmax(&f.logits);
+                let a = sample_categorical(&probs, rng);
+                let outcome = env.step(remaining[a]);
+                batch.push(Step {
+                    state,
+                    mask: None,
+                    action: a,
+                    reward: outcome.reward(),
+                    failed: outcome.is_failure(),
+                });
+                let mut terminate = false;
+                if outcome.is_failure() {
+                    failures += 1;
+                    terminate = cfg.terminate_on_failure;
+                }
+                if !terminate {
+                    remaining.remove(a);
+                }
+                let done = terminate || remaining.is_empty();
+                let need_tail = cfg.return_mode == ReturnMode::BatchBootstrap
+                    && !done
+                    && batch.len() >= cfg.batch_size;
+                let tail = if need_tail {
+                    local.forward_inference(&env.state(&remaining)).value
+                } else {
+                    0.0
+                };
+                flush(local, shared, &mut batch, done, tail, cfg, lr);
+                if terminate {
+                    break;
+                }
+            }
+        }
+        StateMode::Masked => {
+            let mut mask = vec![true; all.len()];
+            let mut left = all.len();
+            while left > 0 {
+                let state = env.state(&all);
+                let f = local.forward_inference(&state);
+                let probs = ops::softmax(&masked_logits(&f.logits, Some(&mask)));
+                let a = sample_categorical(&probs, rng);
+                let outcome = env.step(all[a]);
+                batch.push(Step {
+                    state,
+                    mask: Some(mask.clone()),
+                    action: a,
+                    reward: outcome.reward(),
+                    failed: outcome.is_failure(),
+                });
+                let mut terminate = false;
+                if outcome.is_failure() {
+                    failures += 1;
+                    terminate = cfg.terminate_on_failure;
+                }
+                if !terminate {
+                    mask[a] = false;
+                    left -= 1;
+                }
+                let done = terminate || left == 0;
+                let need_tail = cfg.return_mode == ReturnMode::BatchBootstrap
+                    && !done
+                    && batch.len() >= cfg.batch_size;
+                let tail = if need_tail {
+                    local.forward_inference(&env.state(&all)).value
+                } else {
+                    0.0
+                };
+                flush(local, shared, &mut batch, done, tail, cfg, lr);
+                if terminate {
+                    break;
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Applies pending updates according to the configured return mode.
+fn flush(
+    local: &mut CellWiseNet,
+    shared: &Shared,
+    batch: &mut Vec<Step>,
+    done: bool,
+    tail: f32,
+    cfg: &RlConfig,
+    lr: f32,
+) {
+    match cfg.return_mode {
+        ReturnMode::BatchTruncated | ReturnMode::BatchBootstrap => {
+            if batch.len() < cfg.batch_size && !done {
+                return;
+            }
+            let q = discounted_returns(batch.iter().map(|s| s.reward), cfg.gamma, tail);
+            update(local, shared, batch, &q, cfg, lr);
+            batch.clear();
+        }
+        ReturnMode::MonteCarlo => {
+            if !done {
+                return;
+            }
+            let q = discounted_returns(batch.iter().map(|s| s.reward), cfg.gamma, 0.0);
+            let mut start = 0;
+            while start < batch.len() {
+                let end = (start + cfg.batch_size).min(batch.len());
+                update(local, shared, &batch[start..end], &q[start..end], cfg, lr);
+                start = end;
+            }
+            batch.clear();
+        }
+    }
+}
+
+/// Behaviour-cloning warm start: cross-entropy imitation of the
+/// size-descending teacher. `remaining_in` returns cells in size order, so
+/// the teacher action is always index 0; identically-featured cells share
+/// probability mass (the net cannot and need not separate them).
+fn pretrain(global: &mut CellWiseNet, designs: &[Design], cfg: &RlConfig) {
+    let mut adam = Adam::new(global.num_params(), cfg.learning_rate * 3.0);
+    let mut residual_sum = 0.0f64;
+    let mut residual_count = 0usize;
+    for _ in 0..cfg.pretrain_episodes {
+        for design in designs {
+            let gcells = rlleg_legalize::GcellGrid::auto(design);
+            let mut env = LegalizeEnv::with_options(design.clone(), gcells, cfg.backend);
+            for g in env.subepisode_order() {
+                // Roll the teacher out, collecting states and rewards, so
+                // the value head can be fitted to the teacher's returns —
+                // an uninitialized baseline would make every early RL
+                // advantage hugely positive and reinforce arbitrary
+                // sampled actions.
+                let mut remaining = env.remaining_in(g);
+                let mut states: Vec<Matrix> = Vec::with_capacity(remaining.len());
+                let mut rewards: Vec<f32> = Vec::with_capacity(remaining.len());
+                while !remaining.is_empty() {
+                    states.push(env.state(&remaining));
+                    let cell = remaining.remove(0);
+                    let outcome = env.step(cell);
+                    rewards.push(outcome.reward());
+                    if outcome.is_failure() {
+                        break;
+                    }
+                }
+                let q = discounted_returns(rewards.into_iter(), cfg.gamma, 0.0);
+                let mut start = 0;
+                while start < states.len() {
+                    let end = (start + cfg.batch_size).min(states.len());
+                    global.zero_grads();
+                    for (state, &qt) in states[start..end].iter().zip(&q[start..end]) {
+                        let f = global.forward(state);
+                        let probs = ops::softmax(&f.logits);
+                        // CE gradient toward the teacher pick (index 0).
+                        let mut d: Vec<f32> = probs;
+                        d[0] -= 1.0;
+                        // Imitation updates the policy path only; fitting
+                        // the value here would fight the CE gradient for
+                        // the shared trunk. The critic is centred on the
+                        // return scale afterwards via the bias shift.
+                        global.backward(&d, 0.0);
+                        residual_sum += f64::from(qt - f.value);
+                        residual_count += 1;
+                    }
+                    let mut grads = global.grads_flat();
+                    let n = (end - start) as f32;
+                    for gr in &mut grads {
+                        *gr /= n;
+                    }
+                    rlleg_nn::optim::clip_global_norm(&mut grads, 1.0);
+                    let mut params = global.params_flat();
+                    adam.step(&mut params, &grads);
+                    global.set_params_flat(&params);
+                    start = end;
+                }
+            }
+        }
+    }
+    // Centre the critic on the teacher's return scale (see
+    // `CellWiseNet::shift_value_bias`).
+    if residual_count > 0 {
+        global.shift_value_bias((residual_sum / residual_count as f64) as f32);
+    }
+}
+
+/// Trains the cell-wise network on `designs` with `cfg.agents` asynchronous
+/// agents (Algorithm 1). Agents cycle through the designs round-robin, one
+/// design per episode.
+///
+/// # Panics
+///
+/// Panics when `designs` is empty or `cfg.agents == 0`.
+pub fn train(designs: &[Design], cfg: &RlConfig) -> TrainResult {
+    assert!(!designs.is_empty(), "training needs at least one design");
+    assert!(cfg.agents > 0, "need at least one agent");
+    let mut init_rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut global = CellWiseNet::new(cfg.hidden_dim, &mut init_rng);
+    if cfg.pretrain_episodes > 0 {
+        pretrain(&mut global, designs, cfg);
+    }
+    let n_params = global.num_params();
+    let initial_params = global.params_flat();
+    let shared = Shared {
+        net: Mutex::new((
+            initial_params.clone(),
+            Adam::new(n_params, cfg.learning_rate),
+        )),
+        history: Mutex::new(Vec::new()),
+        best: Mutex::new((f64::INFINITY, initial_params)),
+    };
+
+    std::thread::scope(|scope| {
+        for agent in 0..cfg.agents {
+            let shared = &shared;
+            let cfg = cfg.clone();
+            let mut local = global.clone();
+            scope.spawn(move || {
+                let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ ((agent as u64 + 1) * 0x9E37));
+                // Each agent keeps one environment per design, reset between
+                // episodes (rebuilding features is the expensive part; the
+                // paper reports the same bottleneck).
+                let mut envs: Vec<LegalizeEnv> = designs
+                    .iter()
+                    .map(|d| {
+                        let gcells = rlleg_legalize::GcellGrid::auto(d);
+                        LegalizeEnv::with_options(d.clone(), gcells, cfg.backend)
+                    })
+                    .collect();
+                for episode in 0..cfg.episodes {
+                    let di = (agent + episode) % envs.len();
+                    let env = &mut envs[di];
+                    env.reset();
+                    let lr = cfg.learning_rate * cfg.lr_decay.powi(episode as i32);
+                    let mut failures = 0;
+                    for g in env.subepisode_order() {
+                        failures += run_subepisode(env, g, &mut local, shared, &cfg, lr, &mut rng);
+                    }
+                    let cost = env.legalization_cost();
+                    let sample = TrainSample {
+                        agent,
+                        episode,
+                        design: designs[di].name.clone(),
+                        cost,
+                        failures,
+                        qor: env.qor(),
+                    };
+                    shared.history.lock().push(sample);
+                    // Validation-style checkpointing: snapshot the global
+                    // parameters whenever an episode sets a new best cost.
+                    let mut best = shared.best.lock();
+                    if cost < best.0 {
+                        best.0 = cost;
+                        best.1 = local.params_flat();
+                    }
+                }
+            });
+        }
+    });
+
+    let (params, _) = shared.net.into_inner();
+    let (_, best_params) = shared.best.into_inner();
+    let mut best_model = global.clone();
+    best_model.set_params_flat(&best_params);
+    global.set_params_flat(&params);
+    let mut history = shared.history.into_inner();
+    history.sort_by_key(|s| (s.episode, s.agent));
+    TrainResult {
+        model: global,
+        best_model,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlleg_design::{DesignBuilder, Technology};
+    use rlleg_geom::Point;
+
+    fn toy_design(seed: i64) -> Design {
+        let mut b = DesignBuilder::new(format!("toy{seed}"), Technology::contest(), 24, 6);
+        for i in 0..14i64 {
+            let x = (i * 331 + seed * 97) % 4_000;
+            let y = (i * 1_777) % 10_000;
+            b.add_cell(
+                format!("u{i}"),
+                1 + i % 2,
+                1 + (i % 3 == 0) as u8,
+                Point::new(x, y),
+            );
+        }
+        for i in 0..10u32 {
+            b.add_net(
+                format!("n{i}"),
+                vec![
+                    (rlleg_design::CellId(i), 0, 0),
+                    (rlleg_design::CellId(i + 2), 0, 0),
+                ],
+            );
+        }
+        b.build()
+    }
+
+    fn tiny_cfg() -> RlConfig {
+        RlConfig {
+            hidden_dim: 12,
+            agents: 2,
+            episodes: 4,
+            batch_size: 8,
+            ..RlConfig::default()
+        }
+    }
+
+    #[test]
+    fn train_produces_history_and_model() {
+        let designs = [toy_design(0), toy_design(1)];
+        let result = train(&designs, &tiny_cfg());
+        assert_eq!(result.history.len(), 2 * 4, "agents × episodes samples");
+        assert!(result.history.iter().all(|s| s.cost.is_finite()));
+        assert!(result.history.iter().all(|s| s.failures == 0));
+        assert!(result.tail_cost(4).is_finite());
+        // The model must be usable for inference.
+        let env = LegalizeEnv::new(toy_design(2));
+        let cells = env.remaining_in(0);
+        let state = env.state(&cells);
+        let mut model = result.model;
+        let f = model.forward(&state);
+        assert_eq!(f.logits.len(), cells.len());
+    }
+
+    #[test]
+    fn masked_mode_trains_too() {
+        let designs = [toy_design(3)];
+        let cfg = RlConfig {
+            state_mode: StateMode::Masked,
+            agents: 1,
+            ..tiny_cfg()
+        };
+        let result = train(&designs, &cfg);
+        assert_eq!(result.history.len(), 4);
+        assert!(result.history.iter().all(|s| s.cost.is_finite()));
+    }
+
+    #[test]
+    fn single_agent_is_deterministic() {
+        let designs = [toy_design(4)];
+        let cfg = RlConfig {
+            agents: 1,
+            ..tiny_cfg()
+        };
+        let a = train(&designs, &cfg);
+        let b = train(&designs, &cfg);
+        let ca: Vec<f64> = a.history.iter().map(|s| s.cost).collect();
+        let cb: Vec<f64> = b.history.iter().map(|s| s.cost).collect();
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn bootstrap_mode_runs() {
+        let designs = [toy_design(5)];
+        let cfg = RlConfig {
+            return_mode: crate::config::ReturnMode::BatchBootstrap,
+            agents: 1,
+            episodes: 2,
+            ..tiny_cfg()
+        };
+        let result = train(&designs, &cfg);
+        assert_eq!(result.history.len(), 2);
+    }
+
+    #[test]
+    fn policy_gradient_learns_a_bandit() {
+        // Three "cells" with distinct features; picking index 2 pays 2.0,
+        // anything else pays 0.1. After a few hundred one-step updates the
+        // policy must concentrate on index 2 — this guards the sign and
+        // scaling of the policy/entropy/value gradients.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut net = CellWiseNet::new(8, &mut rng);
+        let cfg = RlConfig {
+            learning_rate: 0.01,
+            entropy_coeff: 0.001,
+            ..RlConfig::default()
+        };
+        let n = net.num_params();
+        let shared = Shared {
+            net: Mutex::new((net.params_flat(), Adam::new(n, cfg.learning_rate))),
+            history: Mutex::new(Vec::new()),
+            best: Mutex::new((f64::INFINITY, Vec::new())),
+        };
+        let state = {
+            // Distinct rows (a cell-wise net cannot separate identical
+            // feature vectors).
+            let f = rlleg_legalize::NUM_FEATURES;
+            let data: Vec<f32> = (0..3 * f)
+                .map(|i| (((i / f) * 5 + (i % f) * 3) % 11) as f32 / 11.0)
+                .collect();
+            Matrix::from_vec(3, rlleg_legalize::NUM_FEATURES, data)
+        };
+        for _ in 0..400 {
+            let f = net.forward_inference(&state);
+            let probs = ops::softmax(&f.logits);
+            let a = sample_categorical(&probs, &mut rng);
+            let r = if a == 2 { 2.0 } else { 0.1 };
+            let batch = vec![Step {
+                state: state.clone(),
+                mask: None,
+                action: a,
+                reward: r,
+                failed: false,
+            }];
+            update(&mut net, &shared, &batch, &[r], &cfg, cfg.learning_rate);
+        }
+        let probs = ops::softmax(&net.forward_inference(&state).logits);
+        assert!(
+            probs[2] > 0.8,
+            "policy should prefer the rewarding arm: {probs:?}"
+        );
+    }
+
+    #[test]
+    fn monte_carlo_mode_runs() {
+        let designs = [toy_design(6)];
+        let cfg = RlConfig {
+            return_mode: crate::config::ReturnMode::MonteCarlo,
+            normalize_advantage: true,
+            terminate_on_failure: false,
+            agents: 1,
+            episodes: 3,
+            ..tiny_cfg()
+        };
+        let result = train(&designs, &cfg);
+        assert_eq!(result.history.len(), 3);
+        assert!(result.history.iter().all(|s| s.cost.is_finite()));
+    }
+
+    #[test]
+    fn discounted_returns_shapes() {
+        let q = discounted_returns([1.0f32, 1.0, 1.0].into_iter(), 0.5, 0.0);
+        assert_eq!(q, vec![1.75, 1.5, 1.0]);
+        let qb = discounted_returns([1.0f32].into_iter(), 0.5, 10.0);
+        assert_eq!(qb, vec![6.0]);
+        assert!(discounted_returns(std::iter::empty(), 0.9, 0.0).is_empty());
+    }
+
+    #[test]
+    fn sample_categorical_respects_weights() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let probs = [0.0f32, 0.0, 1.0, 0.0];
+        for _ in 0..20 {
+            assert_eq!(sample_categorical(&probs, &mut rng), 2);
+        }
+        // Degenerate numerical case: falls back to the last index.
+        let zeros = [0.0f32; 3];
+        let i = sample_categorical(&zeros, &mut rng);
+        assert!(i < 3);
+    }
+
+    #[test]
+    fn masked_logits_suppress() {
+        let l = [1.0f32, 2.0, 3.0];
+        let m = vec![true, false, true];
+        let out = masked_logits(&l, Some(&m));
+        let p = ops::softmax(&out);
+        assert!(p[1] < 1e-6);
+        assert!((p[0] + p[2] - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,238 @@
+use rlleg_geom::{Dbu, Point, Rect};
+
+use crate::cell::{Cell, CellId, EdgeType, RailParity};
+use crate::design::{Design, Region, RegionId};
+use crate::net::{Net, NetId, Pin};
+use crate::tech::Technology;
+
+/// Incremental constructor for a [`Design`].
+///
+/// The core is anchored at the origin and sized in sites × rows, so every
+/// design starts with a well-formed row structure.
+///
+/// ```
+/// use rlleg_design::{DesignBuilder, Technology};
+/// use rlleg_geom::Point;
+///
+/// let mut b = DesignBuilder::new("d", Technology::contest(), 100, 20);
+/// let a = b.add_cell("a", 2, 1, Point::new(0, 0));
+/// let bcell = b.add_cell("b", 1, 2, Point::new(5_000, 6_000));
+/// b.add_net("n", vec![(a, 100, 100), (bcell, 0, 0)]);
+/// let d = b.build();
+/// assert_eq!(d.num_cells(), 2);
+/// ```
+#[derive(Debug)]
+pub struct DesignBuilder {
+    design: Design,
+}
+
+impl DesignBuilder {
+    /// Starts a design named `name` with a core of `sites_x` × `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites_x` or `rows` is zero.
+    pub fn new(name: impl Into<String>, tech: Technology, sites_x: i64, rows: i64) -> Self {
+        assert!(sites_x > 0 && rows > 0, "core must have positive extent");
+        let core = Rect::new(0, 0, sites_x * tech.site_width, rows * tech.row_height);
+        Self {
+            design: Design {
+                name: name.into(),
+                tech,
+                core,
+                cells: Vec::new(),
+                nets: Vec::new(),
+                regions: Vec::new(),
+                max_displacement: None,
+                cell_nets: Vec::new(),
+            },
+        }
+    }
+
+    /// Sets the per-cell maximum-displacement constraint (dbu).
+    pub fn max_displacement(&mut self, dbu: Dbu) -> &mut Self {
+        self.design.max_displacement = Some(dbu);
+        self
+    }
+
+    /// Adds a movable cell of `width_sites` × `height_rows` with its
+    /// global-placement position at `gp_pos` (lower-left, dbu).
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        width_sites: i64,
+        height_rows: u8,
+        gp_pos: Point,
+    ) -> CellId {
+        self.push_cell(name, width_sites, height_rows, gp_pos, false)
+    }
+
+    /// Adds a fixed cell (macro/obstacle). Fixed cells are never moved and
+    /// block placement under their footprint.
+    pub fn add_fixed_cell(
+        &mut self,
+        name: impl Into<String>,
+        width_sites: i64,
+        height_rows: u8,
+        pos: Point,
+    ) -> CellId {
+        self.push_cell(name, width_sites, height_rows, pos, true)
+    }
+
+    fn push_cell(
+        &mut self,
+        name: impl Into<String>,
+        width_sites: i64,
+        height_rows: u8,
+        gp_pos: Point,
+        fixed: bool,
+    ) -> CellId {
+        assert!(width_sites > 0, "cell width must be positive");
+        assert!(
+            height_rows >= 1 && height_rows <= self.design.tech.max_height_rows,
+            "cell height {} out of range 1..={}",
+            height_rows,
+            self.design.tech.max_height_rows
+        );
+        let id = CellId(self.design.cells.len() as u32);
+        self.design.cells.push(Cell {
+            name: name.into(),
+            width: width_sites * self.design.tech.site_width,
+            height_rows,
+            gp_pos,
+            pos: gp_pos,
+            legalized: false,
+            fixed,
+            region: None,
+            edge_left: EdgeType::default(),
+            edge_right: EdgeType::default(),
+            rail: RailParity::default(),
+            master: None,
+        });
+        self.design.cell_nets.push(Vec::new());
+        id
+    }
+
+    /// Sets the edge types of the most specific cell. See
+    /// [`Technology::edge_spacing_sites`].
+    pub fn set_edges(&mut self, cell: CellId, left: EdgeType, right: EdgeType) -> &mut Self {
+        let c = &mut self.design.cells[cell.index()];
+        c.edge_left = left;
+        c.edge_right = right;
+        self
+    }
+
+    /// Sets the rail parity of an even-height cell.
+    pub fn set_rail(&mut self, cell: CellId, rail: RailParity) -> &mut Self {
+        self.design.cells[cell.index()].rail = rail;
+        self
+    }
+
+    /// Records the LEF master name a cell instantiates.
+    pub fn set_master(&mut self, cell: CellId, master: impl Into<String>) -> &mut Self {
+        self.design.cells[cell.index()].master = Some(master.into());
+        self
+    }
+
+    /// Adds a fence region and returns its id.
+    pub fn add_region(&mut self, name: impl Into<String>, rects: Vec<Rect>) -> RegionId {
+        let id = RegionId(self.design.regions.len() as u16);
+        self.design.regions.push(Region {
+            name: name.into(),
+            rects,
+        });
+        id
+    }
+
+    /// Assigns `cell` to fence `region`.
+    pub fn assign_region(&mut self, cell: CellId, region: RegionId) -> &mut Self {
+        self.design.cells[cell.index()].region = Some(region);
+        self
+    }
+
+    /// Adds a net connecting pins at `(cell, dx, dy)` offsets.
+    pub fn add_net(&mut self, name: impl Into<String>, pins: Vec<(CellId, Dbu, Dbu)>) -> NetId {
+        self.add_net_with_fixed(name, pins, Vec::new())
+    }
+
+    /// Adds a net that additionally connects fixed (IO) pin locations.
+    pub fn add_net_with_fixed(
+        &mut self,
+        name: impl Into<String>,
+        pins: Vec<(CellId, Dbu, Dbu)>,
+        fixed_pins: Vec<Point>,
+    ) -> NetId {
+        let id = NetId(self.design.nets.len() as u32);
+        let mut net_pins = Vec::with_capacity(pins.len() + fixed_pins.len());
+        for (cell, dx, dy) in pins {
+            net_pins.push(Pin::OnCell {
+                cell,
+                offset: Point::new(dx, dy),
+            });
+            let members = &mut self.design.cell_nets[cell.index()];
+            if members.last() != Some(&id) {
+                members.push(id);
+            }
+        }
+        net_pins.extend(fixed_pins.into_iter().map(Pin::Fixed));
+        self.design.nets.push(Net {
+            name: name.into(),
+            pins: net_pins,
+        });
+        id
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> Design {
+        self.design
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_wires_adjacency_once_per_net() {
+        let mut b = DesignBuilder::new("d", Technology::contest(), 10, 4);
+        let a = b.add_cell("a", 1, 1, Point::ORIGIN);
+        // Two pins of the same net on one cell: adjacency deduplicated.
+        b.add_net("n", vec![(a, 0, 0), (a, 100, 0)]);
+        let d = b.build();
+        assert_eq!(d.nets_of(a).len(), 1);
+        assert_eq!(d.net(NetId(0)).degree(), 2);
+    }
+
+    #[test]
+    fn regions_and_attributes() {
+        let mut b = DesignBuilder::new("d", Technology::contest(), 10, 4);
+        let a = b.add_cell("a", 1, 2, Point::ORIGIN);
+        let r = b.add_region("f", vec![Rect::new(0, 0, 1_000, 4_000)]);
+        b.assign_region(a, r);
+        b.set_rail(a, RailParity::Odd);
+        b.set_edges(a, EdgeType(1), EdgeType(2));
+        b.max_displacement(10_000);
+        let d = b.build();
+        assert_eq!(d.cell(a).region, Some(r));
+        assert_eq!(d.cell(a).rail, RailParity::Odd);
+        assert_eq!(d.cell(a).edge_right, EdgeType(2));
+        assert_eq!(d.max_displacement, Some(10_000));
+        assert!(d.region(r).contains(&Rect::new(0, 0, 200, 2_000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "height")]
+    fn rejects_overtall_cells() {
+        let mut b = DesignBuilder::new("d", Technology::contest(), 10, 4);
+        b.add_cell("a", 1, 9, Point::ORIGIN);
+    }
+
+    #[test]
+    fn fixed_pins() {
+        let mut b = DesignBuilder::new("d", Technology::contest(), 10, 4);
+        let a = b.add_cell("a", 1, 1, Point::ORIGIN);
+        b.add_net_with_fixed("n", vec![(a, 0, 0)], vec![Point::new(5_000, 0)]);
+        let d = b.build();
+        assert_eq!(d.net(NetId(0)).degree(), 2);
+    }
+}

@@ -1,0 +1,195 @@
+use serde::{Deserialize, Serialize};
+
+use rlleg_geom::{Dbu, Point, Rect};
+
+use crate::design::RegionId;
+
+/// Identifier of a cell inside one [`Design`](crate::Design).
+///
+/// Indices are dense: `CellId(i)` is the `i`-th cell added to the design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CellId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Cell edge class used by the edge-spacing rule (ICCAD-2017 style).
+///
+/// Type 0 is the default edge with no spacing requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct EdgeType(pub u8);
+
+/// Power-rail parity for even-height cells.
+///
+/// Rows alternate VDD/VSS rails. A cell whose height is an *even* number of
+/// rows has a fixed bottom rail and may only start on rows with the matching
+/// parity; odd-height cells can flip and start anywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RailParity {
+    /// Bottom rail must sit on an even row index.
+    #[default]
+    Even,
+    /// Bottom rail must sit on an odd row index.
+    Odd,
+}
+
+impl RailParity {
+    /// `true` when a cell with this parity may start at row index `row`.
+    pub fn allows_row(self, row: i64) -> bool {
+        match self {
+            RailParity::Even => row.rem_euclid(2) == 0,
+            RailParity::Odd => row.rem_euclid(2) == 1,
+        }
+    }
+}
+
+/// One standard cell (or fixed macro) of a [`Design`](crate::Design).
+///
+/// Positions are lower-left corners in dbu. `gp_pos` is the (possibly
+/// overlapping, off-grid) global-placement position that legalization starts
+/// from; `pos` is the current position and is what metrics and the legality
+/// checker read.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Instance name.
+    pub name: String,
+    /// Width in dbu (a multiple of the site width for movable cells).
+    pub width: Dbu,
+    /// Height in rows (1..=max_height_rows).
+    pub height_rows: u8,
+    /// Global-placement position (lower-left), the displacement reference.
+    pub gp_pos: Point,
+    /// Current position (lower-left). Starts equal to `gp_pos`.
+    pub pos: Point,
+    /// `true` once a legalizer has committed this cell to a legal site.
+    pub legalized: bool,
+    /// Fixed cells (macros, pre-placed blocks) never move and act as
+    /// obstacles.
+    pub fixed: bool,
+    /// Fence region membership, if any.
+    pub region: Option<RegionId>,
+    /// Left edge class for the edge-spacing rule.
+    pub edge_left: EdgeType,
+    /// Right edge class for the edge-spacing rule.
+    pub edge_right: EdgeType,
+    /// Rail parity constraint; only meaningful for even-height cells.
+    pub rail: RailParity,
+    /// LEF master name, when the cell came from a library-backed DEF.
+    /// `None` for synthetic cells (DEF I/O then uses the self-describing
+    /// `MH_*` encoding).
+    #[serde(default)]
+    pub master: Option<String>,
+}
+
+impl Cell {
+    /// Height in dbu for a given row height.
+    pub fn height(&self, row_height: Dbu) -> Dbu {
+        Dbu::from(self.height_rows) * row_height
+    }
+
+    /// Footprint rectangle at the current position.
+    pub fn rect(&self, row_height: Dbu) -> Rect {
+        Rect::with_size(self.pos, self.width, self.height(row_height))
+    }
+
+    /// Footprint rectangle at the global-placement position.
+    pub fn gp_rect(&self, row_height: Dbu) -> Rect {
+        Rect::with_size(self.gp_pos, self.width, self.height(row_height))
+    }
+
+    /// Footprint rectangle at an arbitrary candidate position.
+    pub fn rect_at(&self, pos: Point, row_height: Dbu) -> Rect {
+        Rect::with_size(pos, self.width, self.height(row_height))
+    }
+
+    /// Cell area in dbu².
+    pub fn area(&self, row_height: Dbu) -> i64 {
+        self.width * self.height(row_height)
+    }
+
+    /// `true` for cells a legalizer is allowed to move.
+    pub fn is_movable(&self) -> bool {
+        !self.fixed
+    }
+
+    /// Manhattan displacement of the current position from global placement.
+    pub fn displacement(&self) -> Dbu {
+        self.pos.manhattan(self.gp_pos)
+    }
+
+    /// `true` when the rail-parity constraint applies (even row height).
+    pub fn is_rail_constrained(&self) -> bool {
+        self.height_rows.is_multiple_of(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(h: u8) -> Cell {
+        Cell {
+            name: "x".into(),
+            width: 400,
+            height_rows: h,
+            gp_pos: Point::new(100, 100),
+            pos: Point::new(100, 100),
+            legalized: false,
+            fixed: false,
+            region: None,
+            edge_left: EdgeType::default(),
+            edge_right: EdgeType::default(),
+            rail: RailParity::default(),
+            master: None,
+        }
+    }
+
+    #[test]
+    fn geometry() {
+        let c = cell(2);
+        assert_eq!(c.height(2_000), 4_000);
+        assert_eq!(c.rect(2_000), Rect::new(100, 100, 500, 4_100));
+        assert_eq!(c.area(2_000), 1_600_000);
+        assert_eq!(
+            c.rect_at(Point::new(0, 0), 2_000),
+            Rect::new(0, 0, 400, 4_000)
+        );
+    }
+
+    #[test]
+    fn displacement_tracks_pos() {
+        let mut c = cell(1);
+        assert_eq!(c.displacement(), 0);
+        c.pos = Point::new(300, 0);
+        assert_eq!(c.displacement(), 300);
+    }
+
+    #[test]
+    fn rail_constraint_applies_to_even_heights_only() {
+        assert!(!cell(1).is_rail_constrained());
+        assert!(cell(2).is_rail_constrained());
+        assert!(!cell(3).is_rail_constrained());
+        assert!(cell(4).is_rail_constrained());
+    }
+
+    #[test]
+    fn rail_parity_rows() {
+        assert!(RailParity::Even.allows_row(0));
+        assert!(!RailParity::Even.allows_row(1));
+        assert!(RailParity::Odd.allows_row(3));
+        assert!(!RailParity::Odd.allows_row(4));
+        // Euclidean behaviour for (defensive) negative rows.
+        assert!(RailParity::Even.allows_row(-2));
+        assert!(RailParity::Odd.allows_row(-1));
+    }
+}

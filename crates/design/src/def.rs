@@ -1,0 +1,741 @@
+//! A pragmatic DEF-subset reader and writer.
+//!
+//! The paper's flow consumes LEF/DEF from global placement. This module
+//! round-trips a [`Design`] through a DEF 5.8 subset covering `DESIGN`,
+//! `UNITS`, `DIEAREA`, `REGIONS`, `COMPONENTS` (with `PLACED`/`FIXED` and a
+//! `+ REGION` extension for fence membership), and `NETS`.
+//!
+//! Because this crate has no separate LEF library, master geometry is
+//! self-described: the writer synthesizes master names of the form
+//! `MH_W<sites>_H<rows>[_EL<e>][_ER<e>][_RO]` and pin names of the form
+//! `p<dx>_<dy>`; the reader decodes them. A real LEF/DEF pair can be
+//! converted into this subset with a one-line mapping, and everything the
+//! legalizer needs (sizes, positions, fences, connectivity) survives the
+//! round trip bit-exactly. The global-placement position is emitted for
+//! non-legalized cells; legalized positions are written as-is.
+//!
+//! ```
+//! use rlleg_design::{DesignBuilder, Technology, def};
+//! use rlleg_geom::Point;
+//!
+//! let mut b = DesignBuilder::new("demo", Technology::contest(), 10, 4);
+//! let a = b.add_cell("u1", 2, 1, Point::new(0, 0));
+//! b.add_net("n1", vec![(a, 100, 0)]);
+//! let d = b.build();
+//! let text = def::write_def(&d);
+//! let back = def::parse_def(&text, Technology::contest())?;
+//! assert_eq!(back.num_cells(), 1);
+//! # Ok::<(), def::ParseDefError>(())
+//! ```
+
+use std::fmt::Write as _;
+
+use rlleg_geom::{Dbu, Point, Rect};
+
+use crate::cell::{CellId, EdgeType, RailParity};
+use crate::design::Design;
+use crate::lef::{Library, PinDef};
+use crate::net::Pin;
+use crate::tech::Technology;
+use crate::DesignBuilder;
+
+/// Error produced by [`parse_def`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDefError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseDefError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DEF parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseDefError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseDefError> {
+    Err(ParseDefError {
+        message: message.into(),
+    })
+}
+
+/// Encodes a cell's master geometry in a self-describing master name.
+fn master_name(design: &Design, id: CellId) -> String {
+    let c = design.cell(id);
+    if let Some(m) = &c.master {
+        return m.clone();
+    }
+    let mut name = format!(
+        "MH_W{}_H{}",
+        c.width / design.tech.site_width,
+        c.height_rows
+    );
+    if c.edge_left.0 != 0 {
+        let _ = write!(name, "_EL{}", c.edge_left.0);
+    }
+    if c.edge_right.0 != 0 {
+        let _ = write!(name, "_ER{}", c.edge_right.0);
+    }
+    if c.rail == RailParity::Odd {
+        name.push_str("_RO");
+    }
+    name
+}
+
+fn decode_master(name: &str) -> Option<(i64, u8, EdgeType, EdgeType, RailParity)> {
+    let rest = name.strip_prefix("MH_")?;
+    let mut w = None;
+    let mut h = None;
+    let mut el = EdgeType(0);
+    let mut er = EdgeType(0);
+    let mut rail = RailParity::Even;
+    for part in rest.split('_') {
+        if let Some(v) = part.strip_prefix('W') {
+            w = v.parse().ok();
+        } else if let Some(v) = part.strip_prefix("EL") {
+            el = EdgeType(v.parse().ok()?);
+        } else if let Some(v) = part.strip_prefix("ER") {
+            er = EdgeType(v.parse().ok()?);
+        } else if let Some(v) = part.strip_prefix('H') {
+            h = v.parse().ok();
+        } else if part == "RO" {
+            rail = RailParity::Odd;
+        } else {
+            return None;
+        }
+    }
+    Some((w?, h?, el, er, rail))
+}
+
+/// Serializes `design` to the DEF subset.
+pub fn write_def(design: &Design) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "VERSION 5.8 ;");
+    let _ = writeln!(s, "DESIGN {} ;", design.name);
+    let _ = writeln!(s, "UNITS DISTANCE MICRONS 1000 ;");
+    let _ = writeln!(
+        s,
+        "DIEAREA ( {} {} ) ( {} {} ) ;",
+        design.core.lo.x, design.core.lo.y, design.core.hi.x, design.core.hi.y
+    );
+    if let Some(md) = design.max_displacement {
+        let _ = writeln!(
+            s,
+            "PROPERTYDEFINITIONS\n  DESIGN maxDisplacement INTEGER {md} ;\nEND PROPERTYDEFINITIONS"
+        );
+    }
+
+    if !design.regions.is_empty() {
+        let _ = writeln!(s, "REGIONS {} ;", design.regions.len());
+        for r in &design.regions {
+            let _ = write!(s, "- {}", r.name);
+            for rect in &r.rects {
+                let _ = write!(
+                    s,
+                    " ( {} {} ) ( {} {} )",
+                    rect.lo.x, rect.lo.y, rect.hi.x, rect.hi.y
+                );
+            }
+            let _ = writeln!(s, " + TYPE FENCE ;");
+        }
+        let _ = writeln!(s, "END REGIONS");
+    }
+
+    let _ = writeln!(s, "COMPONENTS {} ;", design.num_cells());
+    for id in design.cell_ids() {
+        let c = design.cell(id);
+        let kind = if c.fixed { "FIXED" } else { "PLACED" };
+        let pos = if c.fixed || c.legalized {
+            c.pos
+        } else {
+            c.gp_pos
+        };
+        let _ = write!(
+            s,
+            "- {} {} + {} ( {} {} ) N",
+            c.name,
+            master_name(design, id),
+            kind,
+            pos.x,
+            pos.y
+        );
+        if let Some(reg) = c.region {
+            let _ = write!(s, " + REGION {}", design.region(reg).name);
+        }
+        let _ = writeln!(s, " ;");
+    }
+    let _ = writeln!(s, "END COMPONENTS");
+
+    let _ = writeln!(s, "NETS {} ;", design.num_nets());
+    for net in &design.nets {
+        let _ = write!(s, "- {}", net.name);
+        for pin in &net.pins {
+            match pin {
+                Pin::OnCell { cell, offset } => {
+                    let _ = write!(
+                        s,
+                        " ( {} p{}_{} )",
+                        design.cell(*cell).name,
+                        offset.x,
+                        offset.y
+                    );
+                }
+                Pin::Fixed(p) => {
+                    let _ = write!(s, " ( PIN io_{}_{} )", p.x, p.y);
+                }
+            }
+        }
+        let _ = writeln!(s, " ;");
+    }
+    let _ = writeln!(s, "END NETS");
+    let _ = writeln!(s, "END DESIGN");
+    s
+}
+
+struct Tokens<'a> {
+    toks: Vec<&'a str>,
+    pos: usize,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(text: &'a str) -> Self {
+        // Strip comments (# to end of line), then whitespace-split;
+        // parentheses are already space-separated in our writer and in
+        // conventionally formatted DEF.
+        let toks = text
+            .lines()
+            .map(|l| l.split('#').next().unwrap_or(""))
+            .flat_map(|l| l.split_whitespace())
+            .collect();
+        Tokens { toks, pos: 0 }
+    }
+
+    fn next(&mut self) -> Result<&'a str, ParseDefError> {
+        let t = self.toks.get(self.pos).copied();
+        self.pos += 1;
+        t.ok_or_else(|| ParseDefError {
+            message: "unexpected end of file".into(),
+        })
+    }
+
+    fn peek(&self) -> Option<&'a str> {
+        self.toks.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, want: &str) -> Result<(), ParseDefError> {
+        let got = self.next()?;
+        if got == want {
+            Ok(())
+        } else {
+            err(format!("expected `{want}`, got `{got}`"))
+        }
+    }
+
+    fn number(&mut self) -> Result<i64, ParseDefError> {
+        let t = self.next()?;
+        t.parse().map_err(|_| ParseDefError {
+            message: format!("expected number, got `{t}`"),
+        })
+    }
+
+    fn skip_to_semicolon(&mut self) -> Result<(), ParseDefError> {
+        while self.next()? != ";" {}
+        Ok(())
+    }
+}
+
+/// Parses the DEF subset produced by [`write_def`] (plus comments and
+/// unknown statements, which are skipped).
+///
+/// # Errors
+///
+/// Returns [`ParseDefError`] on malformed input: truncated statements,
+/// non-numeric coordinates, unknown master-name encodings, references to
+/// undeclared components or regions.
+pub fn parse_def(text: &str, tech: Technology) -> Result<Design, ParseDefError> {
+    parse_def_impl(text, tech, &|master| {
+        decode_master(master).map(|(w, h, el, er, rail)| MasterInfo {
+            w_sites: w,
+            h_rows: h,
+            el,
+            er,
+            rail,
+            master: None,
+            pins: Vec::new(),
+        })
+    })
+}
+
+/// Parses a DEF whose components reference masters of a LEF [`Library`]
+/// (falling back to the self-describing `MH_*` encoding for names the
+/// library does not define). Net pins may use either the library's pin
+/// names or the `p<dx>_<dy>` offset encoding.
+///
+/// # Errors
+///
+/// Returns [`ParseDefError`] on malformed input or master names that
+/// neither the library nor the `MH_*` encoding can resolve.
+pub fn parse_def_with_library(
+    text: &str,
+    library: &Library,
+    base_tech: &Technology,
+) -> Result<Design, ParseDefError> {
+    let tech = library.technology(base_tech);
+    let site = library.site_width.max(1);
+    parse_def_impl(text, tech, &|master| {
+        if let Some(m) = library.get(master) {
+            return Some(MasterInfo {
+                w_sites: m.width / site,
+                h_rows: m.height_rows,
+                el: m.edge_left,
+                er: m.edge_right,
+                rail: m.rail,
+                master: Some(m.name.clone()),
+                pins: m.pins.clone(),
+            });
+        }
+        decode_master(master).map(|(w, h, el, er, rail)| MasterInfo {
+            w_sites: w,
+            h_rows: h,
+            el,
+            er,
+            rail,
+            master: Some(master.to_owned()),
+            pins: Vec::new(),
+        })
+    })
+}
+
+/// Resolved master geometry for one component.
+struct MasterInfo {
+    w_sites: i64,
+    h_rows: u8,
+    el: EdgeType,
+    er: EdgeType,
+    rail: RailParity,
+    master: Option<String>,
+    pins: Vec<PinDef>,
+}
+
+fn parse_def_impl(
+    text: &str,
+    tech: Technology,
+    resolve: &dyn Fn(&str) -> Option<MasterInfo>,
+) -> Result<Design, ParseDefError> {
+    let mut t = Tokens::new(text);
+    let mut name = String::from("unnamed");
+    let mut die: Option<Rect> = None;
+    let mut max_disp = None;
+    let mut regions: Vec<(String, Vec<Rect>)> = Vec::new();
+    // component: (inst, resolved master info, fixed, pos, region-name)
+    struct Comp {
+        inst: String,
+        info: MasterInfo,
+        fixed: bool,
+        pos: Point,
+        region: Option<String>,
+    }
+    let mut comps: Vec<Comp> = Vec::new();
+    let mut nets: Vec<(String, Vec<(String, String)>)> = Vec::new();
+
+    while let Some(tok) = t.peek() {
+        match tok {
+            "DESIGN" => {
+                t.next()?;
+                name = t.next()?.to_owned();
+                t.expect(";")?;
+            }
+            "DIEAREA" => {
+                t.next()?;
+                t.expect("(")?;
+                let x1 = t.number()?;
+                let y1 = t.number()?;
+                t.expect(")")?;
+                t.expect("(")?;
+                let x2 = t.number()?;
+                let y2 = t.number()?;
+                t.expect(")")?;
+                t.expect(";")?;
+                if x1 > x2 || y1 > y2 {
+                    return err("inverted DIEAREA");
+                }
+                die = Some(Rect::new(x1, y1, x2, y2));
+            }
+            "PROPERTYDEFINITIONS" => {
+                t.next()?;
+                while t.peek() != Some("END") {
+                    if t.peek() == Some("DESIGN") {
+                        t.next()?;
+                        let key = t.next()?;
+                        if key == "maxDisplacement" {
+                            t.next()?; // INTEGER
+                            max_disp = Some(t.number()?);
+                            t.expect(";")?;
+                        } else {
+                            t.skip_to_semicolon()?;
+                        }
+                    } else {
+                        t.next()?;
+                    }
+                }
+                t.next()?; // END
+                t.next()?; // PROPERTYDEFINITIONS
+            }
+            "REGIONS" => {
+                t.next()?;
+                let _count = t.number()?;
+                t.expect(";")?;
+                while t.peek() == Some("-") {
+                    t.next()?;
+                    let rname = t.next()?.to_owned();
+                    let mut rects = Vec::new();
+                    while t.peek() == Some("(") {
+                        t.next()?;
+                        let x1 = t.number()?;
+                        let y1 = t.number()?;
+                        t.expect(")")?;
+                        t.expect("(")?;
+                        let x2 = t.number()?;
+                        let y2 = t.number()?;
+                        t.expect(")")?;
+                        rects.push(Rect::new(x1, y1, x2, y2));
+                    }
+                    t.skip_to_semicolon()?;
+                    regions.push((rname, rects));
+                }
+                t.expect("END")?;
+                t.expect("REGIONS")?;
+            }
+            "COMPONENTS" => {
+                t.next()?;
+                let _count = t.number()?;
+                t.expect(";")?;
+                while t.peek() == Some("-") {
+                    t.next()?;
+                    let inst = t.next()?.to_owned();
+                    let master = t.next()?;
+                    let Some(info) = resolve(master) else {
+                        return err(format!("unresolvable master name `{master}`"));
+                    };
+                    let mut fixed = false;
+                    let mut pos = Point::ORIGIN;
+                    let mut region = None;
+                    loop {
+                        match t.next()? {
+                            ";" => break,
+                            "+" => {}
+                            other => {
+                                return err(format!("unexpected token `{other}` in component"))
+                            }
+                        }
+                        match t.next()? {
+                            kind @ ("PLACED" | "FIXED") => {
+                                fixed = kind == "FIXED";
+                                t.expect("(")?;
+                                let x = t.number()?;
+                                let y = t.number()?;
+                                t.expect(")")?;
+                                let _orient = t.next()?;
+                                pos = Point::new(x, y);
+                            }
+                            "REGION" => region = Some(t.next()?.to_owned()),
+                            other => return err(format!("unknown component option `{other}`")),
+                        }
+                    }
+                    comps.push(Comp {
+                        inst,
+                        info,
+                        fixed,
+                        pos,
+                        region,
+                    });
+                }
+                t.expect("END")?;
+                t.expect("COMPONENTS")?;
+            }
+            "NETS" => {
+                t.next()?;
+                let _count = t.number()?;
+                t.expect(";")?;
+                while t.peek() == Some("-") {
+                    t.next()?;
+                    let nname = t.next()?.to_owned();
+                    let mut pins = Vec::new();
+                    while t.peek() == Some("(") {
+                        t.next()?;
+                        let comp = t.next()?.to_owned();
+                        let pin = t.next()?.to_owned();
+                        t.expect(")")?;
+                        pins.push((comp, pin));
+                    }
+                    t.skip_to_semicolon()?;
+                    nets.push((nname, pins));
+                }
+                t.expect("END")?;
+                t.expect("NETS")?;
+            }
+            "END" => {
+                t.next()?;
+                if t.peek() == Some("DESIGN") {
+                    break;
+                }
+            }
+            _ => {
+                // Unknown statement (VERSION, UNITS, ...): skip it.
+                t.next()?;
+            }
+        }
+    }
+
+    let Some(die) = die else {
+        return err("missing DIEAREA");
+    };
+    let sites_x = die.width() / tech.site_width;
+    let rows = die.height() / tech.row_height;
+    if sites_x <= 0 || rows <= 0 {
+        return err("DIEAREA smaller than one site/row");
+    }
+    if die.lo != Point::ORIGIN {
+        return err("DIEAREA must be anchored at the origin in this subset");
+    }
+    let mut b = DesignBuilder::new(name, tech, sites_x, rows);
+    if let Some(md) = max_disp {
+        b.max_displacement(md);
+    }
+    let mut region_ids = std::collections::HashMap::new();
+    for (rname, rects) in regions {
+        let id = b.add_region(rname.clone(), rects);
+        region_ids.insert(rname, id);
+    }
+    // Map instance -> (cell id, pin map) so NETS can resolve named pins.
+    let mut cell_ids = std::collections::HashMap::new();
+    for c in comps {
+        let id = if c.fixed {
+            b.add_fixed_cell(c.inst.clone(), c.info.w_sites, c.info.h_rows, c.pos)
+        } else {
+            b.add_cell(c.inst.clone(), c.info.w_sites, c.info.h_rows, c.pos)
+        };
+        b.set_edges(id, c.info.el, c.info.er);
+        b.set_rail(id, c.info.rail);
+        if let Some(master) = c.info.master {
+            b.set_master(id, master);
+        }
+        if let Some(rname) = c.region {
+            let Some(&rid) = region_ids.get(&rname) else {
+                return err(format!(
+                    "component `{}` references unknown region `{rname}`",
+                    c.inst
+                ));
+            };
+            b.assign_region(id, rid);
+        }
+        cell_ids.insert(c.inst, (id, c.info.pins));
+    }
+    for (nname, pins) in nets {
+        let mut on_cell = Vec::new();
+        let mut fixed = Vec::new();
+        for (comp, pin) in pins {
+            if comp == "PIN" {
+                let Some(rest) = pin.strip_prefix("io_") else {
+                    return err(format!("undecodable IO pin `{pin}`"));
+                };
+                let mut it = rest.splitn(2, '_');
+                let (Some(xs), Some(ys)) = (it.next(), it.next()) else {
+                    return err(format!("undecodable IO pin `{pin}`"));
+                };
+                let (Ok(x), Ok(y)) = (xs.parse::<Dbu>(), ys.parse::<Dbu>()) else {
+                    return err(format!("undecodable IO pin `{pin}`"));
+                };
+                fixed.push(Point::new(x, y));
+            } else {
+                let Some((cid, pin_defs)) = cell_ids.get(&comp) else {
+                    return err(format!(
+                        "net `{nname}` references unknown component `{comp}`"
+                    ));
+                };
+                // Library pin names take precedence; otherwise decode the
+                // `p<dx>_<dy>` offset encoding.
+                if let Some(pd) = pin_defs.iter().find(|pd| pd.name == pin) {
+                    on_cell.push((*cid, pd.offset.x, pd.offset.y));
+                    continue;
+                }
+                let decoded = pin.strip_prefix('p').and_then(|rest| {
+                    let mut it = rest.splitn(2, '_');
+                    let dx = it.next()?.parse::<Dbu>().ok()?;
+                    let dy = it.next()?.parse::<Dbu>().ok()?;
+                    Some((dx, dy))
+                });
+                let Some((dx, dy)) = decoded else {
+                    return err(format!("unknown pin `{pin}` on component `{comp}`"));
+                };
+                on_cell.push((*cid, dx, dy));
+            }
+        }
+        b.add_net_with_fixed(nname, on_cell, fixed);
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DesignBuilder;
+
+    fn sample() -> Design {
+        let mut b = DesignBuilder::new("demo", Technology::contest(), 20, 6);
+        let a = b.add_cell("u1", 2, 1, Point::new(0, 0));
+        let c = b.add_cell("u2", 1, 2, Point::new(1_000, 2_000));
+        b.set_rail(c, RailParity::Odd);
+        b.set_edges(a, EdgeType(1), EdgeType(2));
+        b.add_fixed_cell("macro1", 4, 4, Point::new(2_000, 4_000));
+        let r = b.add_region("fence_a", vec![Rect::new(0, 0, 2_000, 4_000)]);
+        b.assign_region(a, r);
+        b.max_displacement(40_000);
+        b.add_net_with_fixed("n1", vec![(a, 100, 200), (c, 0, 0)], vec![Point::new(9, 9)]);
+        b.build()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let d = sample();
+        let text = write_def(&d);
+        let back = parse_def(&text, Technology::contest()).expect("parse");
+        assert_eq!(back.name, d.name);
+        assert_eq!(back.core, d.core);
+        assert_eq!(back.max_displacement, d.max_displacement);
+        assert_eq!(back.num_cells(), d.num_cells());
+        assert_eq!(back.num_nets(), d.num_nets());
+        assert_eq!(back.regions, d.regions);
+        for (a, b) in d.cells.iter().zip(back.cells.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.width, b.width);
+            assert_eq!(a.height_rows, b.height_rows);
+            assert_eq!(a.gp_pos, b.gp_pos);
+            assert_eq!(a.fixed, b.fixed);
+            assert_eq!(a.region, b.region);
+            assert_eq!(a.edge_left, b.edge_left);
+            assert_eq!(a.edge_right, b.edge_right);
+            assert_eq!(a.rail, b.rail);
+        }
+        assert_eq!(back.nets, d.nets);
+    }
+
+    #[test]
+    fn parser_skips_comments_and_unknown_statements() {
+        let d = sample();
+        let mut text = String::from("# a comment\nVERSION 5.8 ;\nTECHNOLOGY foo ;\n");
+        text.push_str(&write_def(&d));
+        let back = parse_def(&text, Technology::contest()).expect("parse");
+        assert_eq!(back.num_cells(), d.num_cells());
+    }
+
+    #[test]
+    fn missing_diearea_is_an_error() {
+        let r = parse_def("DESIGN x ;\nEND DESIGN\n", Technology::contest());
+        assert!(r.is_err());
+        assert!(r.unwrap_err().to_string().contains("DIEAREA"));
+    }
+
+    #[test]
+    fn unknown_master_is_an_error() {
+        let text = "DIEAREA ( 0 0 ) ( 4000 8000 ) ;\nCOMPONENTS 1 ;\n- u1 INV_X1 + PLACED ( 0 0 ) N ;\nEND COMPONENTS\nEND DESIGN\n";
+        let r = parse_def(text, Technology::contest());
+        assert!(r.unwrap_err().to_string().contains("master"));
+    }
+
+    #[test]
+    fn unknown_net_component_is_an_error() {
+        let text = "DIEAREA ( 0 0 ) ( 4000 8000 ) ;\nNETS 1 ;\n- n1 ( ghost p0_0 ) ;\nEND NETS\nEND DESIGN\n";
+        let r = parse_def(text, Technology::contest());
+        assert!(r.unwrap_err().to_string().contains("unknown component"));
+    }
+
+    #[test]
+    fn library_backed_parse() {
+        use crate::lef::{Library, MacroDef, PinDef};
+        let mut lib = Library::for_technology(&Technology::contest());
+        lib.add_macro(MacroDef {
+            name: "INV_X1".into(),
+            width: 400,
+            height_rows: 1,
+            edge_left: EdgeType(0),
+            edge_right: EdgeType(1),
+            rail: RailParity::Even,
+            pins: vec![
+                PinDef {
+                    name: "A".into(),
+                    offset: Point::new(100, 500),
+                },
+                PinDef {
+                    name: "ZN".into(),
+                    offset: Point::new(300, 500),
+                },
+            ],
+        });
+        let text = "\
+DIEAREA ( 0 0 ) ( 4000 8000 ) ;
+COMPONENTS 2 ;
+- u1 INV_X1 + PLACED ( 0 0 ) N ;
+- u2 MH_W1_H2 + PLACED ( 1000 2000 ) N ;
+END COMPONENTS
+NETS 1 ;
+- n1 ( u1 ZN ) ( u2 p0_0 ) ;
+END NETS
+END DESIGN
+";
+        let d = parse_def_with_library(text, &lib, &Technology::contest()).expect("parse");
+        assert_eq!(d.num_cells(), 2);
+        let u1 = d.cell(CellId(0));
+        assert_eq!(u1.master.as_deref(), Some("INV_X1"));
+        assert_eq!(u1.width, 400);
+        assert_eq!(u1.edge_right, EdgeType(1));
+        // Named pin resolved through the library.
+        assert_eq!(
+            d.pin_pos(&d.net(crate::NetId(0)).pins[0]),
+            Point::new(300, 500)
+        );
+        // Offset-encoded pin still works alongside.
+        assert_eq!(
+            d.pin_pos(&d.net(crate::NetId(0)).pins[1]),
+            Point::new(1_000, 2_000)
+        );
+        // Round trip keeps the real master name.
+        let out = write_def(&d);
+        assert!(out.contains("u1 INV_X1"), "{out}");
+        let back = parse_def_with_library(&out, &lib, &Technology::contest()).expect("reparse");
+        assert_eq!(back.cell(CellId(0)).master.as_deref(), Some("INV_X1"));
+    }
+
+    #[test]
+    fn library_parse_rejects_unknown_pin() {
+        use crate::lef::Library;
+        let lib = Library::for_technology(&Technology::contest());
+        let text = "\
+DIEAREA ( 0 0 ) ( 4000 8000 ) ;
+COMPONENTS 1 ;
+- u1 MH_W1_H1 + PLACED ( 0 0 ) N ;
+END COMPONENTS
+NETS 1 ;
+- n1 ( u1 CLK ) ;
+END NETS
+END DESIGN
+";
+        let r = parse_def_with_library(text, &lib, &Technology::contest());
+        assert!(r.unwrap_err().to_string().contains("unknown pin"));
+    }
+
+    #[test]
+    fn master_name_decoding() {
+        assert_eq!(
+            decode_master("MH_W3_H2_EL1_ER2_RO"),
+            Some((3, 2, EdgeType(1), EdgeType(2), RailParity::Odd))
+        );
+        assert_eq!(
+            decode_master("MH_W1_H1"),
+            Some((1, 1, EdgeType(0), EdgeType(0), RailParity::Even))
+        );
+        assert_eq!(decode_master("INV_X4"), None);
+        assert_eq!(decode_master("MH_W1_Hx"), None);
+    }
+}

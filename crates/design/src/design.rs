@@ -1,0 +1,325 @@
+use serde::{Deserialize, Serialize};
+
+use rlleg_geom::{Dbu, Point, Rect};
+
+use crate::cell::{Cell, CellId};
+use crate::net::{Net, NetId, Pin};
+use crate::tech::Technology;
+
+/// Identifier of a fence region inside one [`Design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegionId(pub u16);
+
+impl RegionId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for RegionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A fence region: cells assigned to the region must be placed entirely
+/// inside its rectangles; all other cells must stay outside.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Region name.
+    pub name: String,
+    /// The rectangles making up the region (axis-aligned, may be disjoint).
+    pub rects: Vec<Rect>,
+}
+
+impl Region {
+    /// `true` when `r` lies entirely inside one of the region rectangles.
+    ///
+    /// Rectangles of real fence regions are site-aligned and non-adjacent in
+    /// the benchmarks we generate, so per-rect containment is exact.
+    pub fn contains(&self, r: &Rect) -> bool {
+        self.rects.iter().any(|fr| fr.contains(r))
+    }
+
+    /// `true` when `r` overlaps any of the region rectangles.
+    pub fn overlaps(&self, r: &Rect) -> bool {
+        self.rects.iter().any(|fr| fr.overlaps(r))
+    }
+}
+
+/// A placement design: technology, core area, cells, nets, and fences.
+///
+/// Construct through [`DesignBuilder`](crate::DesignBuilder), the DEF reader
+/// ([`def::parse_def`](crate::def::parse_def)), or the benchmark generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Design {
+    /// Design name.
+    pub name: String,
+    /// Placement technology.
+    pub tech: Technology,
+    /// Core (placeable) area; rows span its full width.
+    pub core: Rect,
+    /// All cells, movable and fixed. Indexed by [`CellId`].
+    pub cells: Vec<Cell>,
+    /// All nets. Indexed by [`NetId`].
+    pub nets: Vec<Net>,
+    /// Fence regions. Indexed by [`RegionId`].
+    pub regions: Vec<Region>,
+    /// Maximum allowed displacement per cell in dbu (a design constraint of
+    /// the ICCAD-2017 problem); `None` means unconstrained.
+    pub max_displacement: Option<Dbu>,
+    /// Net membership per cell, kept in sync by the builder/readers.
+    pub(crate) cell_nets: Vec<Vec<NetId>>,
+}
+
+impl Design {
+    /// Number of cells (movable + fixed).
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of movable cells.
+    pub fn num_movable(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_movable()).count()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// The cell with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Mutable access to the cell with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cell_mut(&mut self, id: CellId) -> &mut Cell {
+        &mut self.cells[id.index()]
+    }
+
+    /// The net with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// The region with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id.index()]
+    }
+
+    /// Ids of all cells.
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.cells.len() as u32).map(CellId)
+    }
+
+    /// Ids of all movable cells.
+    pub fn movable_ids(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.cell_ids().filter(|&id| self.cell(id).is_movable())
+    }
+
+    /// Ids of all fixed cells (macros / obstacles).
+    pub fn fixed_ids(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.cell_ids().filter(|&id| !self.cell(id).is_movable())
+    }
+
+    /// Nets incident to `cell`.
+    pub fn nets_of(&self, cell: CellId) -> &[NetId] {
+        &self.cell_nets[cell.index()]
+    }
+
+    /// Number of placement rows in the core.
+    pub fn num_rows(&self) -> i64 {
+        self.core.height() / self.tech.row_height
+    }
+
+    /// Number of placement sites across the core width.
+    pub fn num_sites_x(&self) -> i64 {
+        self.core.width() / self.tech.site_width
+    }
+
+    /// Row index of a y coordinate (relative to the core origin; may be out
+    /// of range for positions outside the core).
+    pub fn row_of(&self, y: Dbu) -> i64 {
+        (y - self.core.lo.y).div_euclid(self.tech.row_height)
+    }
+
+    /// Site index of an x coordinate (relative to the core origin).
+    pub fn site_of(&self, x: Dbu) -> i64 {
+        (x - self.core.lo.x).div_euclid(self.tech.site_width)
+    }
+
+    /// Absolute position of pin `pin` given current cell positions.
+    pub fn pin_pos(&self, pin: &Pin) -> Point {
+        match pin {
+            Pin::OnCell { cell, offset } => self.cell(*cell).pos + *offset,
+            Pin::Fixed(p) => *p,
+        }
+    }
+
+    /// Total movable-cell area divided by placeable area (core minus fixed
+    /// cells): the design "density"/utilization reported in Tables II–III.
+    pub fn density(&self) -> f64 {
+        let movable: i64 = self
+            .cells
+            .iter()
+            .filter(|c| c.is_movable())
+            .map(|c| c.area(self.tech.row_height))
+            .sum();
+        let fixed: i64 = self
+            .cells
+            .iter()
+            .filter(|c| !c.is_movable())
+            .map(|c| {
+                c.rect(self.tech.row_height)
+                    .intersection(&self.core)
+                    .map_or(0, |r| r.area())
+            })
+            .sum();
+        let placeable = (self.core.area() - fixed).max(1);
+        movable as f64 / placeable as f64
+    }
+
+    /// Restores every movable cell to its global-placement position and
+    /// clears legalization flags. Lets one design be legalized repeatedly
+    /// (e.g. the 1 000 random orders of Fig. 1).
+    pub fn reset_to_global_placement(&mut self) {
+        for c in &mut self.cells {
+            if c.is_movable() {
+                c.pos = c.gp_pos;
+                c.legalized = false;
+            }
+        }
+    }
+
+    /// Serializes the design (cells, nets, fences, technology, positions)
+    /// to JSON — the workspace's native checkpoint format alongside the
+    /// DEF subset.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying `serde_json` error.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Restores a design from [`to_json`](Self::to_json) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying `serde_json` error.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// The number of Gcells per axis the paper would use for this design:
+    /// `ceil(dim / 200_000)` capped at 5 (Sec. III-E-1).
+    pub fn default_gcell_grid(&self) -> (usize, usize) {
+        let per_axis = |dim: Dbu| -> usize { ((dim + 199_999) / 200_000).clamp(1, 5) as usize };
+        (per_axis(self.core.width()), per_axis(self.core.height()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DesignBuilder;
+
+    fn small() -> Design {
+        let mut b = DesignBuilder::new("t", Technology::contest(), 10, 4);
+        let a = b.add_cell("a", 1, 1, Point::new(0, 0));
+        let c = b.add_cell("c", 2, 2, Point::new(400, 0));
+        b.add_fixed_cell("m", 2, 2, Point::new(1_000, 0));
+        b.add_net("n0", vec![(a, 100, 100), (c, 0, 0)]);
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_grid() {
+        let d = small();
+        assert_eq!(d.num_cells(), 3);
+        assert_eq!(d.num_movable(), 2);
+        assert_eq!(d.num_nets(), 1);
+        assert_eq!(d.num_rows(), 4);
+        assert_eq!(d.num_sites_x(), 10);
+        assert_eq!(d.row_of(2_000), 1);
+        assert_eq!(d.site_of(399), 1);
+    }
+
+    #[test]
+    fn adjacency() {
+        let d = small();
+        assert_eq!(d.nets_of(CellId(0)), &[NetId(0)]);
+        assert_eq!(d.nets_of(CellId(1)), &[NetId(0)]);
+        assert!(d.nets_of(CellId(2)).is_empty());
+    }
+
+    #[test]
+    fn pin_positions_follow_cells() {
+        let mut d = small();
+        let p0 = d.nets[0].pins[0];
+        assert_eq!(d.pin_pos(&p0), Point::new(100, 100));
+        d.cell_mut(CellId(0)).pos = Point::new(200, 2_000);
+        assert_eq!(d.pin_pos(&p0), Point::new(300, 2_100));
+    }
+
+    #[test]
+    fn density_excludes_fixed_area() {
+        let d = small();
+        // movable area: 1x1 + 2x2 rows = 200*2000 + 400*4000 = 2_000_000
+        // core: 2000 x 8000 = 16_000_000 ; fixed: 400*4000 = 1_600_000
+        let expect = 2_000_000.0 / (16_000_000.0 - 1_600_000.0);
+        assert!((d.density() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_restores_gp() {
+        let mut d = small();
+        d.cell_mut(CellId(0)).pos = Point::new(999, 999);
+        d.cell_mut(CellId(0)).legalized = true;
+        d.reset_to_global_placement();
+        assert_eq!(d.cell(CellId(0)).pos, d.cell(CellId(0)).gp_pos);
+        assert!(!d.cell(CellId(0)).legalized);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let mut d = small();
+        d.cell_mut(CellId(0)).pos = Point::new(200, 2_000);
+        d.cell_mut(CellId(0)).legalized = true;
+        let json = d.to_json().expect("serialize");
+        let back = Design::from_json(&json).expect("deserialize");
+        assert_eq!(back.name, d.name);
+        assert_eq!(back.cells, d.cells);
+        assert_eq!(back.nets, d.nets);
+        assert_eq!(back.regions, d.regions);
+        assert_eq!(back.nets_of(CellId(0)), d.nets_of(CellId(0)), "adjacency survives");
+    }
+
+    #[test]
+    fn gcell_grid_caps_at_five() {
+        let d = small();
+        assert_eq!(d.default_gcell_grid(), (1, 1));
+        let mut b = DesignBuilder::new("big", Technology::contest(), 6_000, 600);
+        b.add_cell("a", 1, 1, Point::new(0, 0));
+        let big = b.build(); // 1.2mm x 1.2mm
+        assert_eq!(big.default_gcell_grid(), (5, 5));
+    }
+}

@@ -1,0 +1,495 @@
+//! A pragmatic LEF-subset reader and writer.
+//!
+//! The paper's flow consumes LEF (cell library geometry) plus DEF (the
+//! placement). This module models the part of LEF that legalization needs:
+//! the placement `SITE`, and per-`MACRO` size, rail symmetry, edge types,
+//! and pin offsets. Together with [`def`](crate::def) it lets a DEF that
+//! references arbitrary master names (e.g. `INV_X1`) be loaded against a
+//! library instead of the self-describing `MH_*` encoding.
+//!
+//! Dimensions in LEF are microns; this module converts through the
+//! `UNITS DATABASE MICRONS` factor into dbu (1 dbu = 1 nm at the built-in
+//! factor 1000).
+//!
+//! ```
+//! use rlleg_design::lef::{Library, MacroDef, PinDef};
+//! use rlleg_design::Technology;
+//!
+//! let lib = Library::for_technology(&Technology::contest());
+//! let text = lib.to_lef();
+//! let back = Library::parse(&text)?;
+//! assert_eq!(back.site_width, 200);
+//! # Ok::<(), rlleg_design::lef::ParseLefError>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use rlleg_geom::{Dbu, Point};
+
+use crate::cell::{EdgeType, RailParity};
+use crate::tech::Technology;
+
+/// Error produced by [`Library::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLefError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseLefError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LEF parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseLefError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseLefError> {
+    Err(ParseLefError {
+        message: message.into(),
+    })
+}
+
+/// One pin of a macro: a name and an offset from the cell origin (the
+/// centre of the pin's first port rectangle).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PinDef {
+    /// Pin name (`A`, `ZN`, …).
+    pub name: String,
+    /// Offset from the cell's lower-left corner, in dbu.
+    pub offset: Point,
+}
+
+/// One cell master.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacroDef {
+    /// Macro name.
+    pub name: String,
+    /// Width in dbu (a multiple of the site width).
+    pub width: Dbu,
+    /// Height in rows.
+    pub height_rows: u8,
+    /// Left edge class (edge-spacing rule).
+    pub edge_left: EdgeType,
+    /// Right edge class.
+    pub edge_right: EdgeType,
+    /// Rail parity for even-height masters.
+    pub rail: RailParity,
+    /// Pins, in declaration order.
+    pub pins: Vec<PinDef>,
+}
+
+/// A cell library: the placement site plus the macros.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Library {
+    /// Library name (informational).
+    pub name: String,
+    /// Database units per micron (1000 → 1 dbu = 1 nm).
+    pub dbu_per_micron: i64,
+    /// Site width in dbu.
+    pub site_width: Dbu,
+    /// Row (site) height in dbu.
+    pub row_height: Dbu,
+    /// Macros by name.
+    pub macros: BTreeMap<String, MacroDef>,
+}
+
+impl Library {
+    /// An empty library matching a technology's site geometry.
+    pub fn for_technology(tech: &Technology) -> Self {
+        Self {
+            name: tech.name.clone(),
+            dbu_per_micron: 1_000,
+            site_width: tech.site_width,
+            row_height: tech.row_height,
+            macros: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) a macro.
+    pub fn add_macro(&mut self, m: MacroDef) {
+        self.macros.insert(m.name.clone(), m);
+    }
+
+    /// Looks a macro up by name.
+    pub fn get(&self, name: &str) -> Option<&MacroDef> {
+        self.macros.get(name)
+    }
+
+    /// Serializes the library to the LEF subset.
+    pub fn to_lef(&self) -> String {
+        let um = self.dbu_per_micron as f64;
+        let mut s = String::new();
+        let _ = writeln!(s, "VERSION 5.8 ;");
+        let _ = writeln!(
+            s,
+            "UNITS\n  DATABASE MICRONS {} ;\nEND UNITS",
+            self.dbu_per_micron
+        );
+        let _ = writeln!(
+            s,
+            "SITE core\n  CLASS CORE ;\n  SIZE {:.4} BY {:.4} ;\nEND core",
+            self.site_width as f64 / um,
+            self.row_height as f64 / um
+        );
+        for m in self.macros.values() {
+            let _ = writeln!(s, "MACRO {}", m.name);
+            let _ = writeln!(s, "  CLASS CORE ;");
+            let _ = writeln!(
+                s,
+                "  SIZE {:.4} BY {:.4} ;",
+                m.width as f64 / um,
+                (i64::from(m.height_rows) * self.row_height) as f64 / um
+            );
+            let _ = writeln!(s, "  SITE core ;");
+            // Rail parity is LEF SYMMETRY in spirit: X-symmetric cells can
+            // flip to either rail. We encode the constraint explicitly.
+            if m.rail == RailParity::Odd {
+                let _ = writeln!(s, "  PROPERTY railParity odd ;");
+            }
+            if m.edge_left.0 != 0 {
+                let _ = writeln!(s, "  PROPERTY edgeTypeLeft {} ;", m.edge_left.0);
+            }
+            if m.edge_right.0 != 0 {
+                let _ = writeln!(s, "  PROPERTY edgeTypeRight {} ;", m.edge_right.0);
+            }
+            for p in &m.pins {
+                let _ = writeln!(s, "  PIN {}", p.name);
+                let _ = writeln!(
+                    s,
+                    "    PORT\n      LAYER M1 ;\n      RECT {:.4} {:.4} {:.4} {:.4} ;\n    END",
+                    p.offset.x as f64 / um,
+                    p.offset.y as f64 / um,
+                    p.offset.x as f64 / um,
+                    p.offset.y as f64 / um
+                );
+                let _ = writeln!(s, "  END {}", p.name);
+            }
+            let _ = writeln!(s, "END {}", m.name);
+        }
+        let _ = writeln!(s, "END LIBRARY");
+        s
+    }
+
+    /// Parses the LEF subset (plus comments and unknown statements, which
+    /// are skipped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseLefError`] on malformed numbers, macro sizes that are
+    /// not whole multiples of the site, or truncated sections.
+    pub fn parse(text: &str) -> Result<Library, ParseLefError> {
+        let toks: Vec<&str> = text
+            .lines()
+            .map(|l| l.split('#').next().unwrap_or(""))
+            .flat_map(|l| l.split_whitespace())
+            .collect();
+        let mut lib = Library {
+            name: "parsed".to_owned(),
+            dbu_per_micron: 1_000,
+            site_width: 0,
+            row_height: 0,
+            macros: BTreeMap::new(),
+        };
+        let mut i = 0usize;
+        let next = |i: &mut usize| -> Result<&str, ParseLefError> {
+            let t = toks.get(*i).copied();
+            *i += 1;
+            t.ok_or_else(|| ParseLefError {
+                message: "unexpected end of file".into(),
+            })
+        };
+        let number = |i: &mut usize| -> Result<f64, ParseLefError> {
+            let t = next(i)?;
+            t.parse().map_err(|_| ParseLefError {
+                message: format!("expected number, got `{t}`"),
+            })
+        };
+        let to_dbu = |lib: &Library, microns: f64| -> Dbu {
+            (microns * lib.dbu_per_micron as f64).round() as Dbu
+        };
+
+        while i < toks.len() {
+            match toks[i] {
+                "UNITS" => {
+                    i += 1;
+                    while toks.get(i) != Some(&"END") {
+                        if toks.get(i) == Some(&"DATABASE") && toks.get(i + 1) == Some(&"MICRONS") {
+                            i += 2;
+                            lib.dbu_per_micron = number(&mut i)? as i64;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    i += 2; // END UNITS
+                }
+                "SITE" => {
+                    i += 1;
+                    let site_name = next(&mut i)?.to_owned();
+                    while toks.get(i) != Some(&"END") {
+                        if toks.get(i) == Some(&"SIZE") {
+                            i += 1;
+                            let w = number(&mut i)?;
+                            if next(&mut i)? != "BY" {
+                                return err("expected BY in SITE SIZE");
+                            }
+                            let h = number(&mut i)?;
+                            lib.site_width = to_dbu(&lib, w);
+                            lib.row_height = to_dbu(&lib, h);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    i += 2; // END <name>
+                    let _ = site_name;
+                }
+                "MACRO" => {
+                    i += 1;
+                    let name = next(&mut i)?.to_owned();
+                    let mut m = MacroDef {
+                        name: name.clone(),
+                        width: 0,
+                        height_rows: 0,
+                        edge_left: EdgeType(0),
+                        edge_right: EdgeType(0),
+                        rail: RailParity::Even,
+                        pins: Vec::new(),
+                    };
+                    loop {
+                        let tok = next(&mut i)?;
+                        match tok {
+                            "SIZE" => {
+                                let w = number(&mut i)?;
+                                if next(&mut i)? != "BY" {
+                                    return err("expected BY in MACRO SIZE");
+                                }
+                                let h = number(&mut i)?;
+                                m.width = to_dbu(&lib, w);
+                                let h_dbu = to_dbu(&lib, h);
+                                if lib.row_height <= 0 {
+                                    return err("MACRO before SITE: row height unknown");
+                                }
+                                if h_dbu % lib.row_height != 0 {
+                                    return err(format!(
+                                        "macro `{name}` height {h_dbu} not a whole number of rows"
+                                    ));
+                                }
+                                m.height_rows = (h_dbu / lib.row_height) as u8;
+                            }
+                            "PROPERTY" => {
+                                let key = next(&mut i)?;
+                                let val = next(&mut i)?;
+                                match key {
+                                    "railParity" if val == "odd" => m.rail = RailParity::Odd,
+                                    "edgeTypeLeft" => {
+                                        m.edge_left =
+                                            EdgeType(val.parse().map_err(|_| ParseLefError {
+                                                message: format!("bad edge `{val}`"),
+                                            })?)
+                                    }
+                                    "edgeTypeRight" => {
+                                        m.edge_right =
+                                            EdgeType(val.parse().map_err(|_| ParseLefError {
+                                                message: format!("bad edge `{val}`"),
+                                            })?)
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            "PIN" => {
+                                let pin_name = next(&mut i)?.to_owned();
+                                let mut offset = Point::ORIGIN;
+                                loop {
+                                    let t = next(&mut i)?;
+                                    if t == "RECT" {
+                                        let x1 = number(&mut i)?;
+                                        let y1 = number(&mut i)?;
+                                        let x2 = number(&mut i)?;
+                                        let y2 = number(&mut i)?;
+                                        offset = Point::new(
+                                            to_dbu(&lib, (x1 + x2) / 2.0),
+                                            to_dbu(&lib, (y1 + y2) / 2.0),
+                                        );
+                                    } else if t == "END" {
+                                        // END (port) or END <pin_name>
+                                        if toks.get(i) == Some(&pin_name.as_str()) {
+                                            i += 1;
+                                            break;
+                                        }
+                                    }
+                                }
+                                m.pins.push(PinDef {
+                                    name: pin_name,
+                                    offset,
+                                });
+                            }
+                            "END" => {
+                                let end_name = next(&mut i)?;
+                                if end_name == name {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    if m.width <= 0 || m.height_rows == 0 {
+                        return err(format!("macro `{name}` missing SIZE"));
+                    }
+                    lib.macros.insert(name, m);
+                }
+                "END" if toks.get(i + 1) == Some(&"LIBRARY") => break,
+                _ => i += 1,
+            }
+        }
+        if lib.site_width <= 0 || lib.row_height <= 0 {
+            return err("missing SITE definition");
+        }
+        Ok(lib)
+    }
+
+    /// Builds a technology matching the library's site (edge-spacing table
+    /// taken from `base`).
+    pub fn technology(&self, base: &Technology) -> Technology {
+        Technology {
+            name: format!("{}-lef", self.name),
+            site_width: self.site_width,
+            row_height: self.row_height,
+            max_height_rows: base.max_height_rows,
+            edge_spacing_sites: base.edge_spacing_sites.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_library() -> Library {
+        let mut lib = Library::for_technology(&Technology::contest());
+        lib.add_macro(MacroDef {
+            name: "INV_X1".into(),
+            width: 400,
+            height_rows: 1,
+            edge_left: EdgeType(0),
+            edge_right: EdgeType(0),
+            rail: RailParity::Even,
+            pins: vec![
+                PinDef {
+                    name: "A".into(),
+                    offset: Point::new(100, 1_000),
+                },
+                PinDef {
+                    name: "ZN".into(),
+                    offset: Point::new(300, 1_000),
+                },
+            ],
+        });
+        lib.add_macro(MacroDef {
+            name: "DFF_X2_MH2".into(),
+            width: 1_200,
+            height_rows: 2,
+            edge_left: EdgeType(1),
+            edge_right: EdgeType(2),
+            rail: RailParity::Odd,
+            pins: vec![PinDef {
+                name: "D".into(),
+                offset: Point::new(200, 2_000),
+            }],
+        });
+        lib
+    }
+
+    #[test]
+    fn lef_round_trip() {
+        let lib = sample_library();
+        let text = lib.to_lef();
+        let back = Library::parse(&text).expect("parse");
+        assert_eq!(back.site_width, lib.site_width);
+        assert_eq!(back.row_height, lib.row_height);
+        assert_eq!(back.macros.len(), 2);
+        let dff = back.get("DFF_X2_MH2").expect("macro");
+        assert_eq!(dff.width, 1_200);
+        assert_eq!(dff.height_rows, 2);
+        assert_eq!(dff.rail, RailParity::Odd);
+        assert_eq!(dff.edge_left, EdgeType(1));
+        assert_eq!(dff.edge_right, EdgeType(2));
+        assert_eq!(dff.pins.len(), 1);
+        assert_eq!(dff.pins[0].offset, Point::new(200, 2_000));
+        let inv = back.get("INV_X1").expect("macro");
+        assert_eq!(inv.pins[1].name, "ZN");
+    }
+
+    #[test]
+    fn parse_handmade_lef() {
+        let text = "\
+VERSION 5.8 ;
+UNITS
+  DATABASE MICRONS 2000 ;
+END UNITS
+# comment line
+SITE unit
+  CLASS CORE ;
+  SIZE 0.1 BY 1.0 ;
+END unit
+MACRO BUF_X4
+  CLASS CORE ;
+  SIZE 0.4 BY 2.0 ;
+  SITE unit ;
+  PIN A
+    PORT
+      LAYER M1 ;
+      RECT 0.05 0.1 0.15 0.2 ;
+    END
+  END A
+END BUF_X4
+END LIBRARY
+";
+        let lib = Library::parse(text).expect("parse");
+        assert_eq!(lib.dbu_per_micron, 2_000);
+        assert_eq!(lib.site_width, 200);
+        assert_eq!(lib.row_height, 2_000);
+        let m = lib.get("BUF_X4").expect("macro");
+        assert_eq!(m.width, 800);
+        assert_eq!(m.height_rows, 2);
+        assert_eq!(m.pins[0].offset, Point::new(200, 300));
+    }
+
+    #[test]
+    fn rejects_fractional_row_heights() {
+        let text = "\
+UNITS
+  DATABASE MICRONS 1000 ;
+END UNITS
+SITE core
+  SIZE 0.2 BY 2.0 ;
+END core
+MACRO BAD
+  SIZE 0.2 BY 3.0 ;
+END BAD
+END LIBRARY
+";
+        let r = Library::parse(text);
+        assert!(r.unwrap_err().to_string().contains("whole number of rows"));
+    }
+
+    #[test]
+    fn rejects_missing_site() {
+        let r = Library::parse("VERSION 5.8 ;\nEND LIBRARY\n");
+        assert!(r.unwrap_err().to_string().contains("SITE"));
+    }
+
+    #[test]
+    fn technology_from_library() {
+        let lib = sample_library();
+        let t = lib.technology(&Technology::contest());
+        assert_eq!(t.site_width, 200);
+        assert_eq!(t.row_height, 2_000);
+        assert_eq!(
+            t.edge_spacing_sites,
+            Technology::contest().edge_spacing_sites
+        );
+    }
+}

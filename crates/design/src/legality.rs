@@ -1,0 +1,435 @@
+//! A full legality (design-rule) checker for mixed-height placements.
+//!
+//! The paper "first checked the legality of our legalization results and
+//! ensured that no design rule violations occur for all benchmarks; the
+//! design rules include placement overlap, edge spacing, power alignment,
+//! placement sites, and region constraints." This module is that checker:
+//! every legalizer output in the workspace's tests and benches is validated
+//! by [`check`].
+
+use rlleg_geom::{rtree::RTree, Dbu};
+
+use crate::cell::CellId;
+use crate::design::{Design, RegionId};
+
+/// One design-rule violation found by [`check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two cells' footprints overlap.
+    Overlap {
+        /// First cell.
+        a: CellId,
+        /// Second cell.
+        b: CellId,
+    },
+    /// Cell x is not aligned to a placement site.
+    OffSite {
+        /// Offending cell.
+        cell: CellId,
+    },
+    /// Cell y is not aligned to a row boundary.
+    OffRow {
+        /// Offending cell.
+        cell: CellId,
+    },
+    /// Cell extends beyond the core area.
+    OutsideCore {
+        /// Offending cell.
+        cell: CellId,
+    },
+    /// Even-height cell sits on a row with the wrong power-rail parity.
+    RailParity {
+        /// Offending cell.
+        cell: CellId,
+    },
+    /// Horizontal gap between two cells violates the edge-spacing table.
+    EdgeSpacing {
+        /// Cell on the left.
+        left: CellId,
+        /// Cell on the right.
+        right: CellId,
+        /// Required gap in dbu.
+        required: Dbu,
+        /// Actual gap in dbu.
+        actual: Dbu,
+    },
+    /// Cell assigned to a fence region is not fully inside it.
+    FenceInside {
+        /// Offending cell.
+        cell: CellId,
+    },
+    /// Cell not assigned to a region overlaps that region.
+    FenceOutside {
+        /// Offending cell.
+        cell: CellId,
+        /// Violated region.
+        region: RegionId,
+    },
+    /// Cell moved farther than the design's maximum-displacement constraint.
+    MaxDisplacement {
+        /// Offending cell.
+        cell: CellId,
+        /// Actual displacement in dbu.
+        displacement: Dbu,
+        /// The constraint in dbu.
+        limit: Dbu,
+    },
+    /// Movable cell was never committed by the legalizer.
+    NotLegalized {
+        /// Offending cell.
+        cell: CellId,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Overlap { a, b } => write!(f, "cells {a} and {b} overlap"),
+            Violation::OffSite { cell } => write!(f, "cell {cell} off placement site"),
+            Violation::OffRow { cell } => write!(f, "cell {cell} off row boundary"),
+            Violation::OutsideCore { cell } => write!(f, "cell {cell} outside core"),
+            Violation::RailParity { cell } => write!(f, "cell {cell} rail parity mismatch"),
+            Violation::EdgeSpacing {
+                left,
+                right,
+                required,
+                actual,
+            } => write!(
+                f,
+                "edge spacing between {left} and {right}: need {required}, have {actual}"
+            ),
+            Violation::FenceInside { cell } => write!(f, "cell {cell} escapes its fence"),
+            Violation::FenceOutside { cell, region } => {
+                write!(f, "cell {cell} intrudes into fence {region}")
+            }
+            Violation::MaxDisplacement {
+                cell,
+                displacement,
+                limit,
+            } => {
+                write!(f, "cell {cell} displaced {displacement} > limit {limit}")
+            }
+            Violation::NotLegalized { cell } => write!(f, "cell {cell} not legalized"),
+        }
+    }
+}
+
+/// Checks every placement rule on the current cell positions and returns all
+/// violations (empty = legal). Set `require_committed` to also flag movable
+/// cells whose `legalized` flag is unset — benches use this to detect
+/// legalization failures.
+pub fn check(design: &Design, require_committed: bool) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let rh = design.tech.row_height;
+    let sw = design.tech.site_width;
+
+    // Alignment, core containment, parity, fences, displacement.
+    for id in design.cell_ids() {
+        let c = design.cell(id);
+        if c.fixed {
+            continue;
+        }
+        if require_committed && !c.legalized {
+            out.push(Violation::NotLegalized { cell: id });
+        }
+        let r = c.rect(rh);
+        if (c.pos.x - design.core.lo.x) % sw != 0 {
+            out.push(Violation::OffSite { cell: id });
+        }
+        if (c.pos.y - design.core.lo.y) % rh != 0 {
+            out.push(Violation::OffRow { cell: id });
+        }
+        if !design.core.contains(&r) {
+            out.push(Violation::OutsideCore { cell: id });
+        }
+        if c.is_rail_constrained() && !c.rail.allows_row(design.row_of(c.pos.y)) {
+            out.push(Violation::RailParity { cell: id });
+        }
+        match c.region {
+            Some(reg) => {
+                if !design.region(reg).contains(&r) {
+                    out.push(Violation::FenceInside { cell: id });
+                }
+            }
+            None => {
+                for (ri, region) in design.regions.iter().enumerate() {
+                    if region.overlaps(&r) {
+                        out.push(Violation::FenceOutside {
+                            cell: id,
+                            region: RegionId(ri as u16),
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(limit) = design.max_displacement {
+            let d = c.displacement();
+            if d > limit {
+                out.push(Violation::MaxDisplacement {
+                    cell: id,
+                    displacement: d,
+                    limit,
+                });
+            }
+        }
+    }
+
+    // Overlaps via an R-tree over every footprint (movable and fixed).
+    let tree = RTree::bulk_load(
+        design
+            .cell_ids()
+            .map(|id| (design.cell(id).rect(rh), id))
+            .collect(),
+    );
+    for id in design.cell_ids() {
+        let c = design.cell(id);
+        let r = c.rect(rh);
+        for (_, &other) in tree.query(&r) {
+            // Report each unordered pair once; skip fixed-fixed pairs (macro
+            // overlap is an input property, not a legalization failure).
+            if other > id && !(c.fixed && design.cell(other).fixed) {
+                out.push(Violation::Overlap { a: id, b: other });
+            }
+        }
+    }
+
+    // Edge spacing: per row, examine horizontally adjacent pairs.
+    out.extend(check_edge_spacing(design));
+    out
+}
+
+fn check_edge_spacing(design: &Design) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let rh = design.tech.row_height;
+    let rows = design.num_rows().max(0) as usize;
+    let mut per_row: Vec<Vec<(Dbu, Dbu, CellId)>> = vec![Vec::new(); rows];
+    for id in design.cell_ids() {
+        let c = design.cell(id);
+        let r = c.rect(rh);
+        let first = design.row_of(r.lo.y).max(0);
+        // A cell on row boundary [y, y+h) covers rows first..first+height.
+        let last = design.row_of(r.hi.y - 1).min(rows as i64 - 1);
+        for row in first..=last {
+            per_row[row as usize].push((r.lo.x, r.hi.x, id));
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    for row in &mut per_row {
+        row.sort_unstable();
+        for w in row.windows(2) {
+            let (_, ax_hi, a) = w[0];
+            let (bx_lo, _, b) = w[1];
+            let gap = bx_lo - ax_hi;
+            if gap < 0 {
+                continue; // overlap, reported separately
+            }
+            let ca = design.cell(a);
+            let cb = design.cell(b);
+            let required = design.tech.edge_spacing(ca.edge_right, cb.edge_left);
+            if gap < required && seen.insert((a, b)) {
+                out.push(Violation::EdgeSpacing {
+                    left: a,
+                    right: b,
+                    required,
+                    actual: gap,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `true` when the placement has no violations (committed flags included).
+pub fn is_legal(design: &Design) -> bool {
+    check(design, true).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DesignBuilder;
+    use crate::cell::{EdgeType, RailParity};
+    use crate::tech::Technology;
+    use rlleg_geom::Point;
+
+    fn base() -> DesignBuilder {
+        DesignBuilder::new("t", Technology::contest(), 20, 6)
+    }
+
+    fn commit_all(d: &mut Design) {
+        for i in 0..d.cells.len() {
+            d.cells[i].legalized = true;
+        }
+    }
+
+    #[test]
+    fn clean_design_is_legal() {
+        let mut b = base();
+        b.add_cell("a", 2, 1, Point::new(0, 0));
+        b.add_cell("b", 2, 2, Point::new(400, 0));
+        let mut d = b.build();
+        commit_all(&mut d);
+        assert!(is_legal(&d), "{:?}", check(&d, true));
+    }
+
+    #[test]
+    fn detects_overlap_once_per_pair() {
+        let mut b = base();
+        b.add_cell("a", 3, 1, Point::new(0, 0));
+        b.add_cell("b", 3, 1, Point::new(400, 0));
+        let mut d = b.build();
+        commit_all(&mut d);
+        let v = check(&d, true);
+        assert_eq!(
+            v,
+            vec![Violation::Overlap {
+                a: CellId(0),
+                b: CellId(1)
+            }]
+        );
+    }
+
+    #[test]
+    fn fixed_fixed_overlap_is_not_reported() {
+        let mut b = base();
+        b.add_fixed_cell("m1", 3, 2, Point::new(0, 0));
+        b.add_fixed_cell("m2", 3, 2, Point::new(200, 0));
+        let d = b.build();
+        assert!(check(&d, false).is_empty());
+    }
+
+    #[test]
+    fn movable_fixed_overlap_is_reported() {
+        let mut b = base();
+        b.add_cell("a", 3, 1, Point::new(0, 0));
+        b.add_fixed_cell("m", 3, 2, Point::new(200, 0));
+        let mut d = b.build();
+        commit_all(&mut d);
+        assert_eq!(check(&d, true).len(), 1);
+    }
+
+    #[test]
+    fn detects_misalignment_and_core_escape() {
+        let mut b = base();
+        b.add_cell("a", 1, 1, Point::new(37, 0));
+        b.add_cell("b", 1, 1, Point::new(0, 1_234));
+        b.add_cell("c", 2, 1, Point::new(3_800, 0)); // 2 sites wide at last site
+        let mut d = b.build();
+        commit_all(&mut d);
+        let v = check(&d, true);
+        assert!(v.contains(&Violation::OffSite { cell: CellId(0) }));
+        assert!(v.contains(&Violation::OffRow { cell: CellId(1) }));
+        assert!(v.contains(&Violation::OutsideCore { cell: CellId(2) }));
+    }
+
+    #[test]
+    fn detects_rail_parity() {
+        let mut b = base();
+        let a = b.add_cell("a", 1, 2, Point::new(0, 2_000)); // row 1
+        b.set_rail(a, RailParity::Even);
+        let mut d = b.build();
+        commit_all(&mut d);
+        assert!(check(&d, true).contains(&Violation::RailParity { cell: a }));
+        // Odd parity accepts row 1.
+        d.cell_mut(a).rail = RailParity::Odd;
+        assert!(is_legal(&d));
+    }
+
+    #[test]
+    fn odd_height_cells_ignore_parity() {
+        let mut b = base();
+        let a = b.add_cell("a", 1, 3, Point::new(0, 2_000));
+        b.set_rail(a, RailParity::Even);
+        let mut d = b.build();
+        commit_all(&mut d);
+        assert!(is_legal(&d));
+    }
+
+    #[test]
+    fn detects_edge_spacing() {
+        let mut b = base();
+        let a = b.add_cell("a", 2, 1, Point::new(0, 0));
+        let c = b.add_cell("b", 2, 1, Point::new(600, 0)); // 1-site gap
+        b.set_edges(a, EdgeType(2), EdgeType(2));
+        b.set_edges(c, EdgeType(2), EdgeType(2));
+        let mut d = b.build();
+        commit_all(&mut d);
+        // type2-type2 requires 2 sites = 400; gap is 200.
+        let v = check(&d, true);
+        assert_eq!(
+            v,
+            vec![Violation::EdgeSpacing {
+                left: a,
+                right: c,
+                required: 400,
+                actual: 200
+            }]
+        );
+        // Widen the gap to 2 sites: legal.
+        d.cell_mut(c).pos = Point::new(800, 0);
+        assert!(is_legal(&d));
+    }
+
+    #[test]
+    fn edge_spacing_only_on_shared_rows() {
+        let mut b = base();
+        let a = b.add_cell("a", 2, 1, Point::new(0, 0));
+        let c = b.add_cell("b", 2, 1, Point::new(600, 2_000)); // different row
+        b.set_edges(a, EdgeType(2), EdgeType(2));
+        b.set_edges(c, EdgeType(2), EdgeType(2));
+        let mut d = b.build();
+        commit_all(&mut d);
+        assert!(is_legal(&d));
+    }
+
+    #[test]
+    fn detects_fence_violations() {
+        let mut b = base();
+        let fenced = b.add_cell("in", 1, 1, Point::new(3_000, 0)); // outside region
+        let intruder = b.add_cell("out", 1, 1, Point::new(200, 0)); // inside region
+        let r = b.add_region("f", vec![rlleg_geom::Rect::new(0, 0, 2_000, 4_000)]);
+        b.assign_region(fenced, r);
+        let mut d = b.build();
+        commit_all(&mut d);
+        let v = check(&d, true);
+        assert!(v.contains(&Violation::FenceInside { cell: fenced }));
+        assert!(v.contains(&Violation::FenceOutside {
+            cell: intruder,
+            region: r
+        }));
+        // Fix both.
+        d.cell_mut(fenced).pos = Point::new(0, 0);
+        d.cell_mut(intruder).pos = Point::new(2_000, 0);
+        assert!(is_legal(&d));
+    }
+
+    #[test]
+    fn detects_max_displacement() {
+        let mut b = base();
+        let a = b.add_cell("a", 1, 1, Point::new(0, 0));
+        b.max_displacement(1_000);
+        let mut d = b.build();
+        commit_all(&mut d);
+        d.cell_mut(a).pos = Point::new(1_200, 0);
+        assert_eq!(
+            check(&d, true),
+            vec![Violation::MaxDisplacement {
+                cell: a,
+                displacement: 1_200,
+                limit: 1_000
+            }]
+        );
+    }
+
+    #[test]
+    fn uncommitted_cells_flagged_only_when_required() {
+        let mut b = base();
+        b.add_cell("a", 1, 1, Point::new(0, 0));
+        let d = b.build();
+        assert!(check(&d, false).is_empty());
+        assert_eq!(
+            check(&d, true),
+            vec![Violation::NotLegalized { cell: CellId(0) }]
+        );
+    }
+}

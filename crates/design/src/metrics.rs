@@ -1,0 +1,214 @@
+//! Quality-of-result metrics: HPWL, displacement statistics, and the
+//! combined legalization cost used in learning curves.
+//!
+//! The paper evaluates legalizers on three axes (Tables II–III): average
+//! displacement, maximum displacement, and total HPWL, and plots a scalar
+//! "legalization cost based on [the ICCAD-2017 metric]" during training
+//! (Fig. 6). [`Qor`] bundles the three axes; [`legalization_cost`] provides
+//! the scalar.
+
+use serde::{Deserialize, Serialize};
+
+use rlleg_geom::{Dbu, Point};
+
+use crate::cell::CellId;
+use crate::design::Design;
+use crate::net::NetId;
+
+/// Half-perimeter wirelength of one net given current cell positions.
+///
+/// Nets with fewer than two pins contribute zero.
+pub fn net_hpwl(design: &Design, net: NetId) -> Dbu {
+    let pins = &design.net(net).pins;
+    if pins.len() < 2 {
+        return 0;
+    }
+    let mut lo = Point::new(Dbu::MAX, Dbu::MAX);
+    let mut hi = Point::new(Dbu::MIN, Dbu::MIN);
+    for p in pins {
+        let pos = design.pin_pos(p);
+        lo.x = lo.x.min(pos.x);
+        lo.y = lo.y.min(pos.y);
+        hi.x = hi.x.max(pos.x);
+        hi.y = hi.y.max(pos.y);
+    }
+    (hi.x - lo.x) + (hi.y - lo.y)
+}
+
+/// Total HPWL over all nets.
+pub fn total_hpwl(design: &Design) -> Dbu {
+    (0..design.num_nets() as u32)
+        .map(|i| net_hpwl(design, NetId(i)))
+        .sum()
+}
+
+/// HPWL summed over the nets incident to `cell` — the only nets whose length
+/// can change when `cell` moves. Used to compute the ΔHPWL term of the
+/// paper's reward (Eq. 2) without rescanning the whole netlist.
+pub fn hpwl_around(design: &Design, cell: CellId) -> Dbu {
+    design
+        .nets_of(cell)
+        .iter()
+        .map(|&n| net_hpwl(design, n))
+        .sum()
+}
+
+/// Displacement and wirelength summary of a placement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Qor {
+    /// Mean Manhattan displacement over movable cells, in dbu.
+    pub avg_displacement: f64,
+    /// Maximum Manhattan displacement over movable cells, in dbu.
+    pub max_displacement: Dbu,
+    /// Total Manhattan displacement over movable cells, in dbu.
+    pub total_displacement: Dbu,
+    /// Total HPWL, in dbu.
+    pub hpwl: Dbu,
+    /// Number of movable cells that are not marked legalized (0 for a
+    /// successful run).
+    pub unplaced: usize,
+}
+
+impl Qor {
+    /// Measures the current state of `design`.
+    pub fn measure(design: &Design) -> Qor {
+        let mut total = 0;
+        let mut max = 0;
+        let mut n = 0usize;
+        let mut unplaced = 0usize;
+        for c in design.cells.iter().filter(|c| c.is_movable()) {
+            let d = c.displacement();
+            total += d;
+            max = max.max(d);
+            n += 1;
+            if !c.legalized {
+                unplaced += 1;
+            }
+        }
+        Qor {
+            avg_displacement: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+            max_displacement: max,
+            total_displacement: total,
+            hpwl: total_hpwl(design),
+            unplaced,
+        }
+    }
+
+    /// `true` when every movable cell was committed by the legalizer.
+    pub fn is_complete(&self) -> bool {
+        self.unplaced == 0
+    }
+}
+
+impl std::fmt::Display for Qor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "avg_disp={:.1} max_disp={} hpwl={} unplaced={}",
+            self.avg_displacement, self.max_displacement, self.hpwl, self.unplaced
+        )
+    }
+}
+
+/// Scalar legalization cost in the spirit of the ICCAD-2017 contest metric,
+/// used for learning curves (Fig. 5b / Fig. 6) and hyperparameter search.
+///
+/// The contest scores a legalization by its displacement statistics with a
+/// penalty on the maximum, plus a wirelength regression term. We use
+///
+/// ```text
+/// cost = (avg_disp + 0.05 · max_disp + Δhpwl / max(1, #movable)) / site_width
+/// ```
+///
+/// where `Δhpwl = max(0, hpwl_now − hpwl_at_global_placement)`. The value is
+/// dimensionless (in sites); lower is better. Failed cells are charged a
+/// large constant each so failures dominate any displacement difference.
+pub fn legalization_cost(design: &Design, hpwl_at_gp: Dbu) -> f64 {
+    let q = Qor::measure(design);
+    let n = design.num_movable().max(1) as f64;
+    let dhpwl = (q.hpwl - hpwl_at_gp).max(0) as f64;
+    let site = design.tech.site_width as f64;
+    let base = (q.avg_displacement + 0.05 * q.max_displacement as f64 + dhpwl / n) / site;
+    base + 1_000.0 * q.unplaced as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DesignBuilder;
+    use crate::tech::Technology;
+
+    fn design() -> Design {
+        let mut b = DesignBuilder::new("m", Technology::contest(), 50, 10);
+        let a = b.add_cell("a", 1, 1, Point::new(0, 0));
+        let c = b.add_cell("c", 1, 1, Point::new(1_000, 0));
+        let d = b.add_cell("d", 1, 1, Point::new(0, 4_000));
+        b.add_net("n0", vec![(a, 0, 0), (c, 0, 0)]);
+        b.add_net("n1", vec![(a, 0, 0), (d, 0, 0), (c, 0, 0)]);
+        b.add_net("single", vec![(d, 0, 0)]);
+        b.build()
+    }
+
+    #[test]
+    fn net_hpwl_bounding_box() {
+        let d = design();
+        assert_eq!(net_hpwl(&d, NetId(0)), 1_000);
+        assert_eq!(net_hpwl(&d, NetId(1)), 1_000 + 4_000);
+        assert_eq!(net_hpwl(&d, NetId(2)), 0, "single-pin net");
+        assert_eq!(total_hpwl(&d), 6_000);
+    }
+
+    #[test]
+    fn hpwl_around_only_incident_nets() {
+        let d = design();
+        // cell c is on n0 and n1
+        assert_eq!(hpwl_around(&d, CellId(1)), 6_000);
+        // cell d is on n1 and the single-pin net
+        assert_eq!(hpwl_around(&d, CellId(2)), 5_000);
+    }
+
+    #[test]
+    fn qor_tracks_displacement() {
+        let mut d = design();
+        d.cell_mut(CellId(0)).pos = Point::new(600, 0);
+        d.cell_mut(CellId(1)).pos = Point::new(1_000, 2_000);
+        let q = Qor::measure(&d);
+        assert_eq!(q.total_displacement, 600 + 2_000);
+        assert_eq!(q.max_displacement, 2_000);
+        assert!((q.avg_displacement - 2_600.0 / 3.0).abs() < 1e-9);
+        assert_eq!(q.unplaced, 3, "nothing marked legalized yet");
+        assert!(!q.is_complete());
+    }
+
+    #[test]
+    fn cost_penalizes_failures() {
+        let mut d = design();
+        let gp_hpwl = total_hpwl(&d);
+        let incomplete = legalization_cost(&d, gp_hpwl);
+        for id in [CellId(0), CellId(1), CellId(2)] {
+            d.cell_mut(id).legalized = true;
+        }
+        let complete = legalization_cost(&d, gp_hpwl);
+        assert!(incomplete > complete + 2_000.0);
+        assert!(
+            complete.abs() < 1e-9,
+            "no displacement, no Δhpwl => zero cost"
+        );
+    }
+
+    #[test]
+    fn cost_ignores_hpwl_improvements() {
+        let mut d = design();
+        for id in [CellId(0), CellId(1), CellId(2)] {
+            d.cell_mut(id).legalized = true;
+        }
+        // Move c closer to a: HPWL decreases, Δhpwl clamps at 0.
+        d.cell_mut(CellId(1)).pos = Point::new(200, 0);
+        let gp_hpwl = 6_000;
+        let cost = legalization_cost(&d, gp_hpwl);
+        let q = Qor::measure(&d);
+        let site = d.tech.site_width as f64;
+        let expect = (q.avg_displacement + 0.05 * q.max_displacement as f64) / site;
+        assert!((cost - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,89 @@
+use serde::{Deserialize, Serialize};
+
+use rlleg_geom::Point;
+
+use crate::cell::CellId;
+
+/// Identifier of a net inside one [`Design`](crate::Design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One pin of a net: either an offset into a cell or a fixed location
+/// (IO pad / pre-routed terminal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pin {
+    /// A pin on `cell`, at `offset` from the cell's lower-left corner.
+    OnCell {
+        /// Owning cell.
+        cell: CellId,
+        /// Offset from the cell's lower-left corner, in dbu.
+        offset: Point,
+    },
+    /// A pin at a fixed absolute location.
+    Fixed(Point),
+}
+
+impl Pin {
+    /// The cell this pin belongs to, if any.
+    pub fn cell(&self) -> Option<CellId> {
+        match self {
+            Pin::OnCell { cell, .. } => Some(*cell),
+            Pin::Fixed(_) => None,
+        }
+    }
+}
+
+/// A net connecting two or more pins; wirelength is estimated as the
+/// half-perimeter of the pin bounding box (HPWL).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Net {
+    /// Net name.
+    pub name: String,
+    /// The net's pins.
+    pub pins: Vec<Pin>,
+}
+
+impl Net {
+    /// Number of pins.
+    pub fn degree(&self) -> usize {
+        self.pins.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_cell_accessor() {
+        let p = Pin::OnCell {
+            cell: CellId(3),
+            offset: Point::new(10, 20),
+        };
+        assert_eq!(p.cell(), Some(CellId(3)));
+        assert_eq!(Pin::Fixed(Point::ORIGIN).cell(), None);
+    }
+
+    #[test]
+    fn degree() {
+        let n = Net {
+            name: "n".into(),
+            pins: vec![Pin::Fixed(Point::ORIGIN), Pin::Fixed(Point::new(1, 1))],
+        };
+        assert_eq!(n.degree(), 2);
+        assert_eq!(NetId(7).to_string(), "n7");
+    }
+}

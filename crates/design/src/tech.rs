@@ -1,0 +1,131 @@
+use serde::{Deserialize, Serialize};
+
+use rlleg_geom::Dbu;
+
+use crate::cell::EdgeType;
+
+/// Placement technology: site geometry, power-rail layout, and edge-spacing
+/// rules.
+///
+/// Two built-in technologies mirror the paper's benchmarks:
+///
+/// - [`Technology::contest`] — the ICCAD-2017 contest technology
+///   (site width 200 nm),
+/// - [`Technology::nangate45`] — Nangate 45 nm used for the OpenCores
+///   designs (site width 190 nm).
+///
+/// ```
+/// use rlleg_design::Technology;
+/// let t = Technology::contest();
+/// assert_eq!(t.site_width, 200);
+/// assert_eq!(t.edge_spacing(Default::default(), Default::default()), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Technology name (informational).
+    pub name: String,
+    /// Width of one placement site in dbu.
+    pub site_width: Dbu,
+    /// Height of one placement row in dbu.
+    pub row_height: Dbu,
+    /// Largest supported cell height, in rows.
+    pub max_height_rows: u8,
+    /// Edge-type spacing table, in *sites*: `spacing[left][right]` is the
+    /// minimum horizontal gap between a cell whose right edge has type
+    /// `left` and a following cell whose left edge has type `right`.
+    ///
+    /// Indexed by [`EdgeType`] values; type 0 is the default edge with no
+    /// spacing requirement against anything.
+    pub edge_spacing_sites: Vec<Vec<u16>>,
+}
+
+impl Technology {
+    /// ICCAD-2017 contest technology: 200 nm sites, 2 000 nm rows, cells up
+    /// to 4 rows tall, and a two-class edge-spacing rule (type-2 edges must
+    /// keep one empty site from each other, as the contest's edge-spacing
+    /// constraint does at sub-14 nm).
+    pub fn contest() -> Self {
+        Self {
+            name: "iccad2017".to_owned(),
+            site_width: 200,
+            row_height: 2_000,
+            max_height_rows: 4,
+            edge_spacing_sites: vec![vec![0, 0, 0], vec![0, 0, 1], vec![0, 1, 2]],
+        }
+    }
+
+    /// Nangate 45 nm open cell library geometry: 190 nm sites, 1 400 nm rows.
+    /// The OpenCores benchmarks modify 10 % of the library to be multi-height
+    /// while keeping area; edge spacing is not part of this library.
+    pub fn nangate45() -> Self {
+        Self {
+            name: "nangate45".to_owned(),
+            site_width: 190,
+            row_height: 1_400,
+            max_height_rows: 4,
+            edge_spacing_sites: vec![vec![0]],
+        }
+    }
+
+    /// Minimum horizontal gap, in dbu, between a cell ending with edge type
+    /// `left` and the next cell starting with edge type `right`.
+    ///
+    /// Unknown edge types fall back to zero spacing.
+    pub fn edge_spacing(&self, left: EdgeType, right: EdgeType) -> Dbu {
+        let s = self
+            .edge_spacing_sites
+            .get(left.0 as usize)
+            .and_then(|row| row.get(right.0 as usize))
+            .copied()
+            .unwrap_or(0);
+        Dbu::from(s) * self.site_width
+    }
+
+    /// Rounds `x` down to the nearest site boundary.
+    pub fn snap_x_down(&self, x: Dbu) -> Dbu {
+        x.div_euclid(self.site_width) * self.site_width
+    }
+
+    /// Rounds `y` down to the nearest row boundary.
+    pub fn snap_y_down(&self, y: Dbu) -> Dbu {
+        y.div_euclid(self.row_height) * self.row_height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_technologies() {
+        let c = Technology::contest();
+        assert_eq!((c.site_width, c.row_height), (200, 2_000));
+        let n = Technology::nangate45();
+        assert_eq!((n.site_width, n.row_height), (190, 1_400));
+        assert!(c.max_height_rows >= 4);
+    }
+
+    #[test]
+    fn edge_spacing_lookup() {
+        let t = Technology::contest();
+        let e0 = EdgeType(0);
+        let e1 = EdgeType(1);
+        let e2 = EdgeType(2);
+        assert_eq!(t.edge_spacing(e0, e0), 0);
+        assert_eq!(t.edge_spacing(e1, e2), 200);
+        assert_eq!(t.edge_spacing(e2, e2), 400);
+        // Symmetric table as constructed.
+        assert_eq!(t.edge_spacing(e2, e1), t.edge_spacing(e1, e2));
+        // Out-of-table types are permissive.
+        assert_eq!(t.edge_spacing(EdgeType(9), e2), 0);
+    }
+
+    #[test]
+    fn snapping() {
+        let t = Technology::contest();
+        assert_eq!(t.snap_x_down(399), 200);
+        assert_eq!(t.snap_x_down(400), 400);
+        assert_eq!(t.snap_x_down(-1), -200);
+        assert_eq!(t.snap_y_down(1_999), 0);
+    }
+}

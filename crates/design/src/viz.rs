@@ -1,0 +1,233 @@
+//! SVG rendering of placements.
+//!
+//! Produces self-contained SVG pictures of a [`Design`]: rows, macros,
+//! fence regions, cells colored by height, and optional displacement
+//! vectors from the global placement — the pictures the paper's figures
+//! are built from, for any design in this workspace.
+//!
+//! ```
+//! use rlleg_design::{viz, DesignBuilder, Technology};
+//! use rlleg_geom::Point;
+//!
+//! let mut b = DesignBuilder::new("pic", Technology::contest(), 10, 4);
+//! b.add_cell("a", 2, 1, Point::new(400, 0));
+//! let svg = viz::render_svg(&b.build(), &viz::SvgOptions::default());
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("</svg>"));
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::design::Design;
+
+/// Rendering options for [`render_svg`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvgOptions {
+    /// Output width in pixels (height follows the core aspect).
+    pub width_px: f64,
+    /// Draw row boundaries.
+    pub rows: bool,
+    /// Draw displacement vectors from `gp_pos` to `pos`.
+    pub displacement_vectors: bool,
+    /// Label cells with their instance names (legible only for small
+    /// designs).
+    pub labels: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self {
+            width_px: 800.0,
+            rows: true,
+            displacement_vectors: false,
+            labels: false,
+        }
+    }
+}
+
+/// Fill colors by cell height (1–4 rows), then macros and fences.
+const HEIGHT_COLORS: [&str; 4] = ["#7eb8da", "#8fd694", "#f2c572", "#e88b8b"];
+const MACRO_COLOR: &str = "#6b6b76";
+const FENCE_COLOR: &str = "#b78fd6";
+
+/// Renders the design's current placement as an SVG document.
+pub fn render_svg(design: &Design, opts: &SvgOptions) -> String {
+    let core = design.core;
+    let scale = opts.width_px / core.width().max(1) as f64;
+    let w = opts.width_px;
+    let h = core.height() as f64 * scale;
+    // SVG y grows downward; flip via y' = h - (y - lo.y)*scale.
+    let tx = |x: i64| (x - core.lo.x) as f64 * scale;
+    let ty = |y: i64| h - (y - core.lo.y) as f64 * scale;
+
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w:.0}\" height=\"{h:.0}\" viewBox=\"0 0 {w:.2} {h:.2}\">"
+    );
+    let _ = write!(s, "<rect x=\"0\" y=\"0\" width=\"{w:.2}\" height=\"{h:.2}\" fill=\"#fbfbf8\" stroke=\"#333\"/>");
+
+    if opts.rows {
+        let rh = design.tech.row_height;
+        let mut y = core.lo.y + rh;
+        while y < core.hi.y {
+            let yy = ty(y);
+            let _ = write!(
+                s,
+                "<line x1=\"0\" y1=\"{yy:.2}\" x2=\"{w:.2}\" y2=\"{yy:.2}\" stroke=\"#e4e4de\" stroke-width=\"0.5\"/>"
+            );
+            y += rh;
+        }
+    }
+
+    // Fences under everything else.
+    for region in &design.regions {
+        for r in &region.rects {
+            let _ = write!(
+                s,
+                "<rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" fill=\"{FENCE_COLOR}\" fill-opacity=\"0.18\" stroke=\"{FENCE_COLOR}\" stroke-dasharray=\"4 2\"/>",
+                tx(r.lo.x),
+                ty(r.hi.y),
+                r.width() as f64 * scale,
+                r.height() as f64 * scale
+            );
+        }
+    }
+
+    let rh = design.tech.row_height;
+    for id in design.cell_ids() {
+        let c = design.cell(id);
+        let r = c.rect(rh);
+        let (fill, opacity) = if c.fixed {
+            (MACRO_COLOR, 0.9)
+        } else {
+            (
+                HEIGHT_COLORS[usize::from(c.height_rows.clamp(1, 4)) - 1],
+                if c.legalized { 0.9 } else { 0.55 },
+            )
+        };
+        let _ = write!(
+            s,
+            "<rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" fill=\"{fill}\" fill-opacity=\"{opacity}\" stroke=\"#444\" stroke-width=\"0.4\"/>",
+            tx(r.lo.x),
+            ty(r.hi.y),
+            r.width() as f64 * scale,
+            r.height() as f64 * scale
+        );
+        if opts.labels && !c.fixed {
+            let _ = write!(
+                s,
+                "<text x=\"{:.2}\" y=\"{:.2}\" font-size=\"{:.1}\" fill=\"#222\">{}</text>",
+                tx(r.lo.x) + 1.0,
+                ty(r.lo.y) - 1.0,
+                (r.height() as f64 * scale * 0.5).min(10.0),
+                c.name
+            );
+        }
+    }
+
+    if opts.displacement_vectors {
+        for id in design.cell_ids() {
+            let c = design.cell(id);
+            if c.fixed || c.displacement() == 0 {
+                continue;
+            }
+            let from = c.gp_rect(rh).center();
+            let to = c.rect(rh).center();
+            let _ = write!(
+                s,
+                "<line x1=\"{:.2}\" y1=\"{:.2}\" x2=\"{:.2}\" y2=\"{:.2}\" stroke=\"#d03a3a\" stroke-width=\"0.7\" stroke-opacity=\"0.7\"/>",
+                tx(from.x),
+                ty(from.y),
+                tx(to.x),
+                ty(to.y)
+            );
+        }
+    }
+
+    s.push_str("</svg>");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DesignBuilder, Technology};
+    use rlleg_geom::{Point, Rect};
+
+    fn design() -> Design {
+        let mut b = DesignBuilder::new("viz", Technology::contest(), 20, 6);
+        let a = b.add_cell("cell_a", 2, 1, Point::new(0, 0));
+        b.add_cell("cell_b", 1, 3, Point::new(2_000, 2_000));
+        b.add_fixed_cell("big_macro", 4, 2, Point::new(1_000, 8_000));
+        let r = b.add_region("fence0", vec![Rect::new(2_000, 0, 4_000, 4_000)]);
+        b.assign_region(a, r);
+        b.build()
+    }
+
+    #[test]
+    fn renders_all_elements() {
+        let d = design();
+        let svg = render_svg(&d, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // One background + fence + 3 cells = at least 5 rects.
+        assert!(svg.matches("<rect").count() >= 5);
+        assert!(svg.contains(MACRO_COLOR), "macro drawn");
+        assert!(svg.contains(FENCE_COLOR), "fence drawn");
+        assert!(svg.contains(HEIGHT_COLORS[0]), "single-height color");
+        assert!(svg.contains(HEIGHT_COLORS[2]), "triple-height color");
+    }
+
+    #[test]
+    fn displacement_vectors_follow_moves() {
+        let mut d = design();
+        let base = render_svg(
+            &d,
+            &SvgOptions {
+                displacement_vectors: true,
+                ..SvgOptions::default()
+            },
+        );
+        let lines_before = base.matches("<line").count();
+        d.cell_mut(crate::CellId(0)).pos = Point::new(600, 2_000);
+        let moved = render_svg(
+            &d,
+            &SvgOptions {
+                displacement_vectors: true,
+                ..SvgOptions::default()
+            },
+        );
+        assert_eq!(moved.matches("<line").count(), lines_before + 1);
+    }
+
+    #[test]
+    fn labels_optional() {
+        let d = design();
+        let plain = render_svg(&d, &SvgOptions::default());
+        assert!(!plain.contains("<text"));
+        let labeled = render_svg(
+            &d,
+            &SvgOptions {
+                labels: true,
+                ..SvgOptions::default()
+            },
+        );
+        assert!(labeled.contains(">cell_a</text>"));
+        assert!(!labeled.contains(">big_macro</text>"), "macros unlabeled");
+    }
+
+    #[test]
+    fn aspect_ratio_preserved() {
+        let d = design(); // 4000 x 12000 core
+        let svg = render_svg(
+            &d,
+            &SvgOptions {
+                width_px: 400.0,
+                ..SvgOptions::default()
+            },
+        );
+        assert!(svg.contains("width=\"400\""));
+        assert!(svg.contains("height=\"1200\""));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests: DEF round-trip fidelity and metric invariants.
+
+use proptest::prelude::*;
+use rlleg_design::{def, metrics, CellId, DesignBuilder, EdgeType, RailParity, Technology};
+use rlleg_geom::Point;
+
+#[derive(Debug, Clone)]
+struct CellSpec {
+    w: i64,
+    h: u8,
+    x: i64,
+    y: i64,
+    el: u8,
+    er: u8,
+    odd_rail: bool,
+    fixed: bool,
+}
+
+fn arb_cell() -> impl Strategy<Value = CellSpec> {
+    (
+        1i64..6,
+        1u8..=4,
+        0i64..30_000,
+        0i64..20_000,
+        0u8..3,
+        0u8..3,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(w, h, x, y, el, er, odd_rail, fixed)| CellSpec {
+            w,
+            h,
+            x,
+            y,
+            el,
+            er,
+            odd_rail,
+            fixed,
+        })
+}
+
+fn build(cells: &[CellSpec], net_spec: &[Vec<u8>]) -> rlleg_design::Design {
+    let mut b = DesignBuilder::new("prop", Technology::contest(), 200, 20);
+    let mut ids = Vec::new();
+    for (i, c) in cells.iter().enumerate() {
+        let id = if c.fixed {
+            b.add_fixed_cell(format!("f{i}"), c.w, c.h, Point::new(c.x, c.y))
+        } else {
+            b.add_cell(format!("u{i}"), c.w, c.h, Point::new(c.x, c.y))
+        };
+        b.set_edges(id, EdgeType(c.el), EdgeType(c.er));
+        b.set_rail(
+            id,
+            if c.odd_rail {
+                RailParity::Odd
+            } else {
+                RailParity::Even
+            },
+        );
+        ids.push(id);
+    }
+    for (i, members) in net_spec.iter().enumerate() {
+        let pins: Vec<_> = members
+            .iter()
+            .map(|&m| (ids[m as usize % ids.len()], i64::from(m) * 10, 0))
+            .collect();
+        if !pins.is_empty() {
+            b.add_net(format!("n{i}"), pins);
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn def_round_trip_is_lossless(
+        cells in prop::collection::vec(arb_cell(), 1..30),
+        nets in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..5), 0..20),
+    ) {
+        let d = build(&cells, &nets);
+        let text = def::write_def(&d);
+        let back = def::parse_def(&text, Technology::contest()).expect("round trip parses");
+        prop_assert_eq!(back.num_cells(), d.num_cells());
+        prop_assert_eq!(back.num_nets(), d.num_nets());
+        prop_assert_eq!(&back.nets, &d.nets);
+        for (a, b) in d.cells.iter().zip(back.cells.iter()) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.width, b.width);
+            prop_assert_eq!(a.height_rows, b.height_rows);
+            prop_assert_eq!(a.gp_pos, b.gp_pos);
+            prop_assert_eq!(a.fixed, b.fixed);
+            prop_assert_eq!(a.edge_left, b.edge_left);
+            prop_assert_eq!(a.edge_right, b.edge_right);
+            prop_assert_eq!(a.rail, b.rail);
+        }
+        // Same HPWL after round trip.
+        prop_assert_eq!(metrics::total_hpwl(&back), metrics::total_hpwl(&d));
+    }
+
+    #[test]
+    fn hpwl_is_translation_dominated(
+        cells in prop::collection::vec(arb_cell(), 2..20),
+        dx in 0i64..5_000,
+        dy in 0i64..5_000,
+    ) {
+        // Moving a single cell by (dx, dy) changes each incident net's HPWL
+        // by at most dx + dy, so total HPWL changes by at most deg * (dx+dy).
+        let nets: Vec<Vec<u8>> = (0..cells.len() as u8).map(|i| vec![i, i.wrapping_add(1)]).collect();
+        let mut d = build(&cells, &nets);
+        let before = metrics::total_hpwl(&d);
+        let deg = d.nets_of(CellId(0)).len() as i64;
+        let p = d.cell(CellId(0)).pos;
+        d.cell_mut(CellId(0)).pos = Point::new(p.x + dx, p.y + dy);
+        let after = metrics::total_hpwl(&d);
+        prop_assert!((after - before).abs() <= deg * (dx + dy));
+    }
+
+    #[test]
+    fn qor_max_bounds_avg(cells in prop::collection::vec(arb_cell(), 1..25)) {
+        let mut d = build(&cells, &[]);
+        // Shift every movable cell by a random-ish amount derived from index.
+        let ids: Vec<CellId> = d.movable_ids().collect();
+        for (i, id) in ids.iter().enumerate() {
+            let p = d.cell(*id).pos;
+            d.cell_mut(*id).pos = Point::new(p.x + (i as i64 * 37) % 2_000, p.y);
+        }
+        let q = metrics::Qor::measure(&d);
+        prop_assert!(q.avg_displacement <= q.max_displacement as f64 + 1e-9);
+        prop_assert!(q.total_displacement >= q.max_displacement);
+    }
+}

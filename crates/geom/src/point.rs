@@ -1,0 +1,101 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Dbu;
+
+/// A point in database units.
+///
+/// ```
+/// use rlleg_geom::Point;
+/// let p = Point::new(3, 4);
+/// assert_eq!(p.manhattan(Point::new(0, 0)), 7);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: Dbu,
+    /// Vertical coordinate.
+    pub y: Dbu,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    pub const fn new(x: Dbu, y: Dbu) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin, `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0, 0);
+
+    /// Manhattan (L1) distance to `other`.
+    ///
+    /// ```
+    /// use rlleg_geom::Point;
+    /// assert_eq!(Point::new(1, 1).manhattan(Point::new(-2, 5)), 7);
+    /// ```
+    pub fn manhattan(self, other: Point) -> Dbu {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Component-wise translation by `(dx, dy)`.
+    pub fn translated(self, dx: Dbu, dy: Dbu) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+}
+
+impl From<(Dbu, Dbu)> for Point {
+    fn from((x, y): (Dbu, Dbu)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl std::ops::Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl std::ops::Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_is_symmetric() {
+        let a = Point::new(10, -3);
+        let b = Point::new(-7, 22);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Point::new(1, 2);
+        let b = Point::new(3, -4);
+        assert_eq!(a + b, Point::new(4, -2));
+        assert_eq!(a - b, Point::new(-2, 6));
+        assert_eq!(a.translated(9, 8), Point::new(10, 10));
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let p: Point = (5, 6).into();
+        assert_eq!(p, Point::new(5, 6));
+        assert_eq!(p.to_string(), "(5, 6)");
+        assert_eq!(Point::ORIGIN, Point::default());
+    }
+}

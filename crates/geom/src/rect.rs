@@ -1,0 +1,253 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Dbu, Point};
+
+/// An axis-aligned rectangle in database units.
+///
+/// The rectangle is half-open in spirit: `lo` is inclusive, `hi` is
+/// exclusive for area/overlap purposes, which matches how placement rows and
+/// pixels tile the core without double counting shared edges. Two rectangles
+/// that merely touch do **not** [`overlap`](Rect::overlaps).
+///
+/// Invariant: `lo.x <= hi.x && lo.y <= hi.y` (enforced by [`Rect::new`]).
+///
+/// ```
+/// use rlleg_geom::Rect;
+/// let r = Rect::new(0, 0, 4, 2);
+/// assert_eq!(r.area(), 8);
+/// assert!(!r.overlaps(&Rect::new(4, 0, 8, 2))); // touching, not overlapping
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left corner (inclusive).
+    pub lo: Point,
+    /// Upper-right corner (exclusive for overlap/area purposes).
+    pub hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from corner coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x1 > x2` or `y1 > y2`.
+    pub fn new(x1: Dbu, y1: Dbu, x2: Dbu, y2: Dbu) -> Self {
+        assert!(
+            x1 <= x2 && y1 <= y2,
+            "degenerate rect ({x1},{y1})-({x2},{y2})"
+        );
+        Self {
+            lo: Point::new(x1, y1),
+            hi: Point::new(x2, y2),
+        }
+    }
+
+    /// Creates a rectangle from a lower-left origin and a size.
+    pub fn with_size(origin: Point, width: Dbu, height: Dbu) -> Self {
+        Rect::new(origin.x, origin.y, origin.x + width, origin.y + height)
+    }
+
+    /// Width (`hi.x - lo.x`).
+    pub fn width(&self) -> Dbu {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height (`hi.y - lo.y`).
+    pub fn height(&self) -> Dbu {
+        self.hi.y - self.lo.y
+    }
+
+    /// Area in square database units.
+    pub fn area(&self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// `true` when the rectangle has zero area.
+    pub fn is_empty(&self) -> bool {
+        self.width() == 0 || self.height() == 0
+    }
+
+    /// Geometric center, rounded toward `lo`.
+    pub fn center(&self) -> Point {
+        Point::new(self.lo.x + self.width() / 2, self.lo.y + self.height() / 2)
+    }
+
+    /// `true` if the interiors of `self` and `other` intersect.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.lo.x < other.hi.x
+            && other.lo.x < self.hi.x
+            && self.lo.y < other.hi.y
+            && other.lo.y < self.hi.y
+    }
+
+    /// The intersection of the two rectangles, or `None` if their interiors
+    /// are disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        Some(Rect::new(
+            self.lo.x.max(other.lo.x),
+            self.lo.y.max(other.lo.y),
+            self.hi.x.min(other.hi.x),
+            self.hi.y.min(other.hi.y),
+        ))
+    }
+
+    /// Area of the intersection (zero when disjoint).
+    pub fn overlap_area(&self, other: &Rect) -> i64 {
+        self.intersection(other).map_or(0, |r| r.area())
+    }
+
+    /// Smallest rectangle covering both `self` and `other`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect::new(
+            self.lo.x.min(other.lo.x),
+            self.lo.y.min(other.lo.y),
+            self.hi.x.max(other.hi.x),
+            self.hi.y.max(other.hi.y),
+        )
+    }
+
+    /// `true` if `other` lies entirely inside `self` (boundaries may touch).
+    pub fn contains(&self, other: &Rect) -> bool {
+        self.lo.x <= other.lo.x
+            && self.lo.y <= other.lo.y
+            && self.hi.x >= other.hi.x
+            && self.hi.y >= other.hi.y
+    }
+
+    /// `true` if `p` lies inside the half-open rectangle.
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x < self.hi.x && p.y >= self.lo.y && p.y < self.hi.y
+    }
+
+    /// Manhattan distance from `p` to the rectangle (zero if inside).
+    ///
+    /// Used by the feature extractor for the "distance to the nearest
+    /// obstacle" feature (`OD` in Table I of the paper).
+    pub fn manhattan_to_point(&self, p: Point) -> Dbu {
+        let dx = if p.x < self.lo.x {
+            self.lo.x - p.x
+        } else if p.x > self.hi.x {
+            p.x - self.hi.x
+        } else {
+            0
+        };
+        let dy = if p.y < self.lo.y {
+            self.lo.y - p.y
+        } else if p.y > self.hi.y {
+            p.y - self.hi.y
+        } else {
+            0
+        };
+        dx + dy
+    }
+
+    /// The rectangle translated by `(dx, dy)`.
+    pub fn translated(&self, dx: Dbu, dy: Dbu) -> Rect {
+        Rect::new(
+            self.lo.x + dx,
+            self.lo.y + dy,
+            self.hi.x + dx,
+            self.hi.y + dy,
+        )
+    }
+
+    /// The rectangle grown by `margin` on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative margin would invert the rectangle.
+    pub fn inflated(&self, margin: Dbu) -> Rect {
+        Rect::new(
+            self.lo.x - margin,
+            self.lo.y - margin,
+            self.hi.x + margin,
+            self.hi.y + margin,
+        )
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{} - {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_measures() {
+        let r = Rect::new(-2, -3, 4, 5);
+        assert_eq!(r.width(), 6);
+        assert_eq!(r.height(), 8);
+        assert_eq!(r.area(), 48);
+        assert_eq!(r.center(), Point::new(1, 1));
+        assert!(!r.is_empty());
+        assert!(Rect::new(0, 0, 0, 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn inverted_rect_panics() {
+        let _ = Rect::new(5, 0, 0, 1);
+    }
+
+    #[test]
+    fn overlap_semantics_are_open() {
+        let a = Rect::new(0, 0, 10, 10);
+        assert!(
+            !a.overlaps(&Rect::new(10, 0, 20, 10)),
+            "touching edges do not overlap"
+        );
+        assert!(!a.overlaps(&Rect::new(0, 10, 10, 20)));
+        assert!(a.overlaps(&Rect::new(9, 9, 20, 20)));
+        assert_eq!(a.overlap_area(&Rect::new(5, 5, 15, 15)), 25);
+        assert_eq!(a.overlap_area(&Rect::new(50, 50, 60, 60)), 0);
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, -5, 15, 5);
+        assert_eq!(a.intersection(&b), Some(Rect::new(5, 0, 10, 5)));
+        assert_eq!(a.union(&b), Rect::new(0, -5, 15, 10));
+        assert_eq!(a.intersection(&Rect::new(20, 20, 30, 30)), None);
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Rect::new(0, 0, 100, 100);
+        assert!(outer.contains(&Rect::new(0, 0, 100, 100)));
+        assert!(outer.contains(&Rect::new(10, 10, 20, 20)));
+        assert!(!outer.contains(&Rect::new(90, 90, 110, 100)));
+        assert!(outer.contains_point(Point::new(0, 0)));
+        assert!(
+            !outer.contains_point(Point::new(100, 0)),
+            "hi edge is exclusive"
+        );
+    }
+
+    #[test]
+    fn manhattan_distance_to_point() {
+        let r = Rect::new(10, 10, 20, 20);
+        assert_eq!(r.manhattan_to_point(Point::new(15, 15)), 0);
+        assert_eq!(r.manhattan_to_point(Point::new(0, 15)), 10);
+        assert_eq!(r.manhattan_to_point(Point::new(25, 25)), 10);
+        assert_eq!(r.manhattan_to_point(Point::new(0, 0)), 20);
+    }
+
+    #[test]
+    fn transforms() {
+        let r = Rect::new(0, 0, 4, 4);
+        assert_eq!(r.translated(1, -1), Rect::new(1, -1, 5, 3));
+        assert_eq!(r.inflated(2), Rect::new(-2, -2, 6, 6));
+        assert_eq!(
+            Rect::with_size(Point::new(3, 3), 2, 5),
+            Rect::new(3, 3, 5, 8)
+        );
+    }
+}

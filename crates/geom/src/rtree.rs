@@ -1,0 +1,590 @@
+//! An R-tree spatial index.
+//!
+//! The paper extracts geometric features (overlap counts, nearest-obstacle
+//! distances) through the Boost R-tree; this module is the from-scratch Rust
+//! replacement. It supports incremental insertion (quadratic split, the
+//! classic Guttman variant), deletion, rectangle-intersection queries, and
+//! k-nearest-neighbour queries by Manhattan distance, plus a Sort-Tile-
+//! Recursive (STR) bulk loader for building an index over a whole design at
+//! once.
+//!
+//! ```
+//! use rlleg_geom::{Rect, Point, rtree::RTree};
+//!
+//! let items = (0..100).map(|i| (Rect::new(i * 10, 0, i * 10 + 5, 5), i)).collect::<Vec<_>>();
+//! let tree = RTree::bulk_load(items);
+//! assert_eq!(tree.len(), 100);
+//! let near: Vec<_> = tree.nearest(Point::new(42, 2), 3).map(|(_, v, _)| *v).collect();
+//! assert_eq!(near.len(), 3);
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{Dbu, Point, Rect};
+
+/// Maximum number of entries per node before a split.
+const MAX_ENTRIES: usize = 8;
+/// Minimum number of entries assigned to each half of a split.
+const MIN_ENTRIES: usize = 3;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    rect: Rect,
+    /// Child node index for internal nodes, item index for leaves.
+    child: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    is_leaf: bool,
+    entries: Vec<Entry>,
+}
+
+impl Node {
+    fn mbr(&self) -> Rect {
+        let mut it = self.entries.iter();
+        let first = it.next().expect("mbr of empty node").rect;
+        it.fold(first, |acc, e| acc.union(&e.rect))
+    }
+}
+
+/// An R-tree mapping [`Rect`] keys to values of type `T`.
+///
+/// Duplicate rectangles are allowed. Values are stored in a stable arena, so
+/// removal never invalidates other items' indices.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    nodes: Vec<Node>,
+    items: Vec<Option<(Rect, T)>>,
+    free_items: Vec<usize>,
+    root: usize,
+    len: usize,
+}
+
+impl<T> Default for RTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> RTree<T> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![Node {
+                is_leaf: true,
+                entries: Vec::new(),
+            }],
+            items: Vec::new(),
+            free_items: Vec::new(),
+            root: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of items in the tree.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the tree holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bulk loads the tree with Sort-Tile-Recursive packing.
+    ///
+    /// Roughly `O(n log n)` and produces a well-packed tree; prefer it over
+    /// repeated [`insert`](RTree::insert) when the item set is known upfront.
+    pub fn bulk_load(items: Vec<(Rect, T)>) -> Self {
+        let mut tree = RTree::new();
+        if items.is_empty() {
+            return tree;
+        }
+        tree.len = items.len();
+        let mut refs: Vec<usize> = (0..items.len()).collect();
+        tree.items = items.into_iter().map(Some).collect();
+
+        // STR: sort by center x, slice into vertical strips of ~sqrt(n/M)
+        // leaves each, sort each strip by center y, chunk into leaves.
+        let n = refs.len();
+        let leaf_count = n.div_ceil(MAX_ENTRIES);
+        let strips = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_strip = n.div_ceil(strips);
+        refs.sort_by_key(|&i| tree.items[i].as_ref().map(|(r, _)| r.center().x));
+
+        let mut leaves: Vec<usize> = Vec::with_capacity(leaf_count);
+        for strip in refs.chunks(per_strip) {
+            let mut strip = strip.to_vec();
+            strip.sort_by_key(|&i| tree.items[i].as_ref().map(|(r, _)| r.center().y));
+            for chunk in strip.chunks(MAX_ENTRIES) {
+                let entries = chunk
+                    .iter()
+                    .map(|&i| Entry {
+                        rect: tree.items[i].as_ref().unwrap().0,
+                        child: i,
+                    })
+                    .collect();
+                tree.nodes.push(Node {
+                    is_leaf: true,
+                    entries,
+                });
+                leaves.push(tree.nodes.len() - 1);
+            }
+        }
+
+        // Build upper levels until a single root remains.
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(MAX_ENTRIES));
+            for chunk in level.chunks(MAX_ENTRIES) {
+                let entries = chunk
+                    .iter()
+                    .map(|&ni| Entry {
+                        rect: self_mbr(&tree.nodes, ni),
+                        child: ni,
+                    })
+                    .collect();
+                tree.nodes.push(Node {
+                    is_leaf: false,
+                    entries,
+                });
+                next.push(tree.nodes.len() - 1);
+            }
+            level = next;
+        }
+        tree.root = level[0];
+        tree
+    }
+
+    /// Inserts `value` keyed by `rect`.
+    pub fn insert(&mut self, rect: Rect, value: T) {
+        let item_idx = match self.free_items.pop() {
+            Some(i) => {
+                self.items[i] = Some((rect, value));
+                i
+            }
+            None => {
+                self.items.push(Some((rect, value)));
+                self.items.len() - 1
+            }
+        };
+        self.len += 1;
+        self.insert_entry(rect, item_idx);
+    }
+
+    fn insert_entry(&mut self, rect: Rect, item_idx: usize) {
+        // Descend to the best leaf, remembering the path for MBR fix-up.
+        let mut path = Vec::new();
+        let mut node = self.root;
+        while !self.nodes[node].is_leaf {
+            let best = self.nodes[node]
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| {
+                    let enlarged = e.rect.union(&rect).area() - e.rect.area();
+                    (enlarged, e.rect.area())
+                })
+                .map(|(i, _)| i)
+                .expect("internal node with no entries");
+            path.push((node, best));
+            self.nodes[node].entries[best].rect = self.nodes[node].entries[best].rect.union(&rect);
+            node = self.nodes[node].entries[best].child;
+        }
+
+        self.nodes[node].entries.push(Entry {
+            rect,
+            child: item_idx,
+        });
+
+        // Split upward while nodes overflow.
+        let mut overflowed = node;
+        while self.nodes[overflowed].entries.len() > MAX_ENTRIES {
+            let (sib_rect, sibling) = self.split(overflowed);
+            match path.pop() {
+                Some((parent, entry_idx)) => {
+                    self.nodes[parent].entries[entry_idx].rect = self.nodes[overflowed].mbr();
+                    self.nodes[parent].entries.push(Entry {
+                        rect: sib_rect,
+                        child: sibling,
+                    });
+                    overflowed = parent;
+                }
+                None => {
+                    // Root split: grow the tree by one level.
+                    let old_root = overflowed;
+                    let new_root = Node {
+                        is_leaf: false,
+                        entries: vec![
+                            Entry {
+                                rect: self.nodes[old_root].mbr(),
+                                child: old_root,
+                            },
+                            Entry {
+                                rect: sib_rect,
+                                child: sibling,
+                            },
+                        ],
+                    };
+                    self.nodes.push(new_root);
+                    self.root = self.nodes.len() - 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Quadratic split of `node`; returns the new sibling's MBR and index.
+    fn split(&mut self, node: usize) -> (Rect, usize) {
+        let entries = std::mem::take(&mut self.nodes[node].entries);
+        // Pick the seed pair wasting the most area if grouped together.
+        let (mut s1, mut s2, mut worst) = (0, 1, i64::MIN);
+        for i in 0..entries.len() {
+            for j in (i + 1)..entries.len() {
+                let waste = entries[i].rect.union(&entries[j].rect).area()
+                    - entries[i].rect.area()
+                    - entries[j].rect.area();
+                if waste > worst {
+                    (s1, s2, worst) = (i, j, waste);
+                }
+            }
+        }
+        let mut g1 = vec![entries[s1].clone()];
+        let mut g2 = vec![entries[s2].clone()];
+        let mut r1 = entries[s1].rect;
+        let mut r2 = entries[s2].rect;
+        let mut rest: Vec<Entry> = entries
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| *i != s1 && *i != s2)
+            .map(|(_, e)| e)
+            .collect();
+        while let Some(e) = rest.pop() {
+            // Force-assign when one group must absorb the remainder to reach
+            // the minimum fill.
+            let remaining = rest.len() + 1;
+            if g1.len() + remaining <= MIN_ENTRIES {
+                r1 = r1.union(&e.rect);
+                g1.push(e);
+                continue;
+            }
+            if g2.len() + remaining <= MIN_ENTRIES {
+                r2 = r2.union(&e.rect);
+                g2.push(e);
+                continue;
+            }
+            let d1 = r1.union(&e.rect).area() - r1.area();
+            let d2 = r2.union(&e.rect).area() - r2.area();
+            if d1 <= d2 {
+                r1 = r1.union(&e.rect);
+                g1.push(e);
+            } else {
+                r2 = r2.union(&e.rect);
+                g2.push(e);
+            }
+        }
+        let is_leaf = self.nodes[node].is_leaf;
+        self.nodes[node].entries = g1;
+        self.nodes.push(Node {
+            is_leaf,
+            entries: g2,
+        });
+        (r2, self.nodes.len() - 1)
+    }
+
+    /// Iterates over all `(rect, value)` pairs whose rectangle's interior
+    /// intersects `window`.
+    pub fn query<'a>(&'a self, window: &Rect) -> Query<'a, T> {
+        Query {
+            tree: self,
+            window: *window,
+            stack: vec![self.root],
+            leaf: None,
+        }
+    }
+
+    /// Counts items intersecting `window` without materializing them.
+    pub fn count_overlapping(&self, window: &Rect) -> usize {
+        self.query(window).count()
+    }
+
+    /// Iterates over the `k` items nearest to `p` by Manhattan distance from
+    /// `p` to each item's rectangle (distance 0 when `p` is inside).
+    ///
+    /// Yields `(rect, value, distance)` in non-decreasing distance order.
+    pub fn nearest(&self, p: Point, k: usize) -> Nearest<'_, T> {
+        let mut heap = BinaryHeap::new();
+        if self.len > 0 {
+            heap.push(Reverse((0, HeapRef::Node(self.root))));
+        }
+        Nearest {
+            tree: self,
+            p,
+            remaining: k,
+            heap,
+        }
+    }
+
+    /// Removes one item with an identical `rect` for which `pred` holds.
+    ///
+    /// Returns the removed value, or `None` when nothing matched. Underfull
+    /// nodes are tolerated (queries stay correct; packing quality degrades
+    /// gracefully under heavy churn, which the legalizer never produces).
+    pub fn remove_if(&mut self, rect: &Rect, mut pred: impl FnMut(&T) -> bool) -> Option<T> {
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            if self.nodes[n].is_leaf {
+                let found = self.nodes[n].entries.iter().position(|e| {
+                    e.rect == *rect && self.items[e.child].as_ref().is_some_and(|(_, v)| pred(v))
+                });
+                if let Some(pos) = found {
+                    let item_idx = self.nodes[n].entries.remove(pos).child;
+                    let (_, value) = self.items[item_idx].take().expect("live item");
+                    self.free_items.push(item_idx);
+                    self.len -= 1;
+                    return Some(value);
+                }
+            } else {
+                for e in &self.nodes[n].entries {
+                    // Containment, not overlap: an item's rect is always
+                    // fully inside every ancestor MBR.
+                    if e.rect.contains(rect) {
+                        stack.push(e.child);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Iterates over every live `(rect, value)` pair in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Rect, &T)> {
+        self.items
+            .iter()
+            .filter_map(|o| o.as_ref().map(|(r, v)| (r, v)))
+    }
+}
+
+fn self_mbr(nodes: &[Node], idx: usize) -> Rect {
+    nodes[idx].mbr()
+}
+
+/// Iterator over items intersecting a query window. See [`RTree::query`].
+pub struct Query<'a, T> {
+    tree: &'a RTree<T>,
+    window: Rect,
+    stack: Vec<usize>,
+    leaf: Option<(usize, usize)>,
+}
+
+impl<'a, T> Iterator for Query<'a, T> {
+    type Item = (&'a Rect, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some((node, ref mut pos)) = self.leaf {
+                let entries = &self.tree.nodes[node].entries;
+                while *pos < entries.len() {
+                    let e = &entries[*pos];
+                    *pos += 1;
+                    if e.rect.overlaps(&self.window) {
+                        if let Some((r, v)) = self.tree.items[e.child].as_ref() {
+                            return Some((r, v));
+                        }
+                    }
+                }
+                self.leaf = None;
+            }
+            let node = self.stack.pop()?;
+            if self.tree.nodes[node].is_leaf {
+                if !self.tree.nodes[node].entries.is_empty() {
+                    self.leaf = Some((node, 0));
+                }
+            } else {
+                for e in &self.tree.nodes[node].entries {
+                    if e.rect.overlaps(&self.window) {
+                        self.stack.push(e.child);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum HeapRef {
+    Node(usize),
+    Item(usize),
+}
+
+/// Best-first k-nearest iterator. See [`RTree::nearest`].
+pub struct Nearest<'a, T> {
+    tree: &'a RTree<T>,
+    p: Point,
+    remaining: usize,
+    heap: BinaryHeap<Reverse<(Dbu, HeapRef)>>,
+}
+
+impl<'a, T> Iterator for Nearest<'a, T> {
+    type Item = (&'a Rect, &'a T, Dbu);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        while let Some(Reverse((dist, href))) = self.heap.pop() {
+            match href {
+                HeapRef::Item(i) => {
+                    if let Some((r, v)) = self.tree.items[i].as_ref() {
+                        self.remaining -= 1;
+                        return Some((r, v, dist));
+                    }
+                }
+                HeapRef::Node(n) => {
+                    let node = &self.tree.nodes[n];
+                    for e in &node.entries {
+                        let d = e.rect.manhattan_to_point(self.p);
+                        let href = if node.is_leaf {
+                            HeapRef::Item(e.child)
+                        } else {
+                            HeapRef::Node(e.child)
+                        };
+                        self.heap.push(Reverse((d, href)));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_items(nx: i64, ny: i64, w: i64) -> Vec<(Rect, i64)> {
+        let mut v = Vec::new();
+        for i in 0..nx {
+            for j in 0..ny {
+                v.push((
+                    Rect::new(i * w, j * w, i * w + w / 2, j * w + w / 2),
+                    i * ny + j,
+                ));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: RTree<u8> = RTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.query(&Rect::new(0, 0, 100, 100)).count(), 0);
+        assert_eq!(t.nearest(Point::ORIGIN, 5).count(), 0);
+    }
+
+    #[test]
+    fn insert_then_query() {
+        let mut t = RTree::new();
+        for (r, v) in grid_items(10, 10, 100) {
+            t.insert(r, v);
+        }
+        assert_eq!(t.len(), 100);
+        // Window covering the 4 lower-left cells' rects.
+        let hits: Vec<i64> = t
+            .query(&Rect::new(0, 0, 150, 150))
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(hits.len(), 4);
+        // Full-cover query returns everything exactly once.
+        assert_eq!(t.query(&Rect::new(-1, -1, 2000, 2000)).count(), 100);
+        // Empty window.
+        assert_eq!(t.query(&Rect::new(60, 60, 99, 99)).count(), 0);
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental() {
+        let items = grid_items(17, 13, 50);
+        let bulk = RTree::bulk_load(items.clone());
+        let mut inc = RTree::new();
+        for (r, v) in items {
+            inc.insert(r, v);
+        }
+        for window in [
+            Rect::new(0, 0, 130, 130),
+            Rect::new(200, 100, 500, 400),
+            Rect::new(-50, -50, 2000, 2000),
+        ] {
+            let mut a: Vec<i64> = bulk.query(&window).map(|(_, v)| *v).collect();
+            let mut b: Vec<i64> = inc.query(&window).map(|(_, v)| *v).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "window {window}");
+        }
+    }
+
+    #[test]
+    fn nearest_orders_by_manhattan_distance() {
+        let tree = RTree::bulk_load(grid_items(10, 10, 100));
+        let got: Vec<Dbu> = tree
+            .nearest(Point::new(25, 25), 5)
+            .map(|(_, _, d)| d)
+            .collect();
+        assert_eq!(got.len(), 5);
+        assert!(
+            got.windows(2).all(|w| w[0] <= w[1]),
+            "distances non-decreasing: {got:?}"
+        );
+        assert_eq!(got[0], 0, "query point is inside item (0,0)");
+    }
+
+    #[test]
+    fn nearest_k_larger_than_len() {
+        let tree = RTree::bulk_load(grid_items(2, 2, 10));
+        assert_eq!(tree.nearest(Point::ORIGIN, 100).count(), 4);
+    }
+
+    #[test]
+    fn remove_specific_value() {
+        let mut t = RTree::new();
+        let r = Rect::new(0, 0, 10, 10);
+        t.insert(r, 1);
+        t.insert(r, 2);
+        assert_eq!(t.remove_if(&r, |v| *v == 2), Some(2));
+        assert_eq!(t.len(), 1);
+        let left: Vec<i32> = t.query(&r.inflated(1)).map(|(_, v)| *v).collect();
+        assert_eq!(left, vec![1]);
+        assert_eq!(t.remove_if(&r, |v| *v == 2), None);
+        // Freed slot is reused.
+        t.insert(Rect::new(5, 5, 6, 6), 7);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn remove_then_reinsert_keeps_queries_consistent() {
+        let items = grid_items(8, 8, 40);
+        let mut t = RTree::bulk_load(items.clone());
+        for (r, v) in items.iter().take(30) {
+            assert_eq!(t.remove_if(r, |x| x == v), Some(*v));
+        }
+        for (r, v) in items.iter().take(30) {
+            t.insert(*r, *v);
+        }
+        assert_eq!(t.len(), 64);
+        assert_eq!(t.query(&Rect::new(-1, -1, 10_000, 10_000)).count(), 64);
+    }
+
+    #[test]
+    fn count_overlapping() {
+        let t = RTree::bulk_load(grid_items(4, 4, 10));
+        assert_eq!(t.count_overlapping(&Rect::new(0, 0, 11, 11)), 4);
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let t = RTree::bulk_load(grid_items(3, 3, 10));
+        assert_eq!(t.iter().count(), 9);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for rectangle algebra and the R-tree.
+
+use proptest::prelude::*;
+use rlleg_geom::{rtree::RTree, Point, Rect};
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (-500i64..500, -500i64..500, 1i64..200, 1i64..200)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    #[test]
+    fn intersection_is_commutative(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        prop_assert_eq!(a.overlap_area(&b), b.overlap_area(&a));
+    }
+
+    #[test]
+    fn intersection_contained_in_both(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains(&i));
+            prop_assert!(b.contains(&i));
+            prop_assert!(i.area() > 0);
+        }
+    }
+
+    #[test]
+    fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains(&a));
+        prop_assert!(u.contains(&b));
+        prop_assert!(u.area() >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn overlap_iff_positive_intersection_area(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.overlaps(&b), a.overlap_area(&b) > 0);
+    }
+
+    #[test]
+    fn manhattan_to_point_zero_iff_inside_closed_rect(
+        r in arb_rect(),
+        x in -800i64..800,
+        y in -800i64..800,
+    ) {
+        let p = Point::new(x, y);
+        let inside_closed =
+            x >= r.lo.x && x <= r.hi.x && y >= r.lo.y && y <= r.hi.y;
+        prop_assert_eq!(r.manhattan_to_point(p) == 0, inside_closed);
+    }
+
+    #[test]
+    fn rtree_query_matches_brute_force(
+        rects in prop::collection::vec(arb_rect(), 0..120),
+        window in arb_rect(),
+    ) {
+        let items: Vec<(Rect, usize)> =
+            rects.iter().copied().enumerate().map(|(i, r)| (r, i)).collect();
+        let tree = RTree::bulk_load(items);
+        let mut got: Vec<usize> = tree.query(&window).map(|(_, v)| *v).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.overlaps(&window))
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rtree_incremental_query_matches_brute_force(
+        rects in prop::collection::vec(arb_rect(), 0..120),
+        window in arb_rect(),
+    ) {
+        let mut tree = RTree::new();
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(*r, i);
+        }
+        let mut got: Vec<usize> = tree.query(&window).map(|(_, v)| *v).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.overlaps(&window))
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rtree_nearest_matches_brute_force(
+        rects in prop::collection::vec(arb_rect(), 1..80),
+        x in -800i64..800,
+        y in -800i64..800,
+        k in 1usize..10,
+    ) {
+        let p = Point::new(x, y);
+        let items: Vec<(Rect, usize)> =
+            rects.iter().copied().enumerate().map(|(i, r)| (r, i)).collect();
+        let tree = RTree::bulk_load(items);
+        let got: Vec<i64> = tree.nearest(p, k).map(|(_, _, d)| d).collect();
+        let mut want: Vec<i64> = rects.iter().map(|r| r.manhattan_to_point(p)).collect();
+        want.sort_unstable();
+        want.truncate(k);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rtree_remove_all_leaves_empty(rects in prop::collection::vec(arb_rect(), 0..60)) {
+        let mut tree = RTree::new();
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(*r, i);
+        }
+        for (i, r) in rects.iter().enumerate() {
+            prop_assert_eq!(tree.remove_if(r, |v| *v == i), Some(i));
+        }
+        prop_assert!(tree.is_empty());
+        prop_assert_eq!(tree.query(&Rect::new(-1000, -1000, 1000, 1000)).count(), 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Gcell partitioning (Sec. III-E-1) and the bin grid used for
+//! surrounding-environment features.
+//!
+//! Designs are tiled into at most 5×5 Gcells of roughly 200 µm; each Gcell
+//! is one RL subepisode. Each Gcell is further divided into bins holding
+//! ~20 cells each, over which the bin features of Table I are computed.
+
+use rlleg_design::{CellId, Design};
+use rlleg_geom::{Point, Rect};
+
+/// A rectangular tiling of the core into `nx × ny` Gcells with the movable
+/// cells assigned by global-placement position.
+#[derive(Debug, Clone)]
+pub struct GcellGrid {
+    nx: usize,
+    ny: usize,
+    bounds: Vec<Rect>,
+    cells: Vec<Vec<CellId>>,
+}
+
+impl GcellGrid {
+    /// Tiles `design` into `nx × ny` Gcells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nx` or `ny` is zero.
+    pub fn new(design: &Design, nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "gcell grid must be nonempty");
+        let core = design.core;
+        let mut bounds = Vec::with_capacity(nx * ny);
+        for gy in 0..ny {
+            for gx in 0..nx {
+                let x1 = core.lo.x + core.width() * gx as i64 / nx as i64;
+                let x2 = core.lo.x + core.width() * (gx + 1) as i64 / nx as i64;
+                let y1 = core.lo.y + core.height() * gy as i64 / ny as i64;
+                let y2 = core.lo.y + core.height() * (gy + 1) as i64 / ny as i64;
+                bounds.push(Rect::new(x1, y1, x2, y2));
+            }
+        }
+        let mut grid = Self {
+            nx,
+            ny,
+            bounds,
+            cells: vec![Vec::new(); nx * ny],
+        };
+        for id in design.movable_ids() {
+            let g = grid.gcell_of(design.cell(id).gp_pos);
+            grid.cells[g].push(id);
+        }
+        grid
+    }
+
+    /// Tiles `design` with the paper's default grid
+    /// (`ceil(dim / 200 µm)`, capped at 5 per axis).
+    pub fn auto(design: &Design) -> Self {
+        let (nx, ny) = design.default_gcell_grid();
+        Self::new(design, nx, ny)
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Number of Gcells.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// `true` for a 0-Gcell grid (never constructed; satisfies clippy's
+    /// `len`-without-`is_empty` lint).
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// Index of the Gcell containing `p` (clamped into the grid so
+    /// off-core global placements still map somewhere).
+    pub fn gcell_of(&self, p: Point) -> usize {
+        // Clamp into the core, then binary-search the irregular (integer
+        // division) boundaries via the per-axis formula inverse.
+        let core = self.bounds[0].union(&self.bounds[self.bounds.len() - 1]);
+        let x = p.x.clamp(core.lo.x, core.hi.x - 1);
+        let y = p.y.clamp(core.lo.y, core.hi.y - 1);
+        let gx = (((x - core.lo.x) as i128 * self.nx as i128) / core.width() as i128) as usize;
+        let gy = (((y - core.lo.y) as i128 * self.ny as i128) / core.height() as i128) as usize;
+        gy.min(self.ny - 1) * self.nx + gx.min(self.nx - 1)
+    }
+
+    /// Bounds of Gcell `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn bounds(&self, g: usize) -> Rect {
+        self.bounds[g]
+    }
+
+    /// Movable cells assigned to Gcell `g` (by global-placement position).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn cells_of(&self, g: usize) -> &[CellId] {
+        &self.cells[g]
+    }
+
+    /// Gcell indices in subepisode order: descending movable-cell count, so
+    /// the most congested regions legalize first ("to prevent legalization
+    /// failure", Sec. III-B).
+    pub fn subepisode_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by_key(|&g| (std::cmp::Reverse(self.cells[g].len()), g));
+        order
+    }
+}
+
+/// A bin grid over the whole core sized so each bin holds ~`target`
+/// movable cells on average (the paper uses ~20; footnote 1).
+#[derive(Debug, Clone)]
+pub struct BinGrid {
+    nx: usize,
+    ny: usize,
+    bounds: Vec<Rect>,
+}
+
+impl BinGrid {
+    /// Builds a bin grid for `design` targeting `target_cells_per_bin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_cells_per_bin` is zero.
+    pub fn new(design: &Design, target_cells_per_bin: usize) -> Self {
+        assert!(target_cells_per_bin > 0);
+        let n = design.num_movable().max(1);
+        let bins = n.div_ceil(target_cells_per_bin).max(1);
+        // Split bins over the two axes proportionally to the core aspect.
+        let aspect = design.core.width() as f64 / design.core.height().max(1) as f64;
+        let nx = ((bins as f64 * aspect).sqrt().round() as usize).max(1);
+        let ny = bins.div_ceil(nx).max(1);
+        let core = design.core;
+        let mut bounds = Vec::with_capacity(nx * ny);
+        for by in 0..ny {
+            for bx in 0..nx {
+                let x1 = core.lo.x + core.width() * bx as i64 / nx as i64;
+                let x2 = core.lo.x + core.width() * (bx + 1) as i64 / nx as i64;
+                let y1 = core.lo.y + core.height() * by as i64 / ny as i64;
+                let y2 = core.lo.y + core.height() * (by + 1) as i64 / ny as i64;
+                bounds.push(Rect::new(x1, y1, x2, y2));
+            }
+        }
+        Self { nx, ny, bounds }
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// `true` when there are no bins (never constructed).
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Index of the bin containing `p` (clamped into the grid).
+    pub fn bin_of(&self, p: Point) -> usize {
+        let core = self.bounds[0].union(&self.bounds[self.bounds.len() - 1]);
+        let x = p.x.clamp(core.lo.x, core.hi.x - 1);
+        let y = p.y.clamp(core.lo.y, core.hi.y - 1);
+        let bx = (((x - core.lo.x) as i128 * self.nx as i128) / core.width() as i128) as usize;
+        let by = (((y - core.lo.y) as i128 * self.ny as i128) / core.height() as i128) as usize;
+        by.min(self.ny - 1) * self.nx + bx.min(self.nx - 1)
+    }
+
+    /// Bounds of bin `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn bounds(&self, b: usize) -> Rect {
+        self.bounds[b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlleg_design::{DesignBuilder, Technology};
+
+    fn design(n: usize) -> Design {
+        let mut b = DesignBuilder::new("g", Technology::contest(), 100, 40);
+        for i in 0..n {
+            let x = (i as i64 * 997) % 19_000;
+            let y = (i as i64 * 7_919) % 79_000;
+            b.add_cell(format!("u{i}"), 1, 1, Point::new(x, y));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn partition_covers_all_cells_once() {
+        let d = design(200);
+        let g = GcellGrid::new(&d, 3, 2);
+        assert_eq!(g.len(), 6);
+        let total: usize = (0..g.len()).map(|i| g.cells_of(i).len()).sum();
+        assert_eq!(total, 200);
+        // Bounds tile the core exactly.
+        let area: i64 = (0..g.len()).map(|i| g.bounds(i).area()).sum();
+        assert_eq!(area, d.core.area());
+    }
+
+    #[test]
+    fn gcell_of_matches_bounds() {
+        let d = design(50);
+        let g = GcellGrid::new(&d, 4, 4);
+        for i in 0..g.len() {
+            let b = g.bounds(i);
+            assert_eq!(g.gcell_of(b.center()), i, "centre of gcell {i}");
+            assert_eq!(g.gcell_of(b.lo), i, "lower-left of gcell {i}");
+        }
+        // Clamping for off-core points.
+        assert_eq!(g.gcell_of(Point::new(-100, -100)), 0);
+        assert_eq!(g.gcell_of(Point::new(999_999, 999_999)), g.len() - 1);
+    }
+
+    #[test]
+    fn subepisode_order_is_descending_count() {
+        let d = design(100);
+        let g = GcellGrid::new(&d, 2, 2);
+        let order = g.subepisode_order();
+        let counts: Vec<usize> = order.iter().map(|&i| g.cells_of(i).len()).collect();
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn auto_uses_paper_defaults() {
+        let d = design(10);
+        // Core is 20_000 x 80_000 dbu -> 1 x 1 (both under 200_000).
+        assert_eq!(GcellGrid::auto(&d).shape(), (1, 1));
+    }
+
+    #[test]
+    fn bins_target_cell_count() {
+        let d = design(200);
+        let bins = BinGrid::new(&d, 20);
+        assert!(
+            bins.len() >= 10,
+            "200 cells / 20 per bin => >= 10 bins, got {}",
+            bins.len()
+        );
+        // Every cell maps into a valid bin.
+        for id in d.movable_ids() {
+            let b = bins.bin_of(d.cell(id).gp_pos);
+            assert!(b < bins.len());
+        }
+        // Bin bounds tile the core.
+        let area: i64 = (0..bins.len()).map(|i| bins.bounds(i).area()).sum();
+        assert_eq!(area, d.core.area());
+    }
+
+    #[test]
+    fn bin_of_matches_bounds() {
+        let d = design(60);
+        let bins = BinGrid::new(&d, 10);
+        for i in 0..bins.len() {
+            assert_eq!(bins.bin_of(bins.bounds(i).center()), i);
+        }
+    }
+}

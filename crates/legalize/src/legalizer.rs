@@ -1,0 +1,478 @@
+//! The sequential pixel-wise legalizer and the baseline heuristics.
+//!
+//! [`Legalizer`] reproduces the flow of the size-ordered academic legalizer
+//! the paper compares against (\[26\]/OpenDP-style): legalize cells one at a
+//! time with the diamond search, optionally followed by the rearrangement
+//! and cell-swap heuristics that compensate for the fixed ordering. The RL
+//! framework drives the same `legalize_cell` primitive but picks the order
+//! itself and uses no heuristics.
+
+use rlleg_design::{CellId, Design};
+use rlleg_geom::Dbu;
+
+use crate::gcell::GcellGrid;
+use crate::order::Ordering;
+use crate::pixel::PixelGrid;
+use crate::search::{find_position, SearchConfig};
+
+/// Error returned when no legal pixel exists for a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaceCellError {
+    /// The cell that could not be placed.
+    pub cell: CellId,
+}
+
+impl std::fmt::Display for PlaceCellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no legal position found for cell {}", self.cell)
+    }
+}
+
+impl std::error::Error for PlaceCellError {}
+
+/// Summary of one legalization run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Cells successfully legalized.
+    pub legalized: usize,
+    /// Cells for which no legal position was found, in encounter order.
+    pub failed: Vec<CellId>,
+}
+
+impl RunStats {
+    /// `true` when every attempted cell was placed.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// A sequential mixed-height legalizer over a [`PixelGrid`].
+///
+/// The legalizer owns the grid; the [`Design`] is threaded through calls so
+/// cell positions and the grid stay in sync.
+///
+/// ```
+/// use rlleg_design::{DesignBuilder, Technology, legality};
+/// use rlleg_geom::Point;
+/// use rlleg_legalize::{Legalizer, Ordering};
+///
+/// let mut b = DesignBuilder::new("d", Technology::contest(), 30, 8);
+/// for i in 0..10 {
+///     b.add_cell(format!("u{i}"), 2, 1, Point::new(i * 130, 70));
+/// }
+/// let mut design = b.build();
+/// let mut lg = Legalizer::new(&design);
+/// let stats = lg.run(&mut design, &Ordering::SizeDescending);
+/// assert!(stats.is_complete());
+/// assert!(legality::is_legal(&design));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Legalizer {
+    grid: PixelGrid,
+    search: SearchConfig,
+}
+
+impl Legalizer {
+    /// Creates a legalizer for `design`, rasterizing fixed cells and any
+    /// already-legalized movable cells into the grid.
+    pub fn new(design: &Design) -> Self {
+        Self::with_config(design, SearchConfig::default())
+    }
+
+    /// Creates a legalizer with explicit search configuration.
+    pub fn with_config(design: &Design, search: SearchConfig) -> Self {
+        let mut grid = PixelGrid::new(design);
+        for id in design.movable_ids() {
+            let c = design.cell(id);
+            if c.legalized {
+                let pos = grid.to_grid(design, c.pos);
+                grid.place(design, id, pos);
+            }
+        }
+        Self { grid, search }
+    }
+
+    /// Read access to the occupancy grid.
+    pub fn grid(&self) -> &PixelGrid {
+        &self.grid
+    }
+
+    /// Legalizes a single cell with the pixel-wise search, committing the
+    /// best position into the design and the grid.
+    ///
+    /// Returns the physical displacement from the cell's global-placement
+    /// position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceCellError`] when the search space holds no legal
+    /// pixel; the design and grid are unchanged in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is fixed or already legalized.
+    pub fn legalize_cell(
+        &mut self,
+        design: &mut Design,
+        cell: CellId,
+    ) -> Result<Dbu, PlaceCellError> {
+        let c = design.cell(cell);
+        assert!(c.is_movable(), "cannot legalize fixed cell {cell}");
+        assert!(!c.legalized, "cell {cell} already legalized");
+        let from = c.gp_pos;
+        let Some((pos, disp)) = find_position(&self.grid, design, cell, from, self.search) else {
+            return Err(PlaceCellError { cell });
+        };
+        self.grid.place(design, cell, pos);
+        let p = self.grid.to_dbu(design, pos);
+        let c = design.cell_mut(cell);
+        c.pos = p;
+        c.legalized = true;
+        Ok(disp)
+    }
+
+    /// Removes a legalized cell from the grid and restores its
+    /// global-placement position (used by the heuristics and by tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is not currently legalized.
+    pub fn unlegalize_cell(&mut self, design: &mut Design, cell: CellId) {
+        let c = design.cell(cell);
+        assert!(c.legalized, "cell {cell} is not legalized");
+        let pos = self.grid.to_grid(design, c.pos);
+        self.grid.remove(design, cell, pos);
+        let c = design.cell_mut(cell);
+        c.pos = c.gp_pos;
+        c.legalized = false;
+    }
+
+    /// Legalizes all movable cells of `design` in the given order.
+    ///
+    /// Failed cells are skipped (recorded in [`RunStats::failed`]) and left
+    /// at their global-placement position, matching the baseline behaviour
+    /// the paper reports as "\[26\] failed to legalize all cells".
+    pub fn run(&mut self, design: &mut Design, ordering: &Ordering) -> RunStats {
+        let order = ordering.order(design, None);
+        self.run_cells(design, &order)
+    }
+
+    /// Legalizes the design Gcell by Gcell ("\[26\]+G" in Tables II–III):
+    /// subepisodes in descending cell-count order, cells within each Gcell
+    /// ordered by `ordering`.
+    pub fn run_gcells(
+        &mut self,
+        design: &mut Design,
+        ordering: &Ordering,
+        gcells: &GcellGrid,
+    ) -> RunStats {
+        let mut stats = RunStats::default();
+        for g in gcells.subepisode_order() {
+            let order = ordering.order(design, Some(gcells.cells_of(g)));
+            let s = self.run_cells(design, &order);
+            stats.legalized += s.legalized;
+            stats.failed.extend(s.failed);
+        }
+        stats
+    }
+
+    /// Legalizes an explicit list of cells in order.
+    pub fn run_cells(&mut self, design: &mut Design, order: &[CellId]) -> RunStats {
+        let mut stats = RunStats::default();
+        for &cell in order {
+            match self.legalize_cell(design, cell) {
+                Ok(_) => stats.legalized += 1,
+                Err(e) => stats.failed.push(e.cell),
+            }
+        }
+        stats
+    }
+
+    /// The rearrangement heuristic of the size-ordered baseline: each
+    /// legalized cell (worst displacement first) is lifted and re-searched
+    /// against the final occupancy; strictly better positions are kept.
+    ///
+    /// Returns the number of cells improved.
+    pub fn rearrange_pass(&mut self, design: &mut Design) -> usize {
+        let mut ids: Vec<CellId> = design
+            .movable_ids()
+            .filter(|&id| design.cell(id).legalized)
+            .collect();
+        ids.sort_by_key(|&id| std::cmp::Reverse(design.cell(id).displacement()));
+        let mut improved = 0;
+        for id in ids {
+            let old_pos = design.cell(id).pos;
+            let old_disp = design.cell(id).displacement();
+            if old_disp == 0 {
+                break; // sorted descending: nothing left to improve
+            }
+            self.unlegalize_cell(design, id);
+            match find_position(&self.grid, design, id, design.cell(id).gp_pos, self.search) {
+                Some((pos, disp)) if disp < old_disp => {
+                    self.grid.place(design, id, pos);
+                    let p = self.grid.to_dbu(design, pos);
+                    let c = design.cell_mut(id);
+                    c.pos = p;
+                    c.legalized = true;
+                    improved += 1;
+                }
+                _ => {
+                    // Restore the original spot (always still legal).
+                    let pos = self.grid.to_grid(design, old_pos);
+                    self.grid.place(design, id, pos);
+                    let c = design.cell_mut(id);
+                    c.pos = old_pos;
+                    c.legalized = true;
+                }
+            }
+        }
+        improved
+    }
+
+    /// The cell-swap heuristic of the size-ordered baseline: pairs of
+    /// geometrically interchangeable cells (same width, height, rail
+    /// parity, edge types, and fence) are swapped when that strictly
+    /// reduces their combined displacement.
+    ///
+    /// Returns the number of swaps applied.
+    pub fn swap_pass(&mut self, design: &mut Design) -> usize {
+        use std::collections::HashMap;
+        /// Geometric interchangeability key: width, height, odd-rail flag,
+        /// edge types, fence.
+        type SwapKey = (Dbu, u8, bool, u8, u8, Option<u16>);
+        // Group interchangeable cells.
+        let mut groups: HashMap<SwapKey, Vec<CellId>> = HashMap::new();
+        for id in design.movable_ids() {
+            let c = design.cell(id);
+            if !c.legalized {
+                continue;
+            }
+            let key = (
+                c.width,
+                c.height_rows,
+                c.is_rail_constrained() && matches!(c.rail, rlleg_design::RailParity::Odd),
+                c.edge_left.0,
+                c.edge_right.0,
+                c.region.map(|r| r.0),
+            );
+            groups.entry(key).or_default().push(id);
+        }
+        let mut swaps = 0;
+        for ids in groups.values() {
+            if ids.len() < 2 {
+                continue;
+            }
+            // Greedy: examine pairs in a displacement-weighted order. The
+            // group sizes in real designs make full O(k^2) acceptable for
+            // k up to a few hundred; larger groups are truncated to the
+            // worst offenders.
+            let mut sorted = ids.clone();
+            sorted.sort_by_key(|&id| std::cmp::Reverse(design.cell(id).displacement()));
+            sorted.truncate(400);
+            for i in 0..sorted.len() {
+                for j in (i + 1)..sorted.len() {
+                    let (a, b) = (sorted[i], sorted[j]);
+                    let ca = design.cell(a);
+                    let cb = design.cell(b);
+                    let now = ca.displacement() + cb.displacement();
+                    let disp_b_at_a = ca.pos.manhattan(cb.gp_pos);
+                    let disp_a_at_b = cb.pos.manhattan(ca.gp_pos);
+                    let within_limit = design
+                        .max_displacement
+                        .is_none_or(|l| disp_b_at_a <= l && disp_a_at_b <= l);
+                    if within_limit && disp_b_at_a + disp_a_at_b < now {
+                        let pa = ca.pos;
+                        let pb = cb.pos;
+                        design.cell_mut(a).pos = pb;
+                        design.cell_mut(b).pos = pa;
+                        // Same-footprint swap: occupancy pixels and the
+                        // row index just exchange owners.
+                        let ga = self.grid.to_grid(design, pa);
+                        let gb = self.grid.to_grid(design, pb);
+                        self.grid.remove(design, a, ga);
+                        self.grid.remove(design, b, gb);
+                        self.grid.place(design, a, gb);
+                        self.grid.place(design, b, ga);
+                        swaps += 1;
+                    }
+                }
+            }
+        }
+        swaps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlleg_design::{legality, metrics::Qor, DesignBuilder, Technology};
+    use rlleg_geom::Point;
+
+    fn dense_design(n: usize, seed: u64) -> Design {
+        // Deterministic pseudo-random overlapping placement.
+        let mut b = DesignBuilder::new("lg", Technology::contest(), 60, 12);
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..n {
+            let w = 1 + (next() % 3) as i64;
+            let h = 1 + (next() % 7 / 3) as u8; // mostly 1, some 2-3
+            let x = (next() % 11_000) as i64;
+            let y = (next() % 22_000) as i64;
+            b.add_cell(format!("u{i}"), w, h, Point::new(x, y));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn run_produces_legal_placement() {
+        let mut d = dense_design(60, 1);
+        let mut lg = Legalizer::new(&d);
+        let stats = lg.run(&mut d, &Ordering::SizeDescending);
+        assert!(stats.is_complete(), "failed: {:?}", stats.failed);
+        assert!(
+            legality::is_legal(&d),
+            "{:?}",
+            legality::check(&d, true).first()
+        );
+    }
+
+    #[test]
+    fn random_orders_also_legal_but_different_qor() {
+        let mut qors = Vec::new();
+        for seed in 0..5 {
+            let mut d = dense_design(60, 2);
+            let mut lg = Legalizer::new(&d);
+            let stats = lg.run(&mut d, &Ordering::Random(seed));
+            assert!(stats.is_complete());
+            assert!(legality::is_legal(&d));
+            qors.push(Qor::measure(&d).total_displacement);
+        }
+        assert!(
+            qors.iter().any(|&q| q != qors[0]),
+            "order should affect displacement: {qors:?}"
+        );
+    }
+
+    #[test]
+    fn legalize_cell_reports_displacement() {
+        let mut b = DesignBuilder::new("one", Technology::contest(), 10, 4);
+        let a = b.add_cell("a", 1, 1, Point::new(250, 100));
+        let mut d = b.build();
+        let mut lg = Legalizer::new(&d);
+        let disp = lg.legalize_cell(&mut d, a).expect("placed");
+        assert_eq!(disp, 50 + 100, "snap to (200, 0)");
+        assert_eq!(d.cell(a).pos, Point::new(200, 0));
+        assert!(d.cell(a).legalized);
+    }
+
+    #[test]
+    #[should_panic(expected = "already legalized")]
+    fn double_legalize_panics() {
+        let mut b = DesignBuilder::new("one", Technology::contest(), 10, 4);
+        let a = b.add_cell("a", 1, 1, Point::new(0, 0));
+        let mut d = b.build();
+        let mut lg = Legalizer::new(&d);
+        lg.legalize_cell(&mut d, a).expect("first is fine");
+        let _ = lg.legalize_cell(&mut d, a);
+    }
+
+    #[test]
+    fn failure_is_reported_and_design_untouched() {
+        // Core fully covered by a macro: nowhere to go.
+        let mut b = DesignBuilder::new("full", Technology::contest(), 10, 4);
+        let a = b.add_cell("a", 1, 1, Point::new(0, 0));
+        b.add_fixed_cell("m", 10, 4, Point::new(0, 0));
+        let mut d = b.build();
+        let mut lg = Legalizer::new(&d);
+        let stats = lg.run(&mut d, &Ordering::SizeDescending);
+        assert_eq!(stats.failed, vec![a]);
+        assert!(!d.cell(a).legalized);
+        assert_eq!(d.cell(a).pos, d.cell(a).gp_pos);
+    }
+
+    #[test]
+    fn unlegalize_round_trip() {
+        let mut b = DesignBuilder::new("u", Technology::contest(), 10, 4);
+        let a = b.add_cell("a", 2, 1, Point::new(450, 100));
+        let mut d = b.build();
+        let mut lg = Legalizer::new(&d);
+        lg.legalize_cell(&mut d, a).expect("placed");
+        let placed = d.cell(a).pos;
+        lg.unlegalize_cell(&mut d, a);
+        assert_eq!(d.cell(a).pos, d.cell(a).gp_pos);
+        assert!(!d.cell(a).legalized);
+        // The pixel is free again.
+        let g = lg.grid().to_grid(&d, placed);
+        assert!(lg.grid().is_free(g.site, g.row));
+    }
+
+    #[test]
+    fn new_re_rasterizes_legalized_cells() {
+        let mut d = dense_design(30, 3);
+        let mut lg = Legalizer::new(&d);
+        lg.run(&mut d, &Ordering::SizeDescending);
+        // Rebuild from the committed design: grid must block placed cells.
+        let lg2 = Legalizer::new(&d);
+        let any = d.movable_ids().next().expect("cells");
+        let pos = lg2.grid().to_grid(&d, d.cell(any).pos);
+        assert_eq!(lg2.grid().occupant(pos.site, pos.row), Some(any));
+    }
+
+    #[test]
+    fn rearrange_never_worsens_and_stays_legal() {
+        let mut d = dense_design(80, 4);
+        let mut lg = Legalizer::new(&d);
+        lg.run(&mut d, &Ordering::SizeDescending);
+        let before = Qor::measure(&d);
+        let improved = lg.rearrange_pass(&mut d);
+        let after = Qor::measure(&d);
+        assert!(after.total_displacement <= before.total_displacement);
+        assert!(
+            legality::is_legal(&d),
+            "{:?}",
+            legality::check(&d, true).first()
+        );
+        // On a dense design, rearrangement should find at least one win.
+        let _ = improved;
+    }
+
+    #[test]
+    fn swap_never_worsens_and_stays_legal() {
+        let mut d = dense_design(80, 5);
+        let mut lg = Legalizer::new(&d);
+        lg.run(&mut d, &Ordering::Random(9));
+        let before = Qor::measure(&d);
+        let swaps = lg.swap_pass(&mut d);
+        let after = Qor::measure(&d);
+        assert!(
+            after.total_displacement <= before.total_displacement,
+            "swaps: {swaps}"
+        );
+        assert!(
+            legality::is_legal(&d),
+            "{:?}",
+            legality::check(&d, true).first()
+        );
+    }
+
+    #[test]
+    fn gcell_run_matches_flat_run_cell_coverage() {
+        let mut d1 = dense_design(60, 6);
+        let mut d2 = d1.clone();
+        let mut lg1 = Legalizer::new(&d1);
+        let s1 = lg1.run(&mut d1, &Ordering::SizeDescending);
+        let g = GcellGrid::new(&d2, 2, 2);
+        let mut lg2 = Legalizer::new(&d2);
+        let s2 = lg2.run_gcells(&mut d2, &Ordering::SizeDescending, &g);
+        assert_eq!(
+            s1.legalized + s1.failed.len(),
+            s2.legalized + s2.failed.len()
+        );
+        assert!(legality::is_legal(&d2) || !s2.is_complete());
+    }
+}

@@ -1,0 +1,55 @@
+//! The pixel-wise mixed-height standard-cell legalizer and its supporting
+//! machinery: the reproduction of the size-ordered academic legalizer the
+//! paper builds on and compares against (\[26\]/OpenDP-style), plus the
+//! Gcell/bin partitioning and the 13-feature extraction the RL framework
+//! consumes.
+//!
+//! Main pieces:
+//!
+//! - [`PixelGrid`] — site × row occupancy with fences, rail parity, and
+//!   edge-spacing checks,
+//! - [`search::find_position`] — the diamond pixel search (Sec. II-B),
+//! - [`Ordering`] — size-sorted / x-sorted / random / explicit cell orders,
+//! - [`Legalizer`] — the sequential legalization driver, with the baseline's
+//!   rearrangement and cell-swap heuristics,
+//! - [`TetrisLegalizer`] — a greedy row-packing alternative backend (the
+//!   paper: "our framework can be applied to any sequential legalization
+//!   algorithms"),
+//! - [`GcellGrid`] / [`BinGrid`] — subepisode partitioning (Sec. III-E-1),
+//! - [`FeatureSpace`] — incremental maintenance of the Table-I features.
+//!
+//! # Example
+//!
+//! ```
+//! use rlleg_design::{legality, DesignBuilder, Technology};
+//! use rlleg_geom::Point;
+//! use rlleg_legalize::{Legalizer, Ordering};
+//!
+//! let mut b = DesignBuilder::new("quick", Technology::nangate45(), 40, 10);
+//! for i in 0..20 {
+//!     b.add_cell(format!("u{i}"), 1 + i % 3, 1 + (i % 2) as u8, Point::new(i * 310, i * 450));
+//! }
+//! let mut design = b.build();
+//! let mut legalizer = Legalizer::new(&design);
+//! let stats = legalizer.run(&mut design, &Ordering::SizeDescending);
+//! assert!(stats.is_complete());
+//! assert!(legality::is_legal(&design));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod gcell;
+mod legalizer;
+mod order;
+pub mod pixel;
+pub mod search;
+mod tetris;
+
+pub use features::{FeatureSpace, NUM_FEATURES};
+pub use gcell::{BinGrid, GcellGrid};
+pub use legalizer::{Legalizer, PlaceCellError, RunStats};
+pub use order::Ordering;
+pub use pixel::{GridPos, PixelGrid, PlaceRejection};
+pub use search::SearchConfig;
+pub use tetris::TetrisLegalizer;

@@ -1,0 +1,466 @@
+//! The pixel grid: per-site/per-row occupancy, fence maps, and the
+//! edge-spacing row index.
+//!
+//! The pixel-wise search algorithm (Sec. II-B) "divides the entire design
+//! into pixels of minimum width and height, i.e., in the unit of placement
+//! site and spacing of power rails". [`PixelGrid`] is that division plus
+//! everything needed to answer "can this cell go here?" in `O(cell pixels)`.
+
+use std::collections::BTreeMap;
+
+use rlleg_design::{CellId, Design};
+use rlleg_geom::{Dbu, Point, Rect};
+
+/// Sentinel for an unoccupied pixel.
+const FREE: u32 = u32::MAX;
+/// Sentinel occupant for fixed-cell / blocked pixels.
+pub(crate) const BLOCKED: u32 = u32::MAX - 1;
+/// Sentinel for "no fence".
+const NO_FENCE: u16 = u16::MAX;
+
+/// A legal-position candidate in grid coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridPos {
+    /// Site index (x).
+    pub site: i64,
+    /// Row index (y).
+    pub row: i64,
+}
+
+/// Why a candidate position is not legal. Returned by
+/// [`PixelGrid::check_place`] so search heuristics can distinguish hard
+/// failures from merely occupied pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaceRejection {
+    /// Cell would extend beyond the core.
+    OutOfBounds,
+    /// Even-height cell on the wrong rail parity.
+    RailParity,
+    /// At least one pixel is occupied by another cell or a macro.
+    Occupied,
+    /// Fence-region rule violated.
+    Fence,
+    /// Edge-spacing rule violated against a horizontal neighbour.
+    EdgeSpacing,
+}
+
+/// Occupancy grid over the design core at site × row granularity.
+///
+/// Fixed cells are rasterized as blocked pixels at construction; movable cells
+/// occupy pixels only once [`place`](PixelGrid::place)d. A per-row interval
+/// index tracks placed cells for the edge-spacing rule.
+#[derive(Debug, Clone)]
+pub struct PixelGrid {
+    sites_x: i64,
+    rows: i64,
+    occ: Vec<u32>,
+    /// Fence id when a pixel is fully inside that region.
+    fence_inside: Vec<u16>,
+    /// `true` when a pixel overlaps any fence region at all.
+    fence_touched: Vec<bool>,
+    /// Per row: `lo.x → (hi.x, cell)` of placed cells, for edge spacing.
+    row_cells: Vec<BTreeMap<Dbu, (Dbu, u32)>>,
+}
+
+impl PixelGrid {
+    /// Builds the grid for `design`, rasterizing fixed cells and fences.
+    pub fn new(design: &Design) -> Self {
+        let sites_x = design.num_sites_x();
+        let rows = design.num_rows();
+        let n = (sites_x * rows) as usize;
+        let mut grid = Self {
+            sites_x,
+            rows,
+            occ: vec![FREE; n],
+            fence_inside: vec![NO_FENCE; n],
+            fence_touched: vec![false; n],
+            row_cells: vec![BTreeMap::new(); rows as usize],
+        };
+        let rh = design.tech.row_height;
+        let sw = design.tech.site_width;
+        for id in design.fixed_ids() {
+            let r = design.cell(id).rect(rh);
+            grid.for_pixels_overlapping(design, &r, |g, idx| g.occ[idx] = BLOCKED);
+        }
+        for (ri, region) in design.regions.iter().enumerate() {
+            for rect in &region.rects {
+                grid.for_pixels_overlapping(design, rect, |g, idx| g.fence_touched[idx] = true);
+                // Fully-inside pixels: snap the rect inward to pixel
+                // boundaries.
+                let lo_s = (rect.lo.x - design.core.lo.x).div_euclid(sw)
+                    + i64::from((rect.lo.x - design.core.lo.x).rem_euclid(sw) != 0);
+                let lo_r = (rect.lo.y - design.core.lo.y).div_euclid(rh)
+                    + i64::from((rect.lo.y - design.core.lo.y).rem_euclid(rh) != 0);
+                let hi_s = (rect.hi.x - design.core.lo.x).div_euclid(sw);
+                let hi_r = (rect.hi.y - design.core.lo.y).div_euclid(rh);
+                for row in lo_r.max(0)..hi_r.min(grid.rows) {
+                    for site in lo_s.max(0)..hi_s.min(grid.sites_x) {
+                        let idx = (row * grid.sites_x + site) as usize;
+                        grid.fence_inside[idx] = ri as u16;
+                    }
+                }
+            }
+        }
+        grid
+    }
+
+    fn for_pixels_overlapping(
+        &mut self,
+        design: &Design,
+        r: &Rect,
+        mut f: impl FnMut(&mut Self, usize),
+    ) {
+        let sw = design.tech.site_width;
+        let rh = design.tech.row_height;
+        let lo_s = (r.lo.x - design.core.lo.x).div_euclid(sw).max(0);
+        let hi_s = ((r.hi.x - design.core.lo.x) + sw - 1)
+            .div_euclid(sw)
+            .min(self.sites_x);
+        let lo_r = (r.lo.y - design.core.lo.y).div_euclid(rh).max(0);
+        let hi_r = ((r.hi.y - design.core.lo.y) + rh - 1)
+            .div_euclid(rh)
+            .min(self.rows);
+        for row in lo_r..hi_r {
+            for site in lo_s..hi_s {
+                let idx = (row * self.sites_x + site) as usize;
+                f(self, idx);
+            }
+        }
+    }
+
+    /// Number of sites across.
+    pub fn sites_x(&self) -> i64 {
+        self.sites_x
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> i64 {
+        self.rows
+    }
+
+    /// Converts a grid position to the dbu lower-left corner.
+    pub fn to_dbu(&self, design: &Design, pos: GridPos) -> Point {
+        Point::new(
+            design.core.lo.x + pos.site * design.tech.site_width,
+            design.core.lo.y + pos.row * design.tech.row_height,
+        )
+    }
+
+    /// Snaps a dbu point to the grid position at or below it.
+    pub fn to_grid(&self, design: &Design, p: Point) -> GridPos {
+        GridPos {
+            site: design.site_of(p.x),
+            row: design.row_of(p.y),
+        }
+    }
+
+    /// Full legality check of placing `cell` with its lower-left pixel at
+    /// `pos`. `Ok(())` means the position is legal w.r.t. bounds, rail
+    /// parity, occupancy, fences, and edge spacing (the max-displacement
+    /// constraint is the search's concern, not the grid's).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PlaceRejection`] encountered, checking cheap
+    /// rules first.
+    pub fn check_place(
+        &self,
+        design: &Design,
+        cell: CellId,
+        pos: GridPos,
+    ) -> Result<(), PlaceRejection> {
+        let c = design.cell(cell);
+        let w_sites = c.width / design.tech.site_width;
+        let h_rows = i64::from(c.height_rows);
+        if pos.site < 0
+            || pos.row < 0
+            || pos.site + w_sites > self.sites_x
+            || pos.row + h_rows > self.rows
+        {
+            return Err(PlaceRejection::OutOfBounds);
+        }
+        if c.is_rail_constrained() && !c.rail.allows_row(pos.row) {
+            return Err(PlaceRejection::RailParity);
+        }
+        let me = cell.0;
+        for row in pos.row..pos.row + h_rows {
+            let base = (row * self.sites_x) as usize;
+            for site in pos.site..pos.site + w_sites {
+                let idx = base + site as usize;
+                let occ = self.occ[idx];
+                if occ != FREE && occ != me {
+                    return Err(PlaceRejection::Occupied);
+                }
+                match c.region {
+                    Some(reg) => {
+                        if self.fence_inside[idx] != reg.0 {
+                            return Err(PlaceRejection::Fence);
+                        }
+                    }
+                    None => {
+                        if self.fence_touched[idx] {
+                            return Err(PlaceRejection::Fence);
+                        }
+                    }
+                }
+            }
+        }
+        // Edge spacing against already placed neighbours on shared rows.
+        let sw = design.tech.site_width;
+        let x_lo = design.core.lo.x + pos.site * sw;
+        let x_hi = x_lo + c.width;
+        for row in pos.row..pos.row + h_rows {
+            let map = &self.row_cells[row as usize];
+            if let Some((_, &(left_hi, left_cell))) = map.range(..x_lo).next_back() {
+                if left_cell != me && left_hi <= x_lo {
+                    let lc = design.cell(CellId(left_cell));
+                    let need = design.tech.edge_spacing(lc.edge_right, c.edge_left);
+                    if x_lo - left_hi < need {
+                        return Err(PlaceRejection::EdgeSpacing);
+                    }
+                }
+            }
+            if let Some((&right_lo, &(_, right_cell))) = map.range(x_lo..).next() {
+                if right_cell != me && right_lo >= x_hi {
+                    let rc = design.cell(CellId(right_cell));
+                    let need = design.tech.edge_spacing(c.edge_right, rc.edge_left);
+                    if right_lo - x_hi < need {
+                        return Err(PlaceRejection::EdgeSpacing);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks `cell` as occupying the pixels at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) when the position is not
+    /// [`check_place`](Self::check_place)-legal; callers must check first.
+    pub fn place(&mut self, design: &Design, cell: CellId, pos: GridPos) {
+        debug_assert_eq!(self.check_place(design, cell, pos), Ok(()));
+        let c = design.cell(cell);
+        let w_sites = c.width / design.tech.site_width;
+        let h_rows = i64::from(c.height_rows);
+        for row in pos.row..pos.row + h_rows {
+            let base = (row * self.sites_x) as usize;
+            for site in pos.site..pos.site + w_sites {
+                self.occ[base + site as usize] = cell.0;
+            }
+        }
+        let x_lo = design.core.lo.x + pos.site * design.tech.site_width;
+        for row in pos.row..pos.row + h_rows {
+            self.row_cells[row as usize].insert(x_lo, (x_lo + c.width, cell.0));
+        }
+    }
+
+    /// Clears `cell` from the pixels at `pos` (its current placement).
+    pub fn remove(&mut self, design: &Design, cell: CellId, pos: GridPos) {
+        let c = design.cell(cell);
+        let w_sites = c.width / design.tech.site_width;
+        let h_rows = i64::from(c.height_rows);
+        for row in pos.row..pos.row + h_rows {
+            let base = (row * self.sites_x) as usize;
+            for site in pos.site..pos.site + w_sites {
+                let idx = base + site as usize;
+                debug_assert_eq!(self.occ[idx], cell.0, "removing wrong occupant");
+                self.occ[idx] = FREE;
+            }
+        }
+        let x_lo = design.core.lo.x + pos.site * design.tech.site_width;
+        for row in pos.row..pos.row + h_rows {
+            self.row_cells[row as usize].remove(&x_lo);
+        }
+    }
+
+    /// Occupant of a pixel: `Some(cell)` for a movable cell, `None` when
+    /// free or blocked by a macro. Out-of-range pixels read as blocked.
+    pub fn occupant(&self, site: i64, row: i64) -> Option<CellId> {
+        if site < 0 || row < 0 || site >= self.sites_x || row >= self.rows {
+            return None;
+        }
+        match self.occ[(row * self.sites_x + site) as usize] {
+            FREE | BLOCKED => None,
+            id => Some(CellId(id)),
+        }
+    }
+
+    /// `true` when a pixel holds neither a placed cell nor a macro.
+    pub fn is_free(&self, site: i64, row: i64) -> bool {
+        site >= 0
+            && row >= 0
+            && site < self.sites_x
+            && row < self.rows
+            && self.occ[(row * self.sites_x + site) as usize] == FREE
+    }
+
+    /// Fraction of pixels that are free (diagnostic).
+    pub fn free_ratio(&self) -> f64 {
+        let free = self.occ.iter().filter(|&&o| o == FREE).count();
+        free as f64 / self.occ.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlleg_design::{DesignBuilder, EdgeType, RailParity, Technology};
+
+    fn builder() -> DesignBuilder {
+        DesignBuilder::new("px", Technology::contest(), 20, 6)
+    }
+
+    #[test]
+    fn fixed_cells_block_pixels() {
+        let mut b = builder();
+        let a = b.add_cell("a", 2, 1, Point::new(0, 0));
+        b.add_fixed_cell("m", 3, 2, Point::new(1_000, 2_000));
+        let d = b.build();
+        let g = PixelGrid::new(&d);
+        assert!(g.is_free(0, 0));
+        assert!(!g.is_free(5, 1), "macro pixel blocked");
+        assert!(!g.is_free(7, 2), "macro spans rows 1..3");
+        assert_eq!(g.occupant(5, 1), None, "macros are anonymous blockers");
+        assert_eq!(
+            g.check_place(&d, a, GridPos { site: 5, row: 1 }),
+            Err(PlaceRejection::Occupied)
+        );
+    }
+
+    #[test]
+    fn bounds_and_parity() {
+        let mut b = builder();
+        let odd = b.add_cell("odd", 2, 1, Point::new(0, 0));
+        let even = b.add_cell("even", 2, 2, Point::new(0, 0));
+        b.set_rail(even, RailParity::Even);
+        let d = b.build();
+        let g = PixelGrid::new(&d);
+        assert_eq!(
+            g.check_place(&d, odd, GridPos { site: 19, row: 0 }),
+            Err(PlaceRejection::OutOfBounds)
+        );
+        assert_eq!(
+            g.check_place(&d, even, GridPos { site: 0, row: 5 }),
+            Err(PlaceRejection::OutOfBounds),
+            "2-row cell on last row"
+        );
+        assert_eq!(
+            g.check_place(&d, even, GridPos { site: 0, row: 1 }),
+            Err(PlaceRejection::RailParity)
+        );
+        assert_eq!(g.check_place(&d, even, GridPos { site: 0, row: 2 }), Ok(()));
+        assert_eq!(g.check_place(&d, odd, GridPos { site: 0, row: 3 }), Ok(()));
+    }
+
+    #[test]
+    fn place_remove_cycle() {
+        let mut b = builder();
+        let a = b.add_cell("a", 3, 2, Point::new(0, 0));
+        let c = b.add_cell("c", 1, 1, Point::new(0, 0));
+        let d = b.build();
+        let mut g = PixelGrid::new(&d);
+        let p = GridPos { site: 4, row: 2 };
+        g.place(&d, a, p);
+        assert_eq!(g.occupant(4, 2), Some(a));
+        assert_eq!(g.occupant(6, 3), Some(a));
+        assert_eq!(
+            g.check_place(&d, c, GridPos { site: 5, row: 3 }),
+            Err(PlaceRejection::Occupied)
+        );
+        g.remove(&d, a, p);
+        assert!(g.is_free(4, 2));
+        assert_eq!(g.check_place(&d, c, GridPos { site: 5, row: 3 }), Ok(()));
+    }
+
+    #[test]
+    fn edge_spacing_between_placed_cells() {
+        let mut b = builder();
+        let a = b.add_cell("a", 2, 1, Point::new(0, 0));
+        let c = b.add_cell("c", 2, 1, Point::new(0, 0));
+        b.set_edges(a, EdgeType(2), EdgeType(2));
+        b.set_edges(c, EdgeType(2), EdgeType(2));
+        let d = b.build();
+        let mut g = PixelGrid::new(&d);
+        g.place(&d, a, GridPos { site: 4, row: 0 });
+        // Adjacent: gap 0 < 2 sites.
+        assert_eq!(
+            g.check_place(&d, c, GridPos { site: 6, row: 0 }),
+            Err(PlaceRejection::EdgeSpacing)
+        );
+        // Gap of one site still violates (needs 2).
+        assert_eq!(
+            g.check_place(&d, c, GridPos { site: 7, row: 0 }),
+            Err(PlaceRejection::EdgeSpacing)
+        );
+        // Two sites: legal.
+        assert_eq!(g.check_place(&d, c, GridPos { site: 8, row: 0 }), Ok(()));
+        // Left neighbour side as well.
+        assert_eq!(
+            g.check_place(&d, c, GridPos { site: 1, row: 0 }),
+            Err(PlaceRejection::EdgeSpacing)
+        );
+        // Exactly two sites of gap on the left: legal.
+        assert_eq!(g.check_place(&d, c, GridPos { site: 0, row: 0 }), Ok(()));
+        // Different row: no constraint.
+        assert_eq!(g.check_place(&d, c, GridPos { site: 6, row: 1 }), Ok(()));
+    }
+
+    #[test]
+    fn fences_gate_both_directions() {
+        let mut b = builder();
+        let inside = b.add_cell("in", 2, 1, Point::new(0, 0));
+        let outside = b.add_cell("out", 2, 1, Point::new(0, 0));
+        let r = b.add_region("f", vec![Rect::new(800, 0, 2_000, 4_000)]);
+        b.assign_region(inside, r);
+        let d = b.build();
+        let g = PixelGrid::new(&d);
+        // Fenced cell fully inside: ok (sites 4..10 in rows 0,1).
+        assert_eq!(
+            g.check_place(&d, inside, GridPos { site: 4, row: 0 }),
+            Ok(())
+        );
+        // Fenced cell straddling the boundary: rejected.
+        assert_eq!(
+            g.check_place(&d, inside, GridPos { site: 3, row: 0 }),
+            Err(PlaceRejection::Fence)
+        );
+        // Unfenced cell inside the region: rejected.
+        assert_eq!(
+            g.check_place(&d, outside, GridPos { site: 5, row: 0 }),
+            Err(PlaceRejection::Fence)
+        );
+        // Unfenced cell clear of the region: ok.
+        assert_eq!(
+            g.check_place(&d, outside, GridPos { site: 10, row: 0 }),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn grid_dbu_round_trip() {
+        let mut b = builder();
+        b.add_cell("a", 1, 1, Point::new(0, 0));
+        let d = b.build();
+        let g = PixelGrid::new(&d);
+        let pos = GridPos { site: 7, row: 3 };
+        let p = g.to_dbu(&d, pos);
+        assert_eq!(p, Point::new(1_400, 6_000));
+        assert_eq!(g.to_grid(&d, p), pos);
+        assert_eq!(
+            g.to_grid(&d, Point::new(1_399, 5_999)),
+            GridPos { site: 6, row: 2 }
+        );
+    }
+
+    #[test]
+    fn free_ratio() {
+        let mut b = builder();
+        b.add_fixed_cell("m", 10, 3, Point::new(0, 0));
+        let d = b.build();
+        let g = PixelGrid::new(&d);
+        let expect = 1.0 - 30.0 / 120.0;
+        assert!((g.free_ratio() - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,311 @@
+//! Pixel-wise diamond search (Sec. II-B, Fig. 2).
+//!
+//! For a target cell, the search "explores available pixel locations ...
+//! using a diamond searching method within a search space. The search
+//! boundary is determined to be proportional to the maximum displacement
+//! constraint and cell size. Finally, the location with the minimum
+//! displacement is designated to legalize the cell."
+//!
+//! Rings are enumerated by pixel Manhattan distance; candidates are costed
+//! by *physical* displacement (`|Δx| + |Δy|` in dbu, so one row of vertical
+//! motion is much more expensive than one site of horizontal motion), and
+//! the search terminates once no later ring can beat the incumbent.
+
+use rlleg_design::{CellId, Design};
+use rlleg_geom::{Dbu, Point};
+
+use crate::pixel::{GridPos, PixelGrid};
+
+/// Tuning knobs for [`find_position`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchConfig {
+    /// Hard cap on the pixel-Manhattan search radius; `None` derives the
+    /// bound from the displacement limit and cell size (paper behaviour),
+    /// falling back to the whole core when unconstrained.
+    pub max_radius: Option<i64>,
+    /// Per-cell displacement limit in dbu; candidates farther from the
+    /// cell's global-placement position are skipped. Defaults to the
+    /// design's `max_displacement`.
+    pub displacement_limit: Option<Dbu>,
+}
+
+/// The best legal position found for `cell` around `from` (its
+/// global-placement position), with its physical displacement in dbu, or
+/// `None` when the search space holds no legal pixel.
+pub fn find_position(
+    grid: &PixelGrid,
+    design: &Design,
+    cell: CellId,
+    from: Point,
+    cfg: SearchConfig,
+) -> Option<(GridPos, Dbu)> {
+    let c = design.cell(cell);
+    let sw = design.tech.site_width;
+    let rh = design.tech.row_height;
+    let w_sites = c.width / sw;
+    let h_rows = i64::from(c.height_rows);
+
+    let limit = cfg.displacement_limit.or(design.max_displacement);
+    let bound = cfg.max_radius.unwrap_or_else(|| {
+        let from_limit = limit.map(|l| l / sw + 2);
+        let whole_core = grid.sites_x() + grid.rows();
+        // "Proportional to the maximum displacement constraint and cell
+        // size": the cell-size term lets big cells look a little farther
+        // than the displacement budget alone would.
+        from_limit
+            .map(|b| (b + 2 * (w_sites + h_rows)).min(whole_core))
+            .unwrap_or(whole_core)
+    });
+
+    // Clamp the ring centre into the representable placement range.
+    let raw = grid.to_grid(design, from);
+    let site0 = raw.site.clamp(0, (grid.sites_x() - w_sites).max(0));
+    let row0 = raw.row.clamp(0, (grid.rows() - h_rows).max(0));
+    let centre_dbu = grid.to_dbu(
+        design,
+        GridPos {
+            site: site0,
+            row: row0,
+        },
+    );
+    let clamp_slack = centre_dbu.manhattan(Point::new(
+        design.core.lo.x + raw.site * sw,
+        design.core.lo.y + raw.row * rh,
+    ));
+
+    let mut best: Option<(GridPos, Dbu)> = None;
+    let try_candidate = |pos: GridPos, best: &mut Option<(GridPos, Dbu)>| {
+        let p = grid.to_dbu(design, pos);
+        let disp = p.manhattan(from);
+        if let Some(l) = limit {
+            if disp > l {
+                return;
+            }
+        }
+        if let Some((bpos, bdisp)) = *best {
+            // Deterministic tie-break: lower row, then lower site.
+            if disp > bdisp || (disp == bdisp && (pos.row, pos.site) >= (bpos.row, bpos.site)) {
+                return;
+            }
+        }
+        if grid.check_place(design, cell, pos).is_ok() {
+            *best = Some((pos, disp));
+        }
+    };
+
+    for r in 0..=bound {
+        if let Some((_, bdisp)) = best {
+            // No candidate on ring r (or beyond) can be closer than
+            // (r-2)·site_width minus the clamping slack.
+            if (r - 2).max(0) * sw - clamp_slack > bdisp {
+                break;
+            }
+        }
+        if r == 0 {
+            try_candidate(
+                GridPos {
+                    site: site0,
+                    row: row0,
+                },
+                &mut best,
+            );
+            continue;
+        }
+        for dy in -r..=r {
+            let row = row0 + dy;
+            if row < 0 || row + h_rows > grid.rows() {
+                continue;
+            }
+            let dx_abs = r - dy.abs();
+            let candidates = if dx_abs == 0 {
+                [0, 0]
+            } else {
+                [dx_abs, -dx_abs]
+            };
+            for (i, &dx) in candidates.iter().enumerate() {
+                if dx_abs == 0 && i == 1 {
+                    break;
+                }
+                let site = site0 + dx;
+                if site < 0 || site + w_sites > grid.sites_x() {
+                    continue;
+                }
+                try_candidate(GridPos { site, row }, &mut best);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlleg_design::{DesignBuilder, Technology};
+
+    fn design_with(
+        cells: &[(i64, u8, i64, i64)],
+        fixed: &[(i64, u8, i64, i64)],
+    ) -> (Design, PixelGrid) {
+        let mut b = DesignBuilder::new("s", Technology::contest(), 40, 10);
+        for (i, &(w, h, x, y)) in cells.iter().enumerate() {
+            b.add_cell(format!("u{i}"), w, h, Point::new(x, y));
+        }
+        for (i, &(w, h, x, y)) in fixed.iter().enumerate() {
+            b.add_fixed_cell(format!("m{i}"), w, h, Point::new(x, y));
+        }
+        let d = b.build();
+        let g = PixelGrid::new(&d);
+        (d, g)
+    }
+
+    #[test]
+    fn already_legal_position_is_zero_displacement() {
+        let (d, g) = design_with(&[(2, 1, 800, 2_000)], &[]);
+        let (pos, disp) = find_position(
+            &g,
+            &d,
+            CellId(0),
+            Point::new(800, 2_000),
+            SearchConfig::default(),
+        )
+        .expect("found");
+        assert_eq!(pos, GridPos { site: 4, row: 1 });
+        assert_eq!(disp, 0);
+    }
+
+    #[test]
+    fn off_grid_start_snaps_to_nearest() {
+        // gp position off-grid by (90, 900): nearest legal pixel is the
+        // snapped-down one at distance 990.
+        let (d, g) = design_with(&[(1, 1, 890, 2_900)], &[]);
+        let (pos, disp) = find_position(
+            &g,
+            &d,
+            CellId(0),
+            Point::new(890, 2_900),
+            SearchConfig::default(),
+        )
+        .expect("found");
+        assert_eq!(pos, GridPos { site: 4, row: 1 });
+        assert_eq!(disp, 90 + 900);
+    }
+
+    #[test]
+    fn prefers_cheap_horizontal_over_expensive_vertical() {
+        // Start pixel blocked: one site sideways costs 200 dbu, one row up
+        // costs 2000 dbu. The search must pick the sideways pixel even
+        // though both are ring-1 candidates.
+        let (d, mut g) = {
+            let (d, g) = design_with(&[(1, 1, 800, 2_000), (1, 1, 800, 2_000)], &[]);
+            (d, g)
+        };
+        g.place(&d, CellId(1), GridPos { site: 4, row: 1 });
+        let (pos, disp) = find_position(
+            &g,
+            &d,
+            CellId(0),
+            Point::new(800, 2_000),
+            SearchConfig::default(),
+        )
+        .expect("found");
+        assert_eq!(disp, 200);
+        assert_eq!(pos.row, 1);
+        assert!(pos.site == 3 || pos.site == 5);
+    }
+
+    #[test]
+    fn blocked_neighbourhood_found_across_macro() {
+        // A macro covers the whole left half except the far column.
+        let (d, g) = design_with(&[(1, 1, 0, 0)], &[(20, 4, 0, 0), (20, 4, 0, 8_000)]);
+        let (pos, _) = find_position(&g, &d, CellId(0), Point::new(0, 0), SearchConfig::default())
+            .expect("must escape the macro");
+        assert!(g.check_place(&d, CellId(0), pos).is_ok());
+        // Position is outside both macros.
+        assert!(pos.site >= 20 || (4..8).contains(&pos.row));
+    }
+
+    #[test]
+    fn displacement_limit_causes_failure() {
+        let (d, g) = design_with(&[(1, 1, 0, 0)], &[(20, 4, 0, 0), (20, 4, 0, 8_000)]);
+        let r = find_position(
+            &g,
+            &d,
+            CellId(0),
+            Point::new(0, 0),
+            SearchConfig {
+                max_radius: None,
+                displacement_limit: Some(1_000),
+            },
+        );
+        assert_eq!(r, None, "every free pixel is farther than 1000 dbu");
+    }
+
+    #[test]
+    fn max_radius_caps_the_search() {
+        let (d, g) = design_with(&[(1, 1, 0, 0)], &[(20, 4, 0, 0), (20, 4, 0, 8_000)]);
+        let r = find_position(
+            &g,
+            &d,
+            CellId(0),
+            Point::new(0, 0),
+            SearchConfig {
+                max_radius: Some(3),
+                displacement_limit: None,
+            },
+        );
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn start_outside_core_clamps() {
+        let (d, g) = design_with(&[(2, 1, -5_000, -5_000)], &[]);
+        let (pos, disp) = find_position(
+            &g,
+            &d,
+            CellId(0),
+            Point::new(-5_000, -5_000),
+            SearchConfig::default(),
+        )
+        .expect("clamped into the core");
+        assert_eq!(pos, GridPos { site: 0, row: 0 });
+        assert_eq!(disp, 10_000);
+    }
+
+    #[test]
+    fn multi_row_cell_requires_all_rows_free() {
+        let (d, mut g) = design_with(&[(2, 3, 800, 2_000), (1, 1, 0, 0)], &[]);
+        // Block one pixel in the middle of the would-be footprint.
+        g.place(&d, CellId(1), GridPos { site: 5, row: 2 });
+        let (pos, disp) = find_position(
+            &g,
+            &d,
+            CellId(0),
+            Point::new(800, 2_000),
+            SearchConfig::default(),
+        )
+        .expect("found elsewhere");
+        assert!(disp > 0);
+        assert!(g.check_place(&d, CellId(0), pos).is_ok());
+    }
+
+    #[test]
+    fn finds_true_minimum_not_first_hit() {
+        // Ring-order would visit (site0, row0+1) [2000 dbu] before
+        // (site0+5, row0) [1000 dbu] at ring 5; the incumbent logic must
+        // keep searching horizontally.
+        let (d, mut g) = design_with(&[(1, 1, 1_000, 2_000), (5, 1, 0, 0)], &[]);
+        // Occupy sites 3..8? place blocker of width 5 covering sites 3..8 at row 1.
+        g.place(&d, CellId(1), GridPos { site: 3, row: 1 });
+        let (pos, disp) = find_position(
+            &g,
+            &d,
+            CellId(0),
+            Point::new(1_000, 2_000),
+            SearchConfig::default(),
+        )
+        .expect("found");
+        // Best is 3 sites left (site 2): 600 dbu, cheaper than any row move.
+        assert_eq!(pos, GridPos { site: 2, row: 1 });
+        assert_eq!(disp, 600);
+    }
+}

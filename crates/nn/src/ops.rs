@@ -1,0 +1,135 @@
+//! Free-standing numeric operations: softmax, entropy, smooth-L1, and
+//! feature-wise L2 normalization.
+
+/// Numerically stable softmax over a logit vector.
+///
+/// Returns a uniform distribution for an empty input's length-0 vector.
+///
+/// ```
+/// use rlleg_nn::ops::softmax;
+/// let p = softmax(&[1.0, 1.0, 1.0]);
+/// assert!((p[0] - 1.0 / 3.0).abs() < 1e-6);
+/// ```
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Shannon entropy `−Σ p·ln p` of a probability vector (0·ln 0 = 0).
+pub fn entropy(probs: &[f32]) -> f32 {
+    -probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.ln())
+        .sum::<f32>()
+}
+
+/// Smooth-L1 (Huber, δ=1) loss between a prediction and a target.
+///
+/// The paper uses smooth-L1 for the value loss (Eq. 7) because it is
+/// differentiable everywhere and robust to outlier returns.
+pub fn smooth_l1(pred: f32, target: f32) -> f32 {
+    let d = pred - target;
+    if d.abs() < 1.0 {
+        0.5 * d * d
+    } else {
+        d.abs() - 0.5
+    }
+}
+
+/// Derivative of [`smooth_l1`] with respect to `pred`.
+pub fn smooth_l1_grad(pred: f32, target: f32) -> f32 {
+    let d = pred - target;
+    d.clamp(-1.0, 1.0)
+}
+
+/// Feature-wise L2 normalization: divides each column of the `rows × cols`
+/// row-major matrix by that column's L2 norm (columns with zero norm are
+/// left unchanged).
+///
+/// The paper normalizes each of the 13 features across cells this way so
+/// features with different units become *relative* quantities
+/// (Sec. III-D).
+pub fn l2_normalize_columns(data: &mut [f32], cols: usize) {
+    if cols == 0 || data.is_empty() {
+        return;
+    }
+    let rows = data.len() / cols;
+    debug_assert_eq!(rows * cols, data.len());
+    for c in 0..cols {
+        let norm: f32 = (0..rows)
+            .map(|r| data[r * cols + c] * data[r * cols + c])
+            .sum::<f32>()
+            .sqrt();
+        if norm > 0.0 {
+            for r in 0..rows {
+                data[r * cols + c] /= norm;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_properties() {
+        let p = softmax(&[0.0, 1.0, 2.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stability under large logits.
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        assert!(softmax(&[]).is_empty());
+        // Shift invariance.
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[11.0, 12.0, 13.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert!(
+            entropy(&[1.0, 0.0]).abs() < 1e-9,
+            "deterministic => 0 entropy"
+        );
+        let uniform = entropy(&[0.25; 4]);
+        assert!((uniform - (4.0f32).ln()).abs() < 1e-6);
+        assert!(entropy(&softmax(&[0.0, 3.0])) < uniform);
+    }
+
+    #[test]
+    fn smooth_l1_shape() {
+        assert_eq!(smooth_l1(1.0, 1.0), 0.0);
+        assert!(
+            (smooth_l1(1.5, 1.0) - 0.125).abs() < 1e-7,
+            "quadratic inside"
+        );
+        assert!((smooth_l1(5.0, 1.0) - 3.5).abs() < 1e-7, "linear outside");
+        // Gradient saturates at ±1.
+        assert_eq!(smooth_l1_grad(10.0, 0.0), 1.0);
+        assert_eq!(smooth_l1_grad(-10.0, 0.0), -1.0);
+        assert!((smooth_l1_grad(0.3, 0.0) - 0.3).abs() < 1e-7);
+    }
+
+    #[test]
+    fn l2_normalize() {
+        // Two rows, two features: feature 0 = (3,4), feature 1 = (0,0).
+        let mut data = vec![3.0, 0.0, 4.0, 0.0];
+        l2_normalize_columns(&mut data, 2);
+        assert!((data[0] - 0.6).abs() < 1e-6);
+        assert!((data[2] - 0.8).abs() < 1e-6);
+        assert_eq!(data[1], 0.0, "zero column untouched");
+        // Norm of each column is 1 afterwards.
+        let n0 = (data[0] * data[0] + data[2] * data[2]).sqrt();
+        assert!((n0 - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,72 @@
+//! Priority study: how much does the legalization order matter? Runs one
+//! benchmark under every built-in ordering (size-descending, x-ascending,
+//! many random seeds) plus the baseline heuristics, and prints the QoR
+//! spread — the experiment behind the paper's Fig. 1 motivation, on any
+//! design you pick.
+//!
+//! ```text
+//! cargo run --release --example priority_study -- des3 0.02
+//! ```
+
+use rlleg_benchgen::{find_spec, generate};
+use rlleg_design::metrics::Qor;
+use rlleg_legalize::{Legalizer, Ordering};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "des3".to_owned());
+    let scale: f64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0.01);
+
+    let spec = find_spec(&name).ok_or("unknown benchmark; see rlleg_benchgen::training_suite")?;
+    let design = generate(&spec.scaled(scale));
+    println!(
+        "{} @ scale {scale}: {} cells, density {:.2}\n",
+        name,
+        design.num_movable(),
+        design.density()
+    );
+
+    let run = |label: &str, ordering: &Ordering, heuristics: bool| {
+        let mut d = design.clone();
+        let mut lg = Legalizer::new(&d);
+        let stats = lg.run(&mut d, ordering);
+        if heuristics {
+            lg.swap_pass(&mut d);
+            lg.rearrange_pass(&mut d);
+        }
+        let q = Qor::measure(&d);
+        println!(
+            "{label:<26} avg={:8.1} max={:7} hpwl={:10} {}",
+            q.avg_displacement,
+            q.max_displacement,
+            q.hpwl,
+            if stats.is_complete() { "" } else { "FAILED" }
+        );
+        q
+    };
+
+    run("size-descending", &Ordering::SizeDescending, false);
+    run("size-descending + heur", &Ordering::SizeDescending, true);
+    run("x-ascending", &Ordering::XAscending, false);
+
+    let mut avg = Vec::new();
+    for seed in 0..12 {
+        let q = run(
+            &format!("random(seed={seed})"),
+            &Ordering::Random(seed),
+            false,
+        );
+        if q.is_complete() {
+            avg.push(q.avg_displacement);
+        }
+    }
+    if !avg.is_empty() {
+        let best = avg.iter().copied().fold(f64::INFINITY, f64::min);
+        let worst = avg.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "\nrandom-order avg-displacement spread: best {best:.1} .. worst {worst:.1} ({:.0}% swing)",
+            100.0 * (worst - best) / best
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Quickstart: build a small mixed-height design, legalize it with the
+//! size-ordered baseline, train a short RL-Legalizer run, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rl_legalizer::{train, RlConfig, RlLegalizer};
+use rlleg_design::{legality, metrics::Qor, DesignBuilder, Technology};
+use rlleg_geom::Point;
+use rlleg_legalize::{Legalizer, Ordering};
+
+fn main() {
+    // 1. Build a design by hand: a 60x12 core with a macro and an
+    //    overlapping "global placement" of 80 mixed-height cells.
+    let mut b = DesignBuilder::new("quickstart", Technology::contest(), 60, 12);
+    b.add_fixed_cell("ram_macro", 10, 4, Point::new(4_000, 8_000));
+    let mut prev = None;
+    for i in 0..80i64 {
+        let w = 1 + i % 3;
+        let h = 1 + u8::from(i % 7 == 0) + u8::from(i % 13 == 0);
+        let x = (i * 433) % 9_500;
+        let y = (i * 3_641) % 21_000;
+        let id = b.add_cell(format!("u{i}"), w, h, Point::new(x, y));
+        if let Some(p) = prev {
+            b.add_net(format!("n{i}"), vec![(p, 0, 0), (id, 0, 0)]);
+        }
+        prev = Some(id);
+    }
+    let design = b.build();
+    println!(
+        "design: {} movable cells, density {:.2}, {} nets",
+        design.num_movable(),
+        design.density(),
+        design.num_nets()
+    );
+
+    // 2. Baseline: the size-ordered sequential legalizer.
+    let mut baseline = design.clone();
+    let mut lg = Legalizer::new(&baseline);
+    let stats = lg.run(&mut baseline, &Ordering::SizeDescending);
+    assert!(stats.is_complete());
+    assert!(
+        legality::is_legal(&baseline),
+        "the checker agrees it is legal"
+    );
+    println!("size-ordered: {}", Qor::measure(&baseline));
+
+    // 3. Train RL-Legalizer briefly on this design (tuned laptop config).
+    let cfg = RlConfig {
+        episodes: 40,
+        agents: 2,
+        hidden_dim: 32,
+        ..RlConfig::tuned()
+    };
+    let result = train(std::slice::from_ref(&design), &cfg);
+    println!(
+        "trained {} episodes; best training episode: {}",
+        result.history.len(),
+        result
+            .best_for_design("quickstart")
+            .map(|s| s.qor)
+            .expect("trained")
+    );
+
+    // 4. Apply the learned priority to a fresh copy.
+    let mut ours = design.clone();
+    let report = RlLegalizer::new(result.best_model).legalize(&mut ours);
+    assert!(report.is_complete());
+    assert!(legality::is_legal(&ours));
+    println!("RL-ordered:   {}", Qor::measure(&ours));
+    println!(
+        "inference took {:.1} ms ({:.0}% feature extraction)",
+        report.total_time.as_secs_f64() * 1e3,
+        100.0 * report.feature_time.as_secs_f64() / report.total_time.as_secs_f64().max(1e-12)
+    );
+}

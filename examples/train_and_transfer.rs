@@ -1,0 +1,68 @@
+//! Train-and-transfer: the paper's deployment scheme. Train one shared
+//! cell-priority model on several benchmarks, save it to JSON, reload it,
+//! and apply the frozen model to a design it has never seen.
+//!
+//! ```text
+//! cargo run --release --example train_and_transfer
+//! ```
+
+use rl_legalizer::{train, CellWiseNet, RlConfig, RlLegalizer};
+use rlleg_bench::run_size_ordered;
+use rlleg_benchgen::{find_spec, generate};
+use rlleg_design::{legality, metrics::Qor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Training set: three small OpenCores-style designs.
+    let train_designs: Vec<_> = ["mc_top", "sasc_top", "spi_top"]
+        .iter()
+        .map(|name| generate(&find_spec(name).expect("spec").scaled(0.5)))
+        .collect();
+    for d in &train_designs {
+        println!("train design {}: {} cells", d.name, d.num_movable());
+    }
+
+    // 2. Train the shared model.
+    let cfg = RlConfig {
+        episodes: 45,
+        agents: 4,
+        hidden_dim: 48,
+        ..RlConfig::tuned()
+    };
+    let result = train(&train_designs, &cfg);
+    println!(
+        "trained {} episodes across {} agents",
+        result.history.len(),
+        cfg.agents
+    );
+
+    // 3. Persist and reload (what a real flow would ship).
+    let path = std::env::temp_dir().join("rl_legalizer_model.json");
+    std::fs::write(&path, result.best_model.to_json()?)?;
+    let loaded = CellWiseNet::from_json(&std::fs::read_to_string(&path)?)?;
+    println!("model saved/reloaded via {}", path.display());
+
+    // 4. Transfer to a held-out design.
+    let test = generate(&find_spec("usb_phy").expect("spec"));
+    println!(
+        "\ntest design {}: {} cells (never trained on)",
+        test.name,
+        test.num_movable()
+    );
+    let (_, baseline) = run_size_ordered(&test, true);
+    println!(
+        "size-ordered [26]: avg_disp={:.0} max_disp={} hpwl={}",
+        baseline.avg_disp, baseline.max_disp, baseline.hpwl
+    );
+    let mut ours = test.clone();
+    let report = RlLegalizer::new(loaded).legalize(&mut ours);
+    assert!(legality::is_legal(&ours) || !report.is_complete());
+    let q = Qor::measure(&ours);
+    println!("RL-Legalizer:      {q}");
+    println!(
+        "transfer inference: {:.1} ms total, {:.1} ms features, {:.1} ms network",
+        report.total_time.as_secs_f64() * 1e3,
+        report.feature_time.as_secs_f64() * 1e3,
+        report.network_time.as_secs_f64() * 1e3
+    );
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Visualize: render a benchmark's global placement and its legalized
+//! result as SVG files, with displacement vectors.
+//!
+//! ```text
+//! cargo run --release --example visualize -- des_perf_b_md1 0.01 /tmp/rlleg_viz
+//! ```
+
+use rlleg_suite::design::viz::{render_svg, SvgOptions};
+use rlleg_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "des_perf_b_md1".to_owned());
+    let scale: f64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0.01);
+    let out_dir = std::path::PathBuf::from(
+        args.next().unwrap_or_else(|| std::env::temp_dir().join("rlleg_viz").display().to_string()),
+    );
+    std::fs::create_dir_all(&out_dir)?;
+
+    let spec = find_spec(&name).ok_or("unknown benchmark (see `rlleg bench-list`)")?;
+    let mut design = generate(&spec.scaled(scale));
+    println!("{}: {} cells, density {:.2}", design.name, design.num_movable(), design.density());
+
+    let opts = SvgOptions::default();
+    let gp_path = out_dir.join(format!("{name}_global.svg"));
+    std::fs::write(&gp_path, render_svg(&design, &opts))?;
+    println!("wrote {}", gp_path.display());
+
+    let mut lg = Legalizer::new(&design);
+    let stats = lg.run(&mut design, &Ordering::SizeDescending);
+    println!("legalized {} cells ({} failed): {}", stats.legalized, stats.failed.len(), Qor::measure(&design));
+
+    let legal_path = out_dir.join(format!("{name}_legalized.svg"));
+    let vec_opts = SvgOptions { displacement_vectors: true, ..SvgOptions::default() };
+    std::fs::write(&legal_path, render_svg(&design, &vec_opts))?;
+    println!("wrote {} (with displacement vectors)", legal_path.display());
+    Ok(())
+}

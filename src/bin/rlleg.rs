@@ -1,0 +1,260 @@
+//! `rlleg` — command-line front end for the RL-Legalizer reproduction.
+//!
+//! ```text
+//! rlleg generate --design des_perf_b_md1 --scale 0.01 --out gp.def [--svg gp.svg]
+//! rlleg legalize --def gp.def [--lef lib.lef] [--order size|x|random:SEED]
+//!                [--heuristics] [--out legal.def] [--svg legal.svg]
+//! rlleg check    --def legal.def [--lef lib.lef]
+//! rlleg train    --designs mc_top,spi_top --scale 0.3 --episodes 40 --out model.json
+//! rlleg apply    --model model.json --def gp.def [--out legal.def]
+//! rlleg bench-list
+//! ```
+//!
+//! Exit code is nonzero on I/O errors, parse errors, or (for `legalize`/
+//! `apply`/`check`) when the result is not fully legal.
+
+use std::process::ExitCode;
+
+use rlleg_bench::Args;
+use rlleg_suite::design::{def, lef::Library, viz};
+use rlleg_suite::prelude::*;
+use rlleg_suite::rl::{CellWiseNet, RlLegalizer as Rl};
+
+fn load_design(args: &Args) -> Result<Design, String> {
+    let path: String = args.get("def", String::new());
+    if path.is_empty() {
+        return Err("missing --def <path>".into());
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+    let tech_name: String = args.get("tech", "iccad2017".to_owned());
+    let base = match tech_name.as_str() {
+        "iccad2017" | "contest" => Technology::contest(),
+        "nangate45" => Technology::nangate45(),
+        other => return Err(format!("unknown --tech `{other}` (iccad2017|nangate45)")),
+    };
+    let lef_path: String = args.get("lef", String::new());
+    if lef_path.is_empty() {
+        def::parse_def(&text, base).map_err(|e| e.to_string())
+    } else {
+        let lef_text =
+            std::fs::read_to_string(&lef_path).map_err(|e| format!("read {lef_path}: {e}"))?;
+        let lib = Library::parse(&lef_text).map_err(|e| e.to_string())?;
+        def::parse_def_with_library(&text, &lib, &base).map_err(|e| e.to_string())
+    }
+}
+
+fn save_outputs(design: &Design, args: &Args) -> Result<(), String> {
+    let out: String = args.get("out", String::new());
+    if !out.is_empty() {
+        std::fs::write(&out, def::write_def(design)).map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    let svg: String = args.get("svg", String::new());
+    if !svg.is_empty() {
+        let opts = viz::SvgOptions {
+            displacement_vectors: args.flag("vectors"),
+            ..viz::SvgOptions::default()
+        };
+        std::fs::write(&svg, viz::render_svg(design, &opts))
+            .map_err(|e| format!("write {svg}: {e}"))?;
+        println!("wrote {svg}");
+    }
+    Ok(())
+}
+
+fn report_legality(design: &Design) -> bool {
+    let violations = legality::check(design, true);
+    if violations.is_empty() {
+        println!("legality: clean ({} cells)", design.num_movable());
+        true
+    } else {
+        println!("legality: {} violations", violations.len());
+        for v in violations.iter().take(10) {
+            println!("  {v}");
+        }
+        if violations.len() > 10 {
+            println!("  ... and {} more", violations.len() - 10);
+        }
+        false
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<bool, String> {
+    let name: String = args.get("design", String::new());
+    let spec = find_spec(&name)
+        .ok_or_else(|| format!("unknown design `{name}` — try `rlleg bench-list`"))?;
+    let scale: f64 = args.get("scale", 0.01);
+    let design = generate(&spec.scaled(scale));
+    println!(
+        "{}: {} cells, {} nets, density {:.2}, core {}x{} dbu",
+        design.name,
+        design.num_movable(),
+        design.num_nets(),
+        design.density(),
+        design.core.width(),
+        design.core.height()
+    );
+    save_outputs(&design, args)?;
+    Ok(true)
+}
+
+fn cmd_legalize(args: &Args) -> Result<bool, String> {
+    let mut design = load_design(args)?;
+    let order_spec: String = args.get("order", "size".to_owned());
+    let ordering = match order_spec.as_str() {
+        "size" => Ordering::SizeDescending,
+        "x" => Ordering::XAscending,
+        other => match other.strip_prefix("random:") {
+            Some(seed) => Ordering::Random(
+                seed.parse()
+                    .map_err(|_| format!("bad seed in --order `{other}`"))?,
+            ),
+            None => return Err(format!("unknown --order `{other}` (size|x|random:SEED)")),
+        },
+    };
+    let before = Qor::measure(&design);
+    let t = std::time::Instant::now();
+    let mut lg = Legalizer::new(&design);
+    let stats = lg.run(&mut design, &ordering);
+    if args.flag("heuristics") {
+        lg.swap_pass(&mut design);
+        lg.rearrange_pass(&mut design);
+    }
+    println!(
+        "legalized {}/{} cells in {:.2}s (order: {order_spec})",
+        stats.legalized,
+        stats.legalized + stats.failed.len(),
+        t.elapsed().as_secs_f64()
+    );
+    println!("before: {before}");
+    println!("after:  {}", Qor::measure(&design));
+    let ok = report_legality(&design);
+    save_outputs(&design, args)?;
+    Ok(ok && stats.is_complete())
+}
+
+fn cmd_check(args: &Args) -> Result<bool, String> {
+    let design = load_design(args)?;
+    println!("{}", Qor::measure(&design));
+    Ok(report_legality(&design))
+}
+
+fn cmd_train(args: &Args) -> Result<bool, String> {
+    let names: String = args.get("designs", String::new());
+    if names.is_empty() {
+        return Err("missing --designs a,b,c".into());
+    }
+    let scale: f64 = args.get("scale", 0.01);
+    let mut designs = Vec::new();
+    for name in names.split(',') {
+        let spec = find_spec(name.trim())
+            .ok_or_else(|| format!("unknown design `{name}` — try `rlleg bench-list`"))?;
+        designs.push(generate(&spec.scaled(scale)));
+    }
+    let cfg = RlConfig {
+        episodes: args.get("episodes", 40),
+        agents: args.get("agents", 4),
+        hidden_dim: args.get("hidden", 64),
+        seed: args.get("seed", 0),
+        ..RlConfig::tuned()
+    };
+    println!(
+        "training on {} designs ({} total cells), {} agents x {} episodes",
+        designs.len(),
+        designs.iter().map(Design::num_movable).sum::<usize>(),
+        cfg.agents,
+        cfg.episodes
+    );
+    let t = std::time::Instant::now();
+    let result = train(&designs, &cfg);
+    println!(
+        "trained in {:.0}s; tail cost {:.2}",
+        t.elapsed().as_secs_f64(),
+        result.tail_cost(20)
+    );
+    for d in &designs {
+        if let Some(best) = result.best_for_design(&d.name) {
+            println!(
+                "  {}: best episode cost {:.2} ({})",
+                d.name, best.cost, best.qor
+            );
+        }
+    }
+    let out: String = args.get("out", "model.json".to_owned());
+    std::fs::write(
+        &out,
+        result.best_model.to_json().map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(true)
+}
+
+fn cmd_apply(args: &Args) -> Result<bool, String> {
+    let model_path: String = args.get("model", String::new());
+    if model_path.is_empty() {
+        return Err("missing --model model.json".into());
+    }
+    let json =
+        std::fs::read_to_string(&model_path).map_err(|e| format!("read {model_path}: {e}"))?;
+    let model = CellWiseNet::from_json(&json).map_err(|e| e.to_string())?;
+    let mut design = load_design(args)?;
+    let report = Rl::new(model).legalize(&mut design);
+    println!(
+        "RL-ordered legalization: {} placed, {} failed, {:.2}s ({:.0}% features, {:.0}% network)",
+        report.legalized,
+        report.failed.len(),
+        report.total_time.as_secs_f64(),
+        100.0 * report.feature_time.as_secs_f64() / report.total_time.as_secs_f64().max(1e-12),
+        100.0 * report.network_time.as_secs_f64() / report.total_time.as_secs_f64().max(1e-12),
+    );
+    println!("after: {}", Qor::measure(&design));
+    let ok = report_legality(&design);
+    save_outputs(&design, args)?;
+    Ok(ok && report.is_complete())
+}
+
+fn cmd_bench_list() -> Result<bool, String> {
+    println!("training benchmarks (Table II):");
+    for s in training_suite() {
+        println!(
+            "  {:<20} {:>8} cells  density {:.2}",
+            s.name, s.num_cells, s.density
+        );
+    }
+    println!("test benchmarks (Table III):");
+    for s in test_suite() {
+        println!(
+            "  {:<20} {:>8} cells  density {:.2}",
+            s.name, s.num_cells, s.density
+        );
+    }
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else {
+        eprintln!("usage: rlleg <generate|legalize|check|train|apply|bench-list> [flags]");
+        eprintln!("see the module docs (`cargo doc`) or README.md for flag details");
+        return ExitCode::FAILURE;
+    };
+    let args = Args::from_env();
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "legalize" => cmd_legalize(&args),
+        "check" => cmd_check(&args),
+        "train" => cmd_train(&args),
+        "apply" => cmd_apply(&args),
+        "bench-list" => cmd_bench_list(),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Workspace-level integration tests: the full pipeline from benchmark
+//! generation through DEF I/O, legalization, design-rule checking, RL
+//! training, model persistence, and transfer inference.
+
+use rlleg_suite::prelude::*;
+use rlleg_suite::rl::{CellWiseNet, RlLegalizer as Rl, StateMode};
+
+#[test]
+fn generate_legalize_verify_all_orderings() {
+    let spec = find_spec("fft_a_md3").expect("spec").scaled(0.005);
+    let design = generate(&spec);
+    for ordering in [
+        Ordering::SizeDescending,
+        Ordering::XAscending,
+        Ordering::Random(1),
+    ] {
+        let mut d = design.clone();
+        let mut lg = Legalizer::new(&d);
+        let stats = lg.run(&mut d, &ordering);
+        assert!(
+            stats.is_complete(),
+            "{ordering:?} failed {} cells",
+            stats.failed.len()
+        );
+        assert!(legality::is_legal(&d), "{ordering:?} produced violations");
+    }
+}
+
+#[test]
+fn def_round_trip_then_legalize() {
+    use rlleg_suite::design::def;
+    let spec = find_spec("des_perf_b_md2").expect("spec").scaled(0.003);
+    let design = generate(&spec);
+    let text = def::write_def(&design);
+    let mut parsed = def::parse_def(&text, Technology::contest()).expect("parse back");
+    assert_eq!(parsed.num_cells(), design.num_cells());
+    let mut lg = Legalizer::new(&parsed);
+    let stats = lg.run(&mut parsed, &Ordering::SizeDescending);
+    assert!(stats.is_complete());
+    assert!(legality::is_legal(&parsed));
+    // Legalized design round-trips too, preserving positions.
+    let legal_text = def::write_def(&parsed);
+    let again = def::parse_def(&legal_text, Technology::contest()).expect("parse legalized");
+    for (a, b) in parsed.cells.iter().zip(again.cells.iter()) {
+        if a.legalized {
+            assert_eq!(a.pos, b.gp_pos, "legalized position survives as placement");
+        }
+    }
+}
+
+#[test]
+fn train_save_load_transfer() {
+    let train_design = generate(&find_spec("sasc_top").expect("spec").scaled(0.6));
+    let cfg = RlConfig {
+        episodes: 6,
+        agents: 2,
+        hidden_dim: 16,
+        pretrain_episodes: 2,
+        ..RlConfig::tuned()
+    };
+    let result = train(std::slice::from_ref(&train_design), &cfg);
+    assert_eq!(result.history.len(), 12);
+
+    // Persist and reload the best model.
+    let json = result.best_model.to_json().expect("serialize");
+    let loaded = CellWiseNet::from_json(&json).expect("deserialize");
+
+    // Transfer to a different (unseen) design.
+    let mut test = generate(&find_spec("usb_phy").expect("spec").scaled(0.4));
+    let report = Rl::new(loaded).legalize(&mut test);
+    assert!(report.is_complete(), "failed {:?}", report.failed);
+    assert!(legality::is_legal(&test));
+}
+
+#[test]
+fn rl_env_full_episode_matches_qor() {
+    use rlleg_suite::rl::LegalizeEnv;
+    let design = generate(&find_spec("usb_phy").expect("spec").scaled(0.3));
+    let mut env = LegalizeEnv::new(design);
+    let mut reward_sum = 0.0;
+    for g in env.subepisode_order() {
+        loop {
+            let remaining = env.remaining_in(g);
+            let Some(&cell) = remaining.first() else {
+                break;
+            };
+            let out = env.step(cell);
+            reward_sum += f64::from(out.reward());
+            assert!(!out.is_failure());
+        }
+    }
+    let q = env.qor();
+    assert!(q.is_complete());
+    assert!(reward_sum > 0.0);
+    assert!(legality::is_legal(env.design()));
+}
+
+#[test]
+fn masked_and_reduced_modes_both_complete() {
+    let design = generate(&find_spec("spi_top").expect("spec").scaled(0.3));
+    for mode in [StateMode::Reduced, StateMode::Masked] {
+        let cfg = RlConfig {
+            episodes: 3,
+            agents: 1,
+            hidden_dim: 12,
+            state_mode: mode,
+            ..RlConfig::tuned()
+        };
+        let result = train(std::slice::from_ref(&design), &cfg);
+        assert_eq!(result.history.len(), 3, "{mode:?}");
+        assert!(result.history.iter().all(|s| s.cost.is_finite()));
+    }
+}
+
+#[test]
+fn bayesopt_tunes_a_legalizer_parameter() {
+    // Use Bayesian optimization the way the paper does — to pick a
+    // hyperparameter by minimizing legalization cost. Here: the entropy
+    // coefficient over a tiny budget (the objective is cheap but real).
+    use rlleg_suite::bayesopt::BayesOpt;
+    use rlleg_suite::design::metrics::total_hpwl;
+
+    let design = generate(&find_spec("mc_top").expect("spec").scaled(0.03));
+    let hpwl_gp = total_hpwl(&design);
+    let mut opt = BayesOpt::new(vec![(0.0, 0.02)], 11);
+    opt.init_points = 3;
+    for _ in 0..6 {
+        let x = opt.suggest();
+        let cfg = RlConfig {
+            episodes: 2,
+            agents: 1,
+            hidden_dim: 12,
+            entropy_coeff: x[0] as f32,
+            ..RlConfig::tuned()
+        };
+        let result = train(std::slice::from_ref(&design), &cfg);
+        let mut d = design.clone();
+        Rl::new(result.best_model).legalize(&mut d);
+        let cost = rlleg_suite::design::metrics::legalization_cost(&d, hpwl_gp);
+        opt.observe(x, cost);
+    }
+    let (best_x, best_y) = opt.best().expect("observed");
+    assert!(best_x[0] >= 0.0 && best_x[0] <= 0.02);
+    assert!(best_y.is_finite());
+}
+
+#[test]
+fn suite_reexports_are_usable() {
+    // The umbrella prelude compiles and the table data is intact.
+    assert_eq!(training_suite().len(), 23);
+    assert_eq!(test_suite().len(), 5);
+    let p = Point::new(1, 2);
+    let r = Rect::new(0, 0, 4, 4);
+    assert!(r.contains_point(p));
+}

@@ -1,0 +1,110 @@
+//! Workspace-level property tests: for arbitrary generated designs, the
+//! legalizer either completes with a fully legal placement or reports
+//! exactly which cells failed — never a silently illegal result.
+
+use proptest::prelude::*;
+use rlleg_suite::design::legality::Violation;
+use rlleg_suite::prelude::*;
+
+/// A violation is excused when it involves a cell the run reported as
+/// failed (failed cells stay at their overlapping global-placement
+/// position, exactly as the baseline paper flow leaves them).
+fn involves_unlegalized(design: &Design, v: &Violation) -> bool {
+    let un = |id: &rlleg_suite::design::CellId| !design.cell(*id).legalized;
+    match v {
+        Violation::Overlap { a, b } => un(a) || un(b),
+        Violation::EdgeSpacing { left, right, .. } => un(left) || un(right),
+        Violation::OffSite { cell }
+        | Violation::OffRow { cell }
+        | Violation::OutsideCore { cell }
+        | Violation::RailParity { cell }
+        | Violation::FenceInside { cell }
+        | Violation::FenceOutside { cell, .. }
+        | Violation::MaxDisplacement { cell, .. }
+        | Violation::NotLegalized { cell } => un(cell),
+    }
+}
+
+fn arb_spec() -> impl Strategy<Value = rlleg_suite::benchgen::BenchmarkSpec> {
+    // Pick a table row and a small scale; both suites are fair game.
+    let names: Vec<String> = training_suite()
+        .into_iter()
+        .chain(test_suite())
+        .map(|s| s.name)
+        .collect();
+    (0..names.len(), 0.0008f64..0.004, 0u64..1_000).prop_map(move |(i, scale, seed)| {
+        let mut s = find_spec(&names[i]).expect("known name").scaled(scale);
+        s.seed = seed;
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn legalizer_output_is_always_legal(spec in arb_spec(), order_seed in 0u64..50) {
+        let mut design = generate(&spec);
+        let mut lg = Legalizer::new(&design);
+        let stats = lg.run(&mut design, &Ordering::Random(order_seed));
+        // Every violation must involve a cell the run reported as failed;
+        // committed cells are never part of a violation.
+        let bad: Vec<_> = legality::check(&design, false)
+            .into_iter()
+            .filter(|v| !involves_unlegalized(&design, v))
+            .collect();
+        prop_assert!(
+            bad.is_empty(),
+            "{}: committed-cell violation {} ({} failed cells)",
+            spec.name,
+            bad[0],
+            stats.failed.len()
+        );
+        // Completed cells are flagged; failed cells are not.
+        let unflagged = design
+            .movable_ids()
+            .filter(|&id| !design.cell(id).legalized)
+            .count();
+        prop_assert_eq!(unflagged, stats.failed.len());
+    }
+
+    #[test]
+    fn heuristics_preserve_legality(spec in arb_spec()) {
+        let mut design = generate(&spec);
+        let mut lg = Legalizer::new(&design);
+        let stats = lg.run(&mut design, &Ordering::SizeDescending);
+        prop_assume!(stats.is_complete());
+        let before = Qor::measure(&design).total_displacement;
+        lg.swap_pass(&mut design);
+        lg.rearrange_pass(&mut design);
+        prop_assert!(legality::is_legal(&design));
+        prop_assert!(Qor::measure(&design).total_displacement <= before);
+    }
+
+    #[test]
+    fn gcell_partitioning_preserves_legality(spec in arb_spec(), k in 1usize..5) {
+        let mut design = generate(&spec);
+        let gcells = GcellGrid::new(&design, k, k);
+        let mut lg = Legalizer::new(&design);
+        let _ = lg.run_gcells(&mut design, &Ordering::SizeDescending, &gcells);
+        let bad: Vec<_> = legality::check(&design, false)
+            .into_iter()
+            .filter(|v| !involves_unlegalized(&design, v))
+            .collect();
+        prop_assert!(bad.is_empty(), "committed-cell violation: {}", bad[0]);
+    }
+
+    #[test]
+    fn def_round_trip_any_generated_design(spec in arb_spec()) {
+        use rlleg_suite::design::def;
+        let design = generate(&spec);
+        let text = def::write_def(&design);
+        let back = def::parse_def(&text, design.tech.clone()).expect("round trip");
+        prop_assert_eq!(back.num_cells(), design.num_cells());
+        prop_assert_eq!(back.num_nets(), design.num_nets());
+        prop_assert_eq!(
+            rlleg_suite::design::metrics::total_hpwl(&back),
+            rlleg_suite::design::metrics::total_hpwl(&design)
+        );
+    }
+}
