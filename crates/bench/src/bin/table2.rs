@@ -32,6 +32,9 @@ struct Row {
 }
 
 fn main() {
+    // Collect metrics, spans, and the displacement histogram for the whole
+    // run; the merged snapshot is written next to the table report.
+    telemetry::enable();
     let args = Args::from_env();
     let scale: f64 = args.get("scale", 0.002);
     let per_design: usize = args.get("per_design", 8);
@@ -66,7 +69,8 @@ fn main() {
     let mut rows = Vec::new();
     for (spec, design) in specs.iter().zip(&designs) {
         let (_, size) = run_size_ordered(design, heuristics);
-        let (_, size_g) = run_size_ordered_gcells(design, heuristics, Some(spec.paper_gcell_grid()));
+        let (_, size_g) =
+            run_size_ordered_gcells(design, heuristics, Some(spec.paper_gcell_grid()));
         let best = result
             .best_for_design(&design.name)
             .expect("every design trained at least once");
@@ -142,6 +146,45 @@ fn main() {
         fails(&ours)
     );
 
+    // Displacement distribution per design (telemetry histogram buckets).
+    println!(
+        "\n{:<20} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
+        "Displacement (dbu)",
+        "p50[26]",
+        "p95[26]",
+        "max[26]",
+        "p50+G",
+        "p95+G",
+        "max+G",
+        "p50Ours",
+        "p95Ours",
+        "maxOurs"
+    );
+    for r in &rows {
+        println!(
+            "{:<20} | {:>7.0} {:>7.0} {:>7} | {:>7.0} {:>7.0} {:>7} | {:>7.0} {:>7.0} {:>7}",
+            r.design,
+            r.size.disp_p50,
+            r.size.disp_p95,
+            r.size.max_disp,
+            r.size_g.disp_p50,
+            r.size_g.disp_p95,
+            r.size_g.max_disp,
+            r.ours.disp_p50,
+            r.ours.disp_p95,
+            r.ours.max_disp
+        );
+    }
+
     let path = write_report("table2", &rows);
     println!("report: {}", path.display());
+    let snap = telemetry::snapshot();
+    println!(
+        "telemetry: {} pixels scanned, {} training steps, {} global updates",
+        snap.counter("legalize.search.pixels_scanned"),
+        snap.counter("train.steps"),
+        snap.counter("train.global_updates"),
+    );
+    let tpath = write_report("table2_telemetry", &snap);
+    println!("telemetry snapshot: {}", tpath.display());
 }

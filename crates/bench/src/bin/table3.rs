@@ -64,7 +64,8 @@ fn main() {
         let design = generate(&spec);
         let hpwl_gp = total_hpwl(&design);
         let (_, size) = run_size_ordered(&design, heuristics);
-        let (_, size_g) = run_size_ordered_gcells(&design, heuristics, Some(spec.paper_gcell_grid()));
+        let (_, size_g) =
+            run_size_ordered_gcells(&design, heuristics, Some(spec.paper_gcell_grid()));
         let mut d = design.clone();
         let report = rl.legalize(&mut d);
         let ours = RunResult::measure(&d, hpwl_gp, report.total_time.as_secs_f64());

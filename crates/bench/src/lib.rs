@@ -22,6 +22,11 @@ pub struct RunResult {
     pub avg_disp: f64,
     /// Maximum displacement (dbu).
     pub max_disp: i64,
+    /// Median displacement (dbu), estimated from the telemetry displacement
+    /// histogram buckets.
+    pub disp_p50: f64,
+    /// 95th-percentile displacement (dbu), same estimate.
+    pub disp_p95: f64,
     /// Total HPWL (dbu).
     pub hpwl: i64,
     /// Cells that could not be legalized.
@@ -39,6 +44,8 @@ impl RunResult {
         Self {
             avg_disp: q.avg_displacement,
             max_disp: q.max_displacement,
+            disp_p50: q.disp_p50,
+            disp_p95: q.disp_p95,
             hpwl: q.hpwl,
             failed: q.unplaced,
             seconds,
@@ -52,13 +59,14 @@ impl RunResult {
         Self {
             avg_disp: q.avg_displacement,
             max_disp: q.max_displacement,
+            disp_p50: q.disp_p50,
+            disp_p95: q.disp_p95,
             hpwl: q.hpwl,
             failed: q.unplaced,
             seconds,
             cost,
         }
     }
-
 }
 
 /// Runs the size-ordered baseline (\[26\]): size-descending order plus the
@@ -266,6 +274,8 @@ mod tests {
             RunResult {
                 avg_disp: 100.0,
                 max_disp: 1,
+                disp_p50: 0.0,
+                disp_p95: 0.0,
                 hpwl: 1,
                 failed: 0,
                 seconds: 0.0,
@@ -274,6 +284,8 @@ mod tests {
             RunResult {
                 avg_disp: 100.0,
                 max_disp: 1,
+                disp_p50: 0.0,
+                disp_p95: 0.0,
                 hpwl: 1,
                 failed: 0,
                 seconds: 0.0,
@@ -284,6 +296,8 @@ mod tests {
             RunResult {
                 avg_disp: 150.0,
                 max_disp: 1,
+                disp_p50: 0.0,
+                disp_p95: 0.0,
                 hpwl: 1,
                 failed: 0,
                 seconds: 0.0,
@@ -292,6 +306,8 @@ mod tests {
             RunResult {
                 avg_disp: 999.0,
                 max_disp: 1,
+                disp_p50: 0.0,
+                disp_p95: 0.0,
                 hpwl: 1,
                 failed: 3,
                 seconds: 0.0,

@@ -218,11 +218,17 @@ mod tests {
     fn paper_gcell_grid_matches_table() {
         // Table II: des_perf_1 is 3x3, des_perf_a_md1 is 5x5, usb_phy 1x1.
         assert_eq!(find_spec("des_perf_1").unwrap().paper_gcell_grid(), (3, 3));
-        assert_eq!(find_spec("des_perf_a_md1").unwrap().paper_gcell_grid(), (5, 5));
+        assert_eq!(
+            find_spec("des_perf_a_md1").unwrap().paper_gcell_grid(),
+            (5, 5)
+        );
         assert_eq!(find_spec("usb_phy").unwrap().paper_gcell_grid(), (1, 1));
         // Scaling does not change the paper grid.
         assert_eq!(
-            find_spec("des_perf_1").unwrap().scaled(0.003).paper_gcell_grid(),
+            find_spec("des_perf_1")
+                .unwrap()
+                .scaled(0.003)
+                .paper_gcell_grid(),
             (3, 3)
         );
     }

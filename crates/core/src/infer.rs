@@ -95,6 +95,7 @@ impl RlLegalizer {
     /// still commits as much as possible, mirroring how the baseline
     /// reports partial results).
     pub fn legalize(&self, design: &mut Design) -> InferenceReport {
+        let _t = telemetry::span("infer.legalize");
         let t0 = Instant::now();
         let mut feature_time = Duration::ZERO;
         let mut network_time = Duration::ZERO;
@@ -147,12 +148,60 @@ impl RlLegalizer {
             }
         }
         *design = env.into_design();
+        recover_failures(design, &mut legalized, &mut failed);
+        let total_time = t0.elapsed();
+        if !telemetry::disabled() {
+            use telemetry::buckets::SECONDS;
+            telemetry::counter("infer.runs").inc();
+            telemetry::counter("infer.cells_failed").add(failed.len() as u64);
+            telemetry::histogram("infer.total_seconds", SECONDS).record(total_time.as_secs_f64());
+            telemetry::histogram("infer.feature_seconds", SECONDS)
+                .record(feature_time.as_secs_f64());
+            telemetry::histogram("infer.network_seconds", SECONDS)
+                .record(network_time.as_secs_f64());
+        }
         InferenceReport {
             legalized,
             failed,
-            total_time: t0.elapsed(),
+            total_time,
             feature_time,
             network_time,
+        }
+    }
+}
+
+/// Retries cells the policy-ordered pass could not place.
+///
+/// A failure during the main pass is usually ordering-induced: earlier
+/// cells fragmented the free space until no contiguous window was left for
+/// a wide or multi-row cell. Each recovery round first runs a
+/// rearrangement pass (pulling committed cells back toward their
+/// global-placement positions, which can reopen windows), then retries the
+/// remaining failures with the rip-up-and-retry placer. Rounds stop as
+/// soon as one makes no progress; genuinely impossible cells stay in
+/// `failed`.
+fn recover_failures(design: &mut Design, legalized: &mut usize, failed: &mut Vec<CellId>) {
+    if failed.is_empty() {
+        return;
+    }
+    let mut lg = rlleg_legalize::Legalizer::new(design);
+    for _ in 0..3 {
+        lg.rearrange_pass(design);
+        let before = failed.len();
+        let retry = std::mem::take(failed);
+        for cell in retry {
+            match lg.ripup_place(design, cell) {
+                Ok(_) => {
+                    *legalized += 1;
+                    if !telemetry::disabled() {
+                        telemetry::counter("infer.recovered_cells").inc();
+                    }
+                }
+                Err(e) => failed.push(e.cell),
+            }
+        }
+        if failed.is_empty() || failed.len() == before {
+            break;
         }
     }
 }

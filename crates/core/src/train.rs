@@ -199,12 +199,16 @@ fn update(
     let snapshot = params.clone();
     drop(g);
     local.set_params_flat(&snapshot);
+    if !telemetry::disabled() {
+        telemetry::counter("train.global_updates").inc();
+    }
 }
 
 /// Runs one agent's subepisode under the given state mode, pushing steps
-/// into batches and updating as Algorithm 1 prescribes. Returns the number
-/// of legalization failures encountered (with the paper's
-/// terminate-on-failure semantics this is 0 or 1).
+/// into batches and updating as Algorithm 1 prescribes. Returns
+/// `(failures, steps)`: the number of legalization failures encountered
+/// (with the paper's terminate-on-failure semantics this is 0 or 1) and the
+/// number of environment steps taken.
 fn run_subepisode(
     env: &mut LegalizeEnv,
     g: usize,
@@ -213,13 +217,14 @@ fn run_subepisode(
     cfg: &RlConfig,
     lr: f32,
     rng: &mut impl Rng,
-) -> usize {
+) -> (usize, usize) {
     let all = env.remaining_in(g);
     if all.is_empty() {
-        return 0;
+        return (0, 0);
     }
     let mut batch: Vec<Step> = Vec::new();
     let mut failures = 0usize;
+    let mut steps = 0usize;
     match cfg.state_mode {
         StateMode::Reduced => {
             let mut remaining = all;
@@ -229,6 +234,7 @@ fn run_subepisode(
                 let probs = ops::softmax(&f.logits);
                 let a = sample_categorical(&probs, rng);
                 let outcome = env.step(remaining[a]);
+                steps += 1;
                 batch.push(Step {
                     state,
                     mask: None,
@@ -268,6 +274,7 @@ fn run_subepisode(
                 let probs = ops::softmax(&masked_logits(&f.logits, Some(&mask)));
                 let a = sample_categorical(&probs, rng);
                 let outcome = env.step(all[a]);
+                steps += 1;
                 batch.push(Step {
                     state,
                     mask: Some(mask.clone()),
@@ -300,7 +307,7 @@ fn run_subepisode(
             }
         }
     }
-    failures
+    (failures, steps)
 }
 
 /// Applies pending updates according to the configured return mode.
@@ -457,10 +464,25 @@ pub fn train(designs: &[Design], cfg: &RlConfig) -> TrainResult {
                     env.reset();
                     let lr = cfg.learning_rate * cfg.lr_decay.powi(episode as i32);
                     let mut failures = 0;
+                    let mut steps = 0usize;
+                    let t_ep = std::time::Instant::now();
                     for g in env.subepisode_order() {
-                        failures += run_subepisode(env, g, &mut local, shared, &cfg, lr, &mut rng);
+                        let (f, s) = run_subepisode(env, g, &mut local, shared, &cfg, lr, &mut rng);
+                        failures += f;
+                        steps += s;
                     }
                     let cost = env.legalization_cost();
+                    if !telemetry::disabled() {
+                        telemetry::counter("train.steps").add(steps as u64);
+                        telemetry::counter("train.episodes").inc();
+                        telemetry::histogram("train.episode_cost", telemetry::buckets::MAGNITUDE)
+                            .record(cost);
+                        let secs = t_ep.elapsed().as_secs_f64();
+                        if secs > 0.0 {
+                            telemetry::gauge(&format!("train.agent.{agent}.steps_per_sec"))
+                                .set((steps as f64 / secs) as i64);
+                        }
+                    }
                     let sample = TrainSample {
                         agent,
                         episode,

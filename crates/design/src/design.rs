@@ -310,7 +310,11 @@ mod tests {
         assert_eq!(back.cells, d.cells);
         assert_eq!(back.nets, d.nets);
         assert_eq!(back.regions, d.regions);
-        assert_eq!(back.nets_of(CellId(0)), d.nets_of(CellId(0)), "adjacency survives");
+        assert_eq!(
+            back.nets_of(CellId(0)),
+            d.nets_of(CellId(0)),
+            "adjacency survives"
+        );
     }
 
     #[test]

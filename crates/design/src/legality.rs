@@ -119,6 +119,7 @@ impl std::fmt::Display for Violation {
 /// cells whose `legalized` flag is unset — benches use this to detect
 /// legalization failures.
 pub fn check(design: &Design, require_committed: bool) -> Vec<Violation> {
+    let _t = telemetry::span("design.drc_check");
     let mut out = Vec::new();
     let rh = design.tech.row_height;
     let sw = design.tech.site_width;
@@ -195,6 +196,11 @@ pub fn check(design: &Design, require_committed: bool) -> Vec<Violation> {
 
     // Edge spacing: per row, examine horizontally adjacent pairs.
     out.extend(check_edge_spacing(design));
+    if !telemetry::disabled() {
+        telemetry::counter("design.drc.checks").inc();
+        telemetry::counter("design.drc.cells_checked").add(design.num_cells() as u64);
+        telemetry::counter("design.drc.violations").add(out.len() as u64);
+    }
     out
 }
 

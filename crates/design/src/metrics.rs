@@ -37,6 +37,7 @@ pub fn net_hpwl(design: &Design, net: NetId) -> Dbu {
 
 /// Total HPWL over all nets.
 pub fn total_hpwl(design: &Design) -> Dbu {
+    let _t = telemetry::span("design.total_hpwl");
     (0..design.num_nets() as u32)
         .map(|i| net_hpwl(design, NetId(i)))
         .sum()
@@ -67,6 +68,11 @@ pub struct Qor {
     /// Number of movable cells that are not marked legalized (0 for a
     /// successful run).
     pub unplaced: usize,
+    /// Median Manhattan displacement in dbu, estimated from the telemetry
+    /// displacement histogram buckets (0 when there are no movable cells).
+    pub disp_p50: f64,
+    /// 95th-percentile Manhattan displacement in dbu (same estimate).
+    pub disp_p95: f64,
 }
 
 impl Qor {
@@ -76,6 +82,7 @@ impl Qor {
         let mut max = 0;
         let mut n = 0usize;
         let mut unplaced = 0usize;
+        let mut disps = Vec::new();
         for c in design.cells.iter().filter(|c| c.is_movable()) {
             let d = c.displacement();
             total += d;
@@ -84,13 +91,21 @@ impl Qor {
             if !c.legalized {
                 unplaced += 1;
             }
+            disps.push(d as f64);
         }
+        // Percentiles via the telemetry histogram machinery: same buckets as
+        // the live `legalize.displacement_dbu` histogram, so table output and
+        // snapshot output agree on resolution.
+        let hist =
+            telemetry::HistogramSnapshot::from_values(telemetry::buckets::DISPLACEMENT_DBU, disps);
         Qor {
             avg_displacement: if n == 0 { 0.0 } else { total as f64 / n as f64 },
             max_displacement: max,
             total_displacement: total,
             hpwl: total_hpwl(design),
             unplaced,
+            disp_p50: hist.quantile(0.5),
+            disp_p95: hist.quantile(0.95),
         }
     }
 
@@ -178,6 +193,23 @@ mod tests {
         assert!((q.avg_displacement - 2_600.0 / 3.0).abs() < 1e-9);
         assert_eq!(q.unplaced, 3, "nothing marked legalized yet");
         assert!(!q.is_complete());
+    }
+
+    #[test]
+    fn qor_displacement_percentiles() {
+        let mut d = design();
+        d.cell_mut(CellId(0)).pos = Point::new(600, 0);
+        d.cell_mut(CellId(1)).pos = Point::new(1_000, 2_000);
+        let q = Qor::measure(&d);
+        // Displacements are {600, 2000, 0}: the bucket estimates must be
+        // ordered and bounded by the true extremes.
+        assert!(q.disp_p50 <= q.disp_p95, "{} > {}", q.disp_p50, q.disp_p95);
+        assert!(q.disp_p95 <= q.max_displacement as f64);
+        assert!(q.disp_p50 > 0.0);
+        // No movement at all: both percentiles collapse to zero.
+        let clean = Qor::measure(&design());
+        assert_eq!(clean.disp_p50, 0.0);
+        assert_eq!(clean.disp_p95, 0.0);
     }
 
     #[test]

@@ -194,6 +194,9 @@ impl FeatureSpace {
     /// Average Manhattan distance of the two nearest obstacles or design
     /// boundaries from the cell (feature 6, `OD`).
     fn obstacle_distance(&self, design: &Design, rect: Rect) -> f32 {
+        if !telemetry::disabled() {
+            telemetry::counter("legalize.features.rtree_queries").inc();
+        }
         let centre = rect.center();
         let mut dists: Vec<i64> = self
             .obstacles
@@ -211,6 +214,10 @@ impl FeatureSpace {
     /// Updates all dynamic features after `cell` moved from `old_pos` to
     /// its current `design` position. Call *after* mutating the design.
     pub fn on_cell_moved(&mut self, design: &Design, cell: CellId, old_pos: Point) {
+        if !telemetry::disabled() {
+            // Old-footprint query, new-footprint query, obstacle overlap count.
+            telemetry::counter("legalize.features.rtree_queries").add(3);
+        }
         let rh = design.tech.row_height;
         let c = design.cell(cell);
         if c.pos == old_pos {

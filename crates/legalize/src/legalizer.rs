@@ -121,8 +121,19 @@ impl Legalizer {
         assert!(!c.legalized, "cell {cell} already legalized");
         let from = c.gp_pos;
         let Some((pos, disp)) = find_position(&self.grid, design, cell, from, self.search) else {
+            if !telemetry::disabled() {
+                telemetry::counter("legalize.cells_failed").inc();
+            }
             return Err(PlaceCellError { cell });
         };
+        if !telemetry::disabled() {
+            telemetry::counter("legalize.cells_placed").inc();
+            telemetry::histogram(
+                "legalize.displacement_dbu",
+                telemetry::buckets::DISPLACEMENT_DBU,
+            )
+            .record(disp as f64);
+        }
         self.grid.place(design, cell, pos);
         let p = self.grid.to_dbu(design, pos);
         let c = design.cell_mut(cell);
@@ -153,6 +164,7 @@ impl Legalizer {
     /// at their global-placement position, matching the baseline behaviour
     /// the paper reports as "\[26\] failed to legalize all cells".
     pub fn run(&mut self, design: &mut Design, ordering: &Ordering) -> RunStats {
+        let _t = telemetry::span("legalize.run");
         let order = ordering.order(design, None);
         self.run_cells(design, &order)
     }
@@ -166,6 +178,7 @@ impl Legalizer {
         ordering: &Ordering,
         gcells: &GcellGrid,
     ) -> RunStats {
+        let _t = telemetry::span("legalize.run_gcells");
         let mut stats = RunStats::default();
         for g in gcells.subepisode_order() {
             let order = ordering.order(design, Some(gcells.cells_of(g)));
@@ -186,6 +199,169 @@ impl Legalizer {
             }
         }
         stats
+    }
+
+    /// Places `cell` even when the plain search fails, by evicting a small
+    /// set of already-legalized cells and re-legalizing them afterwards.
+    ///
+    /// Plain search failures on dense designs are usually fragmentation:
+    /// plenty of free pixels, but no contiguous window for a wide or
+    /// multi-row cell. This pass scans every anchor window the cell could
+    /// legally occupy, ranks them by target displacement plus an eviction
+    /// penalty, and tries the cheapest ones: evict the movable occupants,
+    /// commit the target, then re-run the search for each evicted cell.
+    /// An attempt where any evicted cell cannot be re-placed is rolled
+    /// back exactly, so the design and grid are never left worse than
+    /// before the call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceCellError`] when no attempt succeeds (e.g. the only
+    /// windows are blocked by fixed cells, or evictees cannot re-place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is fixed or already legalized.
+    pub fn ripup_place(
+        &mut self,
+        design: &mut Design,
+        cell: CellId,
+    ) -> Result<Dbu, PlaceCellError> {
+        if let Ok(disp) = self.legalize_cell(design, cell) {
+            return Ok(disp);
+        }
+        if !telemetry::disabled() {
+            telemetry::counter("legalize.ripup.attempts").inc();
+        }
+        /// Most evicted cells per window; windows needing more are skipped.
+        const MAX_EVICT: usize = 12;
+        /// Most candidate windows actually attempted.
+        const MAX_ATTEMPTS: usize = 32;
+
+        let c = design.cell(cell);
+        let sw = design.tech.site_width;
+        let rh = design.tech.row_height;
+        let w_sites = c.width / sw;
+        let h_rows = i64::from(c.height_rows);
+        let from = c.gp_pos;
+        let limit = self.search.displacement_limit.or(design.max_displacement);
+        // An eviction is worth roughly one cell's worth of extra movement.
+        let evict_penalty = sw + rh;
+
+        // Rank every legal-if-evicted anchor window.
+        let mut candidates: Vec<(Dbu, crate::pixel::GridPos)> = Vec::new();
+        for row in 0..=(self.grid.rows() - h_rows).max(-1) {
+            'site: for site in 0..=(self.grid.sites_x() - w_sites).max(-1) {
+                let pos = crate::pixel::GridPos { site, row };
+                if c.is_rail_constrained() && !c.rail.allows_row(row) {
+                    continue;
+                }
+                let p = self.grid.to_dbu(design, pos);
+                let disp = p.manhattan(from);
+                if limit.is_some_and(|l| disp > l) {
+                    continue;
+                }
+                let mut evicted: Vec<CellId> = Vec::new();
+                for r in row..row + h_rows {
+                    for s in site..site + w_sites {
+                        match self.grid.occupant(s, r) {
+                            Some(occ) => {
+                                if !evicted.contains(&occ) {
+                                    if evicted.len() == MAX_EVICT {
+                                        continue 'site;
+                                    }
+                                    evicted.push(occ);
+                                }
+                            }
+                            None => {
+                                if !self.grid.is_free(s, r) {
+                                    continue 'site; // fixed-cell pixel
+                                }
+                            }
+                        }
+                    }
+                }
+                if evicted.is_empty() {
+                    // The plain search normally covers empty windows; the
+                    // ones it rejected (fence, edge spacing) or its radius
+                    // bound missed are only worth attempting when directly
+                    // legal.
+                    if self.grid.check_place(design, cell, pos).is_ok() {
+                        candidates.push((disp, pos));
+                    }
+                    continue;
+                }
+                candidates.push((disp + evicted.len() as Dbu * evict_penalty, pos));
+            }
+        }
+        candidates.sort_unstable_by_key(|&(cost, pos)| (cost, pos.row, pos.site));
+
+        for &(_, pos) in candidates.iter().take(MAX_ATTEMPTS) {
+            // Evict the window's occupants, remembering their spots.
+            let mut evicted: Vec<(CellId, rlleg_geom::Point)> = Vec::new();
+            for r in pos.row..pos.row + h_rows {
+                for s in pos.site..pos.site + w_sites {
+                    if let Some(occ) = self.grid.occupant(s, r) {
+                        let old = design.cell(occ).pos;
+                        self.unlegalize_cell(design, occ);
+                        evicted.push((occ, old));
+                    }
+                }
+            }
+            let rollback = |lg: &mut Self,
+                            design: &mut Design,
+                            replaced: &[CellId],
+                            evicted: &[(CellId, rlleg_geom::Point)]| {
+                for &id in replaced {
+                    lg.unlegalize_cell(design, id);
+                }
+                for &(id, old) in evicted {
+                    let gp = lg.grid.to_grid(design, old);
+                    lg.grid.place(design, id, gp);
+                    let cm = design.cell_mut(id);
+                    cm.pos = old;
+                    cm.legalized = true;
+                }
+            };
+            // The window may still violate edge spacing against untouched
+            // neighbours; if so, restore and try the next one.
+            if self.grid.check_place(design, cell, pos).is_err() {
+                rollback(self, design, &[], &evicted);
+                continue;
+            }
+            self.grid.place(design, cell, pos);
+            let p = self.grid.to_dbu(design, pos);
+            let disp = p.manhattan(from);
+            let cm = design.cell_mut(cell);
+            cm.pos = p;
+            cm.legalized = true;
+            // Largest evictees first: they are the hardest to re-place.
+            let mut order: Vec<CellId> = evicted.iter().map(|&(id, _)| id).collect();
+            order.sort_by_key(|&id| {
+                let ec = design.cell(id);
+                std::cmp::Reverse((i64::from(ec.height_rows), ec.width, id.0))
+            });
+            let mut replaced: Vec<CellId> = Vec::new();
+            let mut ok = true;
+            for id in order {
+                match self.legalize_cell(design, id) {
+                    Ok(_) => replaced.push(id),
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                if !telemetry::disabled() {
+                    telemetry::counter("legalize.ripup.recovered").inc();
+                }
+                return Ok(disp);
+            }
+            self.unlegalize_cell(design, cell);
+            rollback(self, design, &replaced, &evicted);
+        }
+        Err(PlaceCellError { cell })
     }
 
     /// The rearrangement heuristic of the size-ordered baseline: each
@@ -421,6 +597,85 @@ mod tests {
         let any = d.movable_ids().next().expect("cells");
         let pos = lg2.grid().to_grid(&d, d.cell(any).pos);
         assert_eq!(lg2.grid().occupant(pos.site, pos.row), Some(any));
+    }
+
+    #[test]
+    fn ripup_places_fragmented_tall_cell() {
+        // 6 sites x 3 rows; one 1x1 cell per column, staggered across rows,
+        // so every column is broken and a 1x3 cell has no contiguous window
+        // — the classic fragmentation failure.
+        let mut b = DesignBuilder::new("rip", Technology::contest(), 6, 3);
+        let mut small = Vec::new();
+        for s in 0..6i64 {
+            small.push(b.add_cell(format!("s{s}"), 1, 1, Point::new(s * 200, (s % 3) * 2_000)));
+        }
+        let tall = b.add_cell("tall", 1, 3, Point::new(400, 0));
+        let mut d = b.build();
+        let mut lg = Legalizer::new(&d);
+        for &id in &small {
+            lg.legalize_cell(&mut d, id)
+                .expect("small cell at its spot");
+        }
+        assert!(
+            lg.legalize_cell(&mut d, tall).is_err(),
+            "fragmented grid must defeat the plain search"
+        );
+        lg.ripup_place(&mut d, tall).expect("rip-up succeeds");
+        assert!(d.cell(tall).legalized);
+        assert!(
+            d.movable_ids().all(|id| d.cell(id).legalized),
+            "evicted cells must be re-placed"
+        );
+        assert!(
+            legality::is_legal(&d),
+            "{:?}",
+            legality::check(&d, true).first()
+        );
+    }
+
+    #[test]
+    fn ripup_fails_cleanly_when_impossible() {
+        let mut b = DesignBuilder::new("imp", Technology::contest(), 8, 2);
+        let a = b.add_cell("a", 1, 1, Point::new(0, 0));
+        b.add_fixed_cell("m", 8, 2, Point::new(0, 0));
+        let mut d = b.build();
+        let mut lg = Legalizer::new(&d);
+        assert!(lg.ripup_place(&mut d, a).is_err());
+        assert!(!d.cell(a).legalized);
+        assert_eq!(d.cell(a).pos, d.cell(a).gp_pos);
+    }
+
+    #[test]
+    fn ripup_rolls_back_exactly_when_evictees_cannot_replace() {
+        // 2 sites x 3 rows, every pixel occupied: both candidate windows
+        // require evicting three cells that then have nowhere to go. The
+        // attempt must fail and restore every cell to its original spot.
+        let mut b = DesignBuilder::new("rb", Technology::contest(), 2, 3);
+        let mut small = Vec::new();
+        for s in 0..2i64 {
+            for r in 0..3i64 {
+                small.push(b.add_cell(format!("s{s}_{r}"), 1, 1, Point::new(s * 200, r * 2_000)));
+            }
+        }
+        let tall = b.add_cell("tall", 1, 3, Point::new(0, 0));
+        let mut d = b.build();
+        let mut lg = Legalizer::new(&d);
+        for &id in &small {
+            lg.legalize_cell(&mut d, id)
+                .expect("small cell at its spot");
+        }
+        let before: Vec<_> = small.iter().map(|&id| d.cell(id).pos).collect();
+        assert!(lg.ripup_place(&mut d, tall).is_err());
+        assert!(!d.cell(tall).legalized);
+        for (&id, &pos) in small.iter().zip(&before) {
+            assert_eq!(d.cell(id).pos, pos, "rollback must restore {id}");
+            assert!(d.cell(id).legalized);
+        }
+        // The grid still answers consistently: every original spot occupied.
+        for &id in &small {
+            let g = lg.grid().to_grid(&d, d.cell(id).pos);
+            assert_eq!(lg.grid().occupant(g.site, g.row), Some(id));
+        }
     }
 
     #[test]

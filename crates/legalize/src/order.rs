@@ -22,14 +22,21 @@ pub enum Ordering {
     XAscending,
     /// Uniformly random order from the given seed (Fig. 1's experiment).
     Random(u64),
-    /// An explicit order (the RL agent's choice). Must contain each movable
-    /// cell exactly once.
+    /// An explicit order (the RL agent's choice). Entries outside the
+    /// requested cell set and repeated entries are dropped; every requested
+    /// cell must appear at least once.
     Explicit(Vec<CellId>),
 }
 
 impl Ordering {
     /// Produces the legalization order for `cells` (defaulting to every
     /// movable cell of `design` when `cells` is `None`).
+    ///
+    /// # Panics
+    ///
+    /// For [`Ordering::Explicit`], panics when the order does not cover
+    /// every requested cell — a silent drop would leave cells unlegalized
+    /// and misreport the run as complete.
     pub fn order(&self, design: &Design, cells: Option<&[CellId]>) -> Vec<CellId> {
         let mut ids: Vec<CellId> = match cells {
             Some(c) => c.to_vec(),
@@ -51,12 +58,24 @@ impl Ordering {
                 ids.shuffle(&mut rng);
             }
             Ordering::Explicit(order) => {
-                debug_assert_eq!(
-                    order.len(),
+                // Validate instead of blindly cloning: keep the first
+                // occurrence of each requested cell, drop everything else,
+                // and require the result to be a permutation of the request.
+                let requested: std::collections::HashSet<CellId> = ids.iter().copied().collect();
+                let mut seen = std::collections::HashSet::with_capacity(ids.len());
+                let filtered: Vec<CellId> = order
+                    .iter()
+                    .copied()
+                    .filter(|id| requested.contains(id) && seen.insert(*id))
+                    .collect();
+                assert_eq!(
+                    filtered.len(),
                     ids.len(),
-                    "explicit order must cover all cells"
+                    "explicit order covers {} of the {} requested cells",
+                    filtered.len(),
+                    ids.len()
                 );
-                return order.clone();
+                return filtered;
             }
         }
         ids
@@ -121,6 +140,38 @@ mod tests {
         // Some seed must give a different order (try a few).
         let differs = (2..30).any(|s| Ordering::Random(s).order(&d, None) != a);
         assert!(differs);
+    }
+
+    #[test]
+    fn explicit_filters_to_requested_subset() {
+        let d = design();
+        // Full permutation with noise: a fixed cell (never movable), a
+        // duplicate, and an out-of-range id are all dropped.
+        let noisy = vec![
+            CellId(2),
+            CellId(3), // the macro: not movable, filtered
+            CellId(0),
+            CellId(2), // duplicate, filtered
+            CellId(99),
+            CellId(1),
+        ];
+        assert_eq!(
+            Ordering::Explicit(noisy).order(&d, None),
+            vec![CellId(2), CellId(0), CellId(1)]
+        );
+        // Subset request: the explicit order may mention cells outside the
+        // subset; only the requested ones survive, in the given order.
+        let got = Ordering::Explicit(vec![CellId(1), CellId(2), CellId(0)])
+            .order(&d, Some(&[CellId(0), CellId(1)]));
+        assert_eq!(got, vec![CellId(1), CellId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "explicit order covers")]
+    fn explicit_missing_cell_panics() {
+        let d = design();
+        // CellId(1) is movable but absent from the order.
+        Ordering::Explicit(vec![CellId(0), CellId(2)]).order(&d, None);
     }
 
     #[test]

@@ -74,7 +74,11 @@ pub fn find_position(
     ));
 
     let mut best: Option<(GridPos, Dbu)> = None;
+    // Candidate pixels examined, flushed to telemetry once per search so the
+    // hot loop touches only a local cell.
+    let scanned = std::cell::Cell::new(0u64);
     let try_candidate = |pos: GridPos, best: &mut Option<(GridPos, Dbu)>| {
+        scanned.set(scanned.get() + 1);
         let p = grid.to_dbu(design, pos);
         let disp = p.manhattan(from);
         if let Some(l) = limit {
@@ -133,6 +137,10 @@ pub fn find_position(
                 try_candidate(GridPos { site, row }, &mut best);
             }
         }
+    }
+    if !telemetry::disabled() {
+        telemetry::counter("legalize.search.pixels_scanned").add(scanned.get());
+        telemetry::counter("legalize.search.calls").inc();
     }
     best
 }

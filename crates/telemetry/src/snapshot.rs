@@ -1,0 +1,209 @@
+//! Point-in-time, serializable views of the registry.
+//!
+//! [`Snapshot`] is plain data with serde derives, so bench binaries can
+//! embed it in their `target/reports/BENCH_*.json` records and offline
+//! tooling can read it back.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Merged state of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value (0 when empty).
+    pub min: f64,
+    /// Largest observed value (0 when empty).
+    pub max: f64,
+    /// Inclusive bucket upper bounds; the overflow bucket is implicit.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts, `bounds.len() + 1` entries.
+    pub bucket_counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Builds a histogram directly from a set of values — the same bucket
+    /// assignment as the registry's live histograms, but for one-shot
+    /// reporting (e.g. the displacement percentiles of a finished run)
+    /// without going through global state.
+    pub fn from_values(bounds: &[f64], values: impl IntoIterator<Item = f64>) -> Self {
+        let mut s = Self {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            bounds: bounds.to_vec(),
+            bucket_counts: vec![0; bounds.len() + 1],
+            ..Self::default()
+        };
+        for v in values {
+            let i = bounds.partition_point(|&b| b < v);
+            s.bucket_counts[i] += 1;
+            s.count += 1;
+            s.sum += v;
+            s.min = s.min.min(v);
+            s.max = s.max.max(v);
+        }
+        if s.count == 0 {
+            s.min = 0.0;
+            s.max = 0.0;
+        }
+        s
+    }
+
+    /// Mean observed value, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the containing bucket, clamped to the observed min/max.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, &c) in self.bucket_counts.iter().enumerate() {
+            if c == 0 {
+                cum += c;
+                continue;
+            }
+            let lo_cum = cum;
+            cum += c;
+            if (cum as f64) < rank {
+                continue;
+            }
+            let lo = if i == 0 {
+                self.min
+            } else {
+                self.bounds[i - 1].max(self.min)
+            };
+            let hi = if i < self.bounds.len() {
+                self.bounds[i].min(self.max)
+            } else {
+                self.max
+            };
+            let frac = (rank - lo_cum as f64) / c as f64;
+            // The two-product form is exact at both endpoints (frac = 0 or
+            // 1), so quantile(1.0) returns max to the last bit.
+            return (lo * (1.0 - frac) + hi * frac).clamp(self.min, self.max);
+        }
+        self.max
+    }
+}
+
+/// A merged, serializable view of every metric in a registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by name; span timings appear as `span.<name>`.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Events shed by the installed journal (0 when no journal).
+    pub dropped_events: u64,
+}
+
+impl Snapshot {
+    /// Counter total, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram view, `None` when absent.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot is plain data")
+    }
+
+    /// Parses a snapshot back from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(bounds: Vec<f64>, bucket_counts: Vec<u64>, min: f64, max: f64) -> HistogramSnapshot {
+        let count = bucket_counts.iter().sum();
+        let sum = 0.0;
+        HistogramSnapshot {
+            count,
+            sum,
+            min,
+            max,
+            bounds,
+            bucket_counts,
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_clamp() {
+        // 10 values in (1, 2], 10 in (2, 4].
+        let h = hist(vec![1.0, 2.0, 4.0], vec![0, 10, 10, 0], 1.2, 3.9);
+        assert!(h.quantile(0.0) >= h.min);
+        let p50 = h.quantile(0.5);
+        assert!((1.2..=2.0).contains(&p50), "p50 {p50}");
+        let p95 = h.quantile(0.95);
+        assert!((2.0..=3.9).contains(&p95), "p95 {p95}");
+        assert_eq!(h.quantile(1.0), 3.9);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_max() {
+        // All mass in the implicit overflow bucket: interpolation is bounded
+        // by the observed range and tops out at max.
+        let h = hist(vec![1.0], vec![0, 5], 10.0, 50.0);
+        let p99 = h.quantile(0.99);
+        assert!((10.0..=50.0).contains(&p99), "p99 {p99}");
+        assert_eq!(h.quantile(1.0), 50.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = HistogramSnapshot::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn from_values_matches_manual_bucketing() {
+        let h = HistogramSnapshot::from_values(&[1.0, 10.0], [0.5, 1.0, 2.0, 50.0]);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.bucket_counts, vec![2, 1, 1]);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 50.0);
+        assert!((h.sum - 53.5).abs() < 1e-12);
+        let empty = HistogramSnapshot::from_values(&[1.0], std::iter::empty());
+        assert_eq!((empty.min, empty.max, empty.count), (0.0, 0.0, 0));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut s = Snapshot::default();
+        s.counters.insert("a.b".into(), 42);
+        s.gauges.insert("g".into(), -7);
+        s.histograms
+            .insert("h".into(), hist(vec![1.0, 10.0], vec![1, 2, 3], 0.5, 99.0));
+        s.dropped_events = 3;
+        let json = s.to_json();
+        let back = Snapshot::from_json(&json).expect("parses");
+        assert_eq!(back, s);
+        assert_eq!(back.counter("a.b"), 42);
+        assert_eq!(back.counter("missing"), 0);
+    }
+}

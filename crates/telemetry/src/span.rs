@@ -1,0 +1,105 @@
+//! RAII wall-time spans.
+//!
+//! A [`Span`] measures the wall time between its creation and drop and
+//! records it into a per-name histogram in the global registry. A
+//! thread-local stack tracks the active span names so diagnostics (and
+//! journal events) can see where they were emitted from.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::registry::Histogram;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An active timing span; the measurement commits on drop.
+///
+/// Created by [`crate::span`]. When telemetry is disabled at creation time
+/// the span is inert: no clock read, no stack push, no histogram update.
+#[must_use = "a span measures the time until it is dropped"]
+pub struct Span {
+    name: &'static str,
+    armed: Option<(Instant, Histogram)>,
+}
+
+impl Span {
+    pub(crate) fn start(name: &'static str) -> Self {
+        if crate::disabled() {
+            return Self { name, armed: None };
+        }
+        let hist = crate::global().span_histogram(name);
+        STACK.with(|s| s.borrow_mut().push(name));
+        Self {
+            name,
+            armed: Some((Instant::now(), hist)),
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// `true` when this span is actually measuring (telemetry was enabled
+    /// at creation).
+    pub fn is_armed(&self) -> bool {
+        self.armed.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((start, hist)) = self.armed.take() {
+            hist.record(start.elapsed().as_secs_f64());
+            STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                // RAII spans drop LIFO; pop defensively in case a span was
+                // leaked across an unwind.
+                if let Some(i) = stack.iter().rposition(|&n| n == self.name) {
+                    stack.truncate(i);
+                }
+            });
+        }
+    }
+}
+
+/// The names of the spans currently active on this thread, outermost first.
+pub fn current_stack() -> Vec<&'static str> {
+    STACK.with(|s| s.borrow().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_histogram_and_tracks_stack() {
+        let _g = crate::test_lock();
+        crate::set_enabled(true);
+        {
+            let outer = crate::span("test.outer");
+            assert!(outer.is_armed());
+            {
+                let _inner = crate::span("test.inner");
+                assert_eq!(current_stack(), vec!["test.outer", "test.inner"]);
+            }
+            assert_eq!(current_stack(), vec!["test.outer"]);
+        }
+        crate::set_enabled(false);
+        assert!(current_stack().is_empty());
+        let snap = crate::global().snapshot();
+        assert_eq!(snap.histograms["span.test.outer"].count, 1);
+        assert_eq!(snap.histograms["span.test.inner"].count, 1);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _g = crate::test_lock();
+        crate::set_enabled(false);
+        let s = crate::span("test.off");
+        assert!(!s.is_armed());
+        assert!(current_stack().is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for histogram bucket boundaries.
+//!
+//! The bucketing rule is: bucket `i` covers `(bounds[i-1], bounds[i]]`,
+//! with an implicit overflow bucket above the last bound. These properties
+//! check that rule (and the derived stats) against brute-force recounts for
+//! arbitrary strictly-increasing bounds and arbitrary observations, via
+//! both the live [`Histogram`](telemetry::Histogram) and the offline
+//! [`HistogramSnapshot::from_values`] constructor.
+
+use std::sync::{Mutex, MutexGuard};
+
+use proptest::prelude::*;
+use telemetry::{HistogramSnapshot, MetricsRegistry};
+
+/// Serializes tests in this binary around the process-global enabled flag.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Strictly increasing bucket bounds, 1 to 12 of them.
+fn arb_bounds() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..50.0, 1..12).prop_map(|steps| {
+        let mut acc = 0.0;
+        steps
+            .iter()
+            .map(|s| {
+                acc += s;
+                acc
+            })
+            .collect()
+    })
+}
+
+fn arb_values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..700.0, 0..200)
+}
+
+/// The bucket a value belongs to under the documented rule.
+fn expected_bucket(bounds: &[f64], v: f64) -> usize {
+    bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len())
+}
+
+fn check_against_recount(s: &HistogramSnapshot, bounds: &[f64], values: &[f64]) {
+    assert_eq!(s.bounds, bounds);
+    assert_eq!(s.bucket_counts.len(), bounds.len() + 1);
+    assert_eq!(s.count, values.len() as u64);
+    assert_eq!(
+        s.bucket_counts.iter().sum::<u64>(),
+        values.len() as u64,
+        "every observation lands in exactly one bucket"
+    );
+    let mut want = vec![0u64; bounds.len() + 1];
+    for &v in values {
+        want[expected_bucket(bounds, v)] += 1;
+    }
+    assert_eq!(s.bucket_counts, want);
+    if values.is_empty() {
+        assert_eq!((s.min, s.max, s.sum), (0.0, 0.0, 0.0));
+    } else {
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(s.min, min);
+        assert_eq!(s.max, max);
+        let sum: f64 = values.iter().sum();
+        assert!((s.sum - sum).abs() <= sum.abs() * 1e-9 + 1e-9);
+    }
+}
+
+proptest! {
+    #[test]
+    fn live_histogram_buckets_match_recount(
+        bounds in arb_bounds(),
+        values in arb_values(),
+    ) {
+        let _g = lock();
+        telemetry::enable();
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("prop.h", &bounds);
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        telemetry::disable();
+        check_against_recount(&s, &bounds, &values);
+    }
+
+    #[test]
+    fn from_values_matches_live_histogram(
+        bounds in arb_bounds(),
+        values in arb_values(),
+    ) {
+        let _g = lock();
+        telemetry::enable();
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("prop.same", &bounds);
+        for &v in &values {
+            h.record(v);
+        }
+        let live = h.snapshot();
+        telemetry::disable();
+        let offline = HistogramSnapshot::from_values(&bounds, values.iter().copied());
+        check_against_recount(&offline, &bounds, &values);
+        prop_assert_eq!(live.bucket_counts, offline.bucket_counts);
+        prop_assert_eq!(live.count, offline.count);
+        prop_assert_eq!(live.min, offline.min);
+        prop_assert_eq!(live.max, offline.max);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        bounds in arb_bounds(),
+        values in arb_values(),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let s = HistogramSnapshot::from_values(&bounds, values.iter().copied());
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let lo = s.quantile(lo_q);
+        let hi = s.quantile(hi_q);
+        prop_assert!(lo <= hi, "quantile must be monotone: q({lo_q})={lo} > q({hi_q})={hi}");
+        if !values.is_empty() {
+            prop_assert!(lo >= s.min && hi <= s.max, "quantiles clamp to [min, max]");
+            prop_assert_eq!(s.quantile(1.0), s.max);
+        }
+    }
+}

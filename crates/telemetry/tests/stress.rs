@@ -1,0 +1,127 @@
+//! Multi-thread stress tests for the sharded [`MetricsRegistry`].
+//!
+//! Each test hammers a local registry from more threads than there are
+//! shards and asserts the merged snapshot equals the exact totals the
+//! threads produced. The global enabled flag is process-wide, so every
+//! test in this binary serializes through [`lock`] and leaves telemetry
+//! enabled only while it holds the guard.
+
+use std::sync::{Mutex, MutexGuard};
+
+use telemetry::{buckets, MetricsRegistry, SHARDS};
+
+/// Serializes tests in this binary around the process-global enabled flag.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+const THREADS: usize = 24;
+const OPS: u64 = 20_000;
+
+#[test]
+fn counters_merge_exactly_under_contention() {
+    let _g = lock();
+    telemetry::enable();
+    let reg = MetricsRegistry::new();
+    const { assert!(THREADS > SHARDS, "stress must oversubscribe the shards") };
+    // Two counters: one shared handle cloned into every thread, one looked
+    // up by name per thread (the get-or-create path under contention).
+    let shared = reg.counter("stress.shared");
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let shared = shared.clone();
+            let reg = &reg;
+            s.spawn(move || {
+                let named = reg.counter("stress.named");
+                for i in 0..OPS {
+                    shared.add(1);
+                    if i % 2 == 0 {
+                        named.inc();
+                    }
+                    if t == 0 && i == 0 {
+                        reg.gauge("stress.gauge").set(7);
+                    }
+                }
+            });
+        }
+    });
+    let snap = reg.snapshot();
+    telemetry::disable();
+    assert_eq!(snap.counters["stress.shared"], THREADS as u64 * OPS);
+    assert_eq!(snap.counters["stress.named"], THREADS as u64 * OPS / 2);
+    assert_eq!(snap.gauges["stress.gauge"], 7);
+}
+
+#[test]
+fn histograms_merge_exactly_under_contention() {
+    let _g = lock();
+    telemetry::enable();
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("stress.h", buckets::MAGNITUDE);
+    // Thread t records the values t*OPS..(t+1)*OPS, so the exact count,
+    // sum, min, and max of the union are all closed-form.
+    std::thread::scope(|s| {
+        for t in 0..THREADS as u64 {
+            let h = h.clone();
+            s.spawn(move || {
+                for i in t * OPS..(t + 1) * OPS {
+                    h.record(i as f64);
+                }
+            });
+        }
+    });
+    let s = h.snapshot();
+    telemetry::disable();
+    let n = THREADS as u64 * OPS;
+    assert_eq!(s.count, n);
+    assert_eq!(s.bucket_counts.iter().sum::<u64>(), n);
+    assert_eq!(s.min, 0.0);
+    assert_eq!(s.max, (n - 1) as f64);
+    // Sum of 0..n as f64: every term is an integer well under 2^53, but the
+    // running sums exceed it, so allow relative rounding error.
+    let want_sum = (n as f64 - 1.0) * n as f64 / 2.0;
+    assert!(
+        (s.sum - want_sum).abs() <= want_sum * 1e-9,
+        "sum {} != {want_sum}",
+        s.sum
+    );
+    // Recount each bucket from the known value set.
+    for (i, &count) in s.bucket_counts.iter().enumerate() {
+        let lo = if i == 0 {
+            f64::NEG_INFINITY
+        } else {
+            s.bounds[i - 1]
+        };
+        let hi = s.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+        let want = (0..n)
+            .filter(|&v| (v as f64) > lo && (v as f64) <= hi)
+            .count() as u64;
+        assert_eq!(count, want, "bucket {i} ({lo}, {hi}]");
+    }
+}
+
+#[test]
+fn mixed_metrics_survive_thread_churn() {
+    let _g = lock();
+    telemetry::enable();
+    let reg = MetricsRegistry::new();
+    // Short-lived threads (beyond the shard count) exercise round-robin
+    // shard reassignment; every update must still land in the merge.
+    for batch in 0..3 {
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let reg = &reg;
+                s.spawn(move || {
+                    reg.counter("churn.count").add(batch + 1);
+                    reg.histogram("churn.h", buckets::SECONDS).record(1e-4);
+                });
+            }
+        });
+    }
+    let snap = reg.snapshot();
+    telemetry::disable();
+    assert_eq!(snap.counters["churn.count"], (1 + 2 + 3) * THREADS as u64);
+    assert_eq!(snap.histograms["churn.h"].count, 3 * THREADS as u64);
+}

@@ -1,0 +1,69 @@
+//! End-to-end telemetry tour: enable the subsystem, install a JSONL event
+//! journal, train briefly, run trained-model inference, and dump the merged
+//! snapshot — every instrumented layer (legalizer, trainer, inference, DRC)
+//! shows up in one report.
+//!
+//! ```text
+//! cargo run --release --example telemetry_demo
+//! ```
+
+use rlleg_suite::prelude::*;
+use rlleg_suite::telemetry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    telemetry::enable();
+    let journal_path = std::env::temp_dir().join("rlleg_telemetry_demo.jsonl");
+    let file = std::fs::File::create(&journal_path)?;
+    telemetry::install_journal(telemetry::Journal::new(file, 1024));
+
+    // A small design, a short training run, then frozen-policy inference.
+    let spec = find_spec("usb_phy")
+        .ok_or("unknown benchmark")?
+        .scaled(0.05);
+    let design = generate(&spec);
+    println!(
+        "design {}: {} movable cells",
+        design.name,
+        design.num_movable()
+    );
+
+    let cfg = RlConfig {
+        episodes: 4,
+        agents: 2,
+        ..RlConfig::tuned()
+    };
+    let result = train(std::slice::from_ref(&design), &cfg);
+    telemetry::emit(telemetry::Event::new("demo.trained").with("episodes", cfg.episodes as u64));
+
+    let mut legalized = design.clone();
+    let report = RlLegalizer::new(result.model).legalize(&mut legalized);
+    println!(
+        "inference: {} legalized, {} failed, {:.1} ms total ({:.0} % in features)",
+        report.legalized,
+        report.failed.len(),
+        report.total_time.as_secs_f64() * 1e3,
+        100.0 * report.feature_time.as_secs_f64() / report.total_time.as_secs_f64().max(1e-12)
+    );
+    assert!(legality::is_legal(&legalized));
+
+    // Merge every shard into one serializable snapshot.
+    let snap = telemetry::snapshot();
+    println!("\ncounters:");
+    for (name, v) in &snap.counters {
+        println!("  {name:<40} {v}");
+    }
+    println!("histograms (count / p50 / p95):");
+    for (name, h) in &snap.histograms {
+        println!(
+            "  {name:<40} {:>8} {:>12.4} {:>12.4}",
+            h.count,
+            h.quantile(0.5),
+            h.quantile(0.95)
+        );
+    }
+    if let Some(j) = telemetry::take_journal() {
+        let dropped = j.finish();
+        println!("journal: {} ({dropped} dropped)", journal_path.display());
+    }
+    Ok(())
+}

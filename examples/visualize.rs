@@ -13,13 +13,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = args.next().unwrap_or_else(|| "des_perf_b_md1".to_owned());
     let scale: f64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0.01);
     let out_dir = std::path::PathBuf::from(
-        args.next().unwrap_or_else(|| std::env::temp_dir().join("rlleg_viz").display().to_string()),
+        args.next()
+            .unwrap_or_else(|| std::env::temp_dir().join("rlleg_viz").display().to_string()),
     );
     std::fs::create_dir_all(&out_dir)?;
 
     let spec = find_spec(&name).ok_or("unknown benchmark (see `rlleg bench-list`)")?;
     let mut design = generate(&spec.scaled(scale));
-    println!("{}: {} cells, density {:.2}", design.name, design.num_movable(), design.density());
+    println!(
+        "{}: {} cells, density {:.2}",
+        design.name,
+        design.num_movable(),
+        design.density()
+    );
 
     let opts = SvgOptions::default();
     let gp_path = out_dir.join(format!("{name}_global.svg"));
@@ -28,10 +34,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut lg = Legalizer::new(&design);
     let stats = lg.run(&mut design, &Ordering::SizeDescending);
-    println!("legalized {} cells ({} failed): {}", stats.legalized, stats.failed.len(), Qor::measure(&design));
+    println!(
+        "legalized {} cells ({} failed): {}",
+        stats.legalized,
+        stats.failed.len(),
+        Qor::measure(&design)
+    );
 
     let legal_path = out_dir.join(format!("{name}_legalized.svg"));
-    let vec_opts = SvgOptions { displacement_vectors: true, ..SvgOptions::default() };
+    let vec_opts = SvgOptions {
+        displacement_vectors: true,
+        ..SvgOptions::default()
+    };
     std::fs::write(&legal_path, render_svg(&design, &vec_opts))?;
     println!("wrote {} (with displacement vectors)", legal_path.display());
     Ok(())

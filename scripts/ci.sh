@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate for the workspace: formatting, lints, and the tier-1 verify
+# (release build + full test suite) from ROADMAP.md. Run from anywhere;
+# fails fast on the first broken stage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1 verify: cargo build --release"
+cargo build --release
+
+echo "==> tier-1 verify: cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> ci: all stages passed"

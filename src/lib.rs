@@ -10,7 +10,8 @@
 //! - [`legalize`] — the pixel-wise search legalizer, Gcells, features,
 //! - [`nn`] — the neural-network stack,
 //! - [`bayesopt`] — GP Bayesian optimization,
-//! - [`rl`] — the RL-Legalizer itself (environment, A3C, inference).
+//! - [`rl`] — the RL-Legalizer itself (environment, A3C, inference),
+//! - [`telemetry`] — zero-dependency metrics, spans, and event journal.
 //!
 //! # Example
 //!
@@ -32,6 +33,7 @@ pub use rlleg_design as design;
 pub use rlleg_geom as geom;
 pub use rlleg_legalize as legalize;
 pub use rlleg_nn as nn;
+pub use telemetry;
 
 /// The core RL framework (crate `rl-legalizer`).
 pub use rl_legalizer as rl;

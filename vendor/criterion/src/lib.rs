@@ -1,0 +1,200 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `Criterion`/`BenchmarkGroup`/`Bencher`/`BenchmarkId` API
+//! plus the `criterion_group!`/`criterion_main!` macros. Instead of
+//! criterion's statistical machinery it runs each benchmark for a bounded
+//! number of timed iterations (with a wall-clock cap) and prints the mean
+//! iteration time — enough to compare runs by eye and to keep
+//! `harness = false` bench targets building and runnable offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Upper bound on wall-clock time spent measuring a single benchmark.
+const TIME_CAP: Duration = Duration::from_secs(1);
+
+/// Identifier of one benchmark within a group: a function name plus an
+/// optional parameter rendered via `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as an identifier.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: u64,
+    /// Mean time per iteration from the most recent `iter` call.
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over up to `samples` iterations (stopping early at
+    /// the wall-clock cap) after one untimed warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let mut spent = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while iters < self.samples && spent < TIME_CAP {
+            let start = Instant::now();
+            black_box(routine());
+            spent += start.elapsed();
+            iters += 1;
+        }
+        self.last_mean = Some(spent / iters.max(1) as u32);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_mean: None,
+        };
+        f(&mut b);
+        self.report(&id, b.last_mean);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_mean: None,
+        };
+        f(&mut b, input);
+        self.report(&id, b.last_mean);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, mean: Option<Duration>) {
+        match mean {
+            Some(m) => println!("{}/{:<40} {:>12.3?}/iter", self.name, id.id, m),
+            None => println!("{}/{:<40} (no measurement)", self.name, id.id),
+        }
+    }
+}
+
+/// Entry point handed to benchmark functions by `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(runs >= 4, "warm-up plus three samples, got {runs}");
+    }
+}

@@ -1,0 +1,467 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the sampling side of the proptest surface this workspace
+//! uses: the `proptest!` macro, range/tuple/`any`/`Just`/`prop_map`/
+//! `collection::vec` strategies, `ProptestConfig::with_cases`, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros. Failing inputs
+//! are reported with their deterministic case seed but are **not shrunk**
+//! and no regression file is persisted.
+
+pub mod test_runner {
+    /// Deterministic 64-bit generator (splitmix64) used to drive sampling.
+    #[derive(Debug, Clone)]
+    pub struct Rng {
+        state: u64,
+    }
+
+    impl Rng {
+        pub fn from_seed(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform float in `[0, 1)` with 53 random bits.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the whole test fails.
+        Fail(String),
+        /// `prop_assume!` filtered the input; the case is re-drawn.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of passing cases required.
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Drives one property over `config.cases` sampled inputs.
+    pub struct TestRunner {
+        config: Config,
+    }
+
+    impl TestRunner {
+        pub fn new(config: Config) -> Self {
+            Self { config }
+        }
+
+        pub fn run(&mut self, test: impl Fn(&mut Rng) -> Result<(), TestCaseError>) {
+            let mut passed: u32 = 0;
+            let mut rejected: u64 = 0;
+            let mut draw: u64 = 0;
+            while passed < self.config.cases {
+                // Seeds are a pure function of the draw index, so a failure
+                // message's seed reproduces the exact input.
+                let seed = 0xC0FF_EE00_0000_0000u64 ^ draw;
+                draw += 1;
+                match test(&mut Rng::from_seed(seed)) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(what)) => {
+                        rejected += 1;
+                        if rejected > 64 * u64::from(self.config.cases) + 1024 {
+                            panic!(
+                                "proptest: too many inputs rejected by prop_assume! ({rejected} rejects, last: {what})"
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!("proptest: case failed (seed {seed:#x}, after {passed} passing cases): {msg}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for sampling values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut Rng) -> Self::Value;
+
+        /// Transforms every sampled value through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut Rng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut Rng) -> T {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let hi = (rng.next_u64() as u128) << 64;
+                    let off = ((hi | rng.next_u64() as u128) % span) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                    let hi = (rng.next_u64() as u128) << 64;
+                    let off = ((hi | rng.next_u64() as u128) % span) as i128;
+                    (*self.start() as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! float_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let v = self.start + rng.next_f64() as $t * (self.end - self.start);
+                    if v < self.end { v } else { self.start }
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut Rng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    lo + rng.next_f64() as $t * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategies!(f32, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut Rng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy, used by [`any`].
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut Rng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn arbitrary(rng: &mut Rng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    /// Strategy over the full domain of `T`; returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut Rng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    // Mirrors real proptest's prelude, where `prop` aliases the crate root
+    // so `prop::collection::vec(..)` resolves.
+    pub use crate as prop;
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::test_runner::Config as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($config);
+                runner.run(|__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __proptest_rng);)+
+                    let __proptest_outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    __proptest_outcome
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::Rng::from_seed(7);
+        for _ in 0..2_000 {
+            let v = (3i64..17).sample(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (1u8..=4).sample(&mut rng);
+            assert!((1..=4).contains(&w));
+            let f = (-2.0f32..2.0).sample(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(
+            (a, b) in (0i32..10, 10i32..20).prop_map(|(x, y)| (x, y)),
+            mut v in prop::collection::vec(0i64..5, 1..4),
+        ) {
+            v.push(a as i64);
+            prop_assume!(b != 19);
+            prop_assert!(a < b);
+            prop_assert_eq!(v.last().copied(), Some(a as i64));
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde shim.
+//!
+//! The offline build environment has neither `syn` nor `quote`, so this
+//! macro parses the item's token stream directly. It supports exactly the
+//! shapes this workspace uses:
+//!
+//! - structs with named fields (honouring `#[serde(skip)]` and
+//!   `#[serde(default)]`),
+//! - tuple structs (newtype and general),
+//! - enums with unit, newtype/tuple, and struct variants (externally
+//!   tagged, like real serde's default representation).
+//!
+//! Generics are not supported and produce a compile error naming the type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, shape } => gen_struct_serialize(name, shape),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, shape } => gen_struct_deserialize(name, shape),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Skips outer attributes (including doc comments) and a `pub` /
+/// `pub(...)` visibility prefix, advancing `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Reads the attributes at position `i` (advancing past them) and reports
+/// whether any is `#[serde(skip)]` / `#[serde(default)]`.
+fn read_field_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
+    let (mut skip, mut default) = (false, false);
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let text = g.stream().to_string();
+            if text.starts_with("serde") {
+                if text.contains("skip") {
+                    skip = true;
+                }
+                if text.contains("default") {
+                    default = true;
+                }
+            }
+        }
+        *i += 2;
+    }
+    (skip, default)
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let (skip, default) = read_field_attrs(&tokens, &mut i);
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances `i` past one type, stopping at a top-level `,` (angle-bracket
+/// depth tracked; groups are atomic tokens).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0usize;
+    let mut n = 0usize;
+    while i < tokens.len() {
+        let _ = read_field_attrs(&tokens, &mut i);
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        n += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let _ = read_field_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        while let Some(t) = tokens.get(i) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "m.insert(\"{0}\", ::serde::Serialize::serialize(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_owned(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_owned(),
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let mut s = format!(
+                "let m = v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected object for {name}\"))?;\n\
+                 ::core::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                let helper = if f.skip || f.default {
+                    "__field_default"
+                } else {
+                    "__field"
+                };
+                s.push_str(&format!("{0}: ::serde::{helper}(m, \"{0}\")?,\n", f.name));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Tuple(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let mut s = format!(
+                "let a = v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected array for {name}\"))?;\n\
+                 if a.len() != {n} {{ return ::core::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\n\
+                 ::core::result::Result::Ok({name}(\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!("::serde::Deserialize::deserialize(&a[{i}])?,\n"));
+            }
+            s.push_str("))");
+            s
+        }
+        Shape::Unit => format!("::core::result::Result::Ok({name})"),
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => arms.push_str(&format!(
+                "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+            )),
+            Shape::Tuple(1) => arms.push_str(&format!(
+                "{name}::{vn}(x0) => {{\n\
+                 let mut m = ::serde::Map::new();\n\
+                 m.insert(\"{vn}\", ::serde::Serialize::serialize(x0));\n\
+                 ::serde::Value::Object(m)\n}}\n"
+            )),
+            Shape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn}({}) => {{\n\
+                     let mut m = ::serde::Map::new();\n\
+                     m.insert(\"{vn}\", ::serde::Value::Array(vec![{}]));\n\
+                     ::serde::Value::Object(m)\n}}\n",
+                    binds.join(", "),
+                    items.join(", ")
+                ));
+            }
+            Shape::Named(fields) => {
+                let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let mut inner = String::from("let mut fm = ::serde::Map::new();\n");
+                for f in fields.iter().filter(|f| !f.skip) {
+                    inner.push_str(&format!(
+                        "fm.insert(\"{0}\", ::serde::Serialize::serialize({0}));\n",
+                        f.name
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {} }} => {{\n{inner}\
+                     let mut m = ::serde::Map::new();\n\
+                     m.insert(\"{vn}\", ::serde::Value::Object(fm));\n\
+                     ::serde::Value::Object(m)\n}}\n",
+                    binds.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut str_arms = String::new();
+    let mut obj_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => str_arms.push_str(&format!(
+                "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+            )),
+            Shape::Tuple(1) => obj_arms.push_str(&format!(
+                "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                 ::serde::Deserialize::deserialize(inner)?)),\n"
+            )),
+            Shape::Tuple(n) => {
+                let mut s = format!(
+                    "\"{vn}\" => {{\n\
+                     let a = inner.as_array().ok_or_else(|| ::serde::Error::custom(\
+                     \"expected array for {name}::{vn}\"))?;\n\
+                     if a.len() != {n} {{ return ::core::result::Result::Err(\
+                     ::serde::Error::custom(\"wrong arity for {name}::{vn}\")); }}\n\
+                     ::core::result::Result::Ok({name}::{vn}(\n"
+                );
+                for i in 0..*n {
+                    s.push_str(&format!("::serde::Deserialize::deserialize(&a[{i}])?,\n"));
+                }
+                s.push_str("))\n}\n");
+                obj_arms.push_str(&s);
+            }
+            Shape::Named(fields) => {
+                let mut s = format!(
+                    "\"{vn}\" => {{\n\
+                     let fm = inner.as_object().ok_or_else(|| ::serde::Error::custom(\
+                     \"expected object for {name}::{vn}\"))?;\n\
+                     ::core::result::Result::Ok({name}::{vn} {{\n"
+                );
+                for f in fields {
+                    let helper = if f.skip || f.default {
+                        "__field_default"
+                    } else {
+                        "__field"
+                    };
+                    s.push_str(&format!("{0}: ::serde::{helper}(fm, \"{0}\")?,\n", f.name));
+                }
+                s.push_str("})\n}\n");
+                obj_arms.push_str(&s);
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         match v {{\n\
+         ::serde::Value::Str(s) => match s.as_str() {{\n{str_arms}\
+         other => ::core::result::Result::Err(::serde::Error::custom(format!(\
+         \"unknown {name} variant `{{other}}`\"))),\n}},\n\
+         ::serde::Value::Object(m) => {{\n\
+         let mut it = m.iter();\n\
+         let (tag, inner) = it.next().ok_or_else(|| ::serde::Error::custom(\
+         \"empty object for {name}\"))?;\n\
+         match tag.as_str() {{\n{obj_arms}\
+         other => ::core::result::Result::Err(::serde::Error::custom(format!(\
+         \"unknown {name} variant `{{other}}`\"))),\n}}\n}},\n\
+         other => ::core::result::Result::Err(::serde::Error::custom(format!(\
+         \"expected {name}, found {{}}\", other.kind()))),\n}}\n}}\n}}\n"
+    )
+}
