@@ -1,0 +1,179 @@
+//! Legalizer performance suite tracked in `BENCH_legalize.json`.
+//!
+//! Benches the word-level bitset `find_position` against the per-pixel
+//! reference (`find_position_reference`) on dense / sparse / macro-heavy
+//! occupancy grids, full-design legalization (sequential vs parallel
+//! per-Gcell), and batched vs per-state network evaluation. The custom
+//! `main` exports every measurement (mean ns + iters/sec) to
+//! `BENCH_legalize.json` at the repo root so the perf trajectory is
+//! diffable across PRs.
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use rl_legalizer::CellWiseNet;
+use rlleg_benchgen::{find_spec, generate};
+use rlleg_design::{CellId, Design};
+use rlleg_legalize::{
+    find_position, find_position_reference, GcellGrid, Legalizer, Ordering, SearchConfig,
+    NUM_FEATURES,
+};
+use rlleg_nn::Matrix;
+
+fn design(name: &str, scale: f64) -> Design {
+    generate(&find_spec(name).expect("spec").scaled(scale))
+}
+
+/// Fully legalizes a design and returns it with the grid that produced it.
+fn legalized(name: &str, scale: f64) -> (Design, Legalizer) {
+    let d = design(name, scale);
+    let mut lg = Legalizer::new(&d);
+    let mut placed = d.clone();
+    lg.run(&mut placed, &Ordering::SizeDescending);
+    (placed, lg)
+}
+
+/// `find_position` micro-benchmark: re-search every sampled cell from its
+/// global-placement position against the final (dense) occupancy, once with
+/// the span-walking bitset search and once with the per-pixel reference.
+fn bench_find_position(c: &mut Criterion) {
+    let mut group = c.benchmark_group("find_position");
+    group.sample_size(30);
+    // des_perf_1 is the 0.91-utilization design the baseline chokes on;
+    // pci_bridge32 is low-density; des_perf_a_md1 adds fences + macros.
+    let cases = [
+        ("dense", "des_perf_1", 0.008),
+        ("sparse", "pci_bridge32_b_md1", 0.012),
+        ("macro_heavy", "des_perf_a_md1", 0.008),
+    ];
+    for (label, name, scale) in cases {
+        let (placed, lg) = legalized(name, scale);
+        let cells: Vec<CellId> = placed.movable_ids().step_by(7).take(48).collect();
+        let cfg = SearchConfig::default();
+        group.bench_with_input(BenchmarkId::new("bitset", label), &cells, |b, cells| {
+            b.iter(|| {
+                cells
+                    .iter()
+                    .filter_map(|&cell| {
+                        find_position(lg.grid(), &placed, cell, placed.cell(cell).gp_pos, cfg)
+                    })
+                    .count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reference", label), &cells, |b, cells| {
+            b.iter(|| {
+                cells
+                    .iter()
+                    .filter_map(|&cell| {
+                        find_position_reference(
+                            lg.grid(),
+                            &placed,
+                            cell,
+                            placed.cell(cell).gp_pos,
+                            cfg,
+                        )
+                    })
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end legalization of a whole design: flat, Gcell-sequential, and
+/// Gcell-parallel (2 workers; on a single-core host this measures the
+/// orchestration overhead rather than a speedup).
+fn bench_full_legalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("legalize_full");
+    group.sample_size(10);
+    let d = design("des_perf_b_md1", 0.006);
+    group.bench_function("flat", |b| {
+        b.iter(|| {
+            let mut local = d.clone();
+            let mut lg = Legalizer::new(&local);
+            black_box(lg.run(&mut local, &Ordering::SizeDescending))
+        })
+    });
+    let gcells = GcellGrid::new(&d, 3, 3);
+    group.bench_function("gcell_seq", |b| {
+        b.iter(|| {
+            let mut local = d.clone();
+            let mut lg = Legalizer::new(&local);
+            black_box(lg.run_gcells(&mut local, &Ordering::SizeDescending, &gcells))
+        })
+    });
+    group.bench_function("gcell_parallel2", |b| {
+        b.iter(|| {
+            let mut local = d.clone();
+            let mut lg = Legalizer::new(&local);
+            black_box(lg.run_gcells_parallel(&mut local, &Ordering::SizeDescending, &gcells, 2))
+        })
+    });
+    group.finish();
+}
+
+/// Batched network evaluation: one stacked matrix–matrix forward over all
+/// per-step states vs one small forward per state, and the policy-only
+/// inference path vs the full policy+value forward.
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network");
+    group.sample_size(30);
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let net = CellWiseNet::new(64, &mut rng);
+    // Per-step states are small (the cells still unplaced in one Gcell
+    // subepisode), so the batched path's win is amortizing per-forward
+    // overhead across the whole mini-batch.
+    let states: Vec<Matrix> = (0..64)
+        .map(|k| {
+            let n = 2 + (k * 3) % 12;
+            let data: Vec<f32> = (0..n * NUM_FEATURES)
+                .map(|i| ((i * 7 + k) % 23) as f32 / 23.0)
+                .collect();
+            Matrix::from_vec(n, NUM_FEATURES, data)
+        })
+        .collect();
+    let refs: Vec<&Matrix> = states.iter().collect();
+    group.bench_function("values_batched", |b| {
+        b.iter(|| black_box(net.values_batch(&refs)).len())
+    });
+    group.bench_function("values_per_state", |b| {
+        b.iter(|| {
+            states
+                .iter()
+                .map(|s| net.forward_inference(s).value)
+                .sum::<f32>()
+        })
+    });
+    group.bench_function("policy_only", |b| {
+        b.iter(|| {
+            states
+                .iter()
+                .map(|s| net.forward_policy(s).len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("policy_and_value", |b| {
+        b.iter(|| {
+            states
+                .iter()
+                .map(|s| net.forward_inference(s).logits.len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_find_position,
+    bench_full_legalize,
+    bench_inference
+);
+
+fn main() {
+    benches();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_legalize.json");
+    criterion::export_json(path).expect("write BENCH_legalize.json");
+    println!("wrote {path}");
+}

@@ -111,6 +111,32 @@ pub fn run_size_ordered_gcells(
     (d, r)
 }
 
+/// Runs the Gcell-partitioned baseline through the parallel per-Gcell
+/// solver (`threads == 0` uses all available cores; the result is
+/// bit-identical to the sequential fallback for any thread count).
+pub fn run_size_ordered_gcells_parallel(
+    design: &Design,
+    heuristics: bool,
+    grid: Option<(usize, usize)>,
+    threads: usize,
+) -> (Design, RunResult) {
+    let hpwl_gp = total_hpwl(design);
+    let mut d = design.clone();
+    let t = Instant::now();
+    let gcells = match grid {
+        Some((nx, ny)) => GcellGrid::new(&d, nx, ny),
+        None => GcellGrid::auto(&d),
+    };
+    let mut lg = Legalizer::new(&d);
+    lg.run_gcells_parallel(&mut d, &Ordering::SizeDescending, &gcells, threads);
+    if heuristics {
+        lg.swap_pass(&mut d);
+        lg.rearrange_pass(&mut d);
+    }
+    let r = RunResult::measure(&d, hpwl_gp, t.elapsed().as_secs_f64());
+    (d, r)
+}
+
 /// Runs a random-ordered legalization (Fig. 1's experiment).
 pub fn run_random_ordered(design: &Design, seed: u64) -> RunResult {
     let hpwl_gp = total_hpwl(design);
@@ -264,6 +290,9 @@ mod tests {
         assert_eq!(gc.failed, 0);
         let (_, gc3) = run_size_ordered_gcells(&d, false, Some((3, 3)));
         assert_eq!(gc3.failed, 0);
+        let (dp, gcp) = run_size_ordered_gcells_parallel(&d, false, Some((3, 3)), 2);
+        assert_eq!(gcp.failed, 0);
+        assert!(rlleg_design::legality::is_legal(&dp));
         let rnd = run_random_ordered(&d, 3);
         assert_eq!(rnd.failed, 0);
     }

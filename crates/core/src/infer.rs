@@ -99,6 +99,8 @@ impl RlLegalizer {
         let t0 = Instant::now();
         let mut feature_time = Duration::ZERO;
         let mut network_time = Duration::ZERO;
+        let mut network_rows = 0usize;
+        let mut network_evals = 0usize;
         let mut rng = match self.selection {
             Selection::Greedy => ChaCha8Rng::seed_from_u64(0),
             Selection::Sample(seed) => ChaCha8Rng::seed_from_u64(seed),
@@ -115,17 +117,21 @@ impl RlLegalizer {
                 let state = env.state(&remaining);
                 feature_time += tf.elapsed();
                 let tn = Instant::now();
-                let f = self.model.forward_inference(&state);
+                // Policy-only batched forward: one matrix–matrix pass over
+                // all candidate cells; the value head is never needed for
+                // action selection.
+                let logits = self.model.forward_policy(&state);
                 network_time += tn.elapsed();
+                network_rows += state.rows();
+                network_evals += 1;
                 let a = match self.selection {
-                    Selection::Greedy => f
-                        .logits
+                    Selection::Greedy => logits
                         .iter()
                         .enumerate()
                         .max_by(|x, y| x.1.total_cmp(y.1))
                         .map(|(i, _)| i)
                         .unwrap_or(0),
-                    Selection::Sample(_) => sample(&ops::softmax(&f.logits), &mut rng),
+                    Selection::Sample(_) => sample(&ops::softmax(&logits), &mut rng),
                 };
                 let cell = remaining[a];
                 let outcome = env.step(cell);
@@ -159,6 +165,12 @@ impl RlLegalizer {
                 .record(feature_time.as_secs_f64());
             telemetry::histogram("infer.network_seconds", SECONDS)
                 .record(network_time.as_secs_f64());
+            // Batching factor of the policy forwards: cell rows evaluated
+            // per single matrix–matrix network call.
+            if network_evals > 0 {
+                telemetry::histogram("infer.network.batch_rows", telemetry::buckets::MAGNITUDE)
+                    .record(network_rows as f64 / network_evals as f64);
+            }
         }
         InferenceReport {
             legalized,

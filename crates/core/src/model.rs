@@ -70,6 +70,53 @@ impl CellWiseNet {
         Forward { logits, value }
     }
 
+    /// Policy-only inference: trunk + policy head over all `N` candidate
+    /// cells in one matrix–matrix forward, skipping the value head.
+    ///
+    /// Action selection only needs the logits, so the per-step network cost
+    /// at inference time drops to two trunk matmuls plus one `N × H → N`
+    /// policy matmul.
+    pub fn forward_policy(&self, state: &Matrix) -> Vec<f32> {
+        let emb = self.trunk.forward_inference(state);
+        self.policy_head.forward_inference(&emb).as_slice().to_vec()
+    }
+
+    /// Batched value estimates: stacks every state into one
+    /// `(Σ rowsᵢ) × 13` matrix, runs a single trunk + value-head forward,
+    /// and returns the per-state means — one `V(sᵢ)` per input.
+    ///
+    /// Replaces `states.len()` separate small-matrix forwards with one
+    /// matrix–matrix pass; the advantage loop in training is the main
+    /// caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any state is empty or has the wrong column count.
+    pub fn values_batch(&self, states: &[&Matrix]) -> Vec<f32> {
+        if states.is_empty() {
+            return Vec::new();
+        }
+        let total: usize = states.iter().map(|s| s.rows()).sum();
+        let mut data = Vec::with_capacity(total * NUM_FEATURES);
+        for s in states {
+            assert!(s.rows() > 0, "empty state");
+            assert_eq!(s.cols(), NUM_FEATURES, "state must have 13 features");
+            data.extend_from_slice(s.as_slice());
+        }
+        let stacked = Matrix::from_vec(total, NUM_FEATURES, data);
+        let emb = self.trunk.forward_inference(&stacked);
+        let vals = self.value_head.forward_inference(&emb);
+        let flat = vals.as_slice();
+        let mut out = Vec::with_capacity(states.len());
+        let mut off = 0usize;
+        for s in states {
+            let n = s.rows();
+            out.push(flat[off..off + n].iter().sum::<f32>() / n as f32);
+            off += n;
+        }
+        out
+    }
+
     /// Backward pass: accumulates gradients for `∂L/∂logitsᵢ = d_logits[i]`
     /// and `∂L/∂V = d_value`.
     ///
@@ -275,6 +322,27 @@ mod tests {
         let lo = loss(&net);
         let num = (hi - lo) / (2.0 * eps);
         assert!((num - g[idx]).abs() < 0.02, "{num} vs {}", g[idx]);
+    }
+
+    #[test]
+    fn forward_policy_matches_full_forward() {
+        let net = CellWiseNet::new(16, &mut rng());
+        let s = state(6);
+        let full = net.forward_inference(&s);
+        assert_eq!(net.forward_policy(&s), full.logits);
+    }
+
+    #[test]
+    fn values_batch_matches_per_state_forwards() {
+        let net = CellWiseNet::new(16, &mut rng());
+        let states = [state(1), state(4), state(9)];
+        let refs: Vec<&Matrix> = states.iter().collect();
+        let batched = net.values_batch(&refs);
+        assert_eq!(batched.len(), 3);
+        for (s, &v) in states.iter().zip(&batched) {
+            assert_eq!(net.forward_inference(s).value, v);
+        }
+        assert!(net.values_batch(&[]).is_empty());
     }
 
     #[test]

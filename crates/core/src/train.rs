@@ -148,11 +148,15 @@ fn update(
         return;
     }
     debug_assert_eq!(batch.len(), q.len());
-    // Advantages (with the current local value function).
-    let mut advs: Vec<f32> = batch
+    // Advantages (with the current local value function). All batch states
+    // are stacked into one matrix–matrix forward instead of one small
+    // forward per step.
+    let states: Vec<&Matrix> = batch.iter().map(|s| &s.state).collect();
+    let mut advs: Vec<f32> = local
+        .values_batch(&states)
         .iter()
         .zip(q)
-        .map(|(step, &qt)| qt - local.forward_inference(&step.state).value)
+        .map(|(&v, &qt)| qt - v)
         .collect();
     if cfg.normalize_advantage && advs.len() > 1 {
         let mean = advs.iter().sum::<f32>() / advs.len() as f32;

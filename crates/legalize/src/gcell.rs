@@ -6,7 +6,9 @@
 //! ~20 cells each, over which the bin features of Table I are computed.
 
 use rlleg_design::{CellId, Design};
-use rlleg_geom::{Point, Rect};
+use rlleg_geom::{Dbu, Point, Rect};
+
+use crate::pixel::GridWindow;
 
 /// A rectangular tiling of the core into `nx × ny` Gcells with the movable
 /// cells assigned by global-placement position.
@@ -102,6 +104,28 @@ impl GcellGrid {
     /// Panics if `g` is out of range.
     pub fn cells_of(&self, g: usize) -> &[CellId] {
         &self.cells[g]
+    }
+
+    /// Site/row window of Gcell `g`: the pixels whose lower-left corner
+    /// falls inside the Gcell bounds. A pixel belongs to exactly one
+    /// window, so the windows of a grid tile the core's site/row space
+    /// disjointly — the property the parallel legalizer relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn window_of(&self, design: &Design, g: usize) -> GridWindow {
+        let r = self.bounds(g);
+        let sw = design.tech.site_width;
+        let rh = design.tech.row_height;
+        let ceil_site = |x: Dbu| (x - design.core.lo.x + sw - 1).div_euclid(sw);
+        let ceil_row = |y: Dbu| (y - design.core.lo.y + rh - 1).div_euclid(rh);
+        GridWindow {
+            lo_site: ceil_site(r.lo.x),
+            lo_row: ceil_row(r.lo.y),
+            hi_site: ceil_site(r.hi.x).min(design.num_sites_x()),
+            hi_row: ceil_row(r.hi.y).min(design.num_rows()),
+        }
     }
 
     /// Gcell indices in subepisode order: descending movable-cell count, so
@@ -234,6 +258,30 @@ mod tests {
         let order = g.subepisode_order();
         let counts: Vec<usize> = order.iter().map(|&i| g.cells_of(i).len()).collect();
         assert!(counts.windows(2).all(|w| w[0] >= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn windows_tile_the_grid_disjointly() {
+        let d = design(50);
+        for (nx, ny) in [(1, 1), (2, 2), (3, 4), (5, 5)] {
+            let g = GcellGrid::new(&d, nx, ny);
+            // Count how many windows claim each pixel: must be exactly one.
+            let sites = d.num_sites_x();
+            let rows = d.num_rows();
+            let mut claims = vec![0u8; (sites * rows) as usize];
+            for i in 0..g.len() {
+                let w = g.window_of(&d, i);
+                for row in w.lo_row..w.hi_row {
+                    for site in w.lo_site..w.hi_site {
+                        claims[(row * sites + site) as usize] += 1;
+                    }
+                }
+            }
+            assert!(
+                claims.iter().all(|&c| c == 1),
+                "{nx}x{ny}: every pixel in exactly one window"
+            );
+        }
     }
 
     #[test]

@@ -12,8 +12,12 @@ use rlleg_geom::Dbu;
 
 use crate::gcell::GcellGrid;
 use crate::order::Ordering;
-use crate::pixel::PixelGrid;
+use crate::pixel::{GridPos, PixelGrid};
 use crate::search::{find_position, SearchConfig};
+
+/// Outcome of one Gcell-local solve: committed `(cell, pos)` pairs in
+/// order, plus the cells that found no window-local position.
+type GcellSolve = (Vec<(CellId, GridPos)>, Vec<CellId>);
 
 /// Error returned when no legal pixel exists for a cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,6 +193,138 @@ impl Legalizer {
         stats
     }
 
+    /// Legalizes the design Gcell by Gcell with the subepisodes solved in
+    /// parallel on `threads` scoped worker threads (`0` = one per
+    /// available core, `1` = the sequential fallback).
+    ///
+    /// Phase 1 solves every Gcell independently: each worker clones the
+    /// current grid and design, restricts the search to the Gcell's
+    /// disjoint site/row window ([`GcellGrid::window_of`]), and records the
+    /// positions it found. Workers never observe each other, so the
+    /// per-Gcell outcome cannot depend on thread scheduling. Phase 2 then
+    /// merges the recorded placements sequentially in subepisode order,
+    /// re-validating each against the real grid (a placement near a window
+    /// boundary can violate edge spacing against a neighbouring Gcell's
+    /// cell); rejected or unplaced cells get a sequential unwindowed retry.
+    /// Every phase after the embarrassingly-parallel solve is sequential
+    /// and ordered, which is what makes the result bit-identical for any
+    /// thread count — including the `threads == 1` fallback, which runs
+    /// the very same two phases in a plain loop.
+    pub fn run_gcells_parallel(
+        &mut self,
+        design: &mut Design,
+        ordering: &Ordering,
+        gcells: &GcellGrid,
+        threads: usize,
+    ) -> RunStats {
+        let _t = telemetry::span("legalize.run_gcells_parallel");
+        let n = gcells.len();
+        let threads = match threads {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            t => t,
+        }
+        .min(n.max(1));
+
+        // Phase 1: window-restricted, snapshot-isolated per-Gcell solves.
+        let base_grid = &self.grid;
+        let search = self.search;
+        let solve = |g: usize| -> GcellSolve {
+            let win = gcells.window_of(design, g);
+            let mut lg = Legalizer {
+                grid: base_grid.clone(),
+                search: SearchConfig {
+                    window: Some(win),
+                    ..search
+                },
+            };
+            let mut local = design.clone();
+            let order = ordering.order(&local, Some(gcells.cells_of(g)));
+            let mut placed = Vec::new();
+            let mut failed = Vec::new();
+            for cell in order {
+                match lg.legalize_cell(&mut local, cell) {
+                    Ok(_) => {
+                        let pos = lg.grid.to_grid(&local, local.cell(cell).pos);
+                        placed.push((cell, pos));
+                    }
+                    Err(e) => failed.push(e.cell),
+                }
+            }
+            (placed, failed)
+        };
+
+        let mut results: Vec<Option<GcellSolve>> = (0..n).map(|_| None).collect();
+        if threads <= 1 {
+            for (g, slot) in results.iter_mut().enumerate() {
+                *slot = Some(solve(g));
+            }
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let (tx, rx) = crossbeam::channel::unbounded();
+            crossbeam::thread::scope(|s| {
+                for w in 0..threads {
+                    let tx = tx.clone();
+                    let next = &next;
+                    let solve = &solve;
+                    s.spawn(move |_| {
+                        let mut done = 0i64;
+                        loop {
+                            let g = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if g >= n {
+                                break;
+                            }
+                            let out = solve(g);
+                            done += 1;
+                            tx.send((g, out)).expect("collector outlives workers");
+                        }
+                        if !telemetry::disabled() {
+                            telemetry::gauge(&format!("legalize.parallel.worker{w}.gcells"))
+                                .set(done);
+                        }
+                    });
+                }
+                drop(tx);
+                for (g, out) in rx.iter() {
+                    results[g] = Some(out);
+                }
+            })
+            .expect("gcell worker panicked");
+        }
+
+        // Phase 2: deterministic sequential merge in subepisode order.
+        let mut stats = RunStats::default();
+        let mut retry: Vec<CellId> = Vec::new();
+        let mut conflicts = 0u64;
+        for g in gcells.subepisode_order() {
+            let (placed, failed) = results[g].take().expect("every gcell solved");
+            for (cell, pos) in placed {
+                if self.grid.check_place(design, cell, pos).is_ok() {
+                    self.grid.place(design, cell, pos);
+                    let p = self.grid.to_dbu(design, pos);
+                    let c = design.cell_mut(cell);
+                    c.pos = p;
+                    c.legalized = true;
+                    stats.legalized += 1;
+                } else {
+                    conflicts += 1;
+                    retry.push(cell);
+                }
+            }
+            retry.extend(failed);
+        }
+        if !telemetry::disabled() {
+            telemetry::counter("legalize.parallel.merge_conflicts").add(conflicts);
+            telemetry::counter("legalize.parallel.retries").add(retry.len() as u64);
+        }
+        for cell in retry {
+            match self.legalize_cell(design, cell) {
+                Ok(_) => stats.legalized += 1,
+                Err(e) => stats.failed.push(e.cell),
+            }
+        }
+        stats
+    }
+
     /// Legalizes an explicit list of cells in order.
     pub fn run_cells(&mut self, design: &mut Design, order: &[CellId]) -> RunStats {
         let mut stats = RunStats::default();
@@ -248,10 +384,35 @@ impl Legalizer {
         // An eviction is worth roughly one cell's worth of extra movement.
         let evict_penalty = sw + rh;
 
+        // Restrict the scan to the displacement-limit window around the
+        // target: anchors whose row or column alone already exceeds the
+        // limit can never pass the per-candidate `disp > limit` test the
+        // unbounded scan applied, so pruning them is behaviour-preserving.
+        let full_rows = (self.grid.rows() - h_rows).max(-1);
+        let full_sites = (self.grid.sites_x() - w_sites).max(-1);
+        let (lo_row, hi_row, lo_site, hi_site) = match limit {
+            Some(l) => {
+                let y0 = design.core.lo.y;
+                let x0 = design.core.lo.x;
+                (
+                    (from.y - l - y0 + rh - 1).div_euclid(rh).max(0),
+                    (from.y + l - y0).div_euclid(rh).min(full_rows),
+                    (from.x - l - x0 + sw - 1).div_euclid(sw).max(0),
+                    (from.x + l - x0).div_euclid(sw).min(full_sites),
+                )
+            }
+            None => (0, full_rows, 0, full_sites),
+        };
+        if !telemetry::disabled() {
+            let total = (full_rows + 1).max(0) * (full_sites + 1).max(0);
+            let window = (hi_row - lo_row + 1).max(0) * (hi_site - lo_site + 1).max(0);
+            telemetry::counter("legalize.ripup.window_pruned").add((total - window).max(0) as u64);
+        }
+
         // Rank every legal-if-evicted anchor window.
         let mut candidates: Vec<(Dbu, crate::pixel::GridPos)> = Vec::new();
-        for row in 0..=(self.grid.rows() - h_rows).max(-1) {
-            'site: for site in 0..=(self.grid.sites_x() - w_sites).max(-1) {
+        for row in lo_row..=hi_row {
+            'site: for site in lo_site..=hi_site {
                 let pos = crate::pixel::GridPos { site, row };
                 if c.is_rail_constrained() && !c.rail.allows_row(row) {
                     continue;
@@ -259,6 +420,11 @@ impl Legalizer {
                 let p = self.grid.to_dbu(design, pos);
                 let disp = p.manhattan(from);
                 if limit.is_some_and(|l| disp > l) {
+                    continue;
+                }
+                // Word-level pre-filter: a window touching a fixed pixel
+                // can never be evicted into.
+                if self.grid.window_has_fixed(pos, w_sites, h_rows) {
                     continue;
                 }
                 let mut evicted: Vec<CellId> = Vec::new();

@@ -50,6 +50,6 @@ pub use features::{FeatureSpace, NUM_FEATURES};
 pub use gcell::{BinGrid, GcellGrid};
 pub use legalizer::{Legalizer, PlaceCellError, RunStats};
 pub use order::Ordering;
-pub use pixel::{GridPos, PixelGrid, PlaceRejection};
-pub use search::SearchConfig;
+pub use pixel::{GridPos, GridWindow, PixelGrid, PlaceRejection};
+pub use search::{find_position, find_position_reference, SearchConfig};
 pub use tetris::TetrisLegalizer;

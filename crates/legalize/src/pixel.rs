@@ -5,6 +5,14 @@
 //! into pixels of minimum width and height, i.e., in the unit of placement
 //! site and spacing of power rails". [`PixelGrid`] is that division plus
 //! everything needed to answer "can this cell go here?" in `O(cell pixels)`.
+//!
+//! On top of the per-pixel occupant array the grid keeps per-row `u64`
+//! occupancy bitmaps (LSB = lowest site index, padding bits beyond the core
+//! read as occupied). A `w_sites × h_rows` candidate window is tested by
+//! OR-ing the row words and masking, and [`for_each_free_span`]
+//! (PixelGrid::for_each_free_span) enumerates maximal free runs with
+//! `trailing_zeros`, so searches skip whole blocked stretches instead of
+//! probing pixel-by-pixel (see DESIGN.md §9).
 
 use std::collections::BTreeMap;
 
@@ -25,6 +33,47 @@ pub struct GridPos {
     pub site: i64,
     /// Row index (y).
     pub row: i64,
+}
+
+/// A half-open rectangular region of the grid, `[lo_site, hi_site) ×
+/// [lo_row, hi_row)`, used to restrict searches to a Gcell-local window
+/// during parallel legalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridWindow {
+    /// First site (inclusive).
+    pub lo_site: i64,
+    /// First row (inclusive).
+    pub lo_row: i64,
+    /// Last site (exclusive).
+    pub hi_site: i64,
+    /// Last row (exclusive).
+    pub hi_row: i64,
+}
+
+impl GridWindow {
+    /// The window covering a whole grid.
+    pub fn full(grid: &PixelGrid) -> Self {
+        Self {
+            lo_site: 0,
+            lo_row: 0,
+            hi_site: grid.sites_x(),
+            hi_row: grid.rows(),
+        }
+    }
+
+    /// `true` when the window holds no pixels.
+    pub fn is_degenerate(&self) -> bool {
+        self.lo_site >= self.hi_site || self.lo_row >= self.hi_row
+    }
+
+    /// `true` when a `w_sites × h_rows` footprint anchored at `pos` lies
+    /// entirely inside the window.
+    pub fn contains_footprint(&self, pos: GridPos, w_sites: i64, h_rows: i64) -> bool {
+        pos.site >= self.lo_site
+            && pos.row >= self.lo_row
+            && pos.site + w_sites <= self.hi_site
+            && pos.row + h_rows <= self.hi_row
+    }
 }
 
 /// Why a candidate position is not legal. Returned by
@@ -48,7 +97,8 @@ pub enum PlaceRejection {
 ///
 /// Fixed cells are rasterized as blocked pixels at construction; movable cells
 /// occupy pixels only once [`place`](PixelGrid::place)d. A per-row interval
-/// index tracks placed cells for the edge-spacing rule.
+/// index tracks placed cells for the edge-spacing rule, and per-row `u64`
+/// bitmaps mirror the occupant array for word-level free-space queries.
 #[derive(Debug, Clone)]
 pub struct PixelGrid {
     sites_x: i64,
@@ -60,6 +110,17 @@ pub struct PixelGrid {
     fence_touched: Vec<bool>,
     /// Per row: `lo.x → (hi.x, cell)` of placed cells, for edge spacing.
     row_cells: Vec<BTreeMap<Dbu, (Dbu, u32)>>,
+    /// `u64` words per row in the bitmaps below.
+    words_per_row: usize,
+    /// Occupancy bitmap (placed cells and blocked pixels); bit = 1 means
+    /// occupied. Padding bits beyond `sites_x` are set.
+    occ_bits: Vec<u64>,
+    /// Blocked-only bitmap (fixed cells / padding); never changes after
+    /// construction.
+    fixed_bits: Vec<u64>,
+    /// Whether the design has fence regions; when `false`, a clean word
+    /// test alone proves a window passes occupancy *and* fence rules.
+    has_fences: bool,
 }
 
 impl PixelGrid {
@@ -68,6 +129,7 @@ impl PixelGrid {
         let sites_x = design.num_sites_x();
         let rows = design.num_rows();
         let n = (sites_x * rows) as usize;
+        let words_per_row = (sites_x.max(0) as usize).div_ceil(64);
         let mut grid = Self {
             sites_x,
             rows,
@@ -75,6 +137,10 @@ impl PixelGrid {
             fence_inside: vec![NO_FENCE; n],
             fence_touched: vec![false; n],
             row_cells: vec![BTreeMap::new(); rows as usize],
+            words_per_row,
+            occ_bits: Vec::new(),
+            fixed_bits: Vec::new(),
+            has_fences: !design.regions.is_empty(),
         };
         let rh = design.tech.row_height;
         let sw = design.tech.site_width;
@@ -101,7 +167,56 @@ impl PixelGrid {
                 }
             }
         }
+        grid.rebuild_bits();
         grid
+    }
+
+    /// Rebuilds both bitmaps from the occupant array (construction only;
+    /// `place`/`remove` maintain them incrementally afterwards).
+    fn rebuild_bits(&mut self) {
+        let wpr = self.words_per_row;
+        self.occ_bits = vec![0u64; wpr * self.rows.max(0) as usize];
+        self.fixed_bits = vec![0u64; wpr * self.rows.max(0) as usize];
+        // Padding bits beyond sites_x read as occupied/blocked so word
+        // tests never report free space outside the core.
+        if self.sites_x > 0 {
+            let tail = self.sites_x as usize % 64;
+            if tail != 0 {
+                let pad = !0u64 << tail;
+                for row in 0..self.rows as usize {
+                    self.occ_bits[row * wpr + wpr - 1] |= pad;
+                    self.fixed_bits[row * wpr + wpr - 1] |= pad;
+                }
+            }
+        }
+        for row in 0..self.rows {
+            for site in 0..self.sites_x {
+                match self.occ[(row * self.sites_x + site) as usize] {
+                    FREE => {}
+                    BLOCKED => {
+                        let w = row as usize * wpr + site as usize / 64;
+                        self.occ_bits[w] |= 1u64 << (site as usize % 64);
+                        self.fixed_bits[w] |= 1u64 << (site as usize % 64);
+                    }
+                    _ => {
+                        let w = row as usize * wpr + site as usize / 64;
+                        self.occ_bits[w] |= 1u64 << (site as usize % 64);
+                    }
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn set_occ_bit(&mut self, site: i64, row: i64) {
+        let w = row as usize * self.words_per_row + site as usize / 64;
+        self.occ_bits[w] |= 1u64 << (site as usize % 64);
+    }
+
+    #[inline]
+    fn clear_occ_bit(&mut self, site: i64, row: i64) {
+        let w = row as usize * self.words_per_row + site as usize / 64;
+        self.occ_bits[w] &= !(1u64 << (site as usize % 64));
     }
 
     fn for_pixels_overlapping(
@@ -154,34 +269,145 @@ impl PixelGrid {
         }
     }
 
-    /// Full legality check of placing `cell` with its lower-left pixel at
-    /// `pos`. `Ok(())` means the position is legal w.r.t. bounds, rail
-    /// parity, occupancy, fences, and edge spacing (the max-displacement
-    /// constraint is the search's concern, not the grid's).
+    /// Word-level test that `bits` is all-zero over the in-bounds window
+    /// `[site, site+w) × [row, row+h)`.
+    #[inline]
+    fn window_zero(&self, bits: &[u64], site: i64, row: i64, w: i64, h: i64) -> bool {
+        let wpr = self.words_per_row;
+        let lo_w = site as usize / 64;
+        let hi_w = ((site + w - 1) as usize / 64) + 1;
+        for wi in lo_w..hi_w {
+            let base = wi as i64 * 64;
+            let mut mask = !0u64;
+            if base < site {
+                mask &= !0u64 << (site - base);
+            }
+            let k = site + w - base;
+            if k < 64 {
+                mask &= (1u64 << k) - 1;
+            }
+            for r in row..row + h {
+                if bits[r as usize * wpr + wi] & mask != 0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` when every pixel of the `w_sites × h_rows` window anchored at
+    /// `pos` is unoccupied (no placed cell, no macro). Out-of-bounds
+    /// windows are not free.
+    pub fn window_free(&self, pos: GridPos, w_sites: i64, h_rows: i64) -> bool {
+        if pos.site < 0
+            || pos.row < 0
+            || w_sites <= 0
+            || h_rows <= 0
+            || pos.site + w_sites > self.sites_x
+            || pos.row + h_rows > self.rows
+        {
+            return false;
+        }
+        self.window_zero(&self.occ_bits, pos.site, pos.row, w_sites, h_rows)
+    }
+
+    /// `true` when the window anchored at `pos` touches any fixed-cell
+    /// (blocked) pixel. Out-of-bounds windows count as blocked.
+    pub fn window_has_fixed(&self, pos: GridPos, w_sites: i64, h_rows: i64) -> bool {
+        if pos.site < 0
+            || pos.row < 0
+            || w_sites <= 0
+            || h_rows <= 0
+            || pos.site + w_sites > self.sites_x
+            || pos.row + h_rows > self.rows
+        {
+            return true;
+        }
+        !self.window_zero(&self.fixed_bits, pos.site, pos.row, w_sites, h_rows)
+    }
+
+    /// Enumerates maximal free spans `[s_lo, s_hi)` of sites within
+    /// `[lo, hi)` where all rows `row..row + h_rows` are simultaneously
+    /// unoccupied, in ascending site order. `lo`/`hi` are clamped to the
+    /// grid; rows must be in bounds.
     ///
-    /// # Errors
+    /// # Panics
     ///
-    /// Returns the first [`PlaceRejection`] encountered, checking cheap
-    /// rules first.
-    pub fn check_place(
+    /// Panics (debug assertion) when the row band leaves the grid.
+    pub fn for_each_free_span(
+        &self,
+        row: i64,
+        h_rows: i64,
+        lo: i64,
+        hi: i64,
+        mut f: impl FnMut(i64, i64),
+    ) {
+        debug_assert!(row >= 0 && h_rows >= 1 && row + h_rows <= self.rows);
+        let lo = lo.max(0);
+        let hi = hi.min(self.sites_x);
+        if lo >= hi {
+            return;
+        }
+        let wpr = self.words_per_row;
+        let lo_w = lo as usize / 64;
+        let hi_w = ((hi - 1) as usize / 64) + 1;
+        // Start of the currently open free run, or negative when closed.
+        let mut open: i64 = -1;
+        for wi in lo_w..hi_w {
+            let base = wi as i64 * 64;
+            let mut word = 0u64;
+            for r in row..row + h_rows {
+                word |= self.occ_bits[r as usize * wpr + wi];
+            }
+            // Mask sites outside [lo, hi) as occupied.
+            if base < lo {
+                word |= (1u64 << (lo - base)) - 1;
+            }
+            let k = hi - base;
+            if k < 64 {
+                word |= !0u64 << k;
+            }
+            let mut bit: i64 = 0;
+            while bit < 64 {
+                let rest = word >> bit;
+                if open < 0 {
+                    // Skip the occupied run (trailing ones).
+                    let ones = (!rest).trailing_zeros() as i64;
+                    if ones == 0 {
+                        open = base + bit;
+                        continue;
+                    }
+                    bit += ones;
+                } else {
+                    // Extend the free run (trailing zeros); a set bit ends it.
+                    let zeros = rest.trailing_zeros() as i64;
+                    if zeros == 0 {
+                        f(open, base + bit);
+                        open = -1;
+                        continue;
+                    }
+                    bit += zeros;
+                }
+            }
+        }
+        if open >= 0 {
+            f(open, hi);
+        }
+    }
+
+    /// Per-pixel occupancy + fence loop shared by [`check_place`]
+    /// (Self::check_place) (slow path) and
+    /// [`check_place_reference`](Self::check_place_reference); preserves the
+    /// row-major first-rejection ordering of the original implementation.
+    fn pixel_loop(
         &self,
         design: &Design,
         cell: CellId,
         pos: GridPos,
+        w_sites: i64,
+        h_rows: i64,
     ) -> Result<(), PlaceRejection> {
         let c = design.cell(cell);
-        let w_sites = c.width / design.tech.site_width;
-        let h_rows = i64::from(c.height_rows);
-        if pos.site < 0
-            || pos.row < 0
-            || pos.site + w_sites > self.sites_x
-            || pos.row + h_rows > self.rows
-        {
-            return Err(PlaceRejection::OutOfBounds);
-        }
-        if c.is_rail_constrained() && !c.rail.allows_row(pos.row) {
-            return Err(PlaceRejection::RailParity);
-        }
         let me = cell.0;
         for row in pos.row..pos.row + h_rows {
             let base = (row * self.sites_x) as usize;
@@ -205,7 +431,51 @@ impl PixelGrid {
                 }
             }
         }
-        // Edge spacing against already placed neighbours on shared rows.
+        Ok(())
+    }
+
+    /// Fence-only per-pixel loop, used after a word test already proved the
+    /// window unoccupied.
+    fn fence_loop(
+        &self,
+        design: &Design,
+        cell: CellId,
+        pos: GridPos,
+        w_sites: i64,
+        h_rows: i64,
+    ) -> Result<(), PlaceRejection> {
+        let c = design.cell(cell);
+        for row in pos.row..pos.row + h_rows {
+            let base = (row * self.sites_x) as usize;
+            for site in pos.site..pos.site + w_sites {
+                let idx = base + site as usize;
+                match c.region {
+                    Some(reg) => {
+                        if self.fence_inside[idx] != reg.0 {
+                            return Err(PlaceRejection::Fence);
+                        }
+                    }
+                    None => {
+                        if self.fence_touched[idx] {
+                            return Err(PlaceRejection::Fence);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Edge-spacing check against already placed neighbours on shared rows.
+    fn edge_spacing_check(
+        &self,
+        design: &Design,
+        cell: CellId,
+        pos: GridPos,
+        h_rows: i64,
+    ) -> Result<(), PlaceRejection> {
+        let c = design.cell(cell);
+        let me = cell.0;
         let sw = design.tech.site_width;
         let x_lo = design.core.lo.x + pos.site * sw;
         let x_hi = x_lo + c.width;
@@ -233,6 +503,91 @@ impl PixelGrid {
         Ok(())
     }
 
+    /// Full legality check of placing `cell` with its lower-left pixel at
+    /// `pos`. `Ok(())` means the position is legal w.r.t. bounds, rail
+    /// parity, occupancy, fences, and edge spacing (the max-displacement
+    /// constraint is the search's concern, not the grid's).
+    ///
+    /// Occupancy goes through the word-level bitmaps: a clean window test
+    /// skips the per-pixel loop entirely (on fence-free designs the fence
+    /// scan too); any set bit falls back to the exact per-pixel reference
+    /// walk so rejection ordering matches
+    /// [`check_place_reference`](Self::check_place_reference) bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PlaceRejection`] encountered, checking cheap
+    /// rules first.
+    pub fn check_place(
+        &self,
+        design: &Design,
+        cell: CellId,
+        pos: GridPos,
+    ) -> Result<(), PlaceRejection> {
+        let c = design.cell(cell);
+        let w_sites = c.width / design.tech.site_width;
+        let h_rows = i64::from(c.height_rows);
+        if pos.site < 0
+            || pos.row < 0
+            || pos.site + w_sites > self.sites_x
+            || pos.row + h_rows > self.rows
+        {
+            return Err(PlaceRejection::OutOfBounds);
+        }
+        if c.is_rail_constrained() && !c.rail.allows_row(pos.row) {
+            return Err(PlaceRejection::RailParity);
+        }
+        if self.window_zero(&self.occ_bits, pos.site, pos.row, w_sites, h_rows) {
+            debug_assert_eq!(
+                self.pixel_loop(design, cell, pos, w_sites, h_rows).err(),
+                if self.has_fences {
+                    self.fence_loop(design, cell, pos, w_sites, h_rows).err()
+                } else {
+                    None
+                },
+                "bitmap fast path disagrees with the per-pixel reference"
+            );
+            if self.has_fences {
+                self.fence_loop(design, cell, pos, w_sites, h_rows)?;
+            }
+        } else {
+            self.pixel_loop(design, cell, pos, w_sites, h_rows)?;
+        }
+        self.edge_spacing_check(design, cell, pos, h_rows)
+    }
+
+    /// The pre-bitmap legality check: identical semantics to
+    /// [`check_place`](Self::check_place) via per-pixel scans only. Kept as
+    /// the oracle for equivalence tests and as the honest "before" baseline
+    /// in the bench harness.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PlaceRejection`] encountered, checking cheap
+    /// rules first.
+    pub fn check_place_reference(
+        &self,
+        design: &Design,
+        cell: CellId,
+        pos: GridPos,
+    ) -> Result<(), PlaceRejection> {
+        let c = design.cell(cell);
+        let w_sites = c.width / design.tech.site_width;
+        let h_rows = i64::from(c.height_rows);
+        if pos.site < 0
+            || pos.row < 0
+            || pos.site + w_sites > self.sites_x
+            || pos.row + h_rows > self.rows
+        {
+            return Err(PlaceRejection::OutOfBounds);
+        }
+        if c.is_rail_constrained() && !c.rail.allows_row(pos.row) {
+            return Err(PlaceRejection::RailParity);
+        }
+        self.pixel_loop(design, cell, pos, w_sites, h_rows)?;
+        self.edge_spacing_check(design, cell, pos, h_rows)
+    }
+
     /// Marks `cell` as occupying the pixels at `pos`.
     ///
     /// # Panics
@@ -248,6 +603,7 @@ impl PixelGrid {
             let base = (row * self.sites_x) as usize;
             for site in pos.site..pos.site + w_sites {
                 self.occ[base + site as usize] = cell.0;
+                self.set_occ_bit(site, row);
             }
         }
         let x_lo = design.core.lo.x + pos.site * design.tech.site_width;
@@ -267,6 +623,7 @@ impl PixelGrid {
                 let idx = base + site as usize;
                 debug_assert_eq!(self.occ[idx], cell.0, "removing wrong occupant");
                 self.occ[idx] = FREE;
+                self.clear_occ_bit(site, row);
             }
         }
         let x_lo = design.core.lo.x + pos.site * design.tech.site_width;
@@ -462,5 +819,146 @@ mod tests {
         let g = PixelGrid::new(&d);
         let expect = 1.0 - 30.0 / 120.0;
         assert!((g.free_ratio() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_free_matches_per_pixel() {
+        let mut b = builder();
+        let a = b.add_cell("a", 3, 2, Point::new(0, 0));
+        b.add_fixed_cell("m", 2, 1, Point::new(2_000, 6_000));
+        let d = b.build();
+        let mut g = PixelGrid::new(&d);
+        g.place(&d, a, GridPos { site: 7, row: 2 });
+        for row in -1..=g.rows() {
+            for site in -1..=g.sites_x() {
+                for (w, h) in [(1, 1), (3, 2), (5, 1)] {
+                    let pos = GridPos { site, row };
+                    let expect = site >= 0
+                        && row >= 0
+                        && site + w <= g.sites_x()
+                        && row + h <= g.rows()
+                        && (row..row + h).all(|r| (site..site + w).all(|s| g.is_free(s, r)));
+                    assert_eq!(
+                        g.window_free(pos, w, h),
+                        expect,
+                        "window {w}x{h} at ({site},{row})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_has_fixed_sees_only_macros() {
+        let mut b = builder();
+        let a = b.add_cell("a", 2, 1, Point::new(0, 0));
+        b.add_fixed_cell("m", 2, 1, Point::new(2_000, 6_000));
+        let d = b.build();
+        let mut g = PixelGrid::new(&d);
+        g.place(&d, a, GridPos { site: 0, row: 0 });
+        // Movable cell pixels are not "fixed".
+        assert!(!g.window_has_fixed(GridPos { site: 0, row: 0 }, 2, 1));
+        // Macro at sites 10..12, row 3.
+        assert!(g.window_has_fixed(GridPos { site: 9, row: 3 }, 3, 1));
+        assert!(!g.window_has_fixed(GridPos { site: 12, row: 3 }, 3, 1));
+        // Out of bounds counts as blocked.
+        assert!(g.window_has_fixed(GridPos { site: 19, row: 0 }, 2, 1));
+    }
+
+    #[test]
+    fn free_spans_enumerate_gaps() {
+        let mut b = builder();
+        let a = b.add_cell("a", 2, 1, Point::new(0, 0));
+        let c = b.add_cell("c", 3, 2, Point::new(0, 0));
+        let d = b.build();
+        let mut g = PixelGrid::new(&d);
+        g.place(&d, a, GridPos { site: 4, row: 2 });
+        g.place(&d, c, GridPos { site: 10, row: 2 });
+        let mut spans = Vec::new();
+        g.for_each_free_span(2, 1, 0, g.sites_x(), |lo, hi| spans.push((lo, hi)));
+        assert_eq!(spans, vec![(0, 4), (6, 10), (13, 20)]);
+        // Two-row band: only pixels free in both rows count; `a` occupies
+        // row 2 only, `c` occupies rows 2..4.
+        let mut band = Vec::new();
+        g.for_each_free_span(2, 2, 0, g.sites_x(), |lo, hi| band.push((lo, hi)));
+        assert_eq!(band, vec![(0, 4), (6, 10), (13, 20)]);
+        // Sub-range clips the spans.
+        let mut clipped = Vec::new();
+        g.for_each_free_span(2, 1, 5, 12, |lo, hi| clipped.push((lo, hi)));
+        assert_eq!(clipped, vec![(6, 10)]);
+        // Fully occupied range yields nothing.
+        let mut none = Vec::new();
+        g.for_each_free_span(2, 1, 4, 6, |lo, hi| none.push((lo, hi)));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn free_spans_cross_word_boundaries() {
+        // 100-site core exercises spans spanning the 64-bit word boundary.
+        let mut b = DesignBuilder::new("wide", Technology::contest(), 100, 2);
+        let a = b.add_cell("a", 1, 1, Point::new(0, 0));
+        let d = b.build();
+        let mut g = PixelGrid::new(&d);
+        g.place(&d, a, GridPos { site: 63, row: 0 });
+        let mut spans = Vec::new();
+        g.for_each_free_span(0, 1, 0, g.sites_x(), |lo, hi| spans.push((lo, hi)));
+        assert_eq!(spans, vec![(0, 63), (64, 100)]);
+        // Padding bits beyond site 100 must read occupied.
+        assert!(!g.window_free(GridPos { site: 99, row: 0 }, 2, 1));
+        assert!(g.window_free(GridPos { site: 99, row: 0 }, 1, 1));
+    }
+
+    #[test]
+    fn grid_window_footprint_containment() {
+        let mut b = builder();
+        b.add_cell("a", 1, 1, Point::new(0, 0));
+        let d = b.build();
+        let g = PixelGrid::new(&d);
+        let full = GridWindow::full(&g);
+        assert!(!full.is_degenerate());
+        assert!(full.contains_footprint(GridPos { site: 0, row: 0 }, 20, 6));
+        let w = GridWindow {
+            lo_site: 4,
+            lo_row: 1,
+            hi_site: 10,
+            hi_row: 4,
+        };
+        assert!(w.contains_footprint(GridPos { site: 4, row: 1 }, 6, 3));
+        assert!(!w.contains_footprint(GridPos { site: 4, row: 1 }, 7, 3));
+        assert!(!w.contains_footprint(GridPos { site: 3, row: 1 }, 2, 1));
+        assert!(GridWindow {
+            lo_site: 5,
+            lo_row: 2,
+            hi_site: 5,
+            hi_row: 3,
+        }
+        .is_degenerate());
+    }
+
+    #[test]
+    fn check_place_agrees_with_reference() {
+        let mut b = builder();
+        let a = b.add_cell("a", 3, 2, Point::new(0, 0));
+        let c = b.add_cell("c", 2, 1, Point::new(0, 0));
+        let fenced = b.add_cell("f", 1, 1, Point::new(0, 0));
+        b.set_edges(a, EdgeType(2), EdgeType(1));
+        b.set_edges(c, EdgeType(1), EdgeType(2));
+        let r = b.add_region("reg", vec![Rect::new(2_800, 8_000, 4_000, 12_000)]);
+        b.assign_region(fenced, r);
+        let d = b.build();
+        let mut g = PixelGrid::new(&d);
+        g.place(&d, a, GridPos { site: 6, row: 2 });
+        for id in [a, c, fenced] {
+            for row in -1..=g.rows() {
+                for site in -1..=g.sites_x() {
+                    let pos = GridPos { site, row };
+                    assert_eq!(
+                        g.check_place(&d, id, pos),
+                        g.check_place_reference(&d, id, pos),
+                        "cell {id} at ({site},{row})"
+                    );
+                }
+            }
+        }
     }
 }

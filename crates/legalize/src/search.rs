@@ -6,15 +6,20 @@
 //! constraint and cell size. Finally, the location with the minimum
 //! displacement is designated to legalize the cell."
 //!
-//! Rings are enumerated by pixel Manhattan distance; candidates are costed
-//! by *physical* displacement (`|Δx| + |Δy|` in dbu, so one row of vertical
-//! motion is much more expensive than one site of horizontal motion), and
-//! the search terminates once no later ring can beat the incumbent.
+//! [`find_position`] walks the same diamond-bounded candidate set as the
+//! original ring enumeration (kept as [`find_position_reference`]) but in
+//! best-first order over the word-level free spans of the grid: rows are
+//! visited in nondecreasing vertical cost from the target row, and within a
+//! row only the anchors of bitmap-free spans are probed, walking outward
+//! from the cheapest x. Occupied stretches are skipped wholesale and both
+//! walk orders are monotone in displacement, so the first-beaten candidate
+//! ends its row and the first-beaten row ends the search — while the result
+//! (position *and* tie-break) stays bit-identical to the reference.
 
 use rlleg_design::{CellId, Design};
 use rlleg_geom::{Dbu, Point};
 
-use crate::pixel::{GridPos, PixelGrid};
+use crate::pixel::{GridPos, GridWindow, PixelGrid};
 
 /// Tuning knobs for [`find_position`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -27,6 +32,28 @@ pub struct SearchConfig {
     /// cell's global-placement position are skipped. Defaults to the
     /// design's `max_displacement`.
     pub displacement_limit: Option<Dbu>,
+    /// When set, only positions whose full footprint lies inside the window
+    /// are considered (parallel per-Gcell legalization).
+    pub window: Option<GridWindow>,
+}
+
+/// Pixel-Manhattan search bound shared by both search implementations.
+fn search_bound(grid: &PixelGrid, cfg: SearchConfig, design: &Design, cell: CellId) -> i64 {
+    let c = design.cell(cell);
+    let sw = design.tech.site_width;
+    let w_sites = c.width / sw;
+    let h_rows = i64::from(c.height_rows);
+    let limit = cfg.displacement_limit.or(design.max_displacement);
+    cfg.max_radius.unwrap_or_else(|| {
+        let from_limit = limit.map(|l| l / sw + 2);
+        let whole_core = grid.sites_x() + grid.rows();
+        // "Proportional to the maximum displacement constraint and cell
+        // size": the cell-size term lets big cells look a little farther
+        // than the displacement budget alone would.
+        from_limit
+            .map(|b| (b + 2 * (w_sites + h_rows)).min(whole_core))
+            .unwrap_or(whole_core)
+    })
 }
 
 /// The best legal position found for `cell` around `from` (its
@@ -44,18 +71,203 @@ pub fn find_position(
     let rh = design.tech.row_height;
     let w_sites = c.width / sw;
     let h_rows = i64::from(c.height_rows);
+    let limit = cfg.displacement_limit.or(design.max_displacement);
+    let bound = search_bound(grid, cfg, design, cell);
+
+    // Diamond centre, clamped into the representable placement range.
+    let raw = grid.to_grid(design, from);
+    let site0 = raw.site.clamp(0, (grid.sites_x() - w_sites).max(0));
+    let row0 = raw.row.clamp(0, (grid.rows() - h_rows).max(0));
+
+    let x0 = design.core.lo.x;
+    let y0 = design.core.lo.y;
+
+    // Anchor ranges: grid, optional window, and the diamond's row extent.
+    let (win_lo_s, win_lo_r, win_hi_s, win_hi_r) = match cfg.window {
+        Some(w) => (w.lo_site, w.lo_row, w.hi_site, w.hi_row),
+        None => (0, 0, grid.sites_x(), grid.rows()),
+    };
+    let row_lo = win_lo_r.max(0).max(row0 - bound);
+    let row_hi = (win_hi_r - h_rows)
+        .min(grid.rows() - h_rows)
+        .min(row0 + bound);
+    let site_lo = win_lo_s.max(0);
+    let site_hi = (win_hi_s - w_sites).min(grid.sites_x() - w_sites);
+
+    let mut best: Option<(GridPos, Dbu)> = None;
+    let mut scanned = 0u64;
+    let mut spans = 0u64;
+    let mut window_pixels = 0u64;
+
+    if row_lo <= row_hi && site_lo <= site_hi && w_sites > 0 && h_rows > 0 {
+        // Rows in nondecreasing vertical cost: |y(row) - from.y| is V-shaped
+        // in the row index, so a two-pointer walk outward from its integer
+        // argmin (clamped into range) visits rows cheapest-first.
+        let q = (from.y - y0).div_euclid(rh);
+        let row_star = if (y0 + (q + 1) * rh - from.y).abs() < (y0 + q * rh - from.y).abs() {
+            q + 1
+        } else {
+            q
+        };
+        let row_c = row_star.clamp(row_lo, row_hi);
+        // Same idea for the in-row anchor walk.
+        let qx = (from.x - x0).div_euclid(sw);
+        let site_star = if (x0 + (qx + 1) * sw - from.x).abs() < (x0 + qx * sw - from.x).abs() {
+            qx + 1
+        } else {
+            qx
+        };
+
+        let mut down = row_c;
+        let mut up = row_c + 1;
+        loop {
+            // Next row, cheapest vertical cost first (lower row on ties).
+            let dy_down = (down >= row_lo).then(|| (y0 + down * rh - from.y).abs());
+            let dy_up = (up <= row_hi).then(|| (y0 + up * rh - from.y).abs());
+            let (row, dy_cost) = match (dy_down, dy_up) {
+                (None, None) => break,
+                (Some(a), None) => {
+                    let r = down;
+                    down -= 1;
+                    (r, a)
+                }
+                (None, Some(b)) => {
+                    let r = up;
+                    up += 1;
+                    (r, b)
+                }
+                (Some(a), Some(b)) => {
+                    if a <= b {
+                        let r = down;
+                        down -= 1;
+                        (r, a)
+                    } else {
+                        let r = up;
+                        up += 1;
+                        (r, b)
+                    }
+                }
+            };
+            // Monotone orders make these cuts exact, not heuristic.
+            if limit.is_some_and(|l| dy_cost > l) {
+                break;
+            }
+            if let Some((_, bd)) = best {
+                if dy_cost > bd {
+                    break;
+                }
+            }
+            if c.is_rail_constrained() && !c.rail.allows_row(row) {
+                continue;
+            }
+            // Diamond width at this row plus the displacement-limit budget.
+            let wx = bound - (row - row0).abs();
+            if wx < 0 {
+                continue;
+            }
+            let mut a_lo = site_lo.max(site0 - wx);
+            let mut a_hi = site_hi.min(site0 + wx);
+            if let Some(l) = limit {
+                let bx = l - dy_cost;
+                a_lo = a_lo.max((from.x - bx - x0 + sw - 1).div_euclid(sw));
+                a_hi = a_hi.min((from.x + bx - x0).div_euclid(sw));
+            }
+            if a_lo > a_hi {
+                continue;
+            }
+            window_pixels += (a_hi - a_lo + 1) as u64;
+            let site_c = site_star.clamp(a_lo, a_hi);
+            grid.for_each_free_span(row, h_rows, a_lo, a_hi + w_sites, |s_lo, s_hi| {
+                let c_lo = s_lo.max(a_lo);
+                let c_hi = (s_hi - w_sites).min(a_hi);
+                if c_lo > c_hi {
+                    return;
+                }
+                spans += 1;
+                // Anchors outward from the cheapest x (lower site on ties):
+                // horizontal cost is monotone along the walk, so the first
+                // candidate the incumbent beats ends the span.
+                let start = site_c.clamp(c_lo, c_hi);
+                let mut left = start;
+                let mut right = start + 1;
+                loop {
+                    let dl = (left >= c_lo).then(|| (x0 + left * sw - from.x).abs());
+                    let dr = (right <= c_hi).then(|| (x0 + right * sw - from.x).abs());
+                    let (site, dx_cost) = match (dl, dr) {
+                        (None, None) => break,
+                        (Some(a), None) => {
+                            let s = left;
+                            left -= 1;
+                            (s, a)
+                        }
+                        (None, Some(b)) => {
+                            let s = right;
+                            right += 1;
+                            (s, b)
+                        }
+                        (Some(a), Some(b)) => {
+                            if a <= b {
+                                let s = left;
+                                left -= 1;
+                                (s, a)
+                            } else {
+                                let s = right;
+                                right += 1;
+                                (s, b)
+                            }
+                        }
+                    };
+                    let disp = dx_cost + dy_cost;
+                    if limit.is_some_and(|l| disp > l) {
+                        break;
+                    }
+                    if let Some((bpos, bdisp)) = best {
+                        if disp > bdisp {
+                            break;
+                        }
+                        if disp == bdisp && (row, site) >= (bpos.row, bpos.site) {
+                            continue;
+                        }
+                    }
+                    scanned += 1;
+                    let pos = GridPos { site, row };
+                    if grid.check_place(design, cell, pos).is_ok() {
+                        best = Some((pos, disp));
+                    }
+                }
+            });
+        }
+    }
+    if !telemetry::disabled() {
+        telemetry::counter("legalize.search.pixels_scanned").add(scanned);
+        telemetry::counter("legalize.search.calls").inc();
+        telemetry::counter("legalize.search.spans").add(spans);
+        telemetry::counter("legalize.search.span_skipped_pixels")
+            .add(window_pixels.saturating_sub(scanned));
+    }
+    best
+}
+
+/// The pre-bitmap ring-enumeration search, preserved verbatim (on top of
+/// [`PixelGrid::check_place_reference`]) as the equivalence oracle for
+/// [`find_position`] and the honest "before" baseline in the bench harness.
+/// Returns the same position and displacement as `find_position` for every
+/// input.
+pub fn find_position_reference(
+    grid: &PixelGrid,
+    design: &Design,
+    cell: CellId,
+    from: Point,
+    cfg: SearchConfig,
+) -> Option<(GridPos, Dbu)> {
+    let c = design.cell(cell);
+    let sw = design.tech.site_width;
+    let rh = design.tech.row_height;
+    let w_sites = c.width / sw;
+    let h_rows = i64::from(c.height_rows);
 
     let limit = cfg.displacement_limit.or(design.max_displacement);
-    let bound = cfg.max_radius.unwrap_or_else(|| {
-        let from_limit = limit.map(|l| l / sw + 2);
-        let whole_core = grid.sites_x() + grid.rows();
-        // "Proportional to the maximum displacement constraint and cell
-        // size": the cell-size term lets big cells look a little farther
-        // than the displacement budget alone would.
-        from_limit
-            .map(|b| (b + 2 * (w_sites + h_rows)).min(whole_core))
-            .unwrap_or(whole_core)
-    });
+    let bound = search_bound(grid, cfg, design, cell);
 
     // Clamp the ring centre into the representable placement range.
     let raw = grid.to_grid(design, from);
@@ -74,11 +286,12 @@ pub fn find_position(
     ));
 
     let mut best: Option<(GridPos, Dbu)> = None;
-    // Candidate pixels examined, flushed to telemetry once per search so the
-    // hot loop touches only a local cell.
-    let scanned = std::cell::Cell::new(0u64);
     let try_candidate = |pos: GridPos, best: &mut Option<(GridPos, Dbu)>| {
-        scanned.set(scanned.get() + 1);
+        if let Some(w) = cfg.window {
+            if !w.contains_footprint(pos, w_sites, h_rows) {
+                return;
+            }
+        }
         let p = grid.to_dbu(design, pos);
         let disp = p.manhattan(from);
         if let Some(l) = limit {
@@ -92,7 +305,7 @@ pub fn find_position(
                 return;
             }
         }
-        if grid.check_place(design, cell, pos).is_ok() {
+        if grid.check_place_reference(design, cell, pos).is_ok() {
             *best = Some((pos, disp));
         }
     };
@@ -137,10 +350,6 @@ pub fn find_position(
                 try_candidate(GridPos { site, row }, &mut best);
             }
         }
-    }
-    if !telemetry::disabled() {
-        telemetry::counter("legalize.search.pixels_scanned").add(scanned.get());
-        telemetry::counter("legalize.search.calls").inc();
     }
     best
 }
@@ -241,8 +450,8 @@ mod tests {
             CellId(0),
             Point::new(0, 0),
             SearchConfig {
-                max_radius: None,
                 displacement_limit: Some(1_000),
+                ..SearchConfig::default()
             },
         );
         assert_eq!(r, None, "every free pixel is farther than 1000 dbu");
@@ -258,7 +467,7 @@ mod tests {
             Point::new(0, 0),
             SearchConfig {
                 max_radius: Some(3),
-                displacement_limit: None,
+                ..SearchConfig::default()
             },
         );
         assert_eq!(r, None);
@@ -315,5 +524,84 @@ mod tests {
         // Best is 3 sites left (site 2): 600 dbu, cheaper than any row move.
         assert_eq!(pos, GridPos { site: 2, row: 1 });
         assert_eq!(disp, 600);
+    }
+
+    #[test]
+    fn window_restricts_candidates() {
+        let (d, g) = design_with(&[(2, 1, 800, 2_000)], &[]);
+        let win = GridWindow {
+            lo_site: 10,
+            lo_row: 3,
+            hi_site: 20,
+            hi_row: 8,
+        };
+        let cfg = SearchConfig {
+            window: Some(win),
+            ..SearchConfig::default()
+        };
+        let (pos, disp) = find_position(&g, &d, CellId(0), Point::new(800, 2_000), cfg)
+            .expect("window holds free pixels");
+        assert!(win.contains_footprint(pos, 2, 1));
+        // Cheapest in-window anchor: site 10, row 3.
+        assert_eq!(pos, GridPos { site: 10, row: 3 });
+        assert_eq!(disp, (2_000 - 800) + (6_000 - 2_000));
+        assert_eq!(
+            find_position_reference(&g, &d, CellId(0), Point::new(800, 2_000), cfg),
+            Some((pos, disp)),
+            "reference honours the window identically"
+        );
+    }
+
+    #[test]
+    fn matches_reference_on_scattered_obstacles() {
+        // Deterministic scatter of blockers and mixed-height cells, then
+        // every movable cell's search must match the reference exactly.
+        let mut cells: Vec<(i64, u8, i64, i64)> = Vec::new();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..25 {
+            cells.push((
+                1 + (next() % 4) as i64,
+                1 + (next() % 3) as u8,
+                (next() % 8_000) as i64,
+                (next() % 20_000) as i64,
+            ));
+        }
+        let (d, mut g) = design_with(&cells, &[(6, 2, 3_000, 8_000)]);
+        // Pre-place every other cell to clutter the grid.
+        for i in (0..25).step_by(2) {
+            let id = CellId(i);
+            if let Some((pos, _)) =
+                find_position(&g, &d, id, d.cell(id).gp_pos, SearchConfig::default())
+            {
+                g.place(&d, id, pos);
+            }
+        }
+        for i in (1..25).step_by(2) {
+            let id = CellId(i);
+            let from = d.cell(id).gp_pos;
+            for cfg in [
+                SearchConfig::default(),
+                SearchConfig {
+                    displacement_limit: Some(3_000),
+                    ..SearchConfig::default()
+                },
+                SearchConfig {
+                    max_radius: Some(6),
+                    ..SearchConfig::default()
+                },
+            ] {
+                assert_eq!(
+                    find_position(&g, &d, id, from, cfg),
+                    find_position_reference(&g, &d, id, from, cfg),
+                    "cell {id} cfg {cfg:?}"
+                );
+            }
+        }
     }
 }

@@ -17,4 +17,7 @@ cargo build --release
 echo "==> tier-1 verify: cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> cargo bench --no-run (benches must keep building)"
+cargo bench --no-run --workspace
+
 echo "==> ci: all stages passed"

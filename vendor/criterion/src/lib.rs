@@ -8,9 +8,64 @@
 //! `harness = false` bench targets building and runnable offline.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One measured benchmark case, kept in a process-global registry so
+/// `harness = false` runners can export machine-readable results (the
+/// `BENCH_*.json` files tracked at the repo root).
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Benchmark group name.
+    pub group: String,
+    /// Case id within the group.
+    pub id: String,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+}
+
+impl Record {
+    /// Iterations per second implied by the mean.
+    pub fn iters_per_sec(&self) -> f64 {
+        if self.mean_ns > 0.0 {
+            1.0e9 / self.mean_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// All benchmark measurements recorded so far in this process.
+pub fn records() -> Vec<Record> {
+    RECORDS.lock().expect("records lock").clone()
+}
+
+/// Writes every recorded measurement as a JSON document:
+/// `{"cases": [{"group", "id", "mean_ns", "iters_per_sec"}, ...]}`.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing `path`.
+pub fn export_json(path: &str) -> std::io::Result<()> {
+    let recs = records();
+    let mut out = String::from("{\n  \"cases\": [\n");
+    for (i, r) in recs.iter().enumerate() {
+        let sep = if i + 1 == recs.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"group\": {:?}, \"id\": {:?}, \"mean_ns\": {:.1}, \"iters_per_sec\": {:.1}}}{sep}\n",
+            r.group,
+            r.id,
+            r.mean_ns,
+            r.iters_per_sec(),
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
 
 /// Upper bound on wall-clock time spent measuring a single benchmark.
 const TIME_CAP: Duration = Duration::from_secs(1);
@@ -131,7 +186,14 @@ impl BenchmarkGroup<'_> {
 
     fn report(&self, id: &BenchmarkId, mean: Option<Duration>) {
         match mean {
-            Some(m) => println!("{}/{:<40} {:>12.3?}/iter", self.name, id.id, m),
+            Some(m) => {
+                println!("{}/{:<40} {:>12.3?}/iter", self.name, id.id, m);
+                RECORDS.lock().expect("records lock").push(Record {
+                    group: self.name.clone(),
+                    id: id.id.clone(),
+                    mean_ns: m.as_secs_f64() * 1.0e9,
+                });
+            }
             None => println!("{}/{:<40} (no measurement)", self.name, id.id),
         }
     }
@@ -196,5 +258,10 @@ mod tests {
         });
         group.finish();
         assert!(runs >= 4, "warm-up plus three samples, got {runs}");
+        let recs = records();
+        assert!(recs.iter().any(|r| r.group == "smoke" && r.id == "count"));
+        assert!(recs.iter().any(|r| r.id == "sum/8"));
+        let r = recs.iter().find(|r| r.id == "count").unwrap();
+        assert!(r.mean_ns >= 0.0 && r.iters_per_sec() > 0.0);
     }
 }

@@ -2,8 +2,106 @@
 //!
 //! Provides the [`channel`] module surface the workspace uses —
 //! `bounded`/`unbounded` channels with cloneable senders, `try_send`,
-//! `recv_timeout`, and iteration — implemented over `std::sync::mpsc`.
-//! Receivers are single-consumer (as this workspace uses them).
+//! `recv_timeout`, and iteration — implemented over `std::sync::mpsc` —
+//! plus the [`thread`] scoped-spawn API over `std::thread::scope`.
+
+/// Scoped threads (the `crossbeam::thread::scope` surface) over
+/// `std::thread::scope`.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::thread as std_thread;
+
+    /// Result of [`scope`] or [`ScopedJoinHandle::join`]; `Err` carries a
+    /// panic payload.
+    pub type Result<T> = std_thread::Result<T>;
+
+    /// A scope for spawning borrowing threads; all spawned threads are
+    /// joined before [`scope`] returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish; `Err` when it panicked.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload when the thread panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. As in real crossbeam, the
+        /// closure receives the scope again so workers can spawn more
+        /// workers.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a [`Scope`]; every spawned thread is joined before
+    /// returning. Unlike `std::thread::scope`, a panicking child turns
+    /// into an `Err` instead of propagating.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload when `f` or an unjoined child panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std_thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let counter = AtomicUsize::new(0);
+            let counter = &counter;
+            let total = super::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|i| {
+                        s.spawn(move |_| {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                            i
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+            })
+            .unwrap();
+            assert_eq!(total, 6);
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        }
+
+        #[test]
+        fn child_panic_becomes_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}
 
 /// Multi-producer single-consumer channels.
 pub mod channel {
