@@ -81,6 +81,22 @@ impl Technology {
         Dbu::from(s) * self.site_width
     }
 
+    /// The largest spacing any edge-type pair can demand, in dbu.
+    ///
+    /// Placed cells farther apart than this can never violate edge
+    /// spacing, which lets window-scoped grid snapshots copy only the
+    /// row-index entries within this halo of the window.
+    pub fn max_edge_spacing(&self) -> Dbu {
+        let s = self
+            .edge_spacing_sites
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        Dbu::from(s) * self.site_width
+    }
+
     /// Rounds `x` down to the nearest site boundary.
     pub fn snap_x_down(&self, x: Dbu) -> Dbu {
         x.div_euclid(self.site_width) * self.site_width
@@ -118,6 +134,12 @@ mod tests {
         assert_eq!(t.edge_spacing(e2, e1), t.edge_spacing(e1, e2));
         // Out-of-table types are permissive.
         assert_eq!(t.edge_spacing(EdgeType(9), e2), 0);
+    }
+
+    #[test]
+    fn max_edge_spacing_bounds_the_table() {
+        assert_eq!(Technology::contest().max_edge_spacing(), 400);
+        assert_eq!(Technology::nangate45().max_edge_spacing(), 0);
     }
 
     #[test]

@@ -12,8 +12,15 @@ use rlleg_geom::Dbu;
 
 use crate::gcell::GcellGrid;
 use crate::order::Ordering;
-use crate::pixel::{GridPos, PixelGrid};
+use crate::pixel::{GridPos, PixelGrid, SubGrid};
 use crate::search::{find_position, SearchConfig};
+
+std::thread_local! {
+    /// Per-thread [`SubGrid`] scratch for Gcell solves: each pool worker
+    /// (and the calling thread) reuses one snapshot buffer across Gcells
+    /// and across `run_gcells_parallel` calls instead of reallocating.
+    static GCELL_SCRATCH: std::cell::RefCell<SubGrid> = std::cell::RefCell::new(SubGrid::new());
+}
 
 /// Outcome of one Gcell-local solve: committed `(cell, pos)` pairs in
 /// order, plus the cells that found no window-local position.
@@ -194,20 +201,28 @@ impl Legalizer {
     }
 
     /// Legalizes the design Gcell by Gcell with the subepisodes solved in
-    /// parallel on `threads` scoped worker threads (`0` = one per
-    /// available core, `1` = the sequential fallback).
+    /// parallel on `threads` workers from the persistent
+    /// [`pool`](crate::pool) (`0` = one per available core, `1` = the
+    /// sequential fallback; the calling thread always works too, so only
+    /// `threads - 1` pool workers are engaged).
     ///
-    /// Phase 1 solves every Gcell independently: each worker clones the
-    /// current grid and design, restricts the search to the Gcell's
-    /// disjoint site/row window ([`GcellGrid::window_of`]), and records the
-    /// positions it found. Workers never observe each other, so the
-    /// per-Gcell outcome cannot depend on thread scheduling. Phase 2 then
-    /// merges the recorded placements sequentially in subepisode order,
-    /// re-validating each against the real grid (a placement near a window
-    /// boundary can violate edge spacing against a neighbouring Gcell's
-    /// cell); rejected or unplaced cells get a sequential unwindowed retry.
-    /// Every phase after the embarrassingly-parallel solve is sequential
-    /// and ordered, which is what makes the result bit-identical for any
+    /// Phase 1 solves every Gcell independently and **clone-free**: the
+    /// design is never mutated during the solve (cell order and search
+    /// starts read only immutable fields), and instead of cloning the
+    /// whole grid each worker [`load`](SubGrid::load)s its thread-local
+    /// [`SubGrid`] scratch with just the Gcell's disjoint site/row window
+    /// ([`GcellGrid::window_of`]) — occupancy words, occupant block, and
+    /// the edge-spacing halo of the row index. Searches are restricted to
+    /// the window, and the scratch answers them exactly as the full grid
+    /// would, so workers never observe each other and the per-Gcell
+    /// outcome cannot depend on thread scheduling. Phase 2 then merges the
+    /// recorded placements sequentially in subepisode order, re-validating
+    /// each against the real grid (a placement near a window boundary can
+    /// violate edge spacing against a neighbouring Gcell's cell); rejected
+    /// or unplaced cells get a sequential retry with any caller-configured
+    /// search window cleared, so retries may use the whole grid. Every
+    /// phase after the embarrassingly-parallel solve is sequential and
+    /// ordered, which is what makes the result bit-identical for any
     /// thread count — including the `threads == 1` fallback, which runs
     /// the very same two phases in a plain loop.
     pub fn run_gcells_parallel(
@@ -219,76 +234,102 @@ impl Legalizer {
     ) -> RunStats {
         let _t = telemetry::span("legalize.run_gcells_parallel");
         let n = gcells.len();
+        // Empty or degenerate grids (no Gcells, or none holding a movable
+        // cell) have nothing to solve: never enter the worker machinery.
+        if n == 0 || (0..n).all(|g| gcells.cells_of(g).is_empty()) {
+            return RunStats::default();
+        }
         let threads = match threads {
             0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
             t => t,
         }
-        .min(n.max(1));
+        .min(n);
 
-        // Phase 1: window-restricted, snapshot-isolated per-Gcell solves.
+        // Phase 1: window-restricted, snapshot-isolated per-Gcell solves
+        // on per-worker scratch windows.
         let base_grid = &self.grid;
         let search = self.search;
-        let solve = |g: usize| -> GcellSolve {
-            let win = gcells.window_of(design, g);
-            let mut lg = Legalizer {
-                grid: base_grid.clone(),
-                search: SearchConfig {
-                    window: Some(win),
-                    ..search
-                },
+        let design_ro: &Design = design;
+        let solve = |scratch: &mut SubGrid, g: usize| -> GcellSolve {
+            let order = ordering.order(design_ro, Some(gcells.cells_of(g)));
+            if order.is_empty() {
+                return (Vec::new(), Vec::new());
+            }
+            let win = gcells.window_of(design_ro, g);
+            if win.is_degenerate() {
+                // No in-window pixel can exist; every cell goes to the
+                // sequential retry, as the windowed search would decide.
+                return (Vec::new(), order);
+            }
+            scratch.load(base_grid, design_ro, win);
+            let cfg = SearchConfig {
+                window: Some(win),
+                ..search
             };
-            let mut local = design.clone();
-            let order = ordering.order(&local, Some(gcells.cells_of(g)));
             let mut placed = Vec::new();
             let mut failed = Vec::new();
             for cell in order {
-                match lg.legalize_cell(&mut local, cell) {
-                    Ok(_) => {
-                        let pos = lg.grid.to_grid(&local, local.cell(cell).pos);
+                let c = design_ro.cell(cell);
+                assert!(c.is_movable(), "cannot legalize fixed cell {cell}");
+                assert!(!c.legalized, "cell {cell} already legalized");
+                match find_position(&*scratch, design_ro, cell, c.gp_pos, cfg) {
+                    Some((pos, _)) => {
+                        scratch.place(design_ro, cell, pos);
                         placed.push((cell, pos));
                     }
-                    Err(e) => failed.push(e.cell),
+                    None => failed.push(cell),
                 }
             }
             (placed, failed)
         };
 
-        let mut results: Vec<Option<GcellSolve>> = (0..n).map(|_| None).collect();
-        if threads <= 1 {
-            for (g, slot) in results.iter_mut().enumerate() {
-                *slot = Some(solve(g));
-            }
-        } else {
+        let results: Vec<std::sync::Mutex<Option<GcellSolve>>> =
+            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        {
             let next = std::sync::atomic::AtomicUsize::new(0);
-            let (tx, rx) = crossbeam::channel::unbounded();
-            crossbeam::thread::scope(|s| {
-                for w in 0..threads {
-                    let tx = tx.clone();
-                    let next = &next;
-                    let solve = &solve;
-                    s.spawn(move |_| {
-                        let mut done = 0i64;
-                        loop {
-                            let g = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if g >= n {
-                                break;
+            // Claim Gcells off a shared counter and solve them on this
+            // thread's scratch; returns how many this worker handled.
+            let worker_loop = || -> i64 {
+                GCELL_SCRATCH.with(|s| {
+                    let mut scratch = s.borrow_mut();
+                    let mut done = 0i64;
+                    loop {
+                        let g = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if g >= n {
+                            break;
+                        }
+                        let out = solve(&mut scratch, g);
+                        *results[g].lock().expect("gcell result poisoned") = Some(out);
+                        done += 1;
+                    }
+                    done
+                })
+            };
+            if threads <= 1 {
+                worker_loop();
+            } else {
+                let pool = crate::pool::global();
+                pool.ensure_workers(threads - 1);
+                pool.scope(|s| {
+                    for w in 1..threads {
+                        let worker_loop = &worker_loop;
+                        s.spawn(move || {
+                            let done = worker_loop();
+                            if !telemetry::disabled() {
+                                telemetry::gauge(&format!("legalize.parallel.worker{w}.gcells"))
+                                    .set(done);
                             }
-                            let out = solve(g);
-                            done += 1;
-                            tx.send((g, out)).expect("collector outlives workers");
-                        }
-                        if !telemetry::disabled() {
-                            telemetry::gauge(&format!("legalize.parallel.worker{w}.gcells"))
-                                .set(done);
-                        }
-                    });
-                }
-                drop(tx);
-                for (g, out) in rx.iter() {
-                    results[g] = Some(out);
-                }
-            })
-            .expect("gcell worker panicked");
+                        });
+                    }
+                    // The calling thread is worker 0; on few-core hosts
+                    // this is what keeps the pool from being pure
+                    // overhead.
+                    let done = worker_loop();
+                    if !telemetry::disabled() {
+                        telemetry::gauge("legalize.parallel.worker0.gcells").set(done);
+                    }
+                });
+            }
         }
 
         // Phase 2: deterministic sequential merge in subepisode order.
@@ -296,7 +337,11 @@ impl Legalizer {
         let mut retry: Vec<CellId> = Vec::new();
         let mut conflicts = 0u64;
         for g in gcells.subepisode_order() {
-            let (placed, failed) = results[g].take().expect("every gcell solved");
+            let (placed, failed) = results[g]
+                .lock()
+                .expect("gcell result poisoned")
+                .take()
+                .expect("every gcell solved");
             for (cell, pos) in placed {
                 if self.grid.check_place(design, cell, pos).is_ok() {
                     self.grid.place(design, cell, pos);
@@ -316,12 +361,16 @@ impl Legalizer {
             telemetry::counter("legalize.parallel.merge_conflicts").add(conflicts);
             telemetry::counter("legalize.parallel.retries").add(retry.len() as u64);
         }
+        // Merge-retry must see the whole grid: clear any caller-configured
+        // window for the duration of the retries.
+        let saved_window = self.search.window.take();
         for cell in retry {
             match self.legalize_cell(design, cell) {
                 Ok(_) => stats.legalized += 1,
                 Err(e) => stats.failed.push(e.cell),
             }
         }
+        self.search.window = saved_window;
         stats
     }
 
@@ -647,6 +696,7 @@ impl Legalizer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pixel::GridWindow;
     use rlleg_design::{legality, metrics::Qor, DesignBuilder, Technology};
     use rlleg_geom::Point;
 
@@ -879,6 +929,66 @@ mod tests {
             "{:?}",
             legality::check(&d, true).first()
         );
+    }
+
+    #[test]
+    fn parallel_run_on_empty_or_fixed_only_design_returns_empty_stats() {
+        // No cells at all.
+        let mut d = DesignBuilder::new("none", Technology::contest(), 12, 4).build();
+        let g = GcellGrid::new(&d, 2, 2);
+        let mut lg = Legalizer::new(&d);
+        assert_eq!(
+            lg.run_gcells_parallel(&mut d, &Ordering::SizeDescending, &g, 8),
+            RunStats::default()
+        );
+        // Only fixed cells: every Gcell exists but holds nothing movable.
+        let mut b = DesignBuilder::new("fixed", Technology::contest(), 12, 4);
+        b.add_fixed_cell("m", 4, 2, Point::new(400, 0));
+        let mut d = b.build();
+        let g = GcellGrid::new(&d, 3, 2);
+        let mut lg = Legalizer::new(&d);
+        let stats = lg.run_gcells_parallel(&mut d, &Ordering::SizeDescending, &g, 8);
+        assert_eq!(stats, RunStats::default());
+        assert!(stats.is_complete());
+    }
+
+    #[test]
+    fn merge_retry_clears_caller_window_and_escapes_the_gcell() {
+        // 20 sites x 2 rows, split into a left and a right Gcell. The right
+        // half is fully covered by a macro, so the cell whose global
+        // placement lands there fails its windowed Gcell solve and goes to
+        // the merge-retry. The caller's own search window also points at
+        // the blocked right half: the retry must clear it, or the cell can
+        // never reach the free left half.
+        let mut b = DesignBuilder::new("retry", Technology::contest(), 20, 2);
+        let a = b.add_cell("a", 1, 1, Point::new(3_000, 0));
+        b.add_fixed_cell("m", 10, 2, Point::new(2_000, 0));
+        let mut d = b.build();
+        let g = GcellGrid::new(&d, 2, 1);
+        let right_half = GridWindow {
+            lo_site: 10,
+            lo_row: 0,
+            hi_site: 20,
+            hi_row: 2,
+        };
+        let mut lg = Legalizer::with_config(
+            &d,
+            SearchConfig {
+                window: Some(right_half),
+                ..SearchConfig::default()
+            },
+        );
+        let stats = lg.run_gcells_parallel(&mut d, &Ordering::SizeDescending, &g, 2);
+        assert!(stats.is_complete(), "failed: {:?}", stats.failed);
+        assert_eq!(stats.legalized, 1);
+        assert!(d.cell(a).legalized);
+        assert!(
+            d.cell(a).pos.x < 2_000,
+            "must land in the left half, got {:?}",
+            d.cell(a).pos
+        );
+        // The caller's window is restored after the retries.
+        assert_eq!(lg.search.window, Some(right_half));
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! - [`TetrisLegalizer`] — a greedy row-packing alternative backend (the
 //!   paper: "our framework can be applied to any sequential legalization
 //!   algorithms"),
+//! - [`SubGrid`] — window-scoped scratch snapshots for clone-free parallel
+//!   per-Gcell solves, behind the [`GridRead`] search abstraction,
+//! - [`pool::WorkerPool`] — the persistent worker pool amortizing thread
+//!   startup across `run_gcells_parallel` calls,
 //! - [`GcellGrid`] / [`BinGrid`] — subepisode partitioning (Sec. III-E-1),
 //! - [`FeatureSpace`] — incremental maintenance of the Table-I features.
 //!
@@ -43,6 +47,7 @@ pub mod gcell;
 mod legalizer;
 mod order;
 pub mod pixel;
+pub mod pool;
 pub mod search;
 mod tetris;
 
@@ -50,6 +55,7 @@ pub use features::{FeatureSpace, NUM_FEATURES};
 pub use gcell::{BinGrid, GcellGrid};
 pub use legalizer::{Legalizer, PlaceCellError, RunStats};
 pub use order::Ordering;
-pub use pixel::{GridPos, GridWindow, PixelGrid, PlaceRejection};
+pub use pixel::{GridPos, GridRead, GridWindow, PixelGrid, PlaceRejection, SubGrid};
+pub use pool::WorkerPool;
 pub use search::{find_position, find_position_reference, SearchConfig};
 pub use tetris::TetrisLegalizer;

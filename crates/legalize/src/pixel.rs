@@ -76,6 +76,91 @@ impl GridWindow {
     }
 }
 
+/// Read-only occupancy view the diamond search runs against: either the
+/// full [`PixelGrid`] or a window-scoped [`SubGrid`] scratch snapshot.
+///
+/// All coordinates are **full-grid** site/row indices in both cases; a
+/// `SubGrid` reports the full grid's dimensions and answers queries inside
+/// its window, so search code (bounds, clamping, span walks) is byte-for-byte
+/// the same against either view — the foundation of the parallel
+/// legalizer's bit-identical-to-sequential contract.
+pub trait GridRead {
+    /// Number of sites across the full grid.
+    fn sites_x(&self) -> i64;
+    /// Number of rows in the full grid.
+    fn rows(&self) -> i64;
+    /// Enumerates maximal free spans `[s_lo, s_hi)` of sites within
+    /// `[lo, hi)` where all rows `row..row + h_rows` are simultaneously
+    /// unoccupied, in ascending site order (see
+    /// [`PixelGrid::for_each_free_span`]).
+    fn for_each_free_span(&self, row: i64, h_rows: i64, lo: i64, hi: i64, f: impl FnMut(i64, i64));
+    /// Full legality check of placing `cell` at `pos` (see
+    /// [`PixelGrid::check_place`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PlaceRejection`] encountered.
+    fn check_place(
+        &self,
+        design: &Design,
+        cell: CellId,
+        pos: GridPos,
+    ) -> Result<(), PlaceRejection>;
+}
+
+/// Shared span-walk core: enumerates maximal zero runs within `[lo, hi)`
+/// over the per-word row-band OR supplied by `band_word` (indexed by the
+/// *global* word column). Both the full grid and window snapshots feed
+/// this, so their span enumeration is identical by construction.
+fn walk_free_spans(
+    lo: i64,
+    hi: i64,
+    mut band_word: impl FnMut(usize) -> u64,
+    mut f: impl FnMut(i64, i64),
+) {
+    let lo_w = lo as usize / 64;
+    let hi_w = ((hi - 1) as usize / 64) + 1;
+    // Start of the currently open free run, or negative when closed.
+    let mut open: i64 = -1;
+    for wi in lo_w..hi_w {
+        let base = wi as i64 * 64;
+        let mut word = band_word(wi);
+        // Mask sites outside [lo, hi) as occupied.
+        if base < lo {
+            word |= (1u64 << (lo - base)) - 1;
+        }
+        let k = hi - base;
+        if k < 64 {
+            word |= !0u64 << k;
+        }
+        let mut bit: i64 = 0;
+        while bit < 64 {
+            let rest = word >> bit;
+            if open < 0 {
+                // Skip the occupied run (trailing ones).
+                let ones = (!rest).trailing_zeros() as i64;
+                if ones == 0 {
+                    open = base + bit;
+                    continue;
+                }
+                bit += ones;
+            } else {
+                // Extend the free run (trailing zeros); a set bit ends it.
+                let zeros = rest.trailing_zeros() as i64;
+                if zeros == 0 {
+                    f(open, base + bit);
+                    open = -1;
+                    continue;
+                }
+                bit += zeros;
+            }
+        }
+    }
+    if open >= 0 {
+        f(open, hi);
+    }
+}
+
 /// Why a candidate position is not legal. Returned by
 /// [`PixelGrid::check_place`] so search heuristics can distinguish hard
 /// failures from merely occupied pixels.
@@ -340,7 +425,7 @@ impl PixelGrid {
         h_rows: i64,
         lo: i64,
         hi: i64,
-        mut f: impl FnMut(i64, i64),
+        f: impl FnMut(i64, i64),
     ) {
         debug_assert!(row >= 0 && h_rows >= 1 && row + h_rows <= self.rows);
         let lo = lo.max(0);
@@ -349,50 +434,18 @@ impl PixelGrid {
             return;
         }
         let wpr = self.words_per_row;
-        let lo_w = lo as usize / 64;
-        let hi_w = ((hi - 1) as usize / 64) + 1;
-        // Start of the currently open free run, or negative when closed.
-        let mut open: i64 = -1;
-        for wi in lo_w..hi_w {
-            let base = wi as i64 * 64;
-            let mut word = 0u64;
-            for r in row..row + h_rows {
-                word |= self.occ_bits[r as usize * wpr + wi];
-            }
-            // Mask sites outside [lo, hi) as occupied.
-            if base < lo {
-                word |= (1u64 << (lo - base)) - 1;
-            }
-            let k = hi - base;
-            if k < 64 {
-                word |= !0u64 << k;
-            }
-            let mut bit: i64 = 0;
-            while bit < 64 {
-                let rest = word >> bit;
-                if open < 0 {
-                    // Skip the occupied run (trailing ones).
-                    let ones = (!rest).trailing_zeros() as i64;
-                    if ones == 0 {
-                        open = base + bit;
-                        continue;
-                    }
-                    bit += ones;
-                } else {
-                    // Extend the free run (trailing zeros); a set bit ends it.
-                    let zeros = rest.trailing_zeros() as i64;
-                    if zeros == 0 {
-                        f(open, base + bit);
-                        open = -1;
-                        continue;
-                    }
-                    bit += zeros;
+        walk_free_spans(
+            lo,
+            hi,
+            |wi| {
+                let mut word = 0u64;
+                for r in row..row + h_rows {
+                    word |= self.occ_bits[r as usize * wpr + wi];
                 }
-            }
-        }
-        if open >= 0 {
-            f(open, hi);
-        }
+                word
+            },
+            f,
+        );
     }
 
     /// Per-pixel occupancy + fence loop shared by [`check_place`]
@@ -657,6 +710,471 @@ impl PixelGrid {
     pub fn free_ratio(&self) -> f64 {
         let free = self.occ.iter().filter(|&&o| o == FREE).count();
         free as f64 / self.occ.len().max(1) as f64
+    }
+
+    /// Snapshots the window `win` into a fresh [`SubGrid`] scratch: only the
+    /// window's occupancy words, occupant block, fence block (when the
+    /// design has fences), and the row-index entries within the
+    /// max-edge-spacing halo are copied — not the whole core.
+    ///
+    /// Prefer keeping one `SubGrid` per worker and calling
+    /// [`SubGrid::load`] to reuse its buffers across windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `win` is degenerate or leaves the grid.
+    pub fn extract_window(&self, design: &Design, win: GridWindow) -> SubGrid {
+        let mut sub = SubGrid::new();
+        sub.load(self, design, win);
+        sub
+    }
+}
+
+impl GridRead for PixelGrid {
+    fn sites_x(&self) -> i64 {
+        PixelGrid::sites_x(self)
+    }
+
+    fn rows(&self) -> i64 {
+        PixelGrid::rows(self)
+    }
+
+    fn for_each_free_span(&self, row: i64, h_rows: i64, lo: i64, hi: i64, f: impl FnMut(i64, i64)) {
+        PixelGrid::for_each_free_span(self, row, h_rows, lo, hi, f);
+    }
+
+    fn check_place(
+        &self,
+        design: &Design,
+        cell: CellId,
+        pos: GridPos,
+    ) -> Result<(), PlaceRejection> {
+        PixelGrid::check_place(self, design, cell, pos)
+    }
+}
+
+/// A window-scoped scratch snapshot of a [`PixelGrid`]: the occupancy
+/// state of one [`GridWindow`] (plus the edge-spacing halo of the row
+/// index), answering the same queries as the full grid for any footprint
+/// inside the window.
+///
+/// This is the clone-free substrate of parallel per-Gcell legalization:
+/// instead of cloning the whole grid per Gcell, each worker keeps one
+/// `SubGrid` and [`load`](Self::load)s it per window, copying `O(window)`
+/// bytes and reusing its buffers between Gcells. Queries and placements use
+/// **full-grid** coordinates; [`GridRead::sites_x`]/[`GridRead::rows`]
+/// report the full grid's dimensions so search-space bounds derived from
+/// them match the full grid exactly.
+///
+/// The snapshot is *exact* for in-window footprints:
+///
+/// - occupancy words are copied verbatim (word-aligned, so boundary words
+///   retain out-of-window neighbour bits, which every query masks off),
+/// - the row index copies the entries whose occupied interval ends within
+///   [`Technology::max_edge_spacing`](rlleg_design::Technology::max_edge_spacing)
+///   of the window; since placed intervals are disjoint, any dropped entry
+///   is provably too far away to decide an edge-spacing check for an
+///   in-window footprint, so [`check_place`](Self::check_place) returns
+///   exactly what the full grid would.
+///
+/// Probing a footprint that leaves the window is a contract violation
+/// (debug assertion).
+#[derive(Debug, Clone)]
+pub struct SubGrid {
+    win: GridWindow,
+    /// Full-grid dimensions, reported by the [`GridRead`] impl.
+    sites_x: i64,
+    rows: i64,
+    /// Copied word-column range `[w_lo, w_hi)` of the occupancy bitmap.
+    w_lo: usize,
+    w_hi: usize,
+    /// Window occupancy words, `(hi_row - lo_row) × (w_hi - w_lo)`.
+    occ_bits: Vec<u64>,
+    /// Window occupant block, row-major, window-local indexing.
+    occ: Vec<u32>,
+    /// Window fence blocks (empty when the design has no fences).
+    fence_inside: Vec<u16>,
+    fence_touched: Vec<bool>,
+    has_fences: bool,
+    /// Per window row: halo-trimmed copy of the edge-spacing row index.
+    row_cells: Vec<BTreeMap<Dbu, (Dbu, u32)>>,
+}
+
+impl Default for SubGrid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SubGrid {
+    /// An empty scratch; call [`load`](Self::load) before use.
+    pub fn new() -> Self {
+        Self {
+            win: GridWindow {
+                lo_site: 0,
+                lo_row: 0,
+                hi_site: 0,
+                hi_row: 0,
+            },
+            sites_x: 0,
+            rows: 0,
+            w_lo: 0,
+            w_hi: 0,
+            occ_bits: Vec::new(),
+            occ: Vec::new(),
+            fence_inside: Vec::new(),
+            fence_touched: Vec::new(),
+            has_fences: false,
+            row_cells: Vec::new(),
+        }
+    }
+
+    /// The window this scratch currently snapshots.
+    pub fn window(&self) -> GridWindow {
+        self.win
+    }
+
+    /// Re-snapshots `win` from `base`, reusing this scratch's buffers
+    /// (reset, not reallocated, when capacities suffice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `win` is degenerate or leaves the grid.
+    pub fn load(&mut self, base: &PixelGrid, design: &Design, win: GridWindow) {
+        assert!(!win.is_degenerate(), "cannot snapshot a degenerate window");
+        assert!(
+            win.lo_site >= 0
+                && win.lo_row >= 0
+                && win.hi_site <= base.sites_x
+                && win.hi_row <= base.rows,
+            "window {win:?} leaves the {}x{} grid",
+            base.sites_x,
+            base.rows
+        );
+        self.win = win;
+        self.sites_x = base.sites_x;
+        self.rows = base.rows;
+        self.w_lo = (win.lo_site / 64) as usize;
+        self.w_hi = ((win.hi_site - 1) / 64) as usize + 1;
+        let ww = (win.hi_site - win.lo_site) as usize;
+        self.occ_bits.clear();
+        self.occ.clear();
+        for row in win.lo_row..win.hi_row {
+            let wb = row as usize * base.words_per_row;
+            self.occ_bits
+                .extend_from_slice(&base.occ_bits[wb + self.w_lo..wb + self.w_hi]);
+            let pb = (row * base.sites_x + win.lo_site) as usize;
+            self.occ.extend_from_slice(&base.occ[pb..pb + ww]);
+        }
+        self.has_fences = base.has_fences;
+        self.fence_inside.clear();
+        self.fence_touched.clear();
+        if base.has_fences {
+            for row in win.lo_row..win.hi_row {
+                let pb = (row * base.sites_x + win.lo_site) as usize;
+                self.fence_inside
+                    .extend_from_slice(&base.fence_inside[pb..pb + ww]);
+                self.fence_touched
+                    .extend_from_slice(&base.fence_touched[pb..pb + ww]);
+            }
+        }
+        // Row index: an entry can decide an edge-spacing check for an
+        // in-window footprint only if its interval ends after
+        // `x_lo - halo`; row intervals are disjoint, so everything to the
+        // left of the last such entry is farther still and can be dropped.
+        let halo = design.tech.max_edge_spacing();
+        let sw = design.tech.site_width;
+        let x_lo = design.core.lo.x + win.lo_site * sw;
+        let x_hi = design.core.lo.x + win.hi_site * sw;
+        let h = (win.hi_row - win.lo_row) as usize;
+        for m in &mut self.row_cells {
+            m.clear();
+        }
+        self.row_cells.resize_with(h, BTreeMap::new);
+        for (local, row) in (win.lo_row..win.hi_row).enumerate() {
+            let map = &mut self.row_cells[local];
+            let src = &base.row_cells[row as usize];
+            if let Some((&k, &v)) = src.range(..x_lo - halo).next_back() {
+                if v.0 > x_lo - halo {
+                    map.insert(k, v);
+                }
+            }
+            for (&k, &v) in src.range(x_lo - halo..x_hi + halo) {
+                map.insert(k, v);
+            }
+        }
+    }
+
+    /// Words per local row of the copied bitmap block.
+    #[inline]
+    fn wpr(&self) -> usize {
+        self.w_hi - self.w_lo
+    }
+
+    /// Copied occupancy word for a full-grid `(row, word-column)` pair.
+    #[inline]
+    fn word(&self, row: i64, wi: usize) -> u64 {
+        self.occ_bits[(row - self.win.lo_row) as usize * self.wpr() + (wi - self.w_lo)]
+    }
+
+    /// Window-local pixel index for a full-grid `(site, row)`.
+    #[inline]
+    fn pix(&self, site: i64, row: i64) -> usize {
+        let ww = (self.win.hi_site - self.win.lo_site) as usize;
+        (row - self.win.lo_row) as usize * ww + (site - self.win.lo_site) as usize
+    }
+
+    /// Word-level test that the in-window footprint is all-free
+    /// (mirrors [`PixelGrid::window_zero`] over the copied words).
+    fn window_zero(&self, site: i64, row: i64, w: i64, h: i64) -> bool {
+        let lo_w = site as usize / 64;
+        let hi_w = ((site + w - 1) as usize / 64) + 1;
+        for wi in lo_w..hi_w {
+            let base = wi as i64 * 64;
+            let mut mask = !0u64;
+            if base < site {
+                mask &= !0u64 << (site - base);
+            }
+            let k = site + w - base;
+            if k < 64 {
+                mask &= (1u64 << k) - 1;
+            }
+            for r in row..row + h {
+                if self.word(r, wi) & mask != 0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Per-pixel occupancy + fence loop (mirrors [`PixelGrid::pixel_loop`]
+    /// with window-local indexing; same first-rejection ordering).
+    fn pixel_loop(
+        &self,
+        design: &Design,
+        cell: CellId,
+        pos: GridPos,
+        w_sites: i64,
+        h_rows: i64,
+    ) -> Result<(), PlaceRejection> {
+        let c = design.cell(cell);
+        let me = cell.0;
+        for row in pos.row..pos.row + h_rows {
+            for site in pos.site..pos.site + w_sites {
+                let idx = self.pix(site, row);
+                let occ = self.occ[idx];
+                if occ != FREE && occ != me {
+                    return Err(PlaceRejection::Occupied);
+                }
+                if self.has_fences {
+                    match c.region {
+                        Some(reg) => {
+                            if self.fence_inside[idx] != reg.0 {
+                                return Err(PlaceRejection::Fence);
+                            }
+                        }
+                        None => {
+                            if self.fence_touched[idx] {
+                                return Err(PlaceRejection::Fence);
+                            }
+                        }
+                    }
+                } else if c.region.is_some() {
+                    // No fences rasterized: a fenced cell can never sit
+                    // "inside" its region (matches NO_FENCE semantics).
+                    return Err(PlaceRejection::Fence);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fence-only per-pixel loop after a clean word test (mirrors
+    /// [`PixelGrid::fence_loop`]).
+    fn fence_loop(
+        &self,
+        design: &Design,
+        cell: CellId,
+        pos: GridPos,
+        w_sites: i64,
+        h_rows: i64,
+    ) -> Result<(), PlaceRejection> {
+        let c = design.cell(cell);
+        for row in pos.row..pos.row + h_rows {
+            for site in pos.site..pos.site + w_sites {
+                let idx = self.pix(site, row);
+                match c.region {
+                    Some(reg) => {
+                        if self.fence_inside[idx] != reg.0 {
+                            return Err(PlaceRejection::Fence);
+                        }
+                    }
+                    None => {
+                        if self.fence_touched[idx] {
+                            return Err(PlaceRejection::Fence);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Edge-spacing check against the halo-trimmed row index (mirrors
+    /// [`PixelGrid::edge_spacing_check`]).
+    fn edge_spacing_check(
+        &self,
+        design: &Design,
+        cell: CellId,
+        pos: GridPos,
+        h_rows: i64,
+    ) -> Result<(), PlaceRejection> {
+        let c = design.cell(cell);
+        let me = cell.0;
+        let sw = design.tech.site_width;
+        let x_lo = design.core.lo.x + pos.site * sw;
+        let x_hi = x_lo + c.width;
+        for row in pos.row..pos.row + h_rows {
+            let map = &self.row_cells[(row - self.win.lo_row) as usize];
+            if let Some((_, &(left_hi, left_cell))) = map.range(..x_lo).next_back() {
+                if left_cell != me && left_hi <= x_lo {
+                    let lc = design.cell(CellId(left_cell));
+                    let need = design.tech.edge_spacing(lc.edge_right, c.edge_left);
+                    if x_lo - left_hi < need {
+                        return Err(PlaceRejection::EdgeSpacing);
+                    }
+                }
+            }
+            if let Some((&right_lo, &(_, right_cell))) = map.range(x_lo..).next() {
+                if right_cell != me && right_lo >= x_hi {
+                    let rc = design.cell(CellId(right_cell));
+                    let need = design.tech.edge_spacing(c.edge_right, rc.edge_left);
+                    if right_lo - x_hi < need {
+                        return Err(PlaceRejection::EdgeSpacing);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Full legality check of placing `cell` at `pos`, identical to
+    /// [`PixelGrid::check_place`] for any footprint inside the window.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PlaceRejection`] encountered, checking cheap
+    /// rules first.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) when the in-bounds footprint leaves the
+    /// snapshot window.
+    pub fn check_place(
+        &self,
+        design: &Design,
+        cell: CellId,
+        pos: GridPos,
+    ) -> Result<(), PlaceRejection> {
+        let c = design.cell(cell);
+        let w_sites = c.width / design.tech.site_width;
+        let h_rows = i64::from(c.height_rows);
+        if pos.site < 0
+            || pos.row < 0
+            || pos.site + w_sites > self.sites_x
+            || pos.row + h_rows > self.rows
+        {
+            return Err(PlaceRejection::OutOfBounds);
+        }
+        debug_assert!(
+            self.win.contains_footprint(pos, w_sites, h_rows),
+            "SubGrid probed outside its window: {pos:?} {w_sites}x{h_rows} vs {:?}",
+            self.win
+        );
+        if c.is_rail_constrained() && !c.rail.allows_row(pos.row) {
+            return Err(PlaceRejection::RailParity);
+        }
+        if self.window_zero(pos.site, pos.row, w_sites, h_rows) {
+            if self.has_fences {
+                self.fence_loop(design, cell, pos, w_sites, h_rows)?;
+            }
+        } else {
+            self.pixel_loop(design, cell, pos, w_sites, h_rows)?;
+        }
+        self.edge_spacing_check(design, cell, pos, h_rows)
+    }
+
+    /// Marks `cell` as occupying the pixels at `pos` within the snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) when the position is not
+    /// [`check_place`](Self::check_place)-legal.
+    pub fn place(&mut self, design: &Design, cell: CellId, pos: GridPos) {
+        debug_assert_eq!(self.check_place(design, cell, pos), Ok(()));
+        let c = design.cell(cell);
+        let w_sites = c.width / design.tech.site_width;
+        let h_rows = i64::from(c.height_rows);
+        let wpr = self.wpr();
+        for row in pos.row..pos.row + h_rows {
+            let wb = (row - self.win.lo_row) as usize * wpr;
+            for site in pos.site..pos.site + w_sites {
+                let idx = self.pix(site, row);
+                self.occ[idx] = cell.0;
+                self.occ_bits[wb + (site as usize / 64 - self.w_lo)] |=
+                    1u64 << (site as usize % 64);
+            }
+        }
+        let x_lo = design.core.lo.x + pos.site * design.tech.site_width;
+        for row in pos.row..pos.row + h_rows {
+            self.row_cells[(row - self.win.lo_row) as usize].insert(x_lo, (x_lo + c.width, cell.0));
+        }
+    }
+}
+
+impl GridRead for SubGrid {
+    fn sites_x(&self) -> i64 {
+        self.sites_x
+    }
+
+    fn rows(&self) -> i64 {
+        self.rows
+    }
+
+    fn for_each_free_span(&self, row: i64, h_rows: i64, lo: i64, hi: i64, f: impl FnMut(i64, i64)) {
+        debug_assert!(row >= self.win.lo_row && h_rows >= 1 && row + h_rows <= self.win.hi_row);
+        let lo = lo.max(0);
+        let hi = hi.min(self.sites_x);
+        if lo >= hi {
+            return;
+        }
+        debug_assert!(
+            lo >= self.win.lo_site && hi <= self.win.hi_site,
+            "span range [{lo},{hi}) leaves window {:?}",
+            self.win
+        );
+        walk_free_spans(
+            lo,
+            hi,
+            |wi| {
+                let mut word = 0u64;
+                for r in row..row + h_rows {
+                    word |= self.word(r, wi);
+                }
+                word
+            },
+            f,
+        );
+    }
+
+    fn check_place(
+        &self,
+        design: &Design,
+        cell: CellId,
+        pos: GridPos,
+    ) -> Result<(), PlaceRejection> {
+        SubGrid::check_place(self, design, cell, pos)
     }
 }
 
@@ -960,5 +1478,80 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn subgrid_check_place_matches_full_grid_inside_the_window() {
+        // Mixed occupancy, fences, edge spacing, and a window whose left
+        // edge cuts through the middle of a word: every in-window probe
+        // must answer exactly as the full grid.
+        let mut b = builder();
+        let a = b.add_cell("a", 3, 2, Point::new(0, 0));
+        let c = b.add_cell("c", 2, 1, Point::new(0, 0));
+        let fenced = b.add_cell("f", 1, 1, Point::new(0, 0));
+        b.set_edges(a, EdgeType(2), EdgeType(1));
+        b.set_edges(c, EdgeType(1), EdgeType(2));
+        let r = b.add_region("reg", vec![Rect::new(2_800, 8_000, 4_000, 12_000)]);
+        b.assign_region(fenced, r);
+        let d = b.build();
+        let mut g = PixelGrid::new(&d);
+        g.place(&d, a, GridPos { site: 6, row: 2 });
+        g.place(&d, c, GridPos { site: 11, row: 4 });
+        let win = GridWindow {
+            lo_site: 5,
+            lo_row: 1,
+            hi_site: 15,
+            hi_row: 6,
+        };
+        let sub = g.extract_window(&d, win);
+        assert_eq!(sub.window(), win);
+        assert_eq!((sub.sites_x(), sub.rows()), (g.sites_x(), g.rows()));
+        for id in [a, c, fenced] {
+            let cell = d.cell(id);
+            let w_sites = cell.width / d.tech.site_width;
+            let h_rows = i64::from(cell.height_rows);
+            for row in win.lo_row..win.hi_row - h_rows + 1 {
+                for site in win.lo_site..win.hi_site - w_sites + 1 {
+                    let pos = GridPos { site, row };
+                    assert_eq!(
+                        sub.check_place(&d, id, pos),
+                        g.check_place(&d, id, pos),
+                        "cell {id} at ({site},{row})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subgrid_place_blocks_subsequent_probes() {
+        let mut b = builder();
+        let a = b.add_cell("a", 2, 1, Point::new(0, 0));
+        let c = b.add_cell("c", 2, 1, Point::new(0, 0));
+        let d = b.build();
+        let g = PixelGrid::new(&d);
+        let win = GridWindow {
+            lo_site: 2,
+            lo_row: 0,
+            hi_site: 12,
+            hi_row: 4,
+        };
+        let mut sub = g.extract_window(&d, win);
+        let p = GridPos { site: 4, row: 1 };
+        assert_eq!(sub.check_place(&d, a, p), Ok(()));
+        sub.place(&d, a, p);
+        assert_eq!(
+            sub.check_place(&d, c, p),
+            Err(PlaceRejection::Occupied),
+            "a placement must be visible to later solves in the same window"
+        );
+        assert_eq!(
+            sub.check_place(&d, c, GridPos { site: 6, row: 1 }),
+            Ok(()),
+            "the next free site still accepts"
+        );
+        // Reloading resets the scratch to the base grid's state.
+        sub.load(&g, &d, win);
+        assert_eq!(sub.check_place(&d, c, p), Ok(()));
     }
 }

@@ -19,7 +19,7 @@
 use rlleg_design::{CellId, Design};
 use rlleg_geom::{Dbu, Point};
 
-use crate::pixel::{GridPos, GridWindow, PixelGrid};
+use crate::pixel::{GridPos, GridRead, GridWindow, PixelGrid};
 
 /// Tuning knobs for [`find_position`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -38,7 +38,7 @@ pub struct SearchConfig {
 }
 
 /// Pixel-Manhattan search bound shared by both search implementations.
-fn search_bound(grid: &PixelGrid, cfg: SearchConfig, design: &Design, cell: CellId) -> i64 {
+fn search_bound(grid: &impl GridRead, cfg: SearchConfig, design: &Design, cell: CellId) -> i64 {
     let c = design.cell(cell);
     let sw = design.tech.site_width;
     let w_sites = c.width / sw;
@@ -59,8 +59,12 @@ fn search_bound(grid: &PixelGrid, cfg: SearchConfig, design: &Design, cell: Cell
 /// The best legal position found for `cell` around `from` (its
 /// global-placement position), with its physical displacement in dbu, or
 /// `None` when the search space holds no legal pixel.
-pub fn find_position(
-    grid: &PixelGrid,
+///
+/// Generic over [`GridRead`]: the full [`PixelGrid`] and the window-scoped
+/// [`SubGrid`](crate::pixel::SubGrid) snapshot run the very same search
+/// (a `SubGrid` caller must restrict `cfg.window` to the snapshot window).
+pub fn find_position<G: GridRead>(
+    grid: &G,
     design: &Design,
     cell: CellId,
     from: Point,
@@ -75,7 +79,10 @@ pub fn find_position(
     let bound = search_bound(grid, cfg, design, cell);
 
     // Diamond centre, clamped into the representable placement range.
-    let raw = grid.to_grid(design, from);
+    let raw = GridPos {
+        site: design.site_of(from.x),
+        row: design.row_of(from.y),
+    };
     let site0 = raw.site.clamp(0, (grid.sites_x() - w_sites).max(0));
     let row0 = raw.row.clamp(0, (grid.rows() - h_rows).max(0));
 

@@ -20,6 +20,32 @@ use rlleg_legalize::{
     PixelGrid, SearchConfig,
 };
 
+/// A core whose site count is forced off the 64-bit word boundary, with a
+/// fixed blockage hugging the right edge so Gcell windows clipped at the
+/// die boundary meet occupied words.
+fn build_ragged(sites: i64, rows: i64, cells: &[CellSpec]) -> Design {
+    let mut b = DesignBuilder::new("ragged", Technology::contest(), sites, rows);
+    b.add_fixed_cell("edge_macro", 3, 2, Point::new((sites - 3) * 200, 0));
+    for (i, c) in cells.iter().enumerate() {
+        let id = b.add_cell(
+            format!("u{i}"),
+            c.w,
+            c.h.min(rows as u8),
+            Point::new(c.x % (sites * 200), c.y % (rows * 2_000)),
+        );
+        b.set_edges(id, EdgeType(c.el), EdgeType(c.er));
+        b.set_rail(
+            id,
+            if c.odd_rail {
+                RailParity::Odd
+            } else {
+                RailParity::Even
+            },
+        );
+    }
+    b.build()
+}
+
 #[derive(Debug, Clone)]
 struct CellSpec {
     w: i64,
@@ -193,6 +219,88 @@ proptest! {
                     "cell {:?} cfg {:?}", cell, cfg
                 );
             }
+        }
+    }
+
+    /// A [`SubGrid`] snapshot must answer every window-restricted search
+    /// exactly as the full grid does — the invariant the clone-free
+    /// parallel solve stands on.
+    #[test]
+    fn subgrid_search_matches_full_grid(
+        cells in prop::collection::vec(arb_cell(), 4..14),
+        ops in prop::collection::vec(arb_op(), 1..40),
+        lo_site in 0i64..50,
+        lo_row in 0i64..9,
+        w in 4i64..40,
+        h in 2i64..8,
+    ) {
+        let d = build(&cells);
+        let mut g = PixelGrid::new(&d);
+        let mut placed: HashMap<CellId, GridPos> = HashMap::new();
+        let ids: Vec<CellId> = d.movable_ids().collect();
+        for op in &ops {
+            let cell = ids[op.cell as usize % ids.len()];
+            let pos = GridPos { site: op.site, row: op.row };
+            if op.place {
+                if !placed.contains_key(&cell) && g.check_place(&d, cell, pos).is_ok() {
+                    g.place(&d, cell, pos);
+                    placed.insert(cell, pos);
+                }
+            } else if let Some(at) = placed.remove(&cell) {
+                g.remove(&d, cell, at);
+            }
+        }
+        let win = GridWindow {
+            lo_site,
+            lo_row,
+            hi_site: (lo_site + w).min(g.sites_x()),
+            hi_row: (lo_row + h).min(g.rows()),
+        };
+        let sub = g.extract_window(&d, win);
+        let cfg = SearchConfig { window: Some(win), ..SearchConfig::default() };
+        for &cell in &ids {
+            if placed.contains_key(&cell) {
+                continue;
+            }
+            let from = d.cell(cell).pos;
+            prop_assert_eq!(
+                find_position(&sub, &d, cell, from, cfg),
+                find_position(&g, &d, cell, from, cfg),
+                "cell {:?} win {:?}", cell, win
+            );
+        }
+    }
+
+    /// Thread-count invariance on awkward geometry: cores whose site count
+    /// is not a multiple of 64 (boundary words are partially padded) and
+    /// Gcell grids whose windows clip at the die edges. Every thread count
+    /// must reproduce the single-threaded result bit for bit.
+    #[test]
+    fn parallel_solve_bit_identical_across_thread_counts_on_ragged_cores(
+        sites in 33i64..130,
+        rows in 4i64..14,
+        nx in 1usize..4,
+        ny in 1usize..4,
+        cells in prop::collection::vec(arb_cell(), 6..20),
+        seed in 0u64..100,
+    ) {
+        let sites = if sites % 64 == 0 { sites + 1 } else { sites };
+        let d0 = build_ragged(sites, rows, &cells);
+        let gcells = GcellGrid::new(&d0, nx, ny);
+        let ordering = Ordering::Random(seed);
+        let run = |threads: usize| {
+            let mut d = d0.clone();
+            let mut lg = Legalizer::new(&d);
+            let stats = lg.run_gcells_parallel(&mut d, &ordering, &gcells, threads);
+            let placement: Vec<(Point, bool)> =
+                d.cells.iter().map(|c| (c.pos, c.legalized)).collect();
+            (stats.failed, placement)
+        };
+        let reference = run(1);
+        for threads in [2usize, 4, 8] {
+            let got = run(threads);
+            prop_assert_eq!(&got.0, &reference.0, "threads {}: failures differ", threads);
+            prop_assert_eq!(&got.1, &reference.1, "threads {}: placements differ", threads);
         }
     }
 }

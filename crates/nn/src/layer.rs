@@ -51,22 +51,23 @@ impl Linear {
 
     /// Forward pass; caches the input for the next [`backward`](Self::backward).
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let mut y = x.matmul_t(&self.w);
-        for r in 0..y.rows() {
-            for c in 0..y.cols() {
-                y[(r, c)] += self.b[c];
-            }
-        }
+        let y = self.affine(x);
         self.cached_input = Some(x.clone());
         y
     }
 
     /// Forward pass without caching (inference).
     pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        self.affine(x)
+    }
+
+    /// `x·Wᵀ + b` with the bias broadcast row-wise.
+    fn affine(&self, x: &Matrix) -> Matrix {
         let mut y = x.matmul_t(&self.w);
-        for r in 0..y.rows() {
-            for c in 0..y.cols() {
-                y[(r, c)] += self.b[c];
+        let out = self.b.len();
+        for orow in y.as_mut_slice().chunks_exact_mut(out) {
+            for (o, &b) in orow.iter_mut().zip(&self.b) {
+                *o += b;
             }
         }
         y

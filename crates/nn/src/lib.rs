@@ -51,5 +51,5 @@ pub mod ops;
 pub mod optim;
 
 pub use layer::{Linear, Relu};
-pub use matrix::Matrix;
+pub use matrix::{Matrix, BLOCKED_MIN_ROWS};
 pub use mlp::Mlp;

@@ -1,5 +1,14 @@
 use serde::{Deserialize, Serialize};
 
+/// Row count at which [`Matrix::matmul`] / [`Matrix::matmul_t`] switch from
+/// the naive loops to the register-tiled kernel.
+///
+/// Per-state inference matrices have 2–13 rows (one per movable cell in a
+/// subepisode window) and stay on the naive path where tile setup would
+/// dominate; batched evaluation over hundreds of states crosses this
+/// threshold and gets the tiled kernel.
+pub const BLOCKED_MIN_ROWS: usize = 16;
+
 /// A dense row-major `f32` matrix.
 ///
 /// This is the only tensor type the workspace needs: states are `N×F`
@@ -99,6 +108,12 @@ impl Matrix {
 
     /// Matrix product `self · rhs`.
     ///
+    /// Large products transpose `rhs` once and run the register-tiled
+    /// kernel of [`matmul_t`](Self::matmul_t); small ones (fewer than
+    /// [`BLOCKED_MIN_ROWS`] rows) fall through to
+    /// [`matmul_naive`](Self::matmul_naive), where the transpose cost and
+    /// tile bookkeeping would dominate.
+    ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
@@ -108,16 +123,41 @@ impl Matrix {
             "matmul {}x{} · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        if self.rows < BLOCKED_MIN_ROWS {
+            return self.matmul_naive(rhs);
+        }
+        // Pack rhsᵀ (cols × rows, row-major) so every dot product in the
+        // tiled kernel streams both operands contiguously.
+        let mut rt = Matrix::zeros(rhs.cols, rhs.rows);
+        for r in 0..rhs.rows {
+            let brow = &rhs.data[r * rhs.cols..(r + 1) * rhs.cols];
+            for (c, &b) in brow.iter().enumerate() {
+                rt.data[c * rhs.rows + r] = b;
+            }
+        }
+        self.matmul_t_blocked(&rt, 0.0)
+    }
+
+    /// Reference `self · rhs`: the straightforward ikj triple loop, kept as
+    /// the test oracle for the tiled kernel behind
+    /// [`matmul`](Self::matmul).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         // ikj loop order: stream rhs rows, decent cache behaviour without
-        // blocking; the networks here are small (≤ 512 wide).
+        // blocking.
         for i in 0..self.rows {
             let arow = &self.data[i * self.cols..(i + 1) * self.cols];
             let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for (k, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let brow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 for (o, &b) in orow.iter_mut().zip(brow) {
                     *o += a * b;
@@ -148,7 +188,34 @@ impl Matrix {
     }
 
     /// Matrix product `self · rhsᵀ` without materializing the transpose.
+    ///
+    /// This is the inference hot path (`Linear` stores weights `out × in`,
+    /// so every forward is an `x · Wᵀ`). Products with at least
+    /// [`BLOCKED_MIN_ROWS`] rows run a 4×4 register-tiled kernel; smaller
+    /// ones (per-state forwards are 2–13 rows) use the plain dot-product
+    /// loops of [`matmul_t_naive`](Self::matmul_t_naive). Both paths
+    /// accumulate each output element over `k` in ascending order starting
+    /// from zero, so they produce bit-identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_t col mismatch");
+        if self.rows < BLOCKED_MIN_ROWS {
+            return self.matmul_t_naive(rhs);
+        }
+        self.matmul_t_blocked(rhs, -0.0)
+    }
+
+    /// Reference `self · rhsᵀ`: one dot product per output element, kept as
+    /// the test oracle (and small-input path) for
+    /// [`matmul_t`](Self::matmul_t).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn matmul_t_naive(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.cols, "matmul_t col mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.rows);
         for i in 0..self.rows {
@@ -157,6 +224,56 @@ impl Matrix {
                 let brow = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
                 out.data[i * rhs.rows + j] = arow.iter().zip(brow).map(|(a, b)| a * b).sum();
             }
+        }
+        out
+    }
+
+    /// 4×4 register-tiled `self · rhsᵀ`.
+    ///
+    /// Each tile keeps 16 independent accumulators live across the whole
+    /// `k` sweep, turning the latency-bound single-accumulator dot product
+    /// of the naive loop into 16 parallel dependency chains while both
+    /// operand rows stream contiguously. Per output element the additions
+    /// still happen in ascending `k` order, so the result is bit-identical
+    /// to the matching naive kernel — provided `init` matches the naive
+    /// accumulator identity: `f32`'s `sum()` folds from `-0.0` (preserving
+    /// all-negative-zero sums), while `matmul_naive`'s `+=`-into-zeros
+    /// starts at `+0.0`. Edge tiles replicate their last row; the duplicate
+    /// accumulators are simply not written back.
+    fn matmul_t_blocked(&self, rhs: &Matrix, init: f32) -> Matrix {
+        const MR: usize = 4;
+        const NR: usize = 4;
+        let (m, n, k) = (self.rows, rhs.rows, self.cols);
+        let mut out = Matrix::zeros(m, n);
+        fn row(d: &[f32], r: usize, k: usize) -> &[f32] {
+            &d[r * k..(r + 1) * k]
+        }
+        let mut i = 0;
+        while i < m {
+            let mh = MR.min(m - i);
+            let ar: [&[f32]; MR] = std::array::from_fn(|ii| row(&self.data, i + ii.min(mh - 1), k));
+            let mut j = 0;
+            while j < n {
+                let nh = NR.min(n - j);
+                let br: [&[f32]; NR] =
+                    std::array::from_fn(|jj| row(&rhs.data, j + jj.min(nh - 1), k));
+                let mut acc = [[init; NR]; MR];
+                for p in 0..k {
+                    let b = [br[0][p], br[1][p], br[2][p], br[3][p]];
+                    for (ii, arow) in ar.iter().enumerate() {
+                        let a = arow[p];
+                        for (jj, &bv) in b.iter().enumerate() {
+                            acc[ii][jj] += a * bv;
+                        }
+                    }
+                }
+                for (ii, acc_row) in acc.iter().enumerate().take(mh) {
+                    let orow = &mut out.data[(i + ii) * n + j..(i + ii) * n + j + nh];
+                    orow.copy_from_slice(&acc_row[..nh]);
+                }
+                j += nh;
+            }
+            i += mh;
         }
         out
     }
@@ -242,5 +359,63 @@ mod tests {
         let mut m = Matrix::from_rows(&[&[-1.0, 2.0]]);
         m.map_inplace(|v| v.max(0.0));
         assert_eq!(m.as_slice(), &[0.0, 2.0]);
+    }
+
+    /// Deterministic pseudo-random matrix (xorshift; no rand dependency in
+    /// unit tests).
+    fn ramp(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut s = seed | 1;
+        let data = (0..rows * cols)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 2000) as f32 / 100.0 - 10.0
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    fn assert_bit_identical(a: &Matrix, b: &Matrix) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "element {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_t_bit_identical_to_naive_with_edge_tiles() {
+        // 17 and 6 force partial tiles in both dimensions; 17 ≥
+        // BLOCKED_MIN_ROWS so matmul_t takes the tiled kernel.
+        let a = ramp(17, 5, 3);
+        let b = ramp(6, 5, 11);
+        assert!(a.rows() >= BLOCKED_MIN_ROWS);
+        assert_bit_identical(&a.matmul_t(&b), &a.matmul_t_naive(&b));
+    }
+
+    #[test]
+    fn blocked_matmul_bit_identical_to_naive() {
+        let a = ramp(21, 7, 5);
+        let b = ramp(7, 9, 13);
+        assert!(a.rows() >= BLOCKED_MIN_ROWS);
+        assert_bit_identical(&a.matmul(&b), &a.matmul_naive(&b));
+    }
+
+    #[test]
+    fn small_products_stay_on_the_naive_path_and_agree() {
+        let a = ramp(3, 8, 17);
+        let bt = ramp(5, 8, 19);
+        assert_bit_identical(&a.matmul_t(&bt), &a.matmul_t_naive(&bt));
+        let b = ramp(8, 4, 23);
+        assert_bit_identical(&a.matmul(&b), &a.matmul_naive(&b));
+    }
+
+    #[test]
+    fn zero_inner_dimension() {
+        let a = Matrix::zeros(20, 0);
+        let b = Matrix::zeros(6, 0);
+        let c = a.matmul_t(&b);
+        assert_eq!((c.rows(), c.cols()), (20, 6));
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
     }
 }

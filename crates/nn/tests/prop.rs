@@ -92,6 +92,54 @@ proptest! {
     }
 
     #[test]
+    fn matmul_t_bit_identical_across_kernel_paths(
+        m in 1usize..48,
+        n in 1usize..20,
+        k in 0usize..24,
+        seed in 0u64..500,
+    ) {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut gen = |r: usize, c: usize| {
+            let data: Vec<f32> = (0..r * c).map(|_| rng.gen_range(-4.0f32..4.0)).collect();
+            Matrix::from_vec(r, c, data)
+        };
+        let a = gen(m, k);
+        let b = gen(n, k);
+        let fast = a.matmul_t(&b);
+        let oracle = a.matmul_t_naive(&b);
+        for (x, y) in fast.as_slice().iter().zip(oracle.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_bit_identical_across_kernel_paths(
+        m in 1usize..48,
+        n in 1usize..20,
+        k in 1usize..24,
+        seed in 0u64..500,
+    ) {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut gen = |r: usize, c: usize| {
+            // Exact zeros mixed in: the old kernel skipped them, the tiled
+            // one must not change results because of that.
+            let data: Vec<f32> = (0..r * c)
+                .map(|_| if rng.gen_bool(0.25) { 0.0 } else { rng.gen_range(-4.0f32..4.0) })
+                .collect();
+            Matrix::from_vec(r, c, data)
+        };
+        let a = gen(m, k);
+        let b = gen(k, n);
+        let fast = a.matmul(&b);
+        let oracle = a.matmul_naive(&b);
+        for (x, y) in fast.as_slice().iter().zip(oracle.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
     fn l2_normalize_unit_columns(
         rows in 1usize..20,
         cols in 1usize..8,

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Performance-inversion guard over BENCH_legalize.json: the parallel
+# per-Gcell runner must be faster than the flat baseline, and batched value
+# inference must be faster than per-state forwards. Guards the two
+# regressions this bench file exists to catch; run it against a freshly
+# regenerated snapshot (`cargo bench -p rlleg-bench`), not a stale one.
+#
+# Usage: scripts/bench_guard.sh [path/to/BENCH_legalize.json]
+# Opt-in from scripts/ci.sh via RLLEG_BENCH_GUARD=1.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+json="${1:-BENCH_legalize.json}"
+if [[ ! -f "$json" ]]; then
+  echo "bench_guard: $json not found (run 'cargo bench -p rlleg-bench' first)" >&2
+  exit 2
+fi
+
+# mean <group> <id>: extract mean_ns for one case from the one-line-per-case
+# JSON the bench harness writes. No jq dependency.
+mean() {
+  awk -v g="$1" -v i="$2" '
+    index($0, "\"group\": \"" g "\"") && index($0, "\"id\": \"" i "\"") {
+      if (match($0, /"mean_ns": [0-9.]+/)) {
+        print substr($0, RSTART + 11, RLENGTH - 11)
+        found = 1
+        exit
+      }
+    }
+    END { if (!found) exit 1 }
+  ' "$json" || {
+    echo "bench_guard: case $1/$2 missing from $json" >&2
+    exit 2
+  }
+}
+
+flat=$(mean legalize_full flat)
+par=$(mean legalize_full gcell_parallel2)
+batched=$(mean network values_batched)
+per_state=$(mean network values_per_state)
+
+fail=0
+if ! awk -v a="$par" -v b="$flat" 'BEGIN { exit !(a < b) }'; then
+  echo "bench_guard: FAIL legalize_full/gcell_parallel2 (${par} ns) not faster than legalize_full/flat (${flat} ns)" >&2
+  fail=1
+fi
+if ! awk -v a="$batched" -v b="$per_state" 'BEGIN { exit !(a < b) }'; then
+  echo "bench_guard: FAIL network/values_batched (${batched} ns) not faster than network/values_per_state (${per_state} ns)" >&2
+  fail=1
+fi
+if [[ "$fail" -ne 0 ]]; then
+  exit 1
+fi
+echo "bench_guard: OK (gcell_parallel2 ${par} ns < flat ${flat} ns; values_batched ${batched} ns < values_per_state ${per_state} ns)"

@@ -20,4 +20,14 @@ cargo test -q --workspace
 echo "==> cargo bench --no-run (benches must keep building)"
 cargo bench --no-run --workspace
 
+# Opt-in performance gate: regenerate the bench snapshot and fail on the
+# two inversions the parallel runner and batched inference must never
+# reintroduce. Off by default — bench runs are too noisy for shared CI
+# machines unless explicitly requested.
+if [[ "${RLLEG_BENCH_GUARD:-0}" == "1" ]]; then
+  echo "==> bench guard: cargo bench -p rlleg-bench && scripts/bench_guard.sh"
+  cargo bench -p rlleg-bench
+  scripts/bench_guard.sh
+fi
+
 echo "==> ci: all stages passed"
