@@ -323,6 +323,9 @@ fn parse_def_impl(
     tech: Technology,
     resolve: &dyn Fn(&str) -> Option<MasterInfo>,
 ) -> Result<Design, ParseDefError> {
+    if tech.site_width <= 0 || tech.row_height <= 0 {
+        return err("technology has non-positive site geometry");
+    }
     let mut t = Tokens::new(text);
     let mut name = String::from("unnamed");
     let mut die: Option<Rect> = None;
@@ -399,6 +402,9 @@ fn parse_def_impl(
                         let x2 = t.number()?;
                         let y2 = t.number()?;
                         t.expect(")")?;
+                        if x1 > x2 || y1 > y2 {
+                            return err(format!("inverted rect in region `{rname}`"));
+                        }
                         rects.push(Rect::new(x1, y1, x2, y2));
                     }
                     t.skip_to_semicolon()?;
@@ -418,6 +424,18 @@ fn parse_def_impl(
                     let Some(info) = resolve(master) else {
                         return err(format!("unresolvable master name `{master}`"));
                     };
+                    if info.w_sites < 1 || info.h_rows < 1 {
+                        return err(format!("master `{master}` has degenerate geometry"));
+                    }
+                    if info.h_rows > tech.max_height_rows {
+                        return err(format!(
+                            "master `{master}` height {} exceeds the technology maximum {}",
+                            info.h_rows, tech.max_height_rows
+                        ));
+                    }
+                    if info.w_sites.checked_mul(tech.site_width).is_none() {
+                        return err(format!("master `{master}` width overflows"));
+                    }
                     let mut fixed = false;
                     let mut pos = Point::ORIGIN;
                     let mut region = None;
@@ -491,13 +509,18 @@ fn parse_def_impl(
     let Some(die) = die else {
         return err("missing DIEAREA");
     };
+    // Origin anchoring first: with `lo == (0, 0)` the width/height below
+    // cannot overflow, whatever `hi` the input declared.
+    if die.lo != Point::ORIGIN {
+        return err("DIEAREA must be anchored at the origin in this subset");
+    }
     let sites_x = die.width() / tech.site_width;
     let rows = die.height() / tech.row_height;
     if sites_x <= 0 || rows <= 0 {
         return err("DIEAREA smaller than one site/row");
     }
-    if die.lo != Point::ORIGIN {
-        return err("DIEAREA must be anchored at the origin in this subset");
+    if regions.len() > usize::from(u16::MAX) {
+        return err("more regions than the design model supports");
     }
     let mut b = DesignBuilder::new(name, tech, sites_x, rows);
     if let Some(md) = max_disp {
@@ -635,6 +658,76 @@ mod tests {
         let r = parse_def("DESIGN x ;\nEND DESIGN\n", Technology::contest());
         assert!(r.is_err());
         assert!(r.unwrap_err().to_string().contains("DIEAREA"));
+    }
+
+    #[test]
+    fn truncated_components_section_is_an_error() {
+        // EOF before `END COMPONENTS`.
+        let text = "DIEAREA ( 0 0 ) ( 4000 8000 ) ;\nCOMPONENTS 1 ;\n- u1 MH_W1_H1 + PLACED ( 0 0 ";
+        let r = parse_def(text, Technology::contest());
+        assert!(r.unwrap_err().to_string().contains("end of file"));
+    }
+
+    #[test]
+    fn truncated_diearea_is_an_error() {
+        let r = parse_def("DIEAREA ( 0 0 ) ( 4000", Technology::contest());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn inverted_region_rect_is_an_error_not_a_panic() {
+        let text = "DIEAREA ( 0 0 ) ( 4000 8000 ) ;\nREGIONS 1 ;\n- f ( 2000 0 ) ( 0 4000 ) + TYPE FENCE ;\nEND REGIONS\nEND DESIGN\n";
+        let r = parse_def(text, Technology::contest());
+        assert!(r.unwrap_err().to_string().contains("inverted rect"));
+    }
+
+    #[test]
+    fn degenerate_master_geometry_is_an_error_not_a_panic() {
+        for master in ["MH_W0_H1", "MH_W-3_H1", "MH_W1_H0"] {
+            let text = format!(
+                "DIEAREA ( 0 0 ) ( 4000 8000 ) ;\nCOMPONENTS 1 ;\n- u1 {master} + PLACED ( 0 0 ) N ;\nEND COMPONENTS\nEND DESIGN\n"
+            );
+            let r = parse_def(&text, Technology::contest());
+            assert!(
+                r.unwrap_err().to_string().contains("degenerate"),
+                "{master}"
+            );
+        }
+    }
+
+    #[test]
+    fn overtall_master_is_an_error_not_a_panic() {
+        // contest() allows at most 4 rows.
+        let text = "DIEAREA ( 0 0 ) ( 4000 8000 ) ;\nCOMPONENTS 1 ;\n- u1 MH_W1_H9 + PLACED ( 0 0 ) N ;\nEND COMPONENTS\nEND DESIGN\n";
+        let r = parse_def(text, Technology::contest());
+        assert!(r.unwrap_err().to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn overwide_master_overflow_is_an_error_not_a_panic() {
+        let text = "DIEAREA ( 0 0 ) ( 4000 8000 ) ;\nCOMPONENTS 1 ;\n- u1 MH_W92233720368547758_H1 + PLACED ( 0 0 ) N ;\nEND COMPONENTS\nEND DESIGN\n";
+        let r = parse_def(text, Technology::contest());
+        assert!(r.unwrap_err().to_string().contains("overflows"));
+    }
+
+    #[test]
+    fn out_of_range_numeric_fields_are_errors() {
+        // A coordinate beyond i64 must not wrap or panic.
+        let text = "DIEAREA ( 0 0 ) ( 99999999999999999999999999 8000 ) ;\nEND DESIGN\n";
+        let r = parse_def(text, Technology::contest());
+        assert!(r.unwrap_err().to_string().contains("expected number"));
+    }
+
+    #[test]
+    fn huge_but_origin_anchored_diearea_does_not_overflow() {
+        let text = format!(
+            "DIEAREA ( 0 0 ) ( {} {} ) ;\nEND DESIGN\n",
+            i64::MAX,
+            i64::MAX
+        );
+        let r = parse_def(&text, Technology::contest());
+        // Parses into a (huge) empty design without overflow panics.
+        assert!(r.is_ok());
     }
 
     #[test]

@@ -204,9 +204,13 @@ impl Library {
         };
         let number = |i: &mut usize| -> Result<f64, ParseLefError> {
             let t = next(i)?;
-            t.parse().map_err(|_| ParseLefError {
+            let v: f64 = t.parse().map_err(|_| ParseLefError {
                 message: format!("expected number, got `{t}`"),
-            })
+            })?;
+            if !v.is_finite() {
+                return err(format!("non-finite number `{t}`"));
+            }
+            Ok(v)
         };
         let to_dbu = |lib: &Library, microns: f64| -> Dbu {
             (microns * lib.dbu_per_micron as f64).round() as Dbu
@@ -216,10 +220,19 @@ impl Library {
             match toks[i] {
                 "UNITS" => {
                     i += 1;
+                    // `i < toks.len()` keeps a truncated section (EOF before
+                    // `END`) from walking `i` past the end forever.
                     while toks.get(i) != Some(&"END") {
+                        if i >= toks.len() {
+                            return err("unterminated UNITS section");
+                        }
                         if toks.get(i) == Some(&"DATABASE") && toks.get(i + 1) == Some(&"MICRONS") {
                             i += 2;
-                            lib.dbu_per_micron = number(&mut i)? as i64;
+                            let v = number(&mut i)?;
+                            if !(1.0..=1e9).contains(&v) {
+                                return err(format!("DATABASE MICRONS {v} out of range"));
+                            }
+                            lib.dbu_per_micron = v as i64;
                         } else {
                             i += 1;
                         }
@@ -230,6 +243,9 @@ impl Library {
                     i += 1;
                     let site_name = next(&mut i)?.to_owned();
                     while toks.get(i) != Some(&"END") {
+                        if i >= toks.len() {
+                            return err("unterminated SITE section");
+                        }
                         if toks.get(i) == Some(&"SIZE") {
                             i += 1;
                             let w = number(&mut i)?;
@@ -277,7 +293,13 @@ impl Library {
                                         "macro `{name}` height {h_dbu} not a whole number of rows"
                                     ));
                                 }
-                                m.height_rows = (h_dbu / lib.row_height) as u8;
+                                let rows_i = h_dbu / lib.row_height;
+                                if !(1..=i64::from(u8::MAX)).contains(&rows_i) {
+                                    return err(format!(
+                                        "macro `{name}` height of {rows_i} rows out of range 1..=255"
+                                    ));
+                                }
+                                m.height_rows = rows_i as u8;
                             }
                             "PROPERTY" => {
                                 let key = next(&mut i)?;
@@ -336,7 +358,7 @@ impl Library {
                         }
                     }
                     if m.width <= 0 || m.height_rows == 0 {
-                        return err(format!("macro `{name}` missing SIZE"));
+                        return err(format!("macro `{name}` missing or degenerate SIZE"));
                     }
                     lib.macros.insert(name, m);
                 }
@@ -479,6 +501,81 @@ END LIBRARY
     fn rejects_missing_site() {
         let r = Library::parse("VERSION 5.8 ;\nEND LIBRARY\n");
         assert!(r.unwrap_err().to_string().contains("SITE"));
+    }
+
+    #[test]
+    fn truncated_units_section_is_an_error_not_a_hang() {
+        // EOF before the END of UNITS used to walk the token index forever.
+        let r = Library::parse("UNITS\n  DATABASE MICRONS 1000 ;\n");
+        assert!(r.unwrap_err().to_string().contains("unterminated UNITS"));
+    }
+
+    #[test]
+    fn truncated_site_section_is_an_error_not_a_hang() {
+        let r = Library::parse("SITE core\n  SIZE 0.2 BY 2.0 ;\n");
+        assert!(r.unwrap_err().to_string().contains("unterminated SITE"));
+    }
+
+    #[test]
+    fn truncated_macro_is_an_error() {
+        let text = "\
+SITE core
+  SIZE 0.2 BY 2.0 ;
+END core
+MACRO HALF
+  SIZE 0.2 BY 2.0 ;
+";
+        let r = Library::parse(text);
+        assert!(r.unwrap_err().to_string().contains("end of file"));
+    }
+
+    #[test]
+    fn rejects_overtall_macros_instead_of_truncating() {
+        // 600 rows used to truncate through `as u8` into 88 rows.
+        let text = "\
+SITE core
+  SIZE 0.2 BY 2.0 ;
+END core
+MACRO TOWER
+  SIZE 0.2 BY 1200.0 ;
+END TOWER
+END LIBRARY
+";
+        let r = Library::parse(text);
+        assert!(r.unwrap_err().to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_negative_macro_height() {
+        let text = "\
+SITE core
+  SIZE 0.2 BY 2.0 ;
+END core
+MACRO NEG
+  SIZE 0.2 BY -2.0 ;
+END NEG
+END LIBRARY
+";
+        let r = Library::parse(text);
+        assert!(r.unwrap_err().to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_non_finite_numbers() {
+        let text = "\
+SITE core
+  SIZE inf BY 2.0 ;
+END core
+END LIBRARY
+";
+        let r = Library::parse(text);
+        assert!(r.unwrap_err().to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_database_units() {
+        let r = Library::parse("UNITS\n  DATABASE MICRONS -5 ;\nEND UNITS\nEND LIBRARY\n");
+        assert!(r.unwrap_err().to_string().contains("out of range"));
     }
 
     #[test]

@@ -134,10 +134,13 @@ pub fn check(design: &Design, require_committed: bool) -> Vec<Violation> {
             out.push(Violation::NotLegalized { cell: id });
         }
         let r = c.rect(rh);
-        if (c.pos.x - design.core.lo.x) % sw != 0 {
+        // `rem_euclid` keeps the lattice test correct for cells left of /
+        // below the core origin: the remainder is always in `0..sw`, so a
+        // negative offset that is not a whole number of sites still fires.
+        if (c.pos.x - design.core.lo.x).rem_euclid(sw) != 0 {
             out.push(Violation::OffSite { cell: id });
         }
-        if (c.pos.y - design.core.lo.y) % rh != 0 {
+        if (c.pos.y - design.core.lo.y).rem_euclid(rh) != 0 {
             out.push(Violation::OffRow { cell: id });
         }
         if !design.core.contains(&r) {
@@ -329,6 +332,42 @@ mod tests {
     }
 
     #[test]
+    fn negative_misaligned_positions_fire_offsite_offrow() {
+        // Left of / below the core origin with a non-lattice offset: the
+        // euclidean remainder is nonzero, so OffSite/OffRow must fire in
+        // addition to OutsideCore.
+        let mut b = base();
+        b.add_cell("a", 1, 1, Point::new(-37, 0));
+        b.add_cell("b", 1, 1, Point::new(0, -1_234));
+        let mut d = b.build();
+        commit_all(&mut d);
+        let v = check(&d, true);
+        assert!(v.contains(&Violation::OffSite { cell: CellId(0) }));
+        assert!(v.contains(&Violation::OutsideCore { cell: CellId(0) }));
+        assert!(v.contains(&Violation::OffRow { cell: CellId(1) }));
+        assert!(v.contains(&Violation::OutsideCore { cell: CellId(1) }));
+    }
+
+    #[test]
+    fn negative_aligned_positions_fire_outside_core_only() {
+        // A whole number of sites/rows left of / below the origin is still
+        // on the lattice: OutsideCore only, never OffSite/OffRow.
+        let mut b = base();
+        b.add_cell("a", 1, 1, Point::new(-200, 0));
+        b.add_cell("b", 1, 1, Point::new(0, -2_000));
+        let mut d = b.build();
+        commit_all(&mut d);
+        let v = check(&d, true);
+        assert_eq!(
+            v,
+            vec![
+                Violation::OutsideCore { cell: CellId(0) },
+                Violation::OutsideCore { cell: CellId(1) },
+            ]
+        );
+    }
+
+    #[test]
     fn detects_rail_parity() {
         let mut b = base();
         let a = b.add_cell("a", 1, 2, Point::new(0, 2_000)); // row 1
@@ -386,6 +425,69 @@ mod tests {
         let mut d = b.build();
         commit_all(&mut d);
         assert!(is_legal(&d));
+    }
+
+    #[test]
+    fn off_core_macro_below_core_creates_no_row0_adjacency() {
+        // A fixed macro entirely below the core (rect [-4000, 0) in y) must
+        // not be bucketed into row 0: `row_of(hi.y - 1)` is negative, so the
+        // clamped row range is empty.
+        let mut b = base();
+        let m = b.add_fixed_cell("m", 2, 2, Point::new(0, -4_000));
+        let a = b.add_cell("a", 2, 1, Point::new(600, 0));
+        b.set_edges(m, EdgeType(2), EdgeType(2));
+        b.set_edges(a, EdgeType(2), EdgeType(2));
+        let mut d = b.build();
+        commit_all(&mut d);
+        // Gap on row 0 would be 200 < 400 if the macro were (wrongly)
+        // bucketed there.
+        assert!(is_legal(&d), "{:?}", check(&d, true));
+    }
+
+    #[test]
+    fn macro_straddling_core_bottom_pairs_with_row0_cells() {
+        // A fixed macro straddling y = 0 (rect [-2000, 2000)) occupies row 0
+        // and must participate in edge spacing against row-0 cells.
+        let mut b = base();
+        let m = b.add_fixed_cell("m", 2, 2, Point::new(0, -2_000));
+        let a = b.add_cell("a", 2, 1, Point::new(600, 0));
+        b.set_edges(m, EdgeType(2), EdgeType(2));
+        b.set_edges(a, EdgeType(2), EdgeType(2));
+        let mut d = b.build();
+        commit_all(&mut d);
+        let v = check(&d, true);
+        assert!(
+            v.contains(&Violation::EdgeSpacing {
+                left: m,
+                right: a,
+                required: 400,
+                actual: 200
+            }),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn multi_row_adjacent_pair_reported_once() {
+        // Two double-height cells adjacent on rows 0 and 1: the pair is
+        // deduplicated to a single EdgeSpacing violation.
+        let mut b = base();
+        let a = b.add_cell("a", 2, 2, Point::new(0, 0));
+        let c = b.add_cell("b", 2, 2, Point::new(600, 0));
+        b.set_edges(a, EdgeType(2), EdgeType(2));
+        b.set_edges(c, EdgeType(2), EdgeType(2));
+        let mut d = b.build();
+        commit_all(&mut d);
+        let v = check(&d, true);
+        assert_eq!(
+            v,
+            vec![Violation::EdgeSpacing {
+                left: a,
+                right: c,
+                required: 400,
+                actual: 200
+            }]
+        );
     }
 
     #[test]

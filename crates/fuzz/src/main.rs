@@ -1,0 +1,133 @@
+//! `rlleg-fuzz` CLI: seeded differential fuzzing across the pipeline.
+//!
+//! ```text
+//! cargo run -p rlleg-fuzz -- --iters 200 --seed 1
+//! cargo run -p rlleg-fuzz -- --iters 50 --seed 1 --corpus crates/fuzz/corpus
+//! ```
+//!
+//! Exit code 0 when every iteration holds all invariants, 1 otherwise.
+//! Failing iterations write their minimized repro artifacts into the
+//! corpus directory (committed cases there double as regression tests via
+//! `crates/fuzz/tests/corpus.rs`).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use rlleg_fuzz::run_iteration;
+
+struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    fn from_env() -> Self {
+        Self {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.raw
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == name)
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    if args.flag("--help") || args.flag("-h") {
+        eprintln!(
+            "rlleg-fuzz: differential fuzzing across the legalization pipeline\n\
+             \n\
+             USAGE: rlleg-fuzz [--iters N] [--seed S] [--corpus DIR] [--quiet]\n\
+             \n\
+             --iters N     iterations to run (default 100)\n\
+             --seed S      base seed (default 1)\n\
+             --corpus DIR  where failing repros are written (default crates/fuzz/corpus)\n\
+             --quiet       suppress the per-failure log lines"
+        );
+        return;
+    }
+    let iters: u64 = args.get("--iters", 100);
+    let seed: u64 = args.get("--seed", 1);
+    let corpus: PathBuf = PathBuf::from(args.get(
+        "--corpus",
+        String::from(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus")),
+    ));
+    let quiet = args.flag("--quiet");
+
+    telemetry::enable();
+    let t0 = std::time::Instant::now();
+    let mut total_failures = 0usize;
+    let mut failing_iters = 0u64;
+
+    for iter in 0..iters {
+        let failures = run_iteration(seed, iter);
+        if failures.is_empty() {
+            continue;
+        }
+        failing_iters += 1;
+        for (n, f) in failures.iter().enumerate() {
+            total_failures += 1;
+            if !quiet {
+                eprintln!("iter {iter}: {f}");
+            }
+            if let Some(artifact) = &f.artifact {
+                let stem = format!("fuzz_s{seed}_i{iter}_{n}");
+                if let Err(e) = write_artifact(&corpus, &stem, f, artifact) {
+                    eprintln!("iter {iter}: could not write repro {stem}: {e}");
+                }
+            }
+        }
+    }
+
+    let elapsed = t0.elapsed().as_secs_f64();
+    let per_oracle: Vec<String> = ["legalize", "parse", "grid", "nn"]
+        .iter()
+        .map(|o| {
+            let h = telemetry::histogram(
+                &format!("fuzz.oracle.{o}.seconds"),
+                telemetry::buckets::SECONDS,
+            )
+            .snapshot();
+            format!("{o} p50 {:.1}ms", h.quantile(0.5) * 1e3)
+        })
+        .collect();
+    println!(
+        "rlleg-fuzz: {iters} iterations, seed {seed}, {elapsed:.1}s ({})",
+        per_oracle.join(", ")
+    );
+    if total_failures == 0 {
+        println!("rlleg-fuzz: all invariants held");
+    } else {
+        println!(
+            "rlleg-fuzz: {total_failures} failures across {failing_iters} iterations; \
+             repros in {}",
+            corpus.display()
+        );
+        std::process::exit(1);
+    }
+}
+
+fn write_artifact(
+    dir: &std::path::Path,
+    stem: &str,
+    f: &rlleg_fuzz::Failure,
+    artifact: &rlleg_fuzz::Artifact,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{stem}.{}", artifact.extension()));
+    std::fs::write(&path, artifact.contents())?;
+    let mut meta = std::fs::File::create(dir.join(format!("{stem}.txt")))?;
+    writeln!(meta, "oracle: {}", f.oracle)?;
+    writeln!(meta, "scenario: {}", f.scenario)?;
+    writeln!(meta, "message: {}", f.message)?;
+    Ok(())
+}

@@ -1,0 +1,196 @@
+//! Oracle 1: every legalizer configuration must produce an empty
+//! [`legality::check`] or an *explained* failure set, and parallel runs
+//! must be bit-identical to `threads = 1`.
+//!
+//! "Explained" means every reported violation involves at least one cell
+//! the run itself flagged as failed — a failed cell is left at its global
+//! placement, so any overlap/off-grid/fence trouble it causes is an
+//! expected consequence of the reported failure, while a violation among
+//! *successfully legalized* cells is a legalizer bug.
+
+use std::collections::HashSet;
+
+use rlleg_design::{legality, CellId, Design};
+use rlleg_legalize::{GcellGrid, Legalizer, Ordering, RunStats};
+
+use crate::scenario::Scenario;
+use crate::Failure;
+
+/// Runs every (ordering × execution mode × thread count) configuration on
+/// clones of the scenario design. Deterministic in `order_seed`.
+pub fn check(sc: &Scenario, order_seed: u64) -> Vec<Failure> {
+    let mut failures = Vec::new();
+    let orderings = [
+        ("size_desc", Ordering::SizeDescending),
+        ("x_asc", Ordering::XAscending),
+        ("random", Ordering::Random(order_seed)),
+    ];
+
+    for (oname, ordering) in &orderings {
+        // Flat sequential run.
+        {
+            let mut d = sc.design.clone();
+            let stats = Legalizer::new(&d).run(&mut d, ordering);
+            explain(sc, &d, &stats, &format!("{oname}/flat"), &mut failures);
+        }
+
+        // Sequential per-Gcell run.
+        let (nx, ny) = sc.design.default_gcell_grid();
+        {
+            let mut d = sc.design.clone();
+            let gcells = GcellGrid::new(&d, nx, ny);
+            let stats = Legalizer::new(&d).run_gcells(&mut d, ordering, &gcells);
+            explain(sc, &d, &stats, &format!("{oname}/gcell"), &mut failures);
+        }
+
+        // Parallel runs: each must be explained AND bit-identical to the
+        // single-threaded run (positions, legalized flags, failed set).
+        let mut reference: Option<(Design, RunStats)> = None;
+        for threads in [1usize, 2, 4] {
+            let mut d = sc.design.clone();
+            let gcells = GcellGrid::new(&d, nx, ny);
+            let stats = Legalizer::new(&d).run_gcells_parallel(&mut d, ordering, &gcells, threads);
+            explain(
+                sc,
+                &d,
+                &stats,
+                &format!("{oname}/parallel{threads}"),
+                &mut failures,
+            );
+            match &reference {
+                None => reference = Some((d, stats)),
+                Some((d1, s1)) => {
+                    if let Some(msg) = divergence(d1, s1, &d, &stats) {
+                        failures.push(Failure {
+                            oracle: "legalize",
+                            scenario: sc.label.clone(),
+                            message: format!(
+                                "{oname}: parallel threads={threads} diverges from threads=1: {msg}"
+                            ),
+                            artifact: None,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Flags every violation that does not involve a failed cell.
+fn explain(sc: &Scenario, d: &Design, stats: &RunStats, cfg: &str, failures: &mut Vec<Failure>) {
+    let failed: HashSet<CellId> = stats.failed.iter().copied().collect();
+    // Sanity: every movable cell is either legalized or reported failed.
+    let accounted = stats.legalized + failed.len();
+    if accounted != d.num_movable() {
+        failures.push(Failure {
+            oracle: "legalize",
+            scenario: sc.label.clone(),
+            message: format!(
+                "{cfg}: stats account for {accounted} of {} movable cells",
+                d.num_movable()
+            ),
+            artifact: None,
+        });
+    }
+    for v in legality::check(d, true) {
+        let involved_failed = match &v {
+            legality::Violation::Overlap { a, b } => failed.contains(a) || failed.contains(b),
+            legality::Violation::EdgeSpacing { left, right, .. } => {
+                failed.contains(left) || failed.contains(right)
+            }
+            legality::Violation::OffSite { cell }
+            | legality::Violation::OffRow { cell }
+            | legality::Violation::OutsideCore { cell }
+            | legality::Violation::RailParity { cell }
+            | legality::Violation::FenceInside { cell }
+            | legality::Violation::FenceOutside { cell, .. }
+            | legality::Violation::MaxDisplacement { cell, .. }
+            | legality::Violation::NotLegalized { cell } => failed.contains(cell),
+        };
+        if !involved_failed {
+            failures.push(Failure {
+                oracle: "legalize",
+                scenario: sc.label.clone(),
+                message: format!("{cfg}: unexplained violation: {v}"),
+                artifact: None,
+            });
+        }
+    }
+}
+
+/// First difference between two finished runs, if any.
+fn divergence(d1: &Design, s1: &RunStats, d2: &Design, s2: &RunStats) -> Option<String> {
+    if s1.legalized != s2.legalized || s1.failed != s2.failed {
+        return Some(format!(
+            "stats ({}, {} failed) vs ({}, {} failed)",
+            s1.legalized,
+            s1.failed.len(),
+            s2.legalized,
+            s2.failed.len()
+        ));
+    }
+    for id in d1.cell_ids() {
+        let a = d1.cell(id);
+        let b = d2.cell(id);
+        if a.pos != b.pos || a.legalized != b.legalized {
+            return Some(format!(
+                "cell {id} at ({}, {}) legalized={} vs ({}, {}) legalized={}",
+                a.pos.x, a.pos.y, a.legalized, b.pos.x, b.pos.y, b.legalized
+            ));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlleg_design::{DesignBuilder, Technology};
+    use rlleg_geom::Point;
+
+    #[test]
+    fn clean_small_design_passes_every_configuration() {
+        let mut b = DesignBuilder::new("ok", Technology::contest(), 24, 6);
+        for i in 0..12i64 {
+            b.add_cell(
+                format!("u{i}"),
+                1 + i % 2,
+                1,
+                Point::new(i * 350, (i % 3) * 1_900),
+            );
+        }
+        let sc = Scenario {
+            label: "test:clean".into(),
+            design: b.build(),
+        };
+        assert!(check(&sc, 5).is_empty());
+    }
+
+    #[test]
+    fn unexplained_violation_is_detected() {
+        // A design whose "run" we fake: one overlap between two cells the
+        // stats claim were both legalized.
+        let mut b = DesignBuilder::new("bad", Technology::contest(), 20, 4);
+        b.add_cell("a", 3, 1, Point::new(0, 0));
+        b.add_cell("b", 3, 1, Point::new(200, 0));
+        let mut d = b.build();
+        for c in d.cells.iter_mut() {
+            c.legalized = true;
+        }
+        let sc = Scenario {
+            label: "test:bad".into(),
+            design: d.clone(),
+        };
+        let stats = RunStats {
+            legalized: 2,
+            failed: Vec::new(),
+        };
+        let mut failures = Vec::new();
+        explain(&sc, &d, &stats, "fake", &mut failures);
+        assert!(
+            failures.iter().any(|f| f.message.contains("unexplained")),
+            "{failures:?}"
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Oracle 2: DEF/LEF round-trips are lossless, and mutated or truncated
+//! inputs must return `Err` — never panic, hang, or index out of bounds.
+//!
+//! There is deliberately no `catch_unwind` here: the whole harness runs
+//! panic-free by construction, so a parser panic aborts the fuzzer and is
+//! itself the bug report (with the seed reproducing it).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use rlleg_design::def::{parse_def, parse_def_with_library, write_def};
+use rlleg_design::lef::{Library, MacroDef, PinDef};
+use rlleg_design::{Design, EdgeType, RailParity};
+use rlleg_geom::Point;
+
+use crate::scenario::Scenario;
+use crate::{Artifact, Failure};
+
+/// Mutated DEF inputs per iteration (×200 iterations ⇒ the 10k-input
+/// acceptance budget).
+const DEF_MUTATIONS: usize = 50;
+/// Mutated LEF inputs per iteration.
+const LEF_MUTATIONS: usize = 20;
+/// Mutated library-backed DEF inputs per iteration.
+const LIB_DEF_MUTATIONS: usize = 10;
+
+/// Runs the round-trip and mutation checks for one scenario.
+pub fn check(sc: &Scenario, rng: &mut ChaCha8Rng) -> Vec<Failure> {
+    let mut failures = Vec::new();
+    let tech = sc.design.tech.clone();
+
+    // --- DEF round-trip: parse(write(d)) must reproduce d exactly. ---
+    let def_text = write_def(&sc.design);
+    match parse_def(&def_text, tech.clone()) {
+        Err(e) => failures.push(Failure {
+            oracle: "parse",
+            scenario: sc.label.clone(),
+            message: format!("round-trip DEF failed to parse: {e}"),
+            artifact: Some(Artifact::Def(def_text.clone())),
+        }),
+        Ok(back) => {
+            if let Some(msg) = design_mismatch(&sc.design, &back) {
+                failures.push(Failure {
+                    oracle: "parse",
+                    scenario: sc.label.clone(),
+                    message: format!("DEF round-trip lost information: {msg}"),
+                    artifact: Some(Artifact::Def(def_text.clone())),
+                });
+            }
+        }
+    }
+
+    // --- LEF round-trip on a library with fuzzed macros. ---
+    let lib = random_library(&sc.design, rng);
+    let lef_text = lib.to_lef();
+    match Library::parse(&lef_text) {
+        Err(e) => failures.push(Failure {
+            oracle: "parse",
+            scenario: sc.label.clone(),
+            message: format!("round-trip LEF failed to parse: {e}"),
+            artifact: Some(Artifact::Lef(lef_text.clone())),
+        }),
+        Ok(back) => {
+            // `name` is informational and not round-tripped.
+            if back.dbu_per_micron != lib.dbu_per_micron
+                || back.site_width != lib.site_width
+                || back.row_height != lib.row_height
+                || back.macros != lib.macros
+            {
+                failures.push(Failure {
+                    oracle: "parse",
+                    scenario: sc.label.clone(),
+                    message: "LEF round-trip lost information".into(),
+                    artifact: Some(Artifact::Lef(lef_text.clone())),
+                });
+            }
+        }
+    }
+
+    // --- Mutation / truncation fuzzing: any outcome but a panic is fine.
+    for _ in 0..DEF_MUTATIONS {
+        let mutated = mutate(&def_text, rng);
+        let _ = parse_def(&mutated, tech.clone());
+        telemetry::counter("fuzz.parse.def_inputs").inc();
+    }
+    for _ in 0..LEF_MUTATIONS {
+        let mutated = mutate(&lef_text, rng);
+        let _ = Library::parse(&mutated);
+        telemetry::counter("fuzz.parse.lef_inputs").inc();
+    }
+    for _ in 0..LIB_DEF_MUTATIONS {
+        let mutated = mutate(&def_text, rng);
+        let _ = parse_def_with_library(&mutated, &lib, &tech);
+        telemetry::counter("fuzz.parse.libdef_inputs").inc();
+    }
+
+    failures
+}
+
+/// Field-by-field comparison of a design and its DEF round-trip (the
+/// scenario design is pre-legalization, so `pos == gp_pos` on both sides).
+fn design_mismatch(orig: &Design, back: &Design) -> Option<String> {
+    if orig.name != back.name {
+        return Some("name".into());
+    }
+    if orig.core != back.core {
+        return Some("core".into());
+    }
+    if orig.max_displacement != back.max_displacement {
+        return Some("max_displacement".into());
+    }
+    if orig.regions != back.regions {
+        return Some("regions".into());
+    }
+    if orig.num_cells() != back.num_cells() {
+        return Some(format!(
+            "cell count {} vs {}",
+            orig.num_cells(),
+            back.num_cells()
+        ));
+    }
+    for (a, b) in orig.cells.iter().zip(back.cells.iter()) {
+        if a.name != b.name
+            || a.width != b.width
+            || a.height_rows != b.height_rows
+            || a.pos != b.pos
+            || a.fixed != b.fixed
+            || a.region != b.region
+            || a.edge_left != b.edge_left
+            || a.edge_right != b.edge_right
+            || a.rail != b.rail
+        {
+            return Some(format!("cell `{}`", a.name));
+        }
+    }
+    if orig.nets != back.nets {
+        return Some("nets".into());
+    }
+    None
+}
+
+/// A library for the scenario's technology with a few randomized macros.
+fn random_library(design: &Design, rng: &mut ChaCha8Rng) -> Library {
+    let tech = &design.tech;
+    let mut lib = Library::for_technology(tech);
+    for i in 0..rng.gen_range(1..=3usize) {
+        let h = rng.gen_range(1..=tech.max_height_rows);
+        let pins = (0..rng.gen_range(0..=2usize))
+            .map(|p| PinDef {
+                name: format!("P{p}"),
+                offset: Point::new(
+                    rng.gen_range(0..=tech.site_width),
+                    rng.gen_range(0..=tech.row_height / 2),
+                ),
+            })
+            .collect();
+        lib.add_macro(MacroDef {
+            name: format!("FZ{i}"),
+            width: rng.gen_range(1..=5i64) * tech.site_width,
+            height_rows: h,
+            edge_left: EdgeType(rng.gen_range(0..tech.edge_spacing_sites.len() as u8)),
+            edge_right: EdgeType(rng.gen_range(0..tech.edge_spacing_sites.len() as u8)),
+            rail: if rng.gen_bool(0.5) {
+                RailParity::Even
+            } else {
+                RailParity::Odd
+            },
+            pins,
+        });
+    }
+    lib
+}
+
+/// Junk tokens spliced into inputs: numeric extremes, non-finite floats,
+/// structural tokens, degenerate master encodings, a stray quote.
+const JUNK: &[&str] = &[
+    "NaN",
+    "inf",
+    "-inf",
+    "999999999999999999999999",
+    "-9223372036854775808",
+    "9223372036854775807",
+    "1e308",
+    "-0.00001",
+    "(",
+    ")",
+    ";",
+    "END",
+    "DESIGN",
+    "DIEAREA",
+    "COMPONENTS",
+    "MH_W0_H0",
+    "MH_W-3_H1",
+    "MH_W99999999999999999_H1",
+    "MH_W1_H200",
+    "\"unterminated",
+    "#",
+];
+
+/// Applies 1–3 random corruption operators to `text`.
+pub fn mutate(text: &str, rng: &mut ChaCha8Rng) -> String {
+    let mut out = text.to_owned();
+    for _ in 0..rng.gen_range(1..=3usize) {
+        out = mutate_once(&out, rng);
+    }
+    out
+}
+
+fn mutate_once(text: &str, rng: &mut ChaCha8Rng) -> String {
+    if text.is_empty() {
+        return JUNK.choose(rng).expect("nonempty").to_string();
+    }
+    match rng.gen_range(0..6u32) {
+        // Byte truncation (walked back to a char boundary).
+        0 => {
+            let mut k = rng.gen_range(0..text.len());
+            while k > 0 && !text.is_char_boundary(k) {
+                k -= 1;
+            }
+            text[..k].to_owned()
+        }
+        // Token deletion / duplication / replacement / swap / insertion.
+        op => {
+            let mut toks: Vec<String> = text.split_whitespace().map(str::to_owned).collect();
+            if toks.is_empty() {
+                return JUNK.choose(rng).expect("nonempty").to_string();
+            }
+            let i = rng.gen_range(0..toks.len());
+            match op {
+                1 => {
+                    toks.remove(i);
+                }
+                2 => {
+                    let t = toks[i].clone();
+                    toks.insert(i, t);
+                }
+                3 => {
+                    toks[i] = JUNK.choose(rng).expect("nonempty").to_string();
+                }
+                4 => {
+                    let j = rng.gen_range(0..toks.len());
+                    toks.swap(i, j);
+                }
+                _ => {
+                    toks.insert(i, JUNK.choose(rng).expect("nonempty").to_string());
+                }
+            }
+            toks.join(" ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rlleg_design::{DesignBuilder, Technology};
+
+    fn tiny_scenario() -> Scenario {
+        let mut b = DesignBuilder::new("rt", Technology::contest(), 16, 4);
+        let a = b.add_cell("a", 2, 1, Point::new(70, 30));
+        let c = b.add_cell("c", 1, 2, Point::new(900, 2_100));
+        b.add_net("n0", vec![(a, 0, 0), (c, 100, 0)]);
+        b.max_displacement(4_000);
+        Scenario {
+            label: "test:tiny".into(),
+            design: b.build(),
+        }
+    }
+
+    #[test]
+    fn round_trips_and_mutations_hold_on_a_tiny_design() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let failures = check(&tiny_scenario(), &mut rng);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn mutate_always_changes_or_preserves_valid_utf8() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let base = write_def(&tiny_scenario().design);
+        for _ in 0..200 {
+            // The mutator must itself never panic and must produce strings
+            // the tokenizer can walk.
+            let m = mutate(&base, &mut rng);
+            let _ = m.split_whitespace().count();
+        }
+    }
+}

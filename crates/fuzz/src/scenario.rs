@@ -1,0 +1,240 @@
+//! Seeded scenario generation: half the iterations reuse the
+//! [`rlleg_benchgen`] table specs (scaled to their 60-cell floor), half
+//! build deliberately hostile designs the spec generator would never emit —
+//! off-core fixed macros, degenerate fences, cells wider than a Gcell
+//! window, off-grid and off-core global placements, tight displacement
+//! limits.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use rlleg_benchgen::{test_suite, training_suite};
+use rlleg_design::{Design, DesignBuilder, EdgeType, RailParity, Technology};
+use rlleg_geom::{Point, Rect};
+
+/// One fuzz scenario: a design plus the label describing how it was built.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Generator family and parameters, for failure reports.
+    pub label: String,
+    /// The design under test, at its global placement (nothing legalized).
+    pub design: Design,
+}
+
+/// Draws one scenario from `rng`.
+pub fn generate_scenario(rng: &mut ChaCha8Rng) -> Scenario {
+    if rng.gen_bool(0.5) {
+        spec_scenario(rng)
+    } else {
+        hostile_scenario(rng)
+    }
+}
+
+/// Alias used by the harness ([`crate::run_iteration`]).
+pub fn generate(rng: &mut ChaCha8Rng) -> Scenario {
+    generate_scenario(rng)
+}
+
+/// A table-spec design at the 60-cell scaling floor with a fuzzed seed.
+fn spec_scenario(rng: &mut ChaCha8Rng) -> Scenario {
+    let mut suite = training_suite();
+    suite.extend(test_suite());
+    let mut spec = suite.choose(rng).expect("suites are nonempty").scaled(0.0);
+    spec.seed = rng.gen();
+    let design = rlleg_benchgen::generate(&spec);
+    Scenario {
+        label: format!("spec:{}#{}", spec.name, spec.seed),
+        design,
+    }
+}
+
+/// A hostile design built directly through [`DesignBuilder`], with shapes
+/// outside the spec generator's envelope.
+fn hostile_scenario(rng: &mut ChaCha8Rng) -> Scenario {
+    let tech = if rng.gen_bool(0.5) {
+        Technology::contest()
+    } else {
+        Technology::nangate45()
+    };
+    let sites_x = rng.gen_range(8..=48i64);
+    let rows = rng.gen_range(3..=10i64);
+    let sw = tech.site_width;
+    let rh = tech.row_height;
+    let core_w = sites_x * sw;
+    let core_h = rows * rh;
+    let max_h = tech.max_height_rows;
+    let has_edges = tech.edge_spacing_sites.len() > 1;
+
+    let tag: u32 = rng.gen();
+    let mut b = DesignBuilder::new(format!("hostile_{tag:08x}"), tech.clone(), sites_x, rows);
+
+    // Fence regions, sometimes degenerate (zero-area) or partly off-core.
+    let mut regions = Vec::new();
+    for r in 0..rng.gen_range(0..=2usize) {
+        let rect = if rng.gen_bool(0.25) {
+            // Zero-area fence: no cell can ever satisfy it.
+            let x = rng.gen_range(0..core_w);
+            let y = rng.gen_range(0..core_h);
+            Rect::new(x, y, x, y)
+        } else {
+            let x1 = rng.gen_range(-core_w / 4..core_w / 2);
+            let y1 = rng.gen_range(-core_h / 4..core_h / 2);
+            let x2 = x1 + rng.gen_range(sw..=core_w / 2 + sw);
+            let y2 = y1 + rng.gen_range(rh..=core_h / 2 + rh);
+            Rect::new(x1, y1, x2, y2)
+        };
+        regions.push(b.add_region(format!("f{r}"), vec![rect]));
+    }
+
+    // Fixed macros: on-core, straddling, or fully off-core.
+    for m in 0..rng.gen_range(0..=3usize) {
+        let w = rng.gen_range(1..=(sites_x / 2).max(2));
+        let h = rng.gen_range(1..=max_h);
+        let pos = match rng.gen_range(0..3u32) {
+            0 => Point::new(
+                rng.gen_range(0..core_w.max(1)),
+                rng.gen_range(0..core_h.max(1)),
+            ),
+            // Straddling a core edge.
+            1 => Point::new(
+                rng.gen_range(-w * sw..core_w),
+                rng.gen_range(-i64::from(h) * rh..core_h),
+            ),
+            // Fully outside (negative side).
+            _ => Point::new(
+                -rng.gen_range(1..=4i64) * core_w.max(1),
+                -rng.gen_range(1..=4i64) * rh,
+            ),
+        };
+        b.add_fixed_cell(format!("m{m}"), w, h, pos);
+    }
+
+    // Movable cells up to a target utilization (cap keeps debug-mode fuzz
+    // iterations fast).
+    let target_util = rng.gen_range(0.3..0.9);
+    let core_area = (core_w as f64) * (core_h as f64);
+    let mut used = 0.0f64;
+    let mut ids = Vec::new();
+    for i in 0..120usize {
+        if used > target_util * core_area {
+            break;
+        }
+        // ~4% of cells are wider than the die (and so than any Gcell
+        // window): they must fail cleanly everywhere.
+        let w = if rng.gen_bool(0.04) {
+            sites_x + rng.gen_range(1..=4i64)
+        } else {
+            rng.gen_range(1..=4i64)
+        };
+        let h = if rng.gen_bool(0.3) {
+            rng.gen_range(2..=max_h.max(2))
+        } else {
+            1
+        };
+        // Mostly in-core off-grid positions; a tail of off-core outliers.
+        let pos = if rng.gen_bool(0.85) {
+            Point::new(rng.gen_range(0..core_w), rng.gen_range(0..core_h))
+        } else {
+            Point::new(
+                rng.gen_range(-core_w..2 * core_w),
+                rng.gen_range(-core_h..2 * core_h),
+            )
+        };
+        let id = b.add_cell(format!("u{i}"), w, h, pos);
+        used += (w * sw) as f64 * (i64::from(h) * rh) as f64;
+        if has_edges && rng.gen_bool(0.5) {
+            let n = tech.edge_spacing_sites.len() as u8;
+            b.set_edges(
+                id,
+                EdgeType(rng.gen_range(0..n)),
+                EdgeType(rng.gen_range(0..n)),
+            );
+        }
+        if h % 2 == 0 && rng.gen_bool(0.3) {
+            b.set_rail(
+                id,
+                if rng.gen_bool(0.5) {
+                    RailParity::Even
+                } else {
+                    RailParity::Odd
+                },
+            );
+        }
+        if !regions.is_empty() && rng.gen_bool(0.15) {
+            b.assign_region(id, *regions.choose(rng).expect("nonempty"));
+        }
+        ids.push(id);
+    }
+
+    // A few small nets (duplicated pins on one cell are allowed).
+    if !ids.is_empty() {
+        for n in 0..rng.gen_range(0..=6usize) {
+            let arity = rng.gen_range(2..=4usize);
+            let pins = (0..arity)
+                .map(|_| {
+                    let c = *ids.choose(rng).expect("nonempty");
+                    (c, rng.gen_range(0..=sw), rng.gen_range(0..=rh / 2))
+                })
+                .collect();
+            b.add_net(format!("n{n}"), pins);
+        }
+    }
+
+    if rng.gen_bool(0.3) {
+        b.max_displacement(rh * rng.gen_range(1..=6i64));
+    }
+
+    Scenario {
+        label: format!("hostile:{tag:08x}:{sites_x}x{rows}:{}", tech.name),
+        design: b.build(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scenarios_are_deterministic_and_buildable() {
+        for seed in 0..8 {
+            let mut r1 = ChaCha8Rng::seed_from_u64(seed);
+            let mut r2 = ChaCha8Rng::seed_from_u64(seed);
+            let a = generate_scenario(&mut r1);
+            let b = generate_scenario(&mut r2);
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.design.num_cells(), b.design.num_cells());
+            assert!(a.design.num_cells() > 0);
+        }
+    }
+
+    #[test]
+    fn hostile_scenarios_cover_hostile_shapes() {
+        // Across a fixed batch of seeds the generator must actually emit
+        // the hostile features the oracles are there to exercise.
+        let mut off_core = false;
+        let mut overwide = false;
+        let mut fenced = false;
+        for seed in 0..64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let sc = hostile_scenario(&mut rng);
+            let d = &sc.design;
+            for id in d.cell_ids() {
+                let c = d.cell(id);
+                if c.pos.x < 0 || c.pos.y < 0 {
+                    off_core = true;
+                }
+                if c.width > d.core.width() {
+                    overwide = true;
+                }
+            }
+            if !d.regions.is_empty() {
+                fenced = true;
+            }
+        }
+        assert!(off_core, "no off-core positions generated");
+        assert!(overwide, "no overwide cells generated");
+        assert!(fenced, "no fences generated");
+    }
+}

@@ -1,0 +1,277 @@
+//! Greedy design minimizer: given a failing design and a predicate that
+//! re-runs the broken oracle, repeatedly tries structural simplifications
+//! (drop cell chunks, drop nets, drop regions, clear the displacement
+//! limit, shrink the core) and keeps each one that still fails. Bounded by
+//! a predicate-call budget so a stubborn case cannot stall the harness.
+
+use rlleg_design::{Design, DesignBuilder, Pin};
+
+/// Minimizes `orig` against `fails` (which must return `true` for the
+/// original design). Performs at most `max_calls` predicate evaluations and
+/// returns the smallest failing design found.
+pub fn shrink_design(
+    orig: &Design,
+    fails: &mut dyn FnMut(&Design) -> bool,
+    max_calls: usize,
+) -> Design {
+    let mut best = orig.clone();
+    let mut calls = 0usize;
+    let mut try_candidate = |cand: Design, best: &mut Design, calls: &mut usize| -> bool {
+        if *calls >= max_calls {
+            return false;
+        }
+        *calls += 1;
+        if fails(&cand) {
+            *best = cand;
+            true
+        } else {
+            false
+        }
+    };
+
+    // 1. Drop cells in halving chunks (classic ddmin flavour).
+    let mut chunk = best.num_cells().div_ceil(2);
+    while chunk >= 1 && calls < max_calls {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < best.num_cells() && calls < max_calls {
+            let n = best.num_cells();
+            let end = (start + chunk).min(n);
+            let keep: Vec<bool> = (0..n).map(|i| i < start || i >= end).collect();
+            if keep.iter().filter(|k| **k).count() == 0 {
+                start += chunk;
+                continue;
+            }
+            let cand = rebuild(&best, &keep, None, true, true);
+            if try_candidate(cand, &mut best, &mut calls) {
+                progressed = true;
+                // Indices shifted: retry the same offset against the new,
+                // smaller design.
+            } else {
+                start += chunk;
+            }
+        }
+        if !progressed {
+            chunk /= 2;
+        }
+    }
+
+    // 2. Drop all nets at once (they rarely matter to legality bugs).
+    if best.num_nets() > 0 {
+        let keep: Vec<bool> = vec![true; best.num_cells()];
+        let cand = rebuild(&best, &keep, None, false, true);
+        try_candidate(cand, &mut best, &mut calls);
+    }
+
+    // 3. Drop regions one at a time (dropping one unassigns its cells).
+    let mut r = 0;
+    while r < best.regions.len() && calls < max_calls {
+        let keep: Vec<bool> = vec![true; best.num_cells()];
+        let keep_regions: Vec<bool> = (0..best.regions.len()).map(|i| i != r).collect();
+        let cand = rebuild_with_regions(&best, &keep, None, true, &keep_regions);
+        if !try_candidate(cand, &mut best, &mut calls) {
+            r += 1;
+        }
+    }
+
+    // 4. Clear the displacement limit.
+    if best.max_displacement.is_some() && calls < max_calls {
+        let keep: Vec<bool> = vec![true; best.num_cells()];
+        let cand = rebuild(&best, &keep, Some(None), true, true);
+        try_candidate(cand, &mut best, &mut calls);
+    }
+
+    // 5. Shrink the core by halving each axis while the failure persists.
+    loop {
+        if calls >= max_calls {
+            break;
+        }
+        let sx = best.num_sites_x();
+        let ry = best.num_rows();
+        let mut shrunk = false;
+        if sx >= 2 {
+            let keep: Vec<bool> = vec![true; best.num_cells()];
+            let cand = rebuild_sized(&best, &keep, sx / 2, ry);
+            shrunk |= try_candidate(cand, &mut best, &mut calls);
+        }
+        if ry >= 2 && calls < max_calls {
+            let keep: Vec<bool> = vec![true; best.num_cells()];
+            let cand = rebuild_sized(&best, &keep, best.num_sites_x(), ry / 2);
+            shrunk |= try_candidate(cand, &mut best, &mut calls);
+        }
+        if !shrunk {
+            break;
+        }
+    }
+
+    best
+}
+
+/// Rebuilds `design` keeping only the cells where `keep[i]`, optionally
+/// overriding the displacement limit, keeping or dropping nets/regions.
+fn rebuild(
+    design: &Design,
+    keep: &[bool],
+    max_disp_override: Option<Option<i64>>,
+    keep_nets: bool,
+    keep_all_regions: bool,
+) -> Design {
+    let keep_regions: Vec<bool> = vec![keep_all_regions; design.regions.len()];
+    rebuild_full(
+        design,
+        keep,
+        max_disp_override,
+        keep_nets,
+        &keep_regions,
+        design.num_sites_x(),
+        design.num_rows(),
+    )
+}
+
+fn rebuild_with_regions(
+    design: &Design,
+    keep: &[bool],
+    max_disp_override: Option<Option<i64>>,
+    keep_nets: bool,
+    keep_regions: &[bool],
+) -> Design {
+    rebuild_full(
+        design,
+        keep,
+        max_disp_override,
+        keep_nets,
+        keep_regions,
+        design.num_sites_x(),
+        design.num_rows(),
+    )
+}
+
+fn rebuild_sized(design: &Design, keep: &[bool], sites_x: i64, rows: i64) -> Design {
+    let keep_regions: Vec<bool> = vec![true; design.regions.len()];
+    rebuild_full(design, keep, None, true, &keep_regions, sites_x, rows)
+}
+
+fn rebuild_full(
+    design: &Design,
+    keep: &[bool],
+    max_disp_override: Option<Option<i64>>,
+    keep_nets: bool,
+    keep_regions: &[bool],
+    sites_x: i64,
+    rows: i64,
+) -> Design {
+    let mut b = DesignBuilder::new(
+        design.name.clone(),
+        design.tech.clone(),
+        sites_x.max(1),
+        rows.max(1),
+    );
+    let max_disp = match max_disp_override {
+        Some(over) => over,
+        None => design.max_displacement,
+    };
+    if let Some(md) = max_disp {
+        b.max_displacement(md);
+    }
+
+    let mut region_map = vec![None; design.regions.len()];
+    for (i, r) in design.regions.iter().enumerate() {
+        if keep_regions.get(i).copied().unwrap_or(true) {
+            region_map[i] = Some(b.add_region(r.name.clone(), r.rects.clone()));
+        }
+    }
+
+    let mut cell_map = vec![None; design.cells.len()];
+    for (i, c) in design.cells.iter().enumerate() {
+        if !keep.get(i).copied().unwrap_or(true) {
+            continue;
+        }
+        let w_sites = (c.width / design.tech.site_width).max(1);
+        let id = if c.fixed {
+            b.add_fixed_cell(c.name.clone(), w_sites, c.height_rows, c.pos)
+        } else {
+            b.add_cell(c.name.clone(), w_sites, c.height_rows, c.gp_pos)
+        };
+        b.set_edges(id, c.edge_left, c.edge_right);
+        b.set_rail(id, c.rail);
+        if let Some(reg) = c.region {
+            if let Some(Some(new_reg)) = region_map.get(reg.index()) {
+                b.assign_region(id, *new_reg);
+            }
+        }
+        cell_map[i] = Some(id);
+    }
+
+    if keep_nets {
+        for net in &design.nets {
+            let mut pins = Vec::new();
+            let mut fixed = Vec::new();
+            for p in &net.pins {
+                match p {
+                    Pin::OnCell { cell, offset } => {
+                        if let Some(Some(id)) = cell_map.get(cell.0 as usize) {
+                            pins.push((*id, offset.x, offset.y));
+                        }
+                    }
+                    Pin::Fixed(pt) => fixed.push(*pt),
+                }
+            }
+            if !pins.is_empty() && pins.len() + fixed.len() >= 2 {
+                b.add_net_with_fixed(net.name.clone(), pins, fixed);
+            }
+        }
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlleg_design::{DesignBuilder, Technology};
+    use rlleg_geom::Point;
+
+    /// A failure that depends on exactly one cell: the shrinker must strip
+    /// everything else.
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let mut b = DesignBuilder::new("s", Technology::contest(), 40, 8);
+        for i in 0..30i64 {
+            b.add_cell(format!("u{i}"), 1, 1, Point::new(i * 220, (i % 4) * 2_000));
+        }
+        let culprit = b.add_cell("bad", 3, 2, Point::new(1_000, 1_000));
+        let c0 = b.add_cell("x", 1, 1, Point::new(0, 0));
+        b.add_net("n", vec![(culprit, 0, 0), (c0, 0, 0)]);
+        b.max_displacement(100_000);
+        let d = b.build();
+
+        let mut calls = 0;
+        let small = shrink_design(
+            &d,
+            &mut |cand| {
+                calls += 1;
+                cand.cells.iter().any(|c| c.name == "bad")
+            },
+            500,
+        );
+        assert!(small.cells.iter().any(|c| c.name == "bad"));
+        assert_eq!(small.num_cells(), 1, "kept {} cells", small.num_cells());
+        assert_eq!(small.num_nets(), 0);
+        assert!(small.max_displacement.is_none());
+        assert!(calls <= 500);
+    }
+
+    /// Core shrinking keeps failing designs failing and shrinks dims.
+    #[test]
+    fn shrinks_the_core_when_irrelevant() {
+        let mut b = DesignBuilder::new("c", Technology::contest(), 64, 8);
+        b.add_cell("only", 1, 1, Point::new(37, 0));
+        let d = b.build();
+        let small = shrink_design(
+            &d,
+            &mut |cand| cand.num_cells() == 1 && cand.cell(rlleg_design::CellId(0)).pos.x == 37,
+            200,
+        );
+        assert!(small.num_sites_x() < 64 || small.num_rows() < 8);
+    }
+}

@@ -167,6 +167,26 @@ mod tests {
     }
 
     #[test]
+    fn explicit_duplicates_keep_first_occurrence() {
+        let d = design();
+        // Each repeated id is kept only where it first appears — the later
+        // duplicates must not reorder or re-insert it ("repeated entries are
+        // dropped", first occurrence wins).
+        let dup = vec![
+            CellId(2),
+            CellId(0),
+            CellId(2), // dup of position 0
+            CellId(1),
+            CellId(2), // dup again
+            CellId(0), // dup of position 1
+        ];
+        assert_eq!(
+            Ordering::Explicit(dup).order(&d, None),
+            vec![CellId(2), CellId(0), CellId(1)]
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "explicit order covers")]
     fn explicit_missing_cell_panics() {
         let d = design();

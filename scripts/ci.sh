@@ -20,6 +20,20 @@ cargo test -q --workspace
 echo "==> cargo bench --no-run (benches must keep building)"
 cargo bench --no-run --workspace
 
+# Fixed-seed fuzz smoke: 50 iterations of the differential oracles
+# (legalize configurations, DEF/LEF round-trip + mutation, grid ops,
+# trainer invariants). Deterministic, budgeted well under 30 s in
+# release. RLLEG_FUZZ_LONG=1 runs the deeper sweep.
+echo "==> fuzz smoke: rlleg-fuzz --iters 50 --seed 1"
+cargo run -q --release -p rlleg-fuzz -- --iters 50 --seed 1
+
+if [[ "${RLLEG_FUZZ_LONG:-0}" == "1" ]]; then
+  echo "==> fuzz long: rlleg-fuzz --iters 1000, seeds 1-4"
+  for s in 1 2 3 4; do
+    cargo run -q --release -p rlleg-fuzz -- --iters 1000 --seed "$s"
+  done
+fi
+
 # Opt-in performance gate: regenerate the bench snapshot and fail on the
 # two inversions the parallel runner and batched inference must never
 # reintroduce. Off by default — bench runs are too noisy for shared CI
