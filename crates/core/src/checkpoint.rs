@@ -1,0 +1,407 @@
+//! Crash-safe, corruption-detecting training checkpoints.
+//!
+//! A3C training state used to exist only in memory: a crash lost the run,
+//! and a torn write on save would be accepted silently on the next load.
+//! This module gives the [`Trainer`](crate::Trainer) a durable format with
+//! explicit failure semantics:
+//!
+//! - **Framing** — a fixed header (magic, format version, payload length,
+//!   CRC-32 of the payload) in front of a JSON payload. Truncation, bit
+//!   flips, and version skew are *detected* at load, never guessed around.
+//! - **Bit-exactness** — every `f32`/`f64` that must survive a round-trip
+//!   exactly (network parameters, Adam moments, best-cost tracking) is
+//!   stored as its IEEE-754 bit pattern in integers, so resuming from a
+//!   checkpoint is bit-identical to never having stopped.
+//! - **Atomicity** — files are written with
+//!   [`rlleg_design::fsio::write_atomic`] (tmp + fsync + rename), so a
+//!   crash mid-save leaves the previous generation intact.
+//! - **Rotation + fallback** — [`CheckpointStore`] keeps the newest N
+//!   generations; [`CheckpointStore::load_latest`] walks them newest-first
+//!   and falls back past corrupted or skewed files to the newest valid
+//!   one, reporting what it skipped via telemetry.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::RlConfig;
+use crate::train::TrainSample;
+use rlleg_nn::optim::AdamRaw;
+
+/// File magic: "RLCK" (RL-Legalizer ChecKpoint).
+pub const MAGIC: [u8; 4] = *b"RLCK";
+
+/// Current checkpoint format version. Bump on any payload layout change;
+/// older/newer files are rejected with [`CheckpointError::VersionSkew`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Header layout: magic (4) + version (4) + payload length (8) + CRC (4).
+const HEADER_LEN: usize = 20;
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Everything needed to resume training bit-identically: configuration,
+/// progress counters, parameters and optimizer state (as bit patterns),
+/// per-agent RNG states, the best-model tracker, and the learning curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainerState {
+    /// Training configuration the run was started with.
+    pub cfg: RlConfig,
+    /// Episodes completed so far (the next episode index).
+    pub episode: usize,
+    /// Total environment steps taken so far.
+    pub steps: u64,
+    /// Global network parameters as `f32` bit patterns.
+    pub params_bits: Vec<u32>,
+    /// Shared Adam optimizer state (bit-exact, see [`AdamRaw`]).
+    pub adam: AdamRaw,
+    /// Per-agent RNG states, flattened (4 words per agent).
+    pub rng_words: Vec<u64>,
+    /// Best episode cost seen, as an `f64` bit pattern (starts at `+inf`,
+    /// which JSON floats cannot represent — bits can).
+    pub best_cost_bits: u64,
+    /// Parameter snapshot of the best episode, as `f32` bit patterns.
+    pub best_params_bits: Vec<u32>,
+    /// Learning-curve samples recorded so far.
+    pub history: Vec<TrainSample>,
+}
+
+/// Why a checkpoint file was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Shorter than the header, or shorter than the header-declared
+    /// payload length.
+    Truncated {
+        /// Bytes expected (header + declared payload).
+        expected: usize,
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// The magic bytes do not match — not a checkpoint file.
+    BadMagic,
+    /// The format version is not [`FORMAT_VERSION`].
+    VersionSkew {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// The payload does not hash to the header CRC (bit flip / partial
+    /// overwrite).
+    CrcMismatch {
+        /// CRC declared in the header.
+        expected: u32,
+        /// CRC computed over the payload.
+        found: u32,
+    },
+    /// The payload passed the CRC but failed to parse or deserialize
+    /// (a bug or a hand-edited file — the CRC makes accidents unlikely).
+    Payload(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Truncated { expected, found } => {
+                write!(f, "truncated checkpoint: expected {expected} bytes, found {found}")
+            }
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::VersionSkew { found } => write!(
+                f,
+                "checkpoint format version {found} (this build reads {FORMAT_VERSION})"
+            ),
+            CheckpointError::CrcMismatch { expected, found } => write!(
+                f,
+                "checkpoint CRC mismatch: header says {expected:#010x}, payload hashes to {found:#010x}"
+            ),
+            CheckpointError::Payload(e) => write!(f, "checkpoint payload invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serializes `state` into the framed on-disk format.
+pub fn encode(state: &TrainerState) -> Vec<u8> {
+    let payload = serde_json::to_string(state)
+        .expect("TrainerState serialization is infallible")
+        .into_bytes();
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Parses and validates a framed checkpoint.
+///
+/// # Errors
+///
+/// Returns the specific [`CheckpointError`] describing how the file is
+/// damaged or incompatible; callers fall back to an older generation.
+pub fn decode(bytes: &[u8]) -> Result<TrainerState, CheckpointError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(CheckpointError::Truncated {
+            expected: HEADER_LEN,
+            found: bytes.len(),
+        });
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(CheckpointError::VersionSkew { found: version });
+    }
+    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+    let expected_total = HEADER_LEN.saturating_add(payload_len);
+    if bytes.len() < expected_total {
+        return Err(CheckpointError::Truncated {
+            expected: expected_total,
+            found: bytes.len(),
+        });
+    }
+    let declared_crc = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    let payload = &bytes[HEADER_LEN..expected_total];
+    let actual_crc = crc32(payload);
+    if actual_crc != declared_crc {
+        return Err(CheckpointError::CrcMismatch {
+            expected: declared_crc,
+            found: actual_crc,
+        });
+    }
+    let text = std::str::from_utf8(payload).map_err(|e| CheckpointError::Payload(e.to_string()))?;
+    serde_json::from_str(text).map_err(|e| CheckpointError::Payload(e.to_string()))
+}
+
+/// A directory of rotating checkpoint generations (`ckpt-NNNNNN.rlc`).
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a store at `dir` keeping the newest
+    /// `keep` generations (minimum 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn new(dir: impl Into<PathBuf>, keep: usize) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            keep: keep.max(1),
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Existing generations, sorted oldest-first.
+    pub fn generations(&self) -> Vec<(u64, PathBuf)> {
+        let mut gens: Vec<(u64, PathBuf)> = match std::fs::read_dir(&self.dir) {
+            Ok(rd) => rd
+                .filter_map(Result::ok)
+                .filter_map(|e| {
+                    let name = e.file_name().into_string().ok()?;
+                    let seq: u64 = name
+                        .strip_prefix("ckpt-")?
+                        .strip_suffix(".rlc")?
+                        .parse()
+                        .ok()?;
+                    Some((seq, e.path()))
+                })
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        gens.sort_unstable_by_key(|&(seq, _)| seq);
+        gens
+    }
+
+    /// Writes `state` as the next generation (atomically) and prunes
+    /// generations beyond the keep limit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures of the atomic write; pruning failures are
+    /// tolerated (stale generations are garbage, not corruption).
+    pub fn save(&self, state: &TrainerState) -> io::Result<PathBuf> {
+        let gens = self.generations();
+        let seq = gens.last().map_or(1, |&(s, _)| s + 1);
+        let path = self.dir.join(format!("ckpt-{seq:06}.rlc"));
+        rlleg_design::fsio::write_atomic(&path, &encode(state))?;
+        if !telemetry::disabled() {
+            telemetry::counter("ckpt.saved").inc();
+        }
+        // Prune oldest generations beyond the keep limit (the one just
+        // written counts).
+        let total = gens.len() + 1;
+        for (_, old) in gens.into_iter().take(total.saturating_sub(self.keep)) {
+            let _ = std::fs::remove_file(old);
+        }
+        Ok(path)
+    }
+
+    /// Loads the newest generation that decodes cleanly, falling back past
+    /// corrupted/truncated/version-skewed files. Returns `None` when no
+    /// valid generation exists. Skipped files are counted under
+    /// `ckpt.corrupt_skipped`; a successful fallback past at least one bad
+    /// file bumps `ckpt.recovered_fallback`.
+    pub fn load_latest(&self) -> Option<(u64, TrainerState)> {
+        let mut skipped = 0u64;
+        let mut found = None;
+        for (seq, path) in self.generations().into_iter().rev() {
+            let bytes = match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(_) => {
+                    skipped += 1;
+                    continue;
+                }
+            };
+            match decode(&bytes) {
+                Ok(state) => {
+                    found = Some((seq, state));
+                    break;
+                }
+                Err(e) => {
+                    skipped += 1;
+                    if !telemetry::disabled() {
+                        telemetry::counter("ckpt.corrupt_skipped").inc();
+                    }
+                    // The message names the file so an operator can delete
+                    // or inspect it; recovery continues regardless.
+                    let _ = e;
+                }
+            }
+        }
+        if !telemetry::disabled() && skipped > 0 && found.is_some() {
+            telemetry::counter("ckpt.recovered_fallback").inc();
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str, keep: usize) -> CheckpointStore {
+        let dir = std::env::temp_dir().join(format!(
+            "rlleg-ckpt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        CheckpointStore::new(dir, keep).expect("store")
+    }
+
+    fn sample_state(seed: u32) -> TrainerState {
+        TrainerState {
+            cfg: RlConfig::default(),
+            episode: seed as usize,
+            steps: u64::from(seed) * 37,
+            params_bits: (0..16)
+                .map(|i| (0.1 * (i + seed) as f32).to_bits())
+                .collect(),
+            adam: rlleg_nn::optim::Adam::new(16, 3e-4).to_raw(),
+            rng_words: (0..8).map(|i| u64::from(seed) << 32 | i).collect(),
+            best_cost_bits: f64::INFINITY.to_bits(),
+            best_params_bits: vec![1.5f32.to_bits(); 16],
+            history: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_is_exact() {
+        let state = sample_state(3);
+        let back = decode(&encode(&state)).expect("round trip");
+        assert_eq!(back, state);
+        assert_eq!(back.best_cost_bits, f64::INFINITY.to_bits());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode(&sample_state(1));
+        for cut in [0, 3, HEADER_LEN - 1, HEADER_LEN + 4, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    decode(&bytes[..cut]),
+                    Err(CheckpointError::Truncated { .. })
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flip_in_body_is_detected() {
+        let mut bytes = encode(&sample_state(2));
+        let mid = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            decode(&bytes),
+            Err(CheckpointError::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn version_skew_and_bad_magic_are_detected() {
+        let mut bytes = encode(&sample_state(2));
+        bytes[4] = 99;
+        assert_eq!(
+            decode(&bytes),
+            Err(CheckpointError::VersionSkew { found: 99 })
+        );
+        bytes[0] = b'X';
+        assert_eq!(decode(&bytes), Err(CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn store_rotates_and_recovers_past_corruption() {
+        let store = temp_store("rotate", 2);
+        assert!(store.load_latest().is_none(), "empty store");
+        store.save(&sample_state(1)).expect("gen 1");
+        store.save(&sample_state(2)).expect("gen 2");
+        store.save(&sample_state(3)).expect("gen 3");
+        let gens = store.generations();
+        assert_eq!(
+            gens.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+            vec![2, 3],
+            "keep=2 prunes the oldest"
+        );
+        // Corrupt the newest generation: load must fall back to gen 2.
+        let newest = &gens.last().expect("gen 3").1;
+        let mut bytes = std::fs::read(newest).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(newest, &bytes).expect("corrupt");
+        let (seq, state) = store.load_latest().expect("fallback");
+        assert_eq!(seq, 2);
+        assert_eq!(state.episode, 2);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

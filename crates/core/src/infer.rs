@@ -29,6 +29,74 @@ pub enum Selection {
     Sample(u64),
 }
 
+/// Watchdog budget for the RL-ordered pass.
+///
+/// RL ordering is an *optimization*, not a correctness requirement: when
+/// the network misbehaves (stalls, runs past its time share, emits NaN),
+/// the run must still finish. When either limit trips, the remaining cells
+/// are legalized in the deterministic size-descending fallback order and
+/// the report says so in [`InferenceReport::degraded`]. The default is
+/// unlimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InferenceBudget {
+    /// Maximum number of policy steps (network-driven cell selections).
+    pub max_steps: Option<u64>,
+    /// Maximum wall clock for the whole RL-ordered pass.
+    pub max_wall: Option<Duration>,
+}
+
+impl InferenceBudget {
+    /// A budget limited to `n` policy steps.
+    pub fn steps(n: u64) -> Self {
+        Self {
+            max_steps: Some(n),
+            ..Self::default()
+        }
+    }
+
+    /// A budget limited to `d` of wall clock.
+    pub fn wall(d: Duration) -> Self {
+        Self {
+            max_wall: Some(d),
+            ..Self::default()
+        }
+    }
+
+    /// The reason the budget is exhausted at (`steps`, `elapsed`), if it is.
+    fn exhausted(&self, steps: u64, elapsed: Duration) -> Option<DegradeReason> {
+        if self.max_steps.is_some_and(|m| steps >= m) {
+            return Some(DegradeReason::StepBudget);
+        }
+        if self.max_wall.is_some_and(|m| elapsed >= m) {
+            return Some(DegradeReason::WallClock);
+        }
+        None
+    }
+}
+
+/// Why an RL-ordered run abandoned the policy and fell back to the
+/// size-ordered legalizer for its remaining cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The [`InferenceBudget::max_steps`] limit was reached.
+    StepBudget,
+    /// The [`InferenceBudget::max_wall`] limit was reached.
+    WallClock,
+    /// The network produced a non-finite logit (NaN/Inf priorities cannot
+    /// be ranked or sampled meaningfully).
+    NonFiniteOutput,
+}
+
+impl DegradeReason {
+    fn counter_name(self) -> &'static str {
+        match self {
+            DegradeReason::StepBudget => "infer.degrade.step_budget",
+            DegradeReason::WallClock => "infer.degrade.wall_clock",
+            DegradeReason::NonFiniteOutput => "infer.degrade.non_finite",
+        }
+    }
+}
+
 /// Outcome of one RL-ordered legalization run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InferenceReport {
@@ -36,6 +104,12 @@ pub struct InferenceReport {
     pub legalized: usize,
     /// Cells that failed to place (empty on success).
     pub failed: Vec<CellId>,
+    /// Why (and whether) the run degraded to the size-ordered fallback
+    /// partway through. `None` for a healthy run.
+    pub degraded: Option<DegradeReason>,
+    /// Cells placed by the fallback path after degradation (0 for a
+    /// healthy run).
+    pub degraded_cells: usize,
     /// Wall-clock total.
     pub total_time: Duration,
     /// Time spent extracting/normalizing features (the paper's dominant
@@ -58,6 +132,7 @@ pub struct RlLegalizer {
     model: CellWiseNet,
     selection: Selection,
     backend: crate::config::Backend,
+    budget: InferenceBudget,
 }
 
 impl RlLegalizer {
@@ -68,12 +143,19 @@ impl RlLegalizer {
             model,
             selection: Selection::Greedy,
             backend: crate::config::Backend::Diamond,
+            budget: InferenceBudget::default(),
         }
     }
 
     /// Sets the action-selection mode.
     pub fn with_selection(mut self, selection: Selection) -> Self {
         self.selection = selection;
+        self
+    }
+
+    /// Sets the watchdog budget for the RL-ordered pass.
+    pub fn with_budget(mut self, budget: InferenceBudget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -110,9 +192,44 @@ impl RlLegalizer {
         let mut env = LegalizeEnv::with_options(design.clone(), gcells, self.backend);
         let mut legalized = 0usize;
         let mut failed = Vec::new();
+        let mut degraded: Option<DegradeReason> = None;
+        let mut degraded_cells = 0usize;
+        let mut steps = 0u64;
         for g in env.subepisode_order() {
             let mut remaining = env.remaining_in(g);
             while !remaining.is_empty() {
+                // Watchdog: once the budget trips (or the network emits a
+                // non-finite logit below), the rest of the run — this
+                // subepisode and all later ones — is drained in the
+                // deterministic size-descending order `remaining_in`
+                // already provides. Degradation is keyed only on the
+                // logical step count or the declared wall budget, never on
+                // where in the Gcell order it happens, so a degraded run is
+                // still reproducible under a step budget.
+                if degraded.is_none() {
+                    if let Some(reason) = self.budget.exhausted(steps, t0.elapsed()) {
+                        degraded = Some(reason);
+                        if !telemetry::disabled() {
+                            telemetry::counter(reason.counter_name()).inc();
+                        }
+                    }
+                }
+                if degraded.is_some() {
+                    for c in remaining.drain(..) {
+                        degraded_cells += 1;
+                        if env.step(c).is_failure() {
+                            failed.push(c);
+                        } else {
+                            legalized += 1;
+                        }
+                    }
+                    break;
+                }
+                // Deterministic stall injection point (disarmed: one
+                // relaxed atomic load).
+                if let Some(stall) = rlleg_legalize::fault::infer_stall(steps) {
+                    std::thread::sleep(stall);
+                }
                 let tf = Instant::now();
                 let state = env.state(&remaining);
                 feature_time += tf.elapsed();
@@ -124,6 +241,16 @@ impl RlLegalizer {
                 network_time += tn.elapsed();
                 network_rows += state.rows();
                 network_evals += 1;
+                steps += 1;
+                if logits.iter().any(|l| !l.is_finite()) {
+                    // NaN/Inf priorities cannot be ranked; retrying the
+                    // forward would yield the same poison. Degrade.
+                    degraded = Some(DegradeReason::NonFiniteOutput);
+                    if !telemetry::disabled() {
+                        telemetry::counter(DegradeReason::NonFiniteOutput.counter_name()).inc();
+                    }
+                    continue;
+                }
                 let a = match self.selection {
                     Selection::Greedy => logits
                         .iter()
@@ -160,6 +287,10 @@ impl RlLegalizer {
             use telemetry::buckets::SECONDS;
             telemetry::counter("infer.runs").inc();
             telemetry::counter("infer.cells_failed").add(failed.len() as u64);
+            if degraded.is_some() {
+                telemetry::counter("infer.degraded_runs").inc();
+                telemetry::counter("infer.degraded_cells").add(degraded_cells as u64);
+            }
             telemetry::histogram("infer.total_seconds", SECONDS).record(total_time.as_secs_f64());
             telemetry::histogram("infer.feature_seconds", SECONDS)
                 .record(feature_time.as_secs_f64());
@@ -175,6 +306,8 @@ impl RlLegalizer {
         InferenceReport {
             legalized,
             failed,
+            degraded,
+            degraded_cells,
             total_time,
             feature_time,
             network_time,
@@ -292,6 +425,71 @@ mod tests {
             assert_eq!(a.pos, b.pos, "same seed, same result");
         }
         assert!(legality::is_legal(&d1));
+    }
+
+    #[test]
+    fn healthy_runs_never_report_degradation() {
+        let mut d = design();
+        let report = untrained().legalize(&mut d);
+        assert_eq!(report.degraded, None);
+        assert_eq!(report.degraded_cells, 0);
+    }
+
+    #[test]
+    fn step_budget_degrades_but_completes_legally() {
+        let mut d = design();
+        let report = untrained()
+            .with_budget(InferenceBudget::steps(3))
+            .legalize(&mut d);
+        assert_eq!(report.degraded, Some(DegradeReason::StepBudget));
+        assert_eq!(report.degraded_cells, 20 - 3, "rest placed by fallback");
+        assert!(report.is_complete(), "failed: {:?}", report.failed);
+        assert!(legality::is_legal(&d));
+    }
+
+    #[test]
+    fn step_budget_degradation_is_deterministic() {
+        let rl = untrained().with_budget(InferenceBudget::steps(5));
+        let mut d1 = design();
+        let mut d2 = design();
+        rl.legalize(&mut d1);
+        rl.legalize(&mut d2);
+        for (a, b) in d1.cells.iter().zip(d2.cells.iter()) {
+            assert_eq!(a.pos, b.pos);
+        }
+    }
+
+    #[test]
+    fn nan_weights_degrade_to_fallback_instead_of_garbage() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut net = CellWiseNet::new(8, &mut rng);
+        let poisoned = vec![f32::NAN; net.num_params()];
+        net.set_params_flat(&poisoned);
+        let mut d = design();
+        let report = RlLegalizer::new(net).legalize(&mut d);
+        assert_eq!(report.degraded, Some(DegradeReason::NonFiniteOutput));
+        assert_eq!(report.degraded_cells, 20, "nothing placed by the policy");
+        assert!(report.is_complete(), "failed: {:?}", report.failed);
+        assert!(legality::is_legal(&d));
+    }
+
+    #[test]
+    fn injected_stall_trips_the_wall_clock_budget() {
+        let _guard = rlleg_legalize::fault::arm(rlleg_legalize::FaultPlan {
+            infer_stall: Some(rlleg_legalize::InferStall {
+                from_step: 1,
+                sleep: Duration::from_millis(30),
+            }),
+            ..rlleg_legalize::FaultPlan::default()
+        });
+        let mut d = design();
+        let report = untrained()
+            .with_budget(InferenceBudget::wall(Duration::from_millis(15)))
+            .legalize(&mut d);
+        assert_eq!(report.degraded, Some(DegradeReason::WallClock));
+        assert!(report.degraded_cells > 0);
+        assert!(report.is_complete(), "failed: {:?}", report.failed);
+        assert!(legality::is_legal(&d));
     }
 
     #[test]

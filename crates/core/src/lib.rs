@@ -39,16 +39,22 @@
 
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod config;
 mod env;
 mod infer;
 mod model;
 mod reward;
 mod train;
+mod trainer;
 
+pub use checkpoint::{
+    crc32, decode, encode, CheckpointError, CheckpointStore, TrainerState, FORMAT_VERSION,
+};
 pub use config::{Backend, ReturnMode, RlConfig, StateMode};
 pub use env::{LegalizeEnv, StepOutcome};
-pub use infer::{InferenceReport, RlLegalizer, Selection};
+pub use infer::{DegradeReason, InferenceBudget, InferenceReport, RlLegalizer, Selection};
 pub use model::{CellWiseNet, Forward};
 pub use reward::{RewardParams, FAIL_REWARD};
 pub use train::{train, TrainResult, TrainSample};
+pub use trainer::{RestoreError, Trainer};

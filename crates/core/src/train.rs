@@ -73,16 +73,16 @@ impl TrainResult {
     }
 }
 
-struct Shared {
+pub(crate) struct Shared {
     /// Global parameters + shared Adam state.
-    net: Mutex<(Vec<f32>, Adam)>,
-    history: Mutex<Vec<TrainSample>>,
+    pub(crate) net: Mutex<(Vec<f32>, Adam)>,
+    pub(crate) history: Mutex<Vec<TrainSample>>,
     /// Best (cost, parameter snapshot) over all agents and episodes.
-    best: Mutex<(f64, Vec<f32>)>,
+    pub(crate) best: Mutex<(f64, Vec<f32>)>,
 }
 
 /// One step stored in the mini-batch.
-struct Step {
+pub(crate) struct Step {
     state: Matrix,
     /// Selectable-cell mask (None in reduced mode: everything selectable).
     mask: Option<Vec<bool>>,
@@ -136,7 +136,7 @@ fn discounted_returns(
 
 /// Computes losses over a batch with precomputed targets `q` and applies
 /// one asynchronous global update.
-fn update(
+pub(crate) fn update(
     local: &mut CellWiseNet,
     shared: &Shared,
     batch: &[Step],
@@ -194,6 +194,18 @@ fn update(
         local.backward(&d_logits, d_value);
     }
     let mut grads = local.grads_flat();
+    if grads.iter().any(|g| !g.is_finite()) {
+        // A non-finite loss or gradient (NaN advantage, exploded logits)
+        // would poison the shared parameters *permanently* — Adam's moment
+        // vectors keep the NaN forever. Skip the update and refresh the
+        // local net from the untouched global parameters instead.
+        if !telemetry::disabled() {
+            telemetry::counter("train.nonfinite_updates_skipped").inc();
+        }
+        let snapshot = shared.net.lock().0.clone();
+        local.set_params_flat(&snapshot);
+        return;
+    }
     rlleg_nn::optim::clip_global_norm(&mut grads, cfg.grad_clip);
 
     let mut g = shared.net.lock();
@@ -213,7 +225,7 @@ fn update(
 /// `(failures, steps)`: the number of legalization failures encountered
 /// (with the paper's terminate-on-failure semantics this is 0 or 1) and the
 /// number of environment steps taken.
-fn run_subepisode(
+pub(crate) fn run_subepisode(
     env: &mut LegalizeEnv,
     g: usize,
     local: &mut CellWiseNet,
@@ -353,7 +365,7 @@ fn flush(
 /// size-descending teacher. `remaining_in` returns cells in size order, so
 /// the teacher action is always index 0; identically-featured cells share
 /// probability mass (the net cannot and need not separate them).
-fn pretrain(global: &mut CellWiseNet, designs: &[Design], cfg: &RlConfig) {
+pub(crate) fn pretrain(global: &mut CellWiseNet, designs: &[Design], cfg: &RlConfig) {
     let mut adam = Adam::new(global.num_params(), cfg.learning_rate * 3.0);
     let mut residual_sum = 0.0f64;
     let mut residual_count = 0usize;
@@ -666,6 +678,51 @@ mod tests {
             probs[2] > 0.8,
             "policy should prefer the rewarding arm: {probs:?}"
         );
+    }
+
+    #[test]
+    fn nan_poisoned_advantage_skips_update_and_preserves_params() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut net = CellWiseNet::new(8, &mut rng);
+        let cfg = RlConfig::default();
+        let n = net.num_params();
+        let before = net.params_flat();
+        let shared = Shared {
+            net: Mutex::new((before.clone(), Adam::new(n, cfg.learning_rate))),
+            history: Mutex::new(Vec::new()),
+            best: Mutex::new((f64::INFINITY, Vec::new())),
+        };
+        let f = rlleg_legalize::NUM_FEATURES;
+        let state = Matrix::from_vec(
+            2,
+            f,
+            (0..2 * f).map(|i| (i % 7) as f32 / 7.0).collect::<Vec<_>>(),
+        );
+        let batch = vec![Step {
+            state,
+            mask: None,
+            action: 0,
+            reward: f32::NAN,
+            failed: false,
+        }];
+        // A NaN return target poisons the advantage, hence every gradient.
+        update(
+            &mut net,
+            &shared,
+            &batch,
+            &[f32::NAN],
+            &cfg,
+            cfg.learning_rate,
+        );
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&net.params_flat()),
+            bits(&before),
+            "local params must be untouched"
+        );
+        let g = shared.net.lock();
+        assert_eq!(bits(&g.0), bits(&before), "global params must be untouched");
+        assert_eq!(g.1.steps(), 0, "no Adam step must have been applied");
     }
 
     #[test]

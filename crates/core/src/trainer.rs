@@ -1,0 +1,473 @@
+//! A deterministic, checkpointable A3C training driver.
+//!
+//! [`train`](crate::train::train) runs its agents on OS threads, so the
+//! interleaving of shared-network updates — and therefore the resulting
+//! parameters — depends on the scheduler whenever `agents > 1`. That is
+//! fine for throughput but fatal for crash recovery: a resumed run could
+//! never be checked against an uninterrupted one. [`Trainer`] runs the
+//! *same* per-agent episode logic (literally the same
+//! `run_subepisode`/`update` code) in a deterministic round-robin — for
+//! each episode, every agent in index order — which makes the whole
+//! training trajectory a pure function of `(designs, cfg)` and lets
+//! [`Trainer::state`] capture it completely: parameters, optimizer
+//! moments, per-agent RNG states, counters, and the learning curve, all
+//! bit-exact. Resuming from a [`TrainerState`] (persisted through
+//! [`CheckpointStore`](crate::checkpoint::CheckpointStore)) is
+//! bit-identical to never having stopped — proptested in
+//! `tests/resume_prop.rs`.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use parking_lot::Mutex;
+use rlleg_design::Design;
+use rlleg_nn::optim::Adam;
+
+use crate::checkpoint::TrainerState;
+use crate::config::RlConfig;
+use crate::env::LegalizeEnv;
+use crate::model::CellWiseNet;
+use crate::train::{pretrain, run_subepisode, Shared, TrainResult, TrainSample};
+
+/// Why a [`TrainerState`] could not be restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The parameter vector length does not match the configured network.
+    ParamCount {
+        /// Parameters the configured network has.
+        expected: usize,
+        /// Parameters the state carries.
+        found: usize,
+    },
+    /// The RNG state block is not 4 words per configured agent.
+    RngWords {
+        /// Words expected (`4 × agents`).
+        expected: usize,
+        /// Words the state carries.
+        found: usize,
+    },
+    /// The state claims more episodes than the configuration allows.
+    EpisodeOverflow {
+        /// Configured episode budget.
+        budget: usize,
+        /// Episodes the state claims to have completed.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::ParamCount { expected, found } => {
+                write!(f, "checkpoint has {found} params, network needs {expected}")
+            }
+            RestoreError::RngWords { expected, found } => {
+                write!(f, "checkpoint has {found} RNG words, expected {expected}")
+            }
+            RestoreError::EpisodeOverflow { budget, found } => {
+                write!(f, "checkpoint at episode {found} exceeds budget {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// Deterministic round-robin A3C trainer with bit-exact checkpointing.
+///
+/// ```
+/// use rl_legalizer::{RlConfig, Trainer};
+/// use rlleg_design::{DesignBuilder, Technology};
+/// use rlleg_geom::Point;
+///
+/// let mut b = DesignBuilder::new("demo", Technology::contest(), 24, 6);
+/// for i in 0..8i64 {
+///     b.add_cell(format!("u{i}"), 1 + i % 2, 1, Point::new(i * 300, 500));
+/// }
+/// let design = b.build();
+/// let cfg = RlConfig { episodes: 2, agents: 1, hidden_dim: 8, ..RlConfig::default() };
+/// let mut t = Trainer::new(std::slice::from_ref(&design), &cfg);
+/// t.run_episode();
+/// let state = t.state(); // checkpointable at any episode boundary
+/// t.run_episode();
+/// let resumed = Trainer::restore(std::slice::from_ref(&design), &state).unwrap();
+/// assert_eq!(resumed.episode(), 1);
+/// ```
+pub struct Trainer {
+    cfg: RlConfig,
+    /// Network used as a structural template (parameters live in `shared`).
+    template: CellWiseNet,
+    shared: Shared,
+    /// Per-agent policy-sampling RNG streams.
+    rngs: Vec<ChaCha8Rng>,
+    /// One environment per design, shared by the (sequential) agents and
+    /// reset before every episode; rebuilt — not checkpointed — because
+    /// `LegalizeEnv::reset` restores the full per-episode state.
+    envs: Vec<LegalizeEnv>,
+    episode: usize,
+    steps: u64,
+}
+
+impl Trainer {
+    /// Creates a trainer (including any configured behaviour-cloning warm
+    /// start, exactly as [`train`](crate::train::train) would).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `designs` is empty or `cfg.agents == 0`.
+    pub fn new(designs: &[Design], cfg: &RlConfig) -> Self {
+        assert!(!designs.is_empty(), "training needs at least one design");
+        assert!(cfg.agents > 0, "need at least one agent");
+        let mut init_rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut template = CellWiseNet::new(cfg.hidden_dim, &mut init_rng);
+        if cfg.pretrain_episodes > 0 {
+            pretrain(&mut template, designs, cfg);
+        }
+        let n_params = template.num_params();
+        let initial_params = template.params_flat();
+        let shared = Shared {
+            net: Mutex::new((
+                initial_params.clone(),
+                Adam::new(n_params, cfg.learning_rate),
+            )),
+            history: Mutex::new(Vec::new()),
+            best: Mutex::new((f64::INFINITY, initial_params)),
+        };
+        let rngs = (0..cfg.agents)
+            .map(|agent| ChaCha8Rng::seed_from_u64(cfg.seed ^ ((agent as u64 + 1) * 0x9E37)))
+            .collect();
+        Self {
+            cfg: cfg.clone(),
+            template,
+            shared,
+            rngs,
+            envs: Self::build_envs(designs, cfg),
+            episode: 0,
+            steps: 0,
+        }
+    }
+
+    fn build_envs(designs: &[Design], cfg: &RlConfig) -> Vec<LegalizeEnv> {
+        designs
+            .iter()
+            .map(|d| {
+                let gcells = rlleg_legalize::GcellGrid::auto(d);
+                LegalizeEnv::with_options(d.clone(), gcells, cfg.backend)
+            })
+            .collect()
+    }
+
+    /// Episodes completed so far.
+    pub fn episode(&self) -> usize {
+        self.episode
+    }
+
+    /// Total environment steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// `true` once the configured episode budget is exhausted.
+    pub fn done(&self) -> bool {
+        self.episode >= self.cfg.episodes
+    }
+
+    /// Runs one episode for every agent (in agent-index order). Returns
+    /// `false` without doing anything once the episode budget is spent.
+    pub fn run_episode(&mut self) -> bool {
+        if self.done() {
+            return false;
+        }
+        let episode = self.episode;
+        let lr = self.cfg.learning_rate * self.cfg.lr_decay.powi(episode as i32);
+        for agent in 0..self.cfg.agents {
+            let di = (agent + episode) % self.envs.len();
+            // Fresh local copy of the current global parameters — the
+            // deterministic analogue of the async agents' refresh-after-
+            // update, and what keeps the checkpoint state minimal (locals
+            // never need to be persisted).
+            let mut local = self.template.clone();
+            let snapshot = self.shared.net.lock().0.clone();
+            local.set_params_flat(&snapshot);
+            self.envs[di].reset();
+            let mut failures = 0usize;
+            let mut steps = 0usize;
+            for g in self.envs[di].subepisode_order() {
+                let (f, s) = run_subepisode(
+                    &mut self.envs[di],
+                    g,
+                    &mut local,
+                    &self.shared,
+                    &self.cfg,
+                    lr,
+                    &mut self.rngs[agent],
+                );
+                failures += f;
+                steps += s;
+            }
+            self.steps += steps as u64;
+            let cost = self.envs[di].legalization_cost();
+            if !telemetry::disabled() {
+                telemetry::counter("train.steps").add(steps as u64);
+                telemetry::counter("train.episodes").inc();
+                telemetry::histogram("train.episode_cost", telemetry::buckets::MAGNITUDE)
+                    .record(cost);
+            }
+            let sample = TrainSample {
+                agent,
+                episode,
+                design: self.envs[di].design().name.clone(),
+                cost,
+                failures,
+                qor: self.envs[di].qor(),
+            };
+            self.shared.history.lock().push(sample);
+            let mut best = self.shared.best.lock();
+            if cost < best.0 {
+                best.0 = cost;
+                best.1 = local.params_flat();
+            }
+        }
+        self.episode += 1;
+        true
+    }
+
+    /// Runs up to `episodes` more episodes (stops early at the budget).
+    /// Returns the number actually run.
+    pub fn train_for(&mut self, episodes: usize) -> usize {
+        let mut ran = 0;
+        for _ in 0..episodes {
+            if !self.run_episode() {
+                break;
+            }
+            ran += 1;
+        }
+        ran
+    }
+
+    /// Captures the complete training state, bit-exactly. Valid at any
+    /// episode boundary.
+    pub fn state(&self) -> TrainerState {
+        let g = self.shared.net.lock();
+        let best = self.shared.best.lock();
+        TrainerState {
+            cfg: self.cfg.clone(),
+            episode: self.episode,
+            steps: self.steps,
+            params_bits: g.0.iter().map(|x| x.to_bits()).collect(),
+            adam: g.1.to_raw(),
+            rng_words: self.rngs.iter().flat_map(|r| r.state()).collect(),
+            best_cost_bits: best.0.to_bits(),
+            best_params_bits: best.1.iter().map(|x| x.to_bits()).collect(),
+            history: self.shared.history.lock().clone(),
+        }
+    }
+
+    /// Rebuilds a trainer from a captured state; continuing it is
+    /// bit-identical to the run that produced the state.
+    ///
+    /// `designs` must be the same designs the original run used (they are
+    /// not persisted in the state — environments are reconstructed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RestoreError`] when the state is inconsistent with the
+    /// configuration it carries.
+    pub fn restore(designs: &[Design], state: &TrainerState) -> Result<Self, RestoreError> {
+        assert!(!designs.is_empty(), "training needs at least one design");
+        let cfg = state.cfg.clone();
+        assert!(cfg.agents > 0, "need at least one agent");
+        // Structural template only: every parameter is overwritten below,
+        // so the construction RNG draws don't matter (and pretrain must
+        // NOT run again).
+        let mut init_rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut template = CellWiseNet::new(cfg.hidden_dim, &mut init_rng);
+        let n_params = template.num_params();
+        if state.params_bits.len() != n_params {
+            return Err(RestoreError::ParamCount {
+                expected: n_params,
+                found: state.params_bits.len(),
+            });
+        }
+        let expected_words = 4 * cfg.agents;
+        if state.rng_words.len() != expected_words {
+            return Err(RestoreError::RngWords {
+                expected: expected_words,
+                found: state.rng_words.len(),
+            });
+        }
+        if state.episode > cfg.episodes {
+            return Err(RestoreError::EpisodeOverflow {
+                budget: cfg.episodes,
+                found: state.episode,
+            });
+        }
+        let params: Vec<f32> = state
+            .params_bits
+            .iter()
+            .map(|&b| f32::from_bits(b))
+            .collect();
+        template.set_params_flat(&params);
+        let best_params: Vec<f32> = state
+            .best_params_bits
+            .iter()
+            .map(|&b| f32::from_bits(b))
+            .collect();
+        let shared = Shared {
+            net: Mutex::new((params, Adam::from_raw(&state.adam))),
+            history: Mutex::new(state.history.clone()),
+            best: Mutex::new((f64::from_bits(state.best_cost_bits), best_params)),
+        };
+        let rngs = state
+            .rng_words
+            .chunks_exact(4)
+            .map(|w| ChaCha8Rng::from_state([w[0], w[1], w[2], w[3]]))
+            .collect();
+        if !telemetry::disabled() {
+            telemetry::counter("ckpt.restored").inc();
+        }
+        Ok(Self {
+            envs: Self::build_envs(designs, &cfg),
+            cfg,
+            template,
+            shared,
+            rngs,
+            episode: state.episode,
+            steps: state.steps,
+        })
+    }
+
+    /// Finalizes training into the same [`TrainResult`] shape
+    /// [`train`](crate::train::train) produces.
+    pub fn finish(self) -> TrainResult {
+        let (params, _) = self.shared.net.into_inner();
+        let (_, best_params) = self.shared.best.into_inner();
+        let mut model = self.template.clone();
+        let mut best_model = self.template;
+        model.set_params_flat(&params);
+        best_model.set_params_flat(&best_params);
+        let mut history = self.shared.history.into_inner();
+        history.sort_by_key(|s| (s.episode, s.agent));
+        TrainResult {
+            model,
+            best_model,
+            history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{decode, encode};
+    use rlleg_design::{DesignBuilder, Technology};
+    use rlleg_geom::Point;
+
+    fn toy_design(seed: i64) -> Design {
+        let mut b = DesignBuilder::new(format!("toy{seed}"), Technology::contest(), 24, 6);
+        for i in 0..12i64 {
+            let x = (i * 331 + seed * 97) % 4_000;
+            let y = (i * 1_777) % 10_000;
+            b.add_cell(
+                format!("u{i}"),
+                1 + i % 2,
+                1 + (i % 3 == 0) as u8,
+                Point::new(x, y),
+            );
+        }
+        b.build()
+    }
+
+    fn tiny_cfg() -> RlConfig {
+        RlConfig {
+            hidden_dim: 10,
+            agents: 2,
+            episodes: 4,
+            batch_size: 8,
+            ..RlConfig::default()
+        }
+    }
+
+    fn param_bits(result: &TrainResult) -> Vec<u32> {
+        let mut m = result.model.clone();
+        m.params_flat().iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn trainer_is_deterministic() {
+        let designs = [toy_design(0), toy_design(1)];
+        let cfg = tiny_cfg();
+        let mut a = Trainer::new(&designs, &cfg);
+        let mut b = Trainer::new(&designs, &cfg);
+        while a.run_episode() {}
+        while b.run_episode() {}
+        let ra = a.finish();
+        let rb = b.finish();
+        assert_eq!(param_bits(&ra), param_bits(&rb));
+        assert_eq!(ra.history, rb.history);
+        assert_eq!(ra.history.len(), 2 * 4);
+    }
+
+    #[test]
+    fn resume_through_encoded_checkpoint_is_bit_identical() {
+        let designs = [toy_design(2)];
+        let cfg = RlConfig {
+            agents: 2,
+            episodes: 3,
+            ..tiny_cfg()
+        };
+        // Uninterrupted run.
+        let mut full = Trainer::new(&designs, &cfg);
+        while full.run_episode() {}
+        let r_full = full.finish();
+        // Interrupted at episode 1, resumed through the framed format.
+        let mut part = Trainer::new(&designs, &cfg);
+        part.run_episode();
+        let state = decode(&encode(&part.state())).expect("round trip");
+        drop(part); // the "crash"
+        let mut resumed = Trainer::restore(&designs, &state).expect("restore");
+        while resumed.run_episode() {}
+        let r_resumed = resumed.finish();
+        assert_eq!(param_bits(&r_full), param_bits(&r_resumed));
+        let costs = |r: &TrainResult| {
+            r.history
+                .iter()
+                .map(|s| s.cost.to_bits())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(costs(&r_full), costs(&r_resumed));
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_state() {
+        let designs = [toy_design(3)];
+        let cfg = RlConfig {
+            agents: 1,
+            episodes: 2,
+            ..tiny_cfg()
+        };
+        let t = Trainer::new(&designs, &cfg);
+        let good = t.state();
+
+        let mut bad = good.clone();
+        bad.params_bits.pop();
+        assert!(matches!(
+            Trainer::restore(&designs, &bad),
+            Err(RestoreError::ParamCount { .. })
+        ));
+
+        let mut bad = good.clone();
+        bad.rng_words.push(7);
+        assert!(matches!(
+            Trainer::restore(&designs, &bad),
+            Err(RestoreError::RngWords { .. })
+        ));
+
+        let mut bad = good;
+        bad.episode = 99;
+        assert!(matches!(
+            Trainer::restore(&designs, &bad),
+            Err(RestoreError::EpisodeOverflow { .. })
+        ));
+    }
+}

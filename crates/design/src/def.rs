@@ -193,6 +193,17 @@ pub fn write_def(design: &Design) -> String {
     s
 }
 
+/// Serializes `design` to `path` crash-consistently (see
+/// [`fsio::write_atomic`](crate::fsio::write_atomic)): a crash mid-write
+/// leaves any pre-existing file at `path` intact.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the atomic write.
+pub fn write_def_file(design: &Design, path: &std::path::Path) -> std::io::Result<()> {
+    crate::fsio::write_atomic(path, write_def(design).as_bytes())
+}
+
 struct Tokens<'a> {
     toks: Vec<&'a str>,
     pos: usize,

@@ -1,0 +1,131 @@
+//! Crash-consistent file writes.
+//!
+//! A plain `std::fs::write` that dies mid-way (crash, kill, full disk)
+//! leaves a torn file under the *final* name, silently replacing whatever
+//! was there before. Every durable artifact this workspace produces — DEF
+//! output, training checkpoints — goes through [`write_atomic`] instead:
+//! the bytes land in a same-directory temporary file, are fsynced, and
+//! only then renamed over the destination, so readers observe either the
+//! complete old contents or the complete new contents, never a mixture.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Writes `bytes` to `path` atomically: tmp file in the same directory,
+/// `fsync`, rename over the destination, `fsync` of the parent directory
+/// (so the rename itself is durable).
+///
+/// # Errors
+///
+/// Any I/O error aborts the write; a pre-existing file at `path` is left
+/// untouched in that case and the temporary file is removed.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    write_atomic_inner(path, bytes, None)
+}
+
+/// Test seam for [`write_atomic`]: fails with an injected error after
+/// writing `fail_after` bytes of the temporary file, simulating a crash
+/// mid-write. The destination must be left exactly as it was.
+#[doc(hidden)]
+pub fn write_atomic_failing(path: &Path, bytes: &[u8], fail_after: usize) -> io::Result<()> {
+    write_atomic_inner(path, bytes, Some(fail_after))
+}
+
+fn write_atomic_inner(path: &Path, bytes: &[u8], fail_after: Option<usize>) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    // Same directory as the destination: rename must not cross devices.
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let result = (|| -> io::Result<()> {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        match fail_after {
+            Some(n) => {
+                f.write_all(&bytes[..n.min(bytes.len())])?;
+                return Err(io::Error::other("injected fault: crash mid-write"));
+            }
+            None => f.write_all(bytes)?,
+        }
+        f.sync_all()?;
+        fs::rename(&tmp, path)?;
+        // Durability of the rename: fsync the directory entry. Failures
+        // here (e.g. platforms where directories cannot be opened) do not
+        // compromise atomicity, only durability, so they are tolerated.
+        if let Ok(d) = File::open(&dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rlleg-fsio-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = temp_dir("basic");
+        let path = dir.join("out.def");
+        write_atomic(&path, b"first").expect("first write");
+        assert_eq!(fs::read(&path).expect("read"), b"first");
+        write_atomic(&path, b"second").expect("second write");
+        assert_eq!(fs::read(&path).expect("read"), b"second");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulated_crash_mid_write_leaves_existing_file_intact() {
+        let dir = temp_dir("crash");
+        let path = dir.join("out.def");
+        write_atomic(&path, b"precious original contents").expect("seed write");
+        let err = write_atomic_failing(&path, b"replacement that dies half-way", 9)
+            .expect_err("injected fault must surface");
+        assert!(err.to_string().contains("injected fault"));
+        assert_eq!(
+            fs::read(&path).expect("read"),
+            b"precious original contents",
+            "destination must be untouched after a torn write"
+        );
+        // No temp litter left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .expect("dir")
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_name_is_an_error() {
+        assert!(write_atomic(Path::new("/"), b"x").is_err());
+    }
+}

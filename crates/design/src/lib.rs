@@ -38,6 +38,7 @@ mod builder;
 mod cell;
 pub mod def;
 mod design;
+pub mod fsio;
 pub mod lef;
 pub mod legality;
 pub mod metrics;

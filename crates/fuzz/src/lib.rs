@@ -23,7 +23,11 @@
 //! 4. [`oracle_nn`] — trainer/inference invariants: priorities form a
 //!    probability simplex, `values_batch` equals the per-state forward
 //!    pass bit-for-bit, and short training runs produce finite losses and
-//!    parameters.
+//!    parameters;
+//! 5. [`oracle_fault`] — deterministic fault injection: solver panics,
+//!    corrupted checkpoints, NaN-poisoned weights, and stalled inference
+//!    must all end in a completed run with the documented recovery
+//!    behaviour, never a process abort.
 //!
 //! Failing designs are minimized by the greedy [`shrink`]er and written to
 //! `crates/fuzz/corpus/`, which doubles as the regression suite replayed by
@@ -31,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod oracle_fault;
 pub mod oracle_grid;
 pub mod oracle_legalize;
 pub mod oracle_nn;
@@ -74,7 +79,7 @@ impl Artifact {
 /// One oracle failure.
 #[derive(Debug, Clone)]
 pub struct Failure {
-    /// Which oracle fired (`legalize`, `parse`, `grid`, `nn`).
+    /// Which oracle fired (`legalize`, `parse`, `grid`, `nn`, `fault`).
     pub oracle: &'static str,
     /// Scenario label (generator family + parameters).
     pub scenario: String,
@@ -93,17 +98,29 @@ impl std::fmt::Display for Failure {
 /// Budget for shrinker predicate evaluations per failing iteration.
 const SHRINK_BUDGET: usize = 200;
 
-/// Runs one full fuzz iteration (scenario + all four oracles) and returns
+/// Runs one full fuzz iteration (scenario + all five oracles) and returns
 /// every invariant failure. Deterministic in `(seed, iter)`.
 pub fn run_iteration(seed: u64, iter: u64) -> Vec<Failure> {
+    run_iteration_filtered(seed, iter, None)
+}
+
+/// [`run_iteration`], restricted to the oracle named by `only` when given
+/// (`legalize`, `parse`, `grid`, `nn`, `fault`). Seed derivation is shared
+/// with the unfiltered run, so `--only` repros match full-run failures.
+pub fn run_iteration_filtered(seed: u64, iter: u64, only: Option<&str>) -> Vec<Failure> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ iter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let sc = scenario::generate(&mut rng);
     telemetry::counter("fuzz.iters").inc();
+    let wants = |name: &str| only.is_none_or(|o| o == name);
 
     let mut failures = Vec::new();
 
     let order_seed: u64 = rng.gen();
-    let mut leg = timed("legalize", || oracle_legalize::check(&sc, order_seed));
+    let mut leg = if wants("legalize") {
+        timed("legalize", || oracle_legalize::check(&sc, order_seed))
+    } else {
+        Vec::new()
+    };
     if !leg.is_empty() {
         let json = minimized_json(&sc, &mut |d| {
             let probe = scenario::Scenario {
@@ -119,10 +136,20 @@ pub fn run_iteration(seed: u64, iter: u64) -> Vec<Failure> {
         failures.extend(leg);
     }
 
-    failures.extend(timed("parse", || oracle_parse::check(&sc, &mut rng)));
+    // Each remaining oracle gets its own seed drawn unconditionally, so a
+    // `--only` run reproduces exactly what the full run fed that oracle.
+    let parse_seed: u64 = rng.gen();
+    if wants("parse") {
+        let mut parse_rng = ChaCha8Rng::seed_from_u64(parse_seed);
+        failures.extend(timed("parse", || oracle_parse::check(&sc, &mut parse_rng)));
+    }
 
     let grid_seed: u64 = rng.gen();
-    let mut grd = timed("grid", || oracle_grid::check(&sc, grid_seed));
+    let mut grd = if wants("grid") {
+        timed("grid", || oracle_grid::check(&sc, grid_seed))
+    } else {
+        Vec::new()
+    };
     if !grd.is_empty() {
         let json = minimized_json(&sc, &mut |d| {
             let probe = scenario::Scenario {
@@ -142,7 +169,19 @@ pub fn run_iteration(seed: u64, iter: u64) -> Vec<Failure> {
     // The (slower) end-to-end training invariants run on a sampled subset
     // of iterations; the cheap inference invariants run every time.
     let deep = iter.is_multiple_of(16);
-    failures.extend(timed("nn", || oracle_nn::check(&sc, nn_seed, deep)));
+    if wants("nn") {
+        failures.extend(timed("nn", || oracle_nn::check(&sc, nn_seed, deep)));
+    }
+
+    let fault_seed: u64 = rng.gen();
+    // The stall case sleeps for real wall clock; sample it like the deep
+    // nn check. The panic/checkpoint/NaN cases run every iteration.
+    let fault_deep = iter.is_multiple_of(8);
+    if wants("fault") {
+        failures.extend(timed("fault", || {
+            oracle_fault::check(&sc, fault_seed, fault_deep)
+        }));
+    }
 
     if !failures.is_empty() {
         telemetry::counter("fuzz.failures").add(failures.len() as u64);

@@ -13,7 +13,7 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use rlleg_fuzz::run_iteration;
+use rlleg_fuzz::run_iteration_filtered;
 
 struct Args {
     raw: Vec<String>,
@@ -46,11 +46,12 @@ fn main() {
         eprintln!(
             "rlleg-fuzz: differential fuzzing across the legalization pipeline\n\
              \n\
-             USAGE: rlleg-fuzz [--iters N] [--seed S] [--corpus DIR] [--quiet]\n\
+             USAGE: rlleg-fuzz [--iters N] [--seed S] [--corpus DIR] [--only ORACLE] [--quiet]\n\
              \n\
              --iters N     iterations to run (default 100)\n\
              --seed S      base seed (default 1)\n\
              --corpus DIR  where failing repros are written (default crates/fuzz/corpus)\n\
+             --only ORACLE run a single oracle: legalize|parse|grid|nn|fault\n\
              --quiet       suppress the per-failure log lines"
         );
         return;
@@ -62,6 +63,14 @@ fn main() {
         String::from(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus")),
     ));
     let quiet = args.flag("--quiet");
+    let only = args.get("--only", String::new());
+    let only = (!only.is_empty()).then_some(only);
+    if let Some(o) = &only {
+        if !["legalize", "parse", "grid", "nn", "fault"].contains(&o.as_str()) {
+            eprintln!("rlleg-fuzz: unknown oracle `{o}` (legalize|parse|grid|nn|fault)");
+            std::process::exit(2);
+        }
+    }
 
     telemetry::enable();
     let t0 = std::time::Instant::now();
@@ -69,7 +78,7 @@ fn main() {
     let mut failing_iters = 0u64;
 
     for iter in 0..iters {
-        let failures = run_iteration(seed, iter);
+        let failures = run_iteration_filtered(seed, iter, only.as_deref());
         if failures.is_empty() {
             continue;
         }
@@ -89,7 +98,7 @@ fn main() {
     }
 
     let elapsed = t0.elapsed().as_secs_f64();
-    let per_oracle: Vec<String> = ["legalize", "parse", "grid", "nn"]
+    let per_oracle: Vec<String> = ["legalize", "parse", "grid", "nn", "fault"]
         .iter()
         .map(|o| {
             let h = telemetry::histogram(

@@ -185,6 +185,7 @@ mod tests {
         let stats = RunStats {
             legalized: 2,
             failed: Vec::new(),
+            quarantined: Vec::new(),
         };
         let mut failures = Vec::new();
         explain(&sc, &d, &stats, "fake", &mut failures);

@@ -6,10 +6,15 @@
 //! - `*.lef` — same contract for `Library::parse` (truncated UNITS/SITE
 //!   sections used to hang, overtall macros used to truncate silently);
 //! - `*.json` — minimized failing designs; the legalize and grid oracles
-//!   must hold on them at HEAD.
+//!   must hold on them at HEAD;
+//! - `*.rlc` — damaged training checkpoints (torn write, body bit flip
+//!   behind a valid header, version skew); `rl_legalizer::decode` must
+//!   classify each one as the matching error, and a [`CheckpointStore`]
+//!   containing one must fall back to the previous valid generation.
 
 use std::path::PathBuf;
 
+use rl_legalizer::{decode, CheckpointError, CheckpointStore};
 use rlleg_design::def::parse_def;
 use rlleg_design::lef::Library;
 use rlleg_design::{Design, Technology};
@@ -71,6 +76,72 @@ fn lef_corpus_never_panics_or_hangs() {
             "{} unexpectedly parsed",
             path.display()
         );
+    }
+}
+
+#[test]
+fn rlc_corpus_checkpoints_are_classified_not_accepted() {
+    let files = corpus_files("rlc");
+    assert!(!files.is_empty(), "no .rlc corpus cases committed");
+    for path in files {
+        let bytes = std::fs::read(&path).expect("readable corpus file");
+        let err = decode(&bytes).expect_err("damaged checkpoint must not decode");
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        // Each committed case pins its specific failure classification: a
+        // torn tail must read as truncation (not a CRC accident), a body
+        // flip as a CRC mismatch, a future format as version skew.
+        let ok = match name.as_str() {
+            "ckpt_truncated.rlc" => matches!(err, CheckpointError::Truncated { .. }),
+            "ckpt_bitflip_body.rlc" => matches!(err, CheckpointError::CrcMismatch { .. }),
+            "ckpt_version_skew.rlc" => matches!(err, CheckpointError::VersionSkew { .. }),
+            _ => true, // future cases: rejection alone is the contract
+        };
+        assert!(ok, "{name}: unexpected classification {err}");
+    }
+}
+
+#[test]
+fn rlc_corpus_never_defeats_generation_fallback() {
+    // Plant each damaged corpus checkpoint as the *newest* generation on
+    // top of one valid save: recovery must come back with the valid state.
+    let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(3);
+    let mut b = rlleg_design::DesignBuilder::new("corpus_ckpt", Technology::contest(), 20, 5);
+    for i in 0..6i64 {
+        b.add_cell(
+            format!("c{i}"),
+            1 + i % 2,
+            1,
+            rlleg_geom::Point::new(i * 400 + 60, 90),
+        );
+    }
+    let designs = [b.build()];
+    let cfg = rl_legalizer::RlConfig {
+        hidden_dim: 8,
+        agents: 1,
+        episodes: 2,
+        seed: rand::Rng::gen(&mut rng),
+        ..rl_legalizer::RlConfig::default()
+    };
+    let mut t = rl_legalizer::Trainer::new(&designs, &cfg);
+    t.run_episode();
+    let saved = t.state();
+
+    for path in corpus_files("rlc") {
+        let dir = std::env::temp_dir().join(format!(
+            "rlleg-corpus-rlc-{}-{}",
+            std::process::id(),
+            path.file_stem().unwrap().to_string_lossy()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir, 4).expect("store");
+        store.save(&saved).expect("valid gen 1");
+        std::fs::copy(&path, dir.join("ckpt-000002.rlc")).expect("plant corrupt gen 2");
+        let (seq, recovered) = store
+            .load_latest()
+            .unwrap_or_else(|| panic!("{}: fallback lost all generations", path.display()));
+        assert_eq!(seq, 1, "{}", path.display());
+        assert_eq!(recovered, saved, "{}", path.display());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

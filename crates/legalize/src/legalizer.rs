@@ -48,6 +48,10 @@ pub struct RunStats {
     pub legalized: usize,
     /// Cells for which no legal position was found, in encounter order.
     pub failed: Vec<CellId>,
+    /// Gcells whose parallel solve panicked and was contained, in
+    /// subepisode order; their cells were retried on the sequential
+    /// size-ordered fallback path. Always empty for fault-free runs.
+    pub quarantined: Vec<usize>,
 }
 
 impl RunStats {
@@ -251,6 +255,7 @@ impl Legalizer {
         let search = self.search;
         let design_ro: &Design = design;
         let solve = |scratch: &mut SubGrid, g: usize| -> GcellSolve {
+            crate::fault::panic_if_planned(g);
             let order = ordering.order(design_ro, Some(gcells.cells_of(g)));
             if order.is_empty() {
                 return (Vec::new(), Vec::new());
@@ -283,7 +288,12 @@ impl Legalizer {
             (placed, failed)
         };
 
-        let results: Vec<std::sync::Mutex<Option<GcellSolve>>> =
+        // `Err(())` marks a quarantined Gcell: its solve panicked. The
+        // panic is contained here — [`SubGrid::load`] fully reinitializes
+        // the scratch, so the next Gcell on the same worker is unaffected,
+        // and the merge phase retries the Gcell's cells on the sequential
+        // size-ordered fallback path instead of aborting the run.
+        let results: Vec<std::sync::Mutex<Option<Result<GcellSolve, ()>>>> =
             (0..n).map(|_| std::sync::Mutex::new(None)).collect();
         {
             let next = std::sync::atomic::AtomicUsize::new(0);
@@ -298,8 +308,13 @@ impl Legalizer {
                         if g >= n {
                             break;
                         }
-                        let out = solve(&mut scratch, g);
-                        *results[g].lock().expect("gcell result poisoned") = Some(out);
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            solve(&mut scratch, g)
+                        }))
+                        .map_err(drop);
+                        *results[g]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
                         done += 1;
                     }
                     done
@@ -335,13 +350,28 @@ impl Legalizer {
         // Phase 2: deterministic sequential merge in subepisode order.
         let mut stats = RunStats::default();
         let mut retry: Vec<CellId> = Vec::new();
+        let mut fallback: Vec<CellId> = Vec::new();
         let mut conflicts = 0u64;
         for g in gcells.subepisode_order() {
-            let (placed, failed) = results[g]
+            let solved = results[g]
                 .lock()
-                .expect("gcell result poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .take()
                 .expect("every gcell solved");
+            let (placed, failed) = match solved {
+                Ok(out) => out,
+                Err(()) => {
+                    // Quarantine: the solve panicked, so no window-local
+                    // result exists. Send every cell of the Gcell to the
+                    // sequential size-ordered fallback; the fallback order
+                    // is computed here, at merge time, so it is identical
+                    // for every thread count.
+                    stats.quarantined.push(g);
+                    fallback
+                        .extend(Ordering::SizeDescending.order(design, Some(gcells.cells_of(g))));
+                    continue;
+                }
+            };
             for (cell, pos) in placed {
                 if self.grid.check_place(design, cell, pos).is_ok() {
                     self.grid.place(design, cell, pos);
@@ -360,6 +390,7 @@ impl Legalizer {
         if !telemetry::disabled() {
             telemetry::counter("legalize.parallel.merge_conflicts").add(conflicts);
             telemetry::counter("legalize.parallel.retries").add(retry.len() as u64);
+            telemetry::counter("legalize.gcell.quarantined").add(stats.quarantined.len() as u64);
         }
         // Merge-retry must see the whole grid: clear any caller-configured
         // window for the duration of the retries.
@@ -369,6 +400,22 @@ impl Legalizer {
                 Ok(_) => stats.legalized += 1,
                 Err(e) => stats.failed.push(e.cell),
             }
+        }
+        // Quarantined Gcells run last, on the same sequential full-grid
+        // path; for fault-free runs this loop is empty and the run is
+        // bit-identical to one without quarantine support.
+        let mut fallback_ok = 0u64;
+        for cell in fallback {
+            match self.legalize_cell(design, cell) {
+                Ok(_) => {
+                    stats.legalized += 1;
+                    fallback_ok += 1;
+                }
+                Err(e) => stats.failed.push(e.cell),
+            }
+        }
+        if !telemetry::disabled() && fallback_ok > 0 {
+            telemetry::counter("legalize.gcell.fallback_ok").add(fallback_ok);
         }
         self.search.window = saved_window;
         stats
@@ -989,6 +1036,72 @@ mod tests {
         );
         // The caller's window is restored after the retries.
         assert_eq!(lg.search.window, Some(right_half));
+    }
+
+    #[test]
+    fn quarantined_gcell_recovers_via_sequential_fallback() {
+        use crate::fault::{arm, FaultPlan};
+        let d0 = dense_design(60, 7);
+        let g = GcellGrid::new(&d0, 2, 2);
+        let target = (0..g.len())
+            .find(|&i| !g.cells_of(i).is_empty())
+            .expect("a populated gcell");
+
+        // Reference fault-free run: accounts for every movable cell.
+        let mut dr = d0.clone();
+        let ref_stats =
+            Legalizer::new(&dr).run_gcells_parallel(&mut dr, &Ordering::SizeDescending, &g, 2);
+        assert!(ref_stats.quarantined.is_empty());
+
+        let _guard = arm(FaultPlan {
+            panic_at_gcell: Some(target),
+            ..FaultPlan::default()
+        });
+        // The faulted run must complete (no abort), quarantine exactly the
+        // targeted Gcell, still account for every movable cell, and be
+        // bit-identical across thread counts.
+        let mut reference: Option<Design> = None;
+        for threads in [1usize, 2, 4] {
+            let mut d = d0.clone();
+            let stats = Legalizer::new(&d).run_gcells_parallel(
+                &mut d,
+                &Ordering::SizeDescending,
+                &g,
+                threads,
+            );
+            assert_eq!(stats.quarantined, vec![target], "threads={threads}");
+            assert_eq!(
+                stats.legalized + stats.failed.len(),
+                d.num_movable(),
+                "threads={threads}"
+            );
+            assert!(
+                legality::is_legal(&d) || !stats.is_complete(),
+                "threads={threads}: {:?}",
+                legality::check(&d, true).first()
+            );
+            match &reference {
+                None => reference = Some(d),
+                Some(r) => {
+                    for id in r.cell_ids() {
+                        assert_eq!(
+                            r.cell(id).pos,
+                            d.cell(id).pos,
+                            "threads={threads}: faulted runs must stay deterministic"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_runs_have_no_quarantine() {
+        let mut d = dense_design(40, 8);
+        let g = GcellGrid::new(&d, 2, 2);
+        let stats =
+            Legalizer::new(&d).run_gcells_parallel(&mut d, &Ordering::SizeDescending, &g, 4);
+        assert!(stats.quarantined.is_empty());
     }
 
     #[test]

@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod features;
 pub mod gcell;
 mod legalizer;
@@ -51,6 +52,7 @@ pub mod pool;
 pub mod search;
 mod tetris;
 
+pub use fault::{FaultGuard, FaultPlan, InferStall};
 pub use features::{FeatureSpace, NUM_FEATURES};
 pub use gcell::{BinGrid, GcellGrid};
 pub use legalizer::{Legalizer, PlaceCellError, RunStats};

@@ -19,7 +19,20 @@ use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Locks `m`, recovering the data from a poisoned mutex instead of
+/// propagating the poison.
+///
+/// Every value behind the pool's mutexes (a job queue, a pending counter, a
+/// panic payload slot) is updated in a single statement and can never be
+/// observed torn, so a panic that poisons one of them leaves the data
+/// valid. Propagating the poison instead would wedge the *process-global*
+/// pool for every later caller — one panicking job must never take the
+/// whole pool down (see `panicked_job_does_not_wedge_global_pool`).
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// A lifetime-erased unit of work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -47,11 +60,11 @@ impl ScopeState {
     }
 
     fn inc(&self) {
-        *self.pending.lock().expect("scope state poisoned") += 1;
+        *lock_ignore_poison(&self.pending) += 1;
     }
 
     fn dec_and_notify(&self) {
-        let mut p = self.pending.lock().expect("scope state poisoned");
+        let mut p = lock_ignore_poison(&self.pending);
         *p -= 1;
         if *p == 0 {
             self.all_done.notify_all();
@@ -59,9 +72,12 @@ impl ScopeState {
     }
 
     fn wait_all(&self) {
-        let mut p = self.pending.lock().expect("scope state poisoned");
+        let mut p = lock_ignore_poison(&self.pending);
         while *p > 0 {
-            p = self.all_done.wait(p).expect("scope state poisoned");
+            p = self
+                .all_done
+                .wait(p)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }
@@ -144,7 +160,7 @@ impl WorkerPool {
         match result {
             Err(p) => resume_unwind(p),
             Ok(r) => {
-                let job_panic = state.panic.lock().expect("scope state poisoned").take();
+                let job_panic = lock_ignore_poison(&state.panic).take();
                 if let Some(p) = job_panic {
                     resume_unwind(p);
                 }
@@ -155,11 +171,7 @@ impl WorkerPool {
 
     /// Enqueues an already-erased job and wakes one worker.
     fn push(&self, job: Job) {
-        self.shared
-            .queue
-            .lock()
-            .expect("pool queue poisoned")
-            .push_back(job);
+        lock_ignore_poison(&self.shared.queue).push_back(job);
         self.shared.job_ready.notify_one();
     }
 }
@@ -168,12 +180,15 @@ impl WorkerPool {
 fn worker_main(shared: &Shared) {
     loop {
         let job = {
-            let mut q = shared.queue.lock().expect("pool queue poisoned");
+            let mut q = lock_ignore_poison(&shared.queue);
             loop {
                 if let Some(j) = q.pop_front() {
                     break j;
                 }
-                q = shared.job_ready.wait(q).expect("pool queue poisoned");
+                q = shared
+                    .job_ready
+                    .wait(q)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         job();
@@ -212,7 +227,7 @@ impl<'env> Scope<'_, 'env> {
         self.pool.push(Box::new(move || {
             let result = catch_unwind(AssertUnwindSafe(job));
             if let Err(p) = result {
-                *state.panic.lock().expect("scope state poisoned") = Some(p);
+                *lock_ignore_poison(&state.panic) = Some(p);
             }
             state.dec_and_notify();
         }));
@@ -307,6 +322,34 @@ mod tests {
             });
         });
         assert_eq!(ok.into_inner(), 1);
+    }
+
+    #[test]
+    fn panicked_job_does_not_wedge_global_pool() {
+        // A panicking job poisons the scope mutexes it touches; the pool
+        // must recover the data instead of propagating the poison, or the
+        // *process-global* pool would return `Err` to every later caller.
+        let pool = global();
+        pool.ensure_workers(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("poison attempt"));
+            });
+        }));
+        assert!(result.is_err(), "job panic must surface to the caller");
+        // The same global pool keeps serving scopes afterwards.
+        for _ in 0..3 {
+            let ok = AtomicU64::new(0);
+            pool.scope(|s| {
+                for _ in 0..4 {
+                    let ok = &ok;
+                    s.spawn(move || {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(ok.into_inner(), 4, "global pool wedged after panic");
+        }
     }
 
     #[test]

@@ -27,10 +27,21 @@ cargo bench --no-run --workspace
 echo "==> fuzz smoke: rlleg-fuzz --iters 50 --seed 1"
 cargo run -q --release -p rlleg-fuzz -- --iters 50 --seed 1
 
+# Fixed-seed fault-injection smoke: 200 iterations of the fault oracle
+# alone (solver panics, corrupted checkpoints, NaN weights, inference
+# stalls). Every injected fault must end in a completed run — a process
+# abort fails this stage by construction.
+echo "==> fault-injection smoke: rlleg-fuzz --iters 200 --seed 7 --only fault"
+cargo run -q --release -p rlleg-fuzz -- --iters 200 --seed 7 --only fault
+
 if [[ "${RLLEG_FUZZ_LONG:-0}" == "1" ]]; then
   echo "==> fuzz long: rlleg-fuzz --iters 1000, seeds 1-4"
   for s in 1 2 3 4; do
     cargo run -q --release -p rlleg-fuzz -- --iters 1000 --seed "$s"
+  done
+  echo "==> fault-injection long: rlleg-fuzz --iters 1000 --only fault, seeds 5-8"
+  for s in 5 6 7 8; do
+    cargo run -q --release -p rlleg-fuzz -- --iters 1000 --seed "$s" --only fault
   done
 fi
 

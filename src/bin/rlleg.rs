@@ -46,7 +46,8 @@ fn load_design(args: &Args) -> Result<Design, String> {
 fn save_outputs(design: &Design, args: &Args) -> Result<(), String> {
     let out: String = args.get("out", String::new());
     if !out.is_empty() {
-        std::fs::write(&out, def::write_def(design)).map_err(|e| format!("write {out}: {e}"))?;
+        def::write_def_file(design, std::path::Path::new(&out))
+            .map_err(|e| format!("write {out}: {e}"))?;
         println!("wrote {out}");
     }
     let svg: String = args.get("svg", String::new());

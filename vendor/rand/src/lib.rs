@@ -247,6 +247,18 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// The raw xoshiro256++ state, for checkpointing. Restoring it via
+        /// [`from_state`](Self::from_state) continues the stream exactly
+        /// where this generator left off.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`state`](Self::state) snapshot.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            Self { s }
+        }
+
         pub(crate) fn from_u64(seed: u64) -> Self {
             let mut sm = seed;
             let mut next_sm = move || {

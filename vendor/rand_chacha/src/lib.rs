@@ -17,6 +17,22 @@ macro_rules! chacha_alias {
             inner: StdRng,
         }
 
+        impl $name {
+            /// The raw generator state, for checkpointing (see
+            /// [`StdRng::state`]).
+            pub fn state(&self) -> [u64; 4] {
+                self.inner.state()
+            }
+
+            /// Rebuilds a generator from a [`state`](Self::state) snapshot,
+            /// continuing the stream exactly where it left off.
+            pub fn from_state(s: [u64; 4]) -> Self {
+                Self {
+                    inner: StdRng::from_state(s),
+                }
+            }
+        }
+
         impl RngCore for $name {
             fn next_u64(&mut self) -> u64 {
                 self.inner.next_u64()
