@@ -27,7 +27,11 @@
 //! 5. [`oracle_fault`] — deterministic fault injection: solver panics,
 //!    corrupted checkpoints, NaN-poisoned weights, and stalled inference
 //!    must all end in a completed run with the documented recovery
-//!    behaviour, never a process abort.
+//!    behaviour, never a process abort;
+//! 6. [`oracle_proto`] — the serving wire protocol: valid frames
+//!    round-trip and reassemble from adversarial chunk sizes, while
+//!    mutated, truncated, spliced, or garbage byte streams return `Err`
+//!    — never panic, hang, or mis-frame.
 //!
 //! Failing designs are minimized by the greedy [`shrink`]er and written to
 //! `crates/fuzz/corpus/`, which doubles as the regression suite replayed by
@@ -40,6 +44,7 @@ pub mod oracle_grid;
 pub mod oracle_legalize;
 pub mod oracle_nn;
 pub mod oracle_parse;
+pub mod oracle_proto;
 pub mod scenario;
 pub mod shrink;
 
@@ -56,6 +61,8 @@ pub enum Artifact {
     Def(String),
     /// The LEF text that triggered the failure.
     Lef(String),
+    /// A hex dump of the protocol bytes that triggered the failure.
+    FrameHex(String),
 }
 
 impl Artifact {
@@ -65,13 +72,17 @@ impl Artifact {
             Artifact::DesignJson(_) => "json",
             Artifact::Def(_) => "def",
             Artifact::Lef(_) => "lef",
+            Artifact::FrameHex(_) => "hex",
         }
     }
 
     /// The artifact payload.
     pub fn contents(&self) -> &str {
         match self {
-            Artifact::DesignJson(s) | Artifact::Def(s) | Artifact::Lef(s) => s,
+            Artifact::DesignJson(s)
+            | Artifact::Def(s)
+            | Artifact::Lef(s)
+            | Artifact::FrameHex(s) => s,
         }
     }
 }
@@ -79,7 +90,8 @@ impl Artifact {
 /// One oracle failure.
 #[derive(Debug, Clone)]
 pub struct Failure {
-    /// Which oracle fired (`legalize`, `parse`, `grid`, `nn`, `fault`).
+    /// Which oracle fired (`legalize`, `parse`, `grid`, `nn`, `fault`,
+    /// `proto`).
     pub oracle: &'static str,
     /// Scenario label (generator family + parameters).
     pub scenario: String,
@@ -98,15 +110,16 @@ impl std::fmt::Display for Failure {
 /// Budget for shrinker predicate evaluations per failing iteration.
 const SHRINK_BUDGET: usize = 200;
 
-/// Runs one full fuzz iteration (scenario + all five oracles) and returns
+/// Runs one full fuzz iteration (scenario + all six oracles) and returns
 /// every invariant failure. Deterministic in `(seed, iter)`.
 pub fn run_iteration(seed: u64, iter: u64) -> Vec<Failure> {
     run_iteration_filtered(seed, iter, None)
 }
 
 /// [`run_iteration`], restricted to the oracle named by `only` when given
-/// (`legalize`, `parse`, `grid`, `nn`, `fault`). Seed derivation is shared
-/// with the unfiltered run, so `--only` repros match full-run failures.
+/// (`legalize`, `parse`, `grid`, `nn`, `fault`, `proto`). Seed derivation
+/// is shared with the unfiltered run, so `--only` repros match full-run
+/// failures.
 pub fn run_iteration_filtered(seed: u64, iter: u64, only: Option<&str>) -> Vec<Failure> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ iter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let sc = scenario::generate(&mut rng);
@@ -181,6 +194,11 @@ pub fn run_iteration_filtered(seed: u64, iter: u64, only: Option<&str>) -> Vec<F
         failures.extend(timed("fault", || {
             oracle_fault::check(&sc, fault_seed, fault_deep)
         }));
+    }
+
+    let proto_seed: u64 = rng.gen();
+    if wants("proto") {
+        failures.extend(timed("proto", || oracle_proto::check(&sc, proto_seed)));
     }
 
     if !failures.is_empty() {

@@ -51,7 +51,7 @@ fn main() {
              --iters N     iterations to run (default 100)\n\
              --seed S      base seed (default 1)\n\
              --corpus DIR  where failing repros are written (default crates/fuzz/corpus)\n\
-             --only ORACLE run a single oracle: legalize|parse|grid|nn|fault\n\
+             --only ORACLE run a single oracle: legalize|parse|grid|nn|fault|proto\n\
              --quiet       suppress the per-failure log lines"
         );
         return;
@@ -66,8 +66,8 @@ fn main() {
     let only = args.get("--only", String::new());
     let only = (!only.is_empty()).then_some(only);
     if let Some(o) = &only {
-        if !["legalize", "parse", "grid", "nn", "fault"].contains(&o.as_str()) {
-            eprintln!("rlleg-fuzz: unknown oracle `{o}` (legalize|parse|grid|nn|fault)");
+        if !["legalize", "parse", "grid", "nn", "fault", "proto"].contains(&o.as_str()) {
+            eprintln!("rlleg-fuzz: unknown oracle `{o}` (legalize|parse|grid|nn|fault|proto)");
             std::process::exit(2);
         }
     }
@@ -98,7 +98,7 @@ fn main() {
     }
 
     let elapsed = t0.elapsed().as_secs_f64();
-    let per_oracle: Vec<String> = ["legalize", "parse", "grid", "nn", "fault"]
+    let per_oracle: Vec<String> = ["legalize", "parse", "grid", "nn", "fault", "proto"]
         .iter()
         .map(|o| {
             let h = telemetry::histogram(

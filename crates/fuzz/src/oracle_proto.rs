@@ -1,0 +1,337 @@
+//! Oracle 6: the serving wire protocol ([`rlleg_serve::proto`]) survives
+//! hostile bytes.
+//!
+//! Invariants:
+//!
+//! 1. **Round-trip** — `decode(encode(f)) == f` for every frame shape,
+//!    with the scenario's own DEF as the `Submit` payload;
+//! 2. **Reassembly** — a [`FrameReader`] fed the concatenated encodings in
+//!    adversarial chunk sizes (including byte-at-a-time) yields exactly
+//!    the original frames, in order;
+//! 3. **Truncation** — every strict prefix of a valid encoding decodes as
+//!    [`ProtoError::Truncated`] (the one recoverable variant), so a slow
+//!    sender can never be misread;
+//! 4. **Corruption** — a single flipped payload byte is always caught by
+//!    the CRC; arbitrary header/payload mutations, splices, and random
+//!    garbage must return `Err` or a re-encodable `Ok` — never panic,
+//!    hang, or over-read (no `catch_unwind`: a panic aborts the harness
+//!    and *is* the bug report);
+//! 5. **Caps** — a header declaring more than the reader's cap is
+//!    rejected as [`ProtoError::Oversized`] without buffering the
+//!    declared length.
+//!
+//! Failing inputs are written to the corpus as hex dumps
+//! ([`Artifact::FrameHex`]) and replayed by `tests/corpus.rs`.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use rlleg_design::def::write_def;
+use rlleg_serve::proto::{
+    decode_frame, encode_frame, Frame, FrameReader, JobKind, JobSpec, ProtoError, HEADER_LEN,
+    MAX_FRAME,
+};
+
+use crate::scenario::Scenario;
+use crate::{Artifact, Failure};
+
+/// Mutated frame inputs per iteration.
+const MUTATIONS: usize = 40;
+/// Random-garbage inputs per iteration.
+const GARBAGE: usize = 10;
+
+/// Hex-encodes repro bytes for the corpus.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decodes a corpus hex dump (whitespace tolerated).
+pub fn from_hex(text: &str) -> Option<Vec<u8>> {
+    let compact: String = text.chars().filter(|c| !c.is_whitespace()).collect();
+    if !compact.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..compact.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&compact[i..i + 2], 16).ok())
+        .collect()
+}
+
+fn fail(sc: &Scenario, message: String, bytes: &[u8]) -> Failure {
+    Failure {
+        oracle: "proto",
+        scenario: sc.label.clone(),
+        message,
+        artifact: Some(Artifact::FrameHex(to_hex(bytes))),
+    }
+}
+
+/// The frame menagerie: every shape, with the scenario design riding in
+/// the `Submit` payload so frame sizes track scenario sizes.
+fn sample_frames(sc: &Scenario, rng: &mut ChaCha8Rng) -> Vec<Frame> {
+    let spec = JobSpec {
+        kind: match rng.gen_range(0..3) {
+            0 => JobKind::Legalize,
+            1 => JobKind::RlLegalize,
+            _ => JobKind::Train,
+        },
+        tech: rng.gen_range(0..2),
+        ordering: rng.gen_range(0..3),
+        threads: rng.gen_range(0..5),
+        hidden: rng.gen_range(1..64),
+        episodes: rng.gen_range(0..100),
+        seed: rng.gen(),
+        max_steps: rng.gen_range(0..1_000),
+        max_wall_ms: rng.gen_range(0..10_000),
+        job_key: rng.gen(),
+        def: write_def(&sc.design),
+        ..JobSpec::default()
+    };
+    vec![
+        Frame::Submit(spec),
+        Frame::Query(rng.gen()),
+        Frame::Cancel(rng.gen()),
+        Frame::Ping,
+        Frame::Shutdown,
+        Frame::Accepted { job: rng.gen() },
+        Frame::Rejected {
+            code: rng.gen_range(1..5),
+            reason: "shard full".into(),
+        },
+        Frame::Progress {
+            job: rng.gen(),
+            chunk: "{\"kind\":\"job.start\"}\n".into(),
+        },
+        Frame::Result {
+            job: rng.gen(),
+            ok: rng.gen(),
+            def: "DESIGN d ; END DESIGN".into(),
+            stats: "{\"cells\":1}".into(),
+        },
+        Frame::Error {
+            message: "poisoned".into(),
+        },
+        Frame::Pong,
+        Frame::Status {
+            job: rng.gen(),
+            state: rng.gen_range(0..6),
+        },
+    ]
+}
+
+/// Runs the protocol checks for one scenario, seeded by `seed`.
+pub fn check(sc: &Scenario, seed: u64) -> Vec<Failure> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut failures = Vec::new();
+    let frames = sample_frames(sc, &mut rng);
+    let encodings: Vec<Vec<u8>> = frames.iter().map(encode_frame).collect();
+
+    round_trip(sc, &frames, &encodings, &mut failures);
+    reassembly(sc, &frames, &encodings, &mut rng, &mut failures);
+    truncation(sc, &encodings, &mut rng, &mut failures);
+    corruption(sc, &encodings, &mut rng, &mut failures);
+    caps(sc, &encodings, &mut failures);
+    failures
+}
+
+fn round_trip(sc: &Scenario, frames: &[Frame], encodings: &[Vec<u8>], out: &mut Vec<Failure>) {
+    for (frame, bytes) in frames.iter().zip(encodings) {
+        match decode_frame(bytes, MAX_FRAME) {
+            Ok((back, n)) => {
+                if &back != frame {
+                    out.push(fail(sc, "frame round-trip changed the frame".into(), bytes));
+                }
+                if n != bytes.len() {
+                    out.push(fail(
+                        sc,
+                        format!("decode consumed {n} of {} bytes", bytes.len()),
+                        bytes,
+                    ));
+                }
+            }
+            Err(e) => out.push(fail(
+                sc,
+                format!("valid frame failed to decode: {e}"),
+                bytes,
+            )),
+        }
+    }
+}
+
+fn reassembly(
+    sc: &Scenario,
+    frames: &[Frame],
+    encodings: &[Vec<u8>],
+    rng: &mut ChaCha8Rng,
+    out: &mut Vec<Failure>,
+) {
+    let stream: Vec<u8> = encodings.iter().flatten().copied().collect();
+    let mut reader = FrameReader::new();
+    let mut got = Vec::new();
+    let mut pos = 0;
+    while pos < stream.len() {
+        // Adversarial chunking: 1 byte, a few bytes, or a big gulp.
+        let n = match rng.gen_range(0..3) {
+            0 => 1,
+            1 => rng.gen_range(1..=16),
+            _ => rng.gen_range(1..=4096),
+        }
+        .min(stream.len() - pos);
+        reader.push(&stream[pos..pos + n]);
+        pos += n;
+        loop {
+            match reader.next_frame(MAX_FRAME) {
+                Ok(Some(f)) => got.push(f),
+                Ok(None) => break,
+                Err(e) => {
+                    out.push(fail(sc, format!("reassembly errored: {e}"), &stream));
+                    return;
+                }
+            }
+        }
+    }
+    if got.len() != frames.len() || got.iter().zip(frames).any(|(a, b)| a != b) {
+        out.push(fail(
+            sc,
+            format!("reassembled {} frames, sent {}", got.len(), frames.len()),
+            &stream,
+        ));
+    }
+}
+
+fn truncation(sc: &Scenario, encodings: &[Vec<u8>], rng: &mut ChaCha8Rng, out: &mut Vec<Failure>) {
+    for bytes in encodings {
+        // Exhaustive prefixes for small frames, sampled cuts for big ones
+        // (the Submit frame carries the whole DEF).
+        let cuts: Vec<usize> = if bytes.len() <= 64 {
+            (0..bytes.len()).collect()
+        } else {
+            let mut c: Vec<usize> = (0..12).map(|_| rng.gen_range(0..bytes.len())).collect();
+            c.extend([0, 1, HEADER_LEN - 1, HEADER_LEN, bytes.len() - 1]);
+            c
+        };
+        for cut in cuts {
+            match decode_frame(&bytes[..cut], MAX_FRAME) {
+                Err(ProtoError::Truncated { needed }) => {
+                    if needed <= cut {
+                        out.push(fail(
+                            sc,
+                            format!("prefix {cut}: Truncated claims only {needed} bytes needed"),
+                            &bytes[..cut],
+                        ));
+                    }
+                }
+                Err(e) => out.push(fail(
+                    sc,
+                    format!("prefix {cut} must read as Truncated, got {e}"),
+                    &bytes[..cut],
+                )),
+                Ok(_) => out.push(fail(
+                    sc,
+                    format!("strict prefix {cut} decoded as a complete frame"),
+                    &bytes[..cut],
+                )),
+            }
+        }
+    }
+}
+
+fn corruption(sc: &Scenario, encodings: &[Vec<u8>], rng: &mut ChaCha8Rng, out: &mut Vec<Failure>) {
+    for _ in 0..MUTATIONS {
+        let base = encodings.choose(rng).expect("non-empty");
+        let mut bytes = base.clone();
+        let kind = rng.gen_range(0..4);
+        match kind {
+            // Single payload-byte flip: the CRC must catch it.
+            0 if bytes.len() > HEADER_LEN => {
+                let i = rng.gen_range(HEADER_LEN..bytes.len());
+                bytes[i] ^= 1 << rng.gen_range(0..8);
+                if decode_frame(&bytes, MAX_FRAME).is_ok() {
+                    out.push(fail(sc, format!("payload flip at {i} not caught"), &bytes));
+                }
+                continue;
+            }
+            // Header mutation (may produce a different *valid* frame —
+            // the type byte is outside the CRC — so only require sanity).
+            0 | 1 => {
+                let i = rng.gen_range(0..HEADER_LEN.min(bytes.len()));
+                bytes[i] ^= 1 << rng.gen_range(0..8);
+            }
+            // Truncate plus splice another frame's tail.
+            2 => {
+                let keep = rng.gen_range(0..bytes.len());
+                bytes.truncate(keep);
+                let donor = encodings.choose(rng).expect("non-empty");
+                let from = rng.gen_range(0..donor.len());
+                bytes.extend_from_slice(&donor[from..]);
+            }
+            // Random insert.
+            _ => {
+                let at = rng.gen_range(0..=bytes.len());
+                let junk: Vec<u8> = (0..rng.gen_range(1..16)).map(|_| rng.gen()).collect();
+                bytes.splice(at..at, junk);
+            }
+        }
+        // Any outcome but a panic/hang is fine; an `Ok` must re-encode to
+        // something that decodes back equal (codec stays self-consistent).
+        if let Ok((frame, _)) = decode_frame(&bytes, MAX_FRAME) {
+            let re = encode_frame(&frame);
+            match decode_frame(&re, MAX_FRAME) {
+                Ok((back, _)) if back == frame => {}
+                _ => out.push(fail(
+                    sc,
+                    "mutated-accepted frame not idempotent".into(),
+                    &bytes,
+                )),
+            }
+        }
+        telemetry::counter("fuzz.proto.inputs").inc();
+    }
+
+    // Pure garbage through the streaming reader: must terminate with an
+    // error or starvation, never a parsed frame of nonsense lengths.
+    for _ in 0..GARBAGE {
+        let junk: Vec<u8> = (0..rng.gen_range(1..512)).map(|_| rng.gen()).collect();
+        let mut reader = FrameReader::new();
+        reader.push(&junk);
+        while let Ok(Some(_)) = reader.next_frame(MAX_FRAME) {}
+        telemetry::counter("fuzz.proto.inputs").inc();
+    }
+}
+
+fn caps(sc: &Scenario, encodings: &[Vec<u8>], out: &mut Vec<Failure>) {
+    // Declare more than the cap: the reader must refuse before buffering.
+    let big = encodings.iter().max_by_key(|b| b.len()).expect("non-empty");
+    let small_cap = (big.len() - HEADER_LEN).saturating_sub(1).max(1);
+    match decode_frame(big, small_cap) {
+        Err(ProtoError::Oversized { declared, cap }) => {
+            if declared <= cap {
+                out.push(fail(sc, "Oversized with declared <= cap".into(), big));
+            }
+        }
+        other => out.push(fail(
+            sc,
+            format!("over-cap frame must read as Oversized, got {other:?}"),
+            big,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trips() {
+        let bytes = vec![0x00, 0x7f, 0xff, 0x52];
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert_eq!(from_hex("52 4c\n53 46").unwrap(), b"RLSF".to_vec());
+        assert!(from_hex("abc").is_none());
+        assert!(from_hex("zz").is_none());
+    }
+}

@@ -10,7 +10,11 @@
 //! - `*.rlc` — damaged training checkpoints (torn write, body bit flip
 //!   behind a valid header, version skew); `rl_legalizer::decode` must
 //!   classify each one as the matching error, and a [`CheckpointStore`]
-//!   containing one must fall back to the previous valid generation.
+//!   containing one must fall back to the previous valid generation;
+//! - `*.hex` — hostile serving-protocol byte streams (truncated headers,
+//!   bad magic, CRC flips, declared-length overflows, trailing garbage);
+//!   `decode_frame` must classify each as its pinned [`ProtoError`], and
+//!   a byte-at-a-time [`FrameReader`] feed must never yield a frame.
 
 use std::path::PathBuf;
 
@@ -18,7 +22,8 @@ use rl_legalizer::{decode, CheckpointError, CheckpointStore};
 use rlleg_design::def::parse_def;
 use rlleg_design::lef::Library;
 use rlleg_design::{Design, Technology};
-use rlleg_fuzz::{oracle_grid, oracle_legalize, scenario::Scenario};
+use rlleg_fuzz::{oracle_grid, oracle_legalize, oracle_proto, scenario::Scenario};
+use rlleg_serve::proto::{decode_frame, FrameReader, ProtoError, MAX_FRAME};
 
 fn corpus_dir() -> PathBuf {
     PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus"))
@@ -142,6 +147,51 @@ fn rlc_corpus_never_defeats_generation_fallback() {
         assert_eq!(seq, 1, "{}", path.display());
         assert_eq!(recovered, saved, "{}", path.display());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn hex_corpus_frames_are_classified_not_accepted() {
+    let files = corpus_files("hex");
+    assert!(!files.is_empty(), "no .hex corpus cases committed");
+    for path in files {
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        let bytes = oracle_proto::from_hex(&text)
+            .unwrap_or_else(|| panic!("{} is not valid hex", path.display()));
+        let err = decode_frame(&bytes, MAX_FRAME).expect_err("hostile bytes must not decode");
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        // Each committed case pins its classification: a cut header must
+        // read as recoverable truncation, a payload flip as a CRC
+        // mismatch, a 4 GiB declared length as Oversized (refused before
+        // buffering), and structurally-broken payloads as Malformed.
+        let ok = match name.as_str() {
+            "proto_truncated_header.hex" => matches!(err, ProtoError::Truncated { .. }),
+            "proto_bad_magic.hex" => matches!(err, ProtoError::BadMagic),
+            "proto_unknown_type.hex" => matches!(err, ProtoError::UnknownType(0x7f)),
+            "proto_crc_bitflip.hex" => matches!(err, ProtoError::CrcMismatch { .. }),
+            "proto_len_overflow.hex" => matches!(err, ProtoError::Oversized { .. }),
+            "proto_trailing_garbage.hex" | "proto_spec_version_skew.hex" => {
+                matches!(err, ProtoError::Malformed(_))
+            }
+            _ => true, // future cases: rejection alone is the contract
+        };
+        assert!(ok, "{name}: unexpected classification {err}");
+
+        // Byte-at-a-time through the streaming reader: may starve or
+        // error, must never produce a frame (or panic / spin).
+        let mut reader = FrameReader::new();
+        let mut poisoned = false;
+        for b in &bytes {
+            if poisoned {
+                break;
+            }
+            reader.push(std::slice::from_ref(b));
+            match reader.next_frame(MAX_FRAME) {
+                Ok(Some(f)) => panic!("{name}: streamed a frame out of garbage: {f:?}"),
+                Ok(None) => {}
+                Err(_) => poisoned = true,
+            }
+        }
     }
 }
 

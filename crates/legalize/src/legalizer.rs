@@ -244,7 +244,7 @@ impl Legalizer {
             return RunStats::default();
         }
         let threads = match threads {
-            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            0 => crate::pool::default_threads(),
             t => t,
         }
         .min(n);

@@ -1,0 +1,292 @@
+//! A small blocking client for the binary protocol.
+//!
+//! Used by the integration tests, the `--smoke` self-check, and the load
+//! generator. One [`Client`] is one connection: submit, then stream
+//! progress and the terminal result. The socket carries a read timeout so
+//! a wedged server turns into an error instead of a hung test.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use crate::proto::{encode_frame, Frame, FrameReader, JobSpec, MAX_FRAME};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server answered, but not with what the call expected.
+    Unexpected(String),
+    /// The server refused the request (REJECTED frame).
+    Rejected {
+        /// Code from [`crate::proto::reject`].
+        code: u16,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// No qualifying frame arrived within the deadline.
+    Timeout,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected reply: {m}"),
+            ClientError::Rejected { code, reason } => {
+                write!(f, "rejected (code {code}): {reason}")
+            }
+            ClientError::Timeout => write!(f, "timed out waiting for the server"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A finished job as seen by the client.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Job id.
+    pub job: u64,
+    /// `true` when the server reported a fully-legal / converged result.
+    pub ok: bool,
+    /// Result DEF (model JSON for training jobs; empty on failure).
+    pub def: String,
+    /// JSON stats object.
+    pub stats: String,
+    /// Progress JSONL collected while waiting.
+    pub progress: String,
+}
+
+/// One blocking protocol connection.
+pub struct Client {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Job traffic that interleaved with another call's reply (the server
+    /// streams progress for every submitted job on this connection);
+    /// consumed by the next [`wait_result`](Self::wait_result).
+    pending: std::collections::VecDeque<Frame>,
+}
+
+impl Client {
+    /// Connects with `timeout` applied to the connect and every read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout.min(Duration::from_millis(100))))?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            stream,
+            reader: FrameReader::new(),
+            pending: std::collections::VecDeque::new(),
+        })
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        self.stream.write_all(&encode_frame(frame))?;
+        Ok(())
+    }
+
+    /// Blocks until the next frame or `deadline`.
+    fn recv(&mut self, deadline: Instant) -> Result<Frame, ClientError> {
+        loop {
+            match self.reader.next_frame(MAX_FRAME) {
+                Ok(Some(frame)) => return Ok(frame),
+                Ok(None) => {}
+                Err(e) => return Err(ClientError::Unexpected(format!("bad frame: {e}"))),
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout);
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(ClientError::Unexpected(
+                        "server closed the connection".into(),
+                    ))
+                }
+                Ok(n) => self.reader.push(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Submits a job; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] carries the server's backpressure code.
+    pub fn submit(&mut self, spec: &JobSpec, timeout: Duration) -> Result<u64, ClientError> {
+        self.send(&Frame::Submit(spec.clone()))?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.recv(deadline)? {
+                Frame::Accepted { job } => return Ok(job),
+                Frame::Rejected { code, reason } => {
+                    return Err(ClientError::Rejected { code, reason })
+                }
+                Frame::Pong => {}
+                // Traffic for jobs already in flight on this connection.
+                f @ (Frame::Progress { .. } | Frame::Result { .. } | Frame::Status { .. }) => {
+                    self.pending.push_back(f)
+                }
+                other => return Err(ClientError::Unexpected(format!("{other:?}"))),
+            }
+        }
+    }
+
+    /// Waits for the RESULT frame of `job`, collecting progress chunks.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] when the result does not arrive in time.
+    pub fn wait_result(&mut self, job: u64, timeout: Duration) -> Result<JobResult, ClientError> {
+        let deadline = Instant::now() + timeout;
+        let mut progress = String::new();
+        // First consume anything stashed for this job by an earlier call.
+        let mut i = 0;
+        while i < self.pending.len() {
+            let ours = matches!(
+                &self.pending[i],
+                Frame::Progress { job: j, .. } | Frame::Result { job: j, .. } if *j == job
+            );
+            if !ours {
+                i += 1;
+                continue;
+            }
+            match self.pending.remove(i) {
+                Some(Frame::Progress { chunk, .. }) => progress.push_str(&chunk),
+                Some(Frame::Result { ok, def, stats, .. }) => {
+                    return Ok(JobResult {
+                        job,
+                        ok,
+                        def,
+                        stats,
+                        progress,
+                    })
+                }
+                _ => unreachable!("matched variant above"),
+            }
+        }
+        loop {
+            match self.recv(deadline)? {
+                Frame::Progress { job: j, chunk } if j == job => progress.push_str(&chunk),
+                Frame::Result {
+                    job: j,
+                    ok,
+                    def,
+                    stats,
+                } if j == job => {
+                    return Ok(JobResult {
+                        job,
+                        ok,
+                        def,
+                        stats,
+                        progress,
+                    })
+                }
+                Frame::Pong => {}
+                // Another job's traffic: keep it for its own waiter.
+                f @ (Frame::Progress { .. } | Frame::Result { .. } | Frame::Status { .. }) => {
+                    self.pending.push_back(f)
+                }
+                Frame::Error { message } => {
+                    return Err(ClientError::Unexpected(format!("server error: {message}")))
+                }
+                other => return Err(ClientError::Unexpected(format!("{other:?}"))),
+            }
+        }
+    }
+
+    /// Submit-and-wait in one call.
+    ///
+    /// # Errors
+    ///
+    /// See [`submit`](Self::submit) and [`wait_result`](Self::wait_result).
+    pub fn run(&mut self, spec: &JobSpec, timeout: Duration) -> Result<JobResult, ClientError> {
+        let job = self.submit(spec, timeout)?;
+        self.wait_result(job, timeout)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Timeout or an unexpected reply.
+    pub fn ping(&mut self, timeout: Duration) -> Result<(), ClientError> {
+        self.send(&Frame::Ping)?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.recv(deadline)? {
+                Frame::Pong => return Ok(()),
+                // Late progress/results from earlier jobs may interleave.
+                f @ (Frame::Progress { .. } | Frame::Result { .. } | Frame::Status { .. }) => {
+                    self.pending.push_back(f)
+                }
+                other => return Err(ClientError::Unexpected(format!("{other:?}"))),
+            }
+        }
+    }
+
+    /// Asks for a job's state code.
+    ///
+    /// # Errors
+    ///
+    /// Timeout or an unexpected reply.
+    pub fn query(&mut self, job: u64, timeout: Duration) -> Result<u8, ClientError> {
+        self.send(&Frame::Query(job))?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.recv(deadline)? {
+                Frame::Status { job: j, state } if j == job => return Ok(state),
+                Frame::Pong => {}
+                f @ (Frame::Progress { .. } | Frame::Result { .. } | Frame::Status { .. }) => {
+                    self.pending.push_back(f)
+                }
+                other => return Err(ClientError::Unexpected(format!("{other:?}"))),
+            }
+        }
+    }
+
+    /// Cancels a queued job; returns the job's state after the attempt
+    /// (CANCELLED on success, the current state when it already started).
+    ///
+    /// # Errors
+    ///
+    /// Timeout or an unexpected reply.
+    pub fn cancel(&mut self, job: u64, timeout: Duration) -> Result<u8, ClientError> {
+        self.send(&Frame::Cancel(job))?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.recv(deadline)? {
+                Frame::Status { job: j, state } if j == job => return Ok(state),
+                Frame::Pong => {}
+                f @ (Frame::Progress { .. } | Frame::Result { .. } | Frame::Status { .. }) => {
+                    self.pending.push_back(f)
+                }
+                other => return Err(ClientError::Unexpected(format!("{other:?}"))),
+            }
+        }
+    }
+
+    /// Requests a graceful server drain.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors only; the acknowledging PONG is not awaited.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.send(&Frame::Shutdown)
+    }
+}

@@ -1,0 +1,492 @@
+//! Job execution: a fixed set of executor threads draining the sharded
+//! queue.
+//!
+//! The executor set is created once at server start — requests never spawn
+//! threads. Inner compute (the per-Gcell parallel solve) dispatches onto
+//! the process-global [`rlleg_legalize::pool`] worker pool, so a burst of
+//! concurrent jobs shares one set of compute threads instead of
+//! oversubscribing the host. Every job runs under `catch_unwind`: a
+//! panicking job (including injected chaos kills) fails *that job* with a
+//! FAILED state and an error message, never the server.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+use rl_legalizer::{CellWiseNet, CheckpointStore, InferenceBudget, RlConfig, RlLegalizer, Trainer};
+use rlleg_design::def::{parse_def, parse_def_with_library, write_def};
+use rlleg_design::lef::Library;
+use rlleg_design::{legality, Design, Technology};
+use rlleg_legalize::{GcellGrid, Legalizer, Ordering};
+use telemetry::journal::Event;
+
+use crate::job::{JobId, JobOutcome, JobTable};
+use crate::proto::{flags, JobKind, JobSpec};
+use crate::queue::ShardedQueue;
+
+/// Executor-side configuration (a slice of the server config).
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Inner solver threads for jobs that leave [`JobSpec::threads`] at 0.
+    pub inner_threads: usize,
+    /// Directory for per-job-key checkpoint stores.
+    pub data_dir: PathBuf,
+    /// Honor chaos-injection flags in job specs (tests/harness only).
+    pub chaos_enabled: bool,
+    /// Save a training checkpoint every N episodes.
+    pub ckpt_every: usize,
+}
+
+/// Stats object serialized into the RESULT frame.
+#[derive(Debug, Default, Serialize)]
+pub struct JobStats {
+    /// Job kind as submitted (0/1/2).
+    pub kind: u8,
+    /// Cells legalized (legalize/RL kinds).
+    pub legalized: usize,
+    /// Cells that could not be placed.
+    pub failed: usize,
+    /// Gcells quarantined by the fault-isolation layer.
+    pub quarantined: usize,
+    /// `true` when the result passed the full legality check.
+    pub legal: bool,
+    /// Budget degradation reason ("" for healthy runs).
+    pub degraded: String,
+    /// Cells placed by the degraded fallback path.
+    pub degraded_cells: usize,
+    /// Episodes completed (training kind).
+    pub episodes: usize,
+    /// Episode the run resumed from (0 = fresh start).
+    pub resumed_from_episode: usize,
+    /// Wall-clock of the execution phase in milliseconds.
+    pub wall_ms: u64,
+}
+
+/// Parses the job's LEF/DEF into a [`Design`].
+fn parse_input(spec: &JobSpec) -> Result<Design, String> {
+    let tech = match spec.tech {
+        0 => Technology::contest(),
+        _ => Technology::nangate45(),
+    };
+    if spec.lef.is_empty() {
+        parse_def(&spec.def, tech).map_err(|e| format!("DEF parse: {e}"))
+    } else {
+        let lib = Library::parse(&spec.lef).map_err(|e| format!("LEF parse: {e}"))?;
+        parse_def_with_library(&spec.def, &lib, &tech).map_err(|e| format!("DEF parse: {e}"))
+    }
+}
+
+fn ordering_of(spec: &JobSpec) -> Ordering {
+    match spec.ordering {
+        0 => Ordering::SizeDescending,
+        1 => Ordering::XAscending,
+        _ => Ordering::Random(spec.seed),
+    }
+}
+
+fn budget_of(spec: &JobSpec) -> InferenceBudget {
+    InferenceBudget {
+        max_steps: (spec.max_steps > 0).then_some(spec.max_steps),
+        max_wall: (spec.max_wall_ms > 0)
+            .then(|| std::time::Duration::from_millis(spec.max_wall_ms)),
+    }
+}
+
+/// Runs one job to completion. Pure with respect to server state: all
+/// effects go through `table.progress` and the returned outcome.
+///
+/// # Errors
+///
+/// Returns a human-readable error for unusable inputs; panics (chaos
+/// kills, solver bugs) are caught by the executor loop above this.
+pub fn run_job(
+    cfg: &ExecConfig,
+    table: &JobTable,
+    id: JobId,
+    spec: &JobSpec,
+) -> Result<JobOutcome, String> {
+    let t0 = Instant::now();
+    let mut stats = JobStats {
+        kind: spec.kind as u8,
+        ..JobStats::default()
+    };
+    let design = parse_input(spec)?;
+    table.progress(
+        id,
+        Event::new("job.parsed")
+            .with("job", id)
+            .with("cells", design.num_movable()),
+    );
+    let chaos_kill = cfg.chaos_enabled && spec.flags & flags::CHAOS_PANIC != 0;
+    if chaos_kill && spec.kind != JobKind::Train {
+        panic!("chaos: kill mid-job {id}");
+    }
+    let threads = if spec.threads == 0 {
+        cfg.inner_threads
+    } else {
+        spec.threads as usize
+    };
+    let outcome = match spec.kind {
+        JobKind::Legalize => run_legalize(table, id, design, spec, threads, &mut stats),
+        JobKind::RlLegalize => run_rl(table, id, design, spec, &mut stats),
+        JobKind::Train => run_train(cfg, table, id, design, spec, chaos_kill, &mut stats)?,
+    };
+    stats.wall_ms = t0.elapsed().as_millis() as u64;
+    let ok = outcome.0;
+    let def = outcome.1;
+    table.progress(
+        id,
+        Event::new("job.done")
+            .with("job", id)
+            .with("ok", ok)
+            .with("wall_ms", stats.wall_ms),
+    );
+    Ok(JobOutcome {
+        ok,
+        def,
+        stats: serde_json::to_string(&stats).unwrap_or_else(|_| "{}".into()),
+    })
+}
+
+fn run_legalize(
+    table: &JobTable,
+    id: JobId,
+    mut design: Design,
+    spec: &JobSpec,
+    threads: usize,
+    stats: &mut JobStats,
+) -> (bool, String) {
+    let gcells = GcellGrid::auto(&design);
+    let mut lg = Legalizer::new(&design);
+    let run = lg.run_gcells_parallel(&mut design, &ordering_of(spec), &gcells, threads);
+    stats.legalized = run.legalized;
+    stats.failed = run.failed.len();
+    stats.quarantined = run.quarantined.len();
+    stats.legal = legality::check(&design, true).is_empty();
+    table.progress(
+        id,
+        Event::new("job.legalized")
+            .with("job", id)
+            .with("placed", run.legalized)
+            .with("failed", run.failed.len()),
+    );
+    (run.is_complete() && stats.legal, write_def(&design))
+}
+
+fn run_rl(
+    table: &JobTable,
+    id: JobId,
+    mut design: Design,
+    spec: &JobSpec,
+    stats: &mut JobStats,
+) -> (bool, String) {
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    let net = CellWiseNet::new(spec.hidden.max(1) as usize, &mut rng);
+    let report = RlLegalizer::new(net)
+        .with_budget(budget_of(spec))
+        .legalize(&mut design);
+    stats.legalized = report.legalized;
+    stats.failed = report.failed.len();
+    stats.degraded = report
+        .degraded
+        .map(|r| format!("{r:?}"))
+        .unwrap_or_default();
+    stats.degraded_cells = report.degraded_cells;
+    stats.legal = legality::check(&design, true).is_empty();
+    table.progress(
+        id,
+        Event::new("job.rl_pass")
+            .with("job", id)
+            .with("placed", report.legalized)
+            .with("degraded", !stats.degraded.is_empty()),
+    );
+    (report.is_complete() && stats.legal, write_def(&design))
+}
+
+fn run_train(
+    cfg: &ExecConfig,
+    table: &JobTable,
+    id: JobId,
+    design: Design,
+    spec: &JobSpec,
+    chaos_kill: bool,
+    stats: &mut JobStats,
+) -> Result<(bool, String), String> {
+    let rl_cfg = RlConfig {
+        episodes: spec.episodes.max(1) as usize,
+        agents: 2,
+        hidden_dim: spec.hidden.max(1) as usize,
+        seed: spec.seed,
+        pretrain_episodes: 0,
+        ..RlConfig::small()
+    };
+    let designs = [design];
+    // Keyed jobs are resumable: the store survives server restarts and a
+    // resubmission with the same key continues where the last checkpoint
+    // left off — including past a corrupted newest generation, which the
+    // store skips with its newest-valid fallback.
+    let store = if spec.job_key != 0 {
+        Some(
+            CheckpointStore::new(cfg.data_dir.join(format!("ckpt-{:016x}", spec.job_key)), 3)
+                .map_err(|e| format!("checkpoint store: {e}"))?,
+        )
+    } else {
+        None
+    };
+    let mut trainer = match store.as_ref().and_then(|s| s.load_latest()) {
+        Some((_, mut state)) => {
+            // A resubmission may carry a larger episode budget than the
+            // checkpointed run; extend it so the resumed job trains on.
+            state.cfg.episodes = state.cfg.episodes.max(rl_cfg.episodes);
+            match Trainer::restore(&designs, &state) {
+                Ok(t) => {
+                    stats.resumed_from_episode = t.episode();
+                    table.progress(
+                        id,
+                        Event::new("job.resumed")
+                            .with("job", id)
+                            .with("episode", t.episode()),
+                    );
+                    t
+                }
+                Err(_) => Trainer::new(&designs, &rl_cfg),
+            }
+        }
+        None => Trainer::new(&designs, &rl_cfg),
+    };
+    let ckpt_every = cfg.ckpt_every.max(1);
+    while trainer.run_episode() {
+        table.progress(
+            id,
+            Event::new("job.episode")
+                .with("job", id)
+                .with("episode", trainer.episode())
+                .with("steps", trainer.steps()),
+        );
+        if let Some(s) = &store {
+            if trainer.episode() % ckpt_every == 0 || trainer.done() {
+                s.save(&trainer.state())
+                    .map_err(|e| format!("checkpoint save: {e}"))?;
+            }
+        }
+        if chaos_kill && trainer.episode() >= 1 {
+            // Kill only after at least one checkpoint exists so the chaos
+            // suite can prove resume-after-kill.
+            if let Some(s) = &store {
+                let _ = s.save(&trainer.state());
+            }
+            panic!("chaos: kill mid-training {id}");
+        }
+    }
+    stats.episodes = trainer.episode();
+    stats.legal = true;
+    let result = trainer.finish();
+    let model = result
+        .best_model
+        .to_json()
+        .map_err(|e| format!("model serialize: {e}"))?;
+    // Training jobs return the model JSON in the stats channel's `def`
+    // slot (there is no output placement).
+    Ok((true, model))
+}
+
+/// Handle over the executor thread set.
+pub struct Executors {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Executors {
+    /// Spawns `n` executor threads draining `queue` into `table`.
+    pub fn spawn(
+        n: usize,
+        cfg: ExecConfig,
+        queue: Arc<ShardedQueue<JobId>>,
+        table: Arc<JobTable>,
+    ) -> Self {
+        let handles = (0..n.max(1))
+            .map(|w| {
+                let cfg = cfg.clone();
+                let queue = Arc::clone(&queue);
+                let table = Arc::clone(&table);
+                std::thread::Builder::new()
+                    .name(format!("rlleg-serve-exec-{w}"))
+                    .spawn(move || executor_loop(w, &cfg, &queue, &table))
+                    .expect("spawn executor")
+            })
+            .collect();
+        Self { handles }
+    }
+
+    /// Waits for every executor to exit (call after `queue.close()`).
+    pub fn join(self) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn executor_loop(worker: usize, cfg: &ExecConfig, queue: &ShardedQueue<JobId>, table: &JobTable) {
+    while let Some(id) = queue.pop(worker) {
+        if !table.claim(id) {
+            // Cancelled while queued.
+            continue;
+        }
+        let Some(spec) = table.with(id, |e| e.spec.clone()) else {
+            continue;
+        };
+        table.progress(
+            id,
+            Event::new("job.start")
+                .with("job", id)
+                .with("worker", worker),
+        );
+        let t0 = Instant::now();
+        let out = catch_unwind(AssertUnwindSafe(|| run_job(cfg, table, id, &spec)));
+        if !telemetry::disabled() {
+            telemetry::histogram("serve.job.wall_seconds", telemetry::buckets::SECONDS)
+                .record(t0.elapsed().as_secs_f64());
+        }
+        match out {
+            Ok(Ok(outcome)) => {
+                if !telemetry::disabled() {
+                    telemetry::counter("serve.jobs.done").inc();
+                }
+                table.finish(id, outcome);
+            }
+            Ok(Err(e)) => {
+                if !telemetry::disabled() {
+                    telemetry::counter("serve.jobs.failed").inc();
+                }
+                table.progress(
+                    id,
+                    Event::new("job.error")
+                        .with("job", id)
+                        .with("error", e.as_str()),
+                );
+                table.fail(id, e);
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "job panicked".into());
+                if !telemetry::disabled() {
+                    telemetry::counter("serve.jobs.panicked").inc();
+                }
+                table.progress(
+                    id,
+                    Event::new("job.panic")
+                        .with("job", id)
+                        .with("error", msg.as_str()),
+                );
+                table.fail(id, format!("job panicked: {msg}"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlleg_benchgen::{find_spec, generate};
+
+    fn small_def() -> String {
+        // Contest family: parses back under the JobSpec-default tech (0).
+        let spec = find_spec("fft_2_md2").expect("spec").scaled(0.002);
+        write_def(&generate(&spec))
+    }
+
+    fn exec_cfg(tag: &str) -> ExecConfig {
+        ExecConfig {
+            inner_threads: 1,
+            data_dir: std::env::temp_dir()
+                .join(format!("rlleg-serve-exec-{tag}-{}", std::process::id())),
+            chaos_enabled: false,
+            ckpt_every: 2,
+        }
+    }
+
+    #[test]
+    fn legalize_job_produces_legal_def() {
+        let table = JobTable::new();
+        let spec = JobSpec {
+            def: small_def(),
+            ..JobSpec::default()
+        };
+        let id = table.insert(spec.clone());
+        let out = run_job(&exec_cfg("leg"), &table, id, &spec).expect("run");
+        assert!(out.ok, "stats: {}", out.stats);
+        let d = parse_def(&out.def, Technology::contest()).expect("result parses");
+        // `require_committed = false`: a parsed DEF carries positions, not
+        // the in-memory `legalized` flags.
+        assert!(legality::check(&d, false).is_empty());
+        assert!(out.stats.contains("\"legalized\""));
+    }
+
+    #[test]
+    fn rl_job_with_step_budget_degrades_but_stays_legal() {
+        let table = JobTable::new();
+        let spec = JobSpec {
+            kind: JobKind::RlLegalize,
+            max_steps: 2,
+            hidden: 8,
+            def: small_def(),
+            ..JobSpec::default()
+        };
+        let id = table.insert(spec.clone());
+        let out = run_job(&exec_cfg("rl"), &table, id, &spec).expect("run");
+        assert!(out.ok, "stats: {}", out.stats);
+        assert!(out.stats.contains("StepBudget"), "stats: {}", out.stats);
+    }
+
+    #[test]
+    fn train_job_checkpoints_and_resumes_by_key() {
+        let cfg = exec_cfg("train");
+        let _ = std::fs::remove_dir_all(&cfg.data_dir);
+        let table = JobTable::new();
+        let spec = JobSpec {
+            kind: JobKind::Train,
+            episodes: 2,
+            hidden: 8,
+            job_key: 0xABCD,
+            def: small_def(),
+            ..JobSpec::default()
+        };
+        let id = table.insert(spec.clone());
+        let out = run_job(&cfg, &table, id, &spec).expect("train");
+        assert!(out.ok);
+        assert!(out.def.contains("\"hidden_dim\"") || !out.def.is_empty());
+        // Resubmit with a larger budget under the same key: must resume.
+        let spec2 = JobSpec {
+            episodes: 4,
+            ..spec
+        };
+        let id2 = table.insert(spec2.clone());
+        let out2 = run_job(&cfg, &table, id2, &spec2).expect("resume");
+        assert!(
+            out2.stats.contains("\"resumed_from_episode\": 2")
+                || out2.stats.contains("\"resumed_from_episode\":2"),
+            "stats: {}",
+            out2.stats
+        );
+        let _ = std::fs::remove_dir_all(&cfg.data_dir);
+    }
+
+    #[test]
+    fn bad_def_fails_cleanly() {
+        let table = JobTable::new();
+        let spec = JobSpec {
+            def: "DESIGN broken".into(),
+            ..JobSpec::default()
+        };
+        let id = table.insert(spec.clone());
+        assert!(run_job(&exec_cfg("bad"), &table, id, &spec).is_err());
+    }
+}

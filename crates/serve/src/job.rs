@@ -1,0 +1,269 @@
+//! Job lifecycle state shared between the event loop and the executors.
+//!
+//! Every accepted submission becomes a [`JobEntry`] in the [`JobTable`].
+//! Executors move entries `Queued → Running → Done/Failed` and append
+//! progress events; the event loop reads new progress lines (per-connection
+//! cursors live with the connection) and delivers terminal results.
+//! Progress events reuse the telemetry journal's [`Event`] record and JSONL
+//! rendering, and are forwarded to the process-global journal as well when
+//! one is installed — a `tail -f` on the server's journal file sees the
+//! same stream a subscribed client does.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+use telemetry::journal::Event;
+
+use crate::proto::JobSpec;
+
+/// Job identifier, unique per server run.
+pub type JobId = u64;
+
+/// Wire-visible job states (payload of a STATUS frame).
+pub mod state {
+    /// Accepted, waiting in its queue shard.
+    pub const QUEUED: u8 = 0;
+    /// An executor is working on it.
+    pub const RUNNING: u8 = 1;
+    /// Finished; the result is available.
+    pub const DONE: u8 = 2;
+    /// Terminated with an error (including an executor panic).
+    pub const FAILED: u8 = 3;
+    /// Cancelled before an executor picked it up.
+    pub const CANCELLED: u8 = 4;
+    /// The id names no known job.
+    pub const UNKNOWN: u8 = 255;
+}
+
+/// Cap on buffered progress lines per job; beyond it lines are shed and
+/// counted, mirroring the journal's backpressure-by-shedding contract.
+const PROGRESS_CAP: usize = 256;
+
+/// Terminal output of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// `true` when the job completed with a fully legal / converged
+    /// result.
+    pub ok: bool,
+    /// Result DEF text (empty for training jobs and failures).
+    pub def: String,
+    /// JSON stats object (see `exec::JobStats`).
+    pub stats: String,
+}
+
+/// One job's full lifecycle record.
+#[derive(Debug)]
+pub struct JobEntry {
+    /// The submitted specification.
+    pub spec: JobSpec,
+    /// Current state code (see [`state`]).
+    pub state: u8,
+    /// Buffered progress lines (JSONL), capped at [`PROGRESS_CAP`].
+    pub progress: Vec<String>,
+    /// Progress lines shed past the cap.
+    pub progress_dropped: u64,
+    /// Terminal outcome, set exactly once.
+    pub outcome: Option<JobOutcome>,
+    /// Error text for FAILED jobs.
+    pub error: Option<String>,
+    /// `true` once some connection received the terminal RESULT frame.
+    pub delivered: bool,
+    /// Submission time (for queue-latency accounting).
+    pub submitted: Instant,
+}
+
+/// Shared registry of every job the server has accepted.
+#[derive(Debug, Default)]
+pub struct JobTable {
+    jobs: Mutex<HashMap<JobId, JobEntry>>,
+    next_id: AtomicU64,
+}
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl JobTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new queued job and returns its id.
+    pub fn insert(&self, spec: JobSpec) -> JobId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = JobEntry {
+            spec,
+            state: state::QUEUED,
+            progress: Vec::new(),
+            progress_dropped: 0,
+            outcome: None,
+            error: None,
+            delivered: false,
+            submitted: Instant::now(),
+        };
+        relock(&self.jobs).insert(id, entry);
+        id
+    }
+
+    /// Runs `f` on the entry for `id` (no-op returning `None` when the id
+    /// is unknown).
+    pub fn with<R>(&self, id: JobId, f: impl FnOnce(&mut JobEntry) -> R) -> Option<R> {
+        relock(&self.jobs).get_mut(&id).map(f)
+    }
+
+    /// Current state code, [`state::UNKNOWN`] for unknown ids.
+    pub fn state_of(&self, id: JobId) -> u8 {
+        self.with(id, |e| e.state).unwrap_or(state::UNKNOWN)
+    }
+
+    /// Number of jobs currently in the RUNNING state.
+    pub fn running(&self) -> usize {
+        relock(&self.jobs)
+            .values()
+            .filter(|e| e.state == state::RUNNING)
+            .count()
+    }
+
+    /// Marks `id` running if it is still queued; returns `false` when the
+    /// job was cancelled in the meantime (the executor skips it).
+    pub fn claim(&self, id: JobId) -> bool {
+        self.with(id, |e| {
+            if e.state == state::QUEUED {
+                e.state = state::RUNNING;
+                true
+            } else {
+                false
+            }
+        })
+        .unwrap_or(false)
+    }
+
+    /// Cancels a queued job; running/terminal jobs are left alone.
+    pub fn cancel(&self, id: JobId) -> bool {
+        self.with(id, |e| {
+            if e.state == state::QUEUED {
+                e.state = state::CANCELLED;
+                true
+            } else {
+                false
+            }
+        })
+        .unwrap_or(false)
+    }
+
+    /// Appends a progress event to the job's stream (shedding past the
+    /// cap) and mirrors it to the process-global telemetry journal.
+    pub fn progress(&self, id: JobId, event: Event) {
+        let line = event.to_json_line();
+        telemetry::emit(event);
+        self.with(id, |e| {
+            if e.progress.len() < PROGRESS_CAP {
+                e.progress.push(line);
+            } else {
+                e.progress_dropped += 1;
+            }
+        });
+    }
+
+    /// Records the terminal outcome of a job.
+    pub fn finish(&self, id: JobId, outcome: JobOutcome) {
+        self.with(id, |e| {
+            e.state = state::DONE;
+            e.outcome = Some(outcome);
+        });
+    }
+
+    /// Records a failure (error text instead of a result).
+    pub fn fail(&self, id: JobId, error: String) {
+        self.with(id, |e| {
+            e.state = state::FAILED;
+            e.error = Some(error);
+        });
+    }
+
+    /// Ids of every terminal job whose result was never delivered to a
+    /// subscriber (drained to disk on graceful shutdown).
+    pub fn undelivered_terminal(&self) -> Vec<JobId> {
+        relock(&self.jobs)
+            .iter()
+            .filter(|(_, e)| !e.delivered && matches!(e.state, state::DONE | state::FAILED))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Snapshot of (queued, running, terminal) counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let jobs = relock(&self.jobs);
+        let mut c = (0, 0, 0);
+        for e in jobs.values() {
+            match e.state {
+                state::QUEUED => c.0 += 1,
+                state::RUNNING => c.1 += 1,
+                _ => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_queued_running_done() {
+        let t = JobTable::new();
+        let id = t.insert(JobSpec::default());
+        assert_eq!(t.state_of(id), state::QUEUED);
+        assert!(t.claim(id));
+        assert_eq!(t.state_of(id), state::RUNNING);
+        assert!(!t.claim(id), "claiming twice must fail");
+        t.finish(
+            id,
+            JobOutcome {
+                ok: true,
+                def: "DEF".into(),
+                stats: "{}".into(),
+            },
+        );
+        assert_eq!(t.state_of(id), state::DONE);
+        assert_eq!(t.undelivered_terminal(), vec![id]);
+        t.with(id, |e| e.delivered = true);
+        assert!(t.undelivered_terminal().is_empty());
+    }
+
+    #[test]
+    fn cancel_only_affects_queued_jobs() {
+        let t = JobTable::new();
+        let id = t.insert(JobSpec::default());
+        assert!(t.cancel(id));
+        assert_eq!(t.state_of(id), state::CANCELLED);
+        assert!(!t.claim(id), "cancelled job must not start");
+        let id2 = t.insert(JobSpec::default());
+        assert!(t.claim(id2));
+        assert!(!t.cancel(id2), "running job is not cancellable");
+    }
+
+    #[test]
+    fn progress_sheds_past_the_cap() {
+        let t = JobTable::new();
+        let id = t.insert(JobSpec::default());
+        for i in 0..(PROGRESS_CAP + 10) {
+            t.progress(id, Event::new("tick").with("i", i as u64));
+        }
+        t.with(id, |e| {
+            assert_eq!(e.progress.len(), PROGRESS_CAP);
+            assert_eq!(e.progress_dropped, 10);
+        });
+    }
+
+    #[test]
+    fn unknown_ids_answer_unknown() {
+        let t = JobTable::new();
+        assert_eq!(t.state_of(99), state::UNKNOWN);
+        assert!(!t.claim(99));
+    }
+}

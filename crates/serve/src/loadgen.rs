@@ -1,0 +1,187 @@
+//! Closed-loop load generator for `BENCH_serve.json`.
+//!
+//! Drives N concurrent client sessions against a running server, each
+//! submitting a stream of small legalization jobs and waiting for the
+//! result before submitting the next (closed loop: offered load tracks
+//! service rate, and the bounded queue's REJECTED answers measure honest
+//! saturation instead of unbounded client-side queueing). Reports
+//! throughput, latency percentiles, and the reject rate.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use crate::client::{Client, ClientError};
+use crate::proto::{reject, JobSpec};
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client sessions (connections).
+    pub sessions: usize,
+    /// Jobs each session submits (closed loop).
+    pub jobs_per_session: usize,
+    /// The DEF payload every job carries.
+    pub def: String,
+    /// Per-operation timeout.
+    pub timeout: Duration,
+    /// Attempts per job before giving up on repeated rejection
+    /// (0 = keep retrying until `timeout` elapses for the job).
+    pub max_attempts: usize,
+}
+
+/// What the run measured (serialized into `BENCH_serve.json`).
+#[derive(Debug, Default, Serialize)]
+pub struct LoadReport {
+    /// Concurrent sessions driven.
+    pub sessions: usize,
+    /// Jobs that completed with `ok = true`.
+    pub jobs_ok: u64,
+    /// Jobs that finished with a failure result or client error.
+    pub jobs_failed: u64,
+    /// REJECTED answers observed (each is one backpressure event).
+    pub rejects: u64,
+    /// Rejects divided by total submit attempts.
+    pub reject_rate: f64,
+    /// Wall clock of the whole run in seconds.
+    pub wall_seconds: f64,
+    /// Completed jobs per second.
+    pub qps: f64,
+    /// Median submit-to-result latency (ms).
+    pub p50_ms: f64,
+    /// 95th percentile latency (ms).
+    pub p95_ms: f64,
+    /// 99th percentile latency (ms).
+    pub p99_ms: f64,
+}
+
+impl LoadReport {
+    /// Pretty JSON for `BENCH_serve.json`.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".into())
+    }
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Runs the closed-loop load against `addr` and aggregates the report.
+pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
+    let ok = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let rejects = Arc::new(AtomicU64::new(0));
+    let attempts = Arc::new(AtomicU64::new(0));
+    let latencies = Arc::new(Mutex::new(Vec::<f64>::new()));
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..cfg.sessions.max(1))
+        .map(|s| {
+            let cfg = cfg.clone();
+            let (ok, failed, rejects, attempts, latencies) = (
+                Arc::clone(&ok),
+                Arc::clone(&failed),
+                Arc::clone(&rejects),
+                Arc::clone(&attempts),
+                Arc::clone(&latencies),
+            );
+            std::thread::spawn(move || {
+                let Ok(mut client) = Client::connect(addr, cfg.timeout) else {
+                    failed.fetch_add(cfg.jobs_per_session as u64, Ordering::Relaxed);
+                    return;
+                };
+                let mut session_lat = Vec::with_capacity(cfg.jobs_per_session);
+                for j in 0..cfg.jobs_per_session {
+                    let spec = JobSpec {
+                        seed: (s * 1_000 + j) as u64,
+                        def: cfg.def.clone(),
+                        ..JobSpec::default()
+                    };
+                    let jt0 = Instant::now();
+                    let deadline = jt0 + cfg.timeout;
+                    let mut done = false;
+                    let mut attempt = 0usize;
+                    loop {
+                        attempts.fetch_add(1, Ordering::Relaxed);
+                        match client.run(&spec, cfg.timeout) {
+                            Ok(r) if r.ok => {
+                                ok.fetch_add(1, Ordering::Relaxed);
+                                session_lat.push(jt0.elapsed().as_secs_f64() * 1e3);
+                                done = true;
+                            }
+                            Ok(_) => {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                                done = true;
+                            }
+                            Err(ClientError::Rejected { code, .. })
+                                if code == reject::QUEUE_FULL =>
+                            {
+                                rejects.fetch_add(1, Ordering::Relaxed);
+                                // Honest backoff before re-offering load.
+                                std::thread::sleep(Duration::from_millis(2 << attempt.min(5)));
+                            }
+                            Err(_) => {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                                done = true;
+                            }
+                        }
+                        attempt += 1;
+                        let out_of_attempts = cfg.max_attempts > 0 && attempt >= cfg.max_attempts;
+                        if done || out_of_attempts || Instant::now() >= deadline {
+                            break;
+                        }
+                    }
+                    if !done {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                latencies
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .extend(session_lat);
+            })
+        })
+        .collect();
+    for w in workers {
+        let _ = w.join();
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let mut lat = latencies
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let jobs_ok = ok.load(Ordering::Relaxed);
+    let total_attempts = attempts.load(Ordering::Relaxed).max(1);
+    LoadReport {
+        sessions: cfg.sessions,
+        jobs_ok,
+        jobs_failed: failed.load(Ordering::Relaxed),
+        rejects: rejects.load(Ordering::Relaxed),
+        reject_rate: rejects.load(Ordering::Relaxed) as f64 / total_attempts as f64,
+        wall_seconds: wall,
+        qps: jobs_ok as f64 / wall.max(1e-9),
+        p50_ms: percentile(&lat, 0.50),
+        p95_ms: percentile(&lat, 0.95),
+        p99_ms: percentile(&lat, 0.99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_interpolate_sanely() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert!((percentile(&v, 0.5) - 50.0).abs() <= 1.0);
+        assert!((percentile(&v, 0.99) - 99.0).abs() <= 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

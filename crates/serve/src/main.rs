@@ -1,0 +1,133 @@
+//! The `rlleg-serve` binary: job server, loopback smoke check, and load
+//! generator.
+//!
+//! ```text
+//! rlleg-serve [--addr 127.0.0.1:7878] [--executors N] [--shards N]
+//!             [--depth N] [--chaos]          # run the server
+//! rlleg-serve --smoke                         # loopback self-check
+//! rlleg-serve --loadgen [--sessions 64] [--jobs 4] [--scale 0.02]
+//!             [--out BENCH_serve.json]        # load run + report
+//! ```
+
+use std::time::Duration;
+
+use rlleg_bench::Args;
+use rlleg_benchgen::{find_spec, generate};
+use rlleg_design::def::{parse_def, write_def};
+use rlleg_design::{legality, Technology};
+use rlleg_serve::client::Client;
+use rlleg_serve::loadgen::{self, LoadConfig};
+use rlleg_serve::proto::JobSpec;
+use rlleg_serve::server::{ServeConfig, Server};
+
+fn small_def(scale: f64) -> String {
+    // Contest family: parses back under the JobSpec-default tech (0).
+    let spec = find_spec("fft_2_md2")
+        .expect("benchmark table")
+        .scaled(scale);
+    write_def(&generate(&spec))
+}
+
+fn config_from(args: &Args) -> ServeConfig {
+    ServeConfig {
+        addr: args.get("addr", "127.0.0.1:0".to_string()),
+        executors: args.get("executors", 0usize),
+        shards: args.get("shards", 4usize),
+        shard_depth: args.get("depth", 16usize),
+        idle_timeout: Duration::from_millis(args.get("idle-ms", 10_000u64)),
+        data_dir: std::path::PathBuf::from(args.get("data-dir", "target/serve-data".to_string())),
+        chaos_enabled: args.flag("chaos"),
+        ..ServeConfig::default()
+    }
+}
+
+fn serve_main(args: &Args) {
+    let mut cfg = config_from(args);
+    if cfg.addr == "127.0.0.1:0" {
+        cfg.addr = args.get("addr", "127.0.0.1:7878".to_string());
+    }
+    let handle = Server::start(cfg).expect("start server");
+    println!("rlleg-serve listening on {}", handle.addr());
+    println!("  binary protocol: frame magic RLSF; HTTP: GET /healthz, POST /jobs");
+    println!("  send a SHUTDOWN frame to drain and exit");
+    handle.wait();
+    println!("rlleg-serve drained and exited");
+}
+
+fn smoke_main(args: &Args) {
+    let cfg = ServeConfig {
+        data_dir: std::env::temp_dir().join(format!("rlleg-serve-smoke-{}", std::process::id())),
+        ..config_from(args)
+    };
+    let data_dir = cfg.data_dir.clone();
+    let handle = Server::start(cfg).expect("start server");
+    let addr = handle.addr();
+    println!("smoke: server on {addr}");
+    let mut client = Client::connect(addr, Duration::from_secs(10)).expect("connect");
+    client.ping(Duration::from_secs(10)).expect("ping");
+    let spec = JobSpec {
+        def: small_def(args.get("scale", 0.005)),
+        ..JobSpec::default()
+    };
+    let result = client
+        .run(&spec, Duration::from_secs(300))
+        .expect("job round-trip");
+    assert!(result.ok, "job reported failure: {}", result.stats);
+    // `require_committed = false`: a parsed DEF carries positions, not the
+    // in-memory `legalized` flags.
+    let d = parse_def(&result.def, Technology::contest()).expect("result DEF parses");
+    assert!(
+        legality::check(&d, false).is_empty(),
+        "result DEF must be legal"
+    );
+    println!("smoke: job {} legal, stats {}", result.job, result.stats);
+    client.shutdown().expect("shutdown frame");
+    handle.shutdown_graceful();
+    let _ = std::fs::remove_dir_all(&data_dir);
+    println!("smoke: graceful shutdown OK");
+}
+
+fn loadgen_main(args: &Args) {
+    let cfg = ServeConfig {
+        data_dir: std::env::temp_dir().join(format!("rlleg-serve-load-{}", std::process::id())),
+        ..config_from(args)
+    };
+    let data_dir = cfg.data_dir.clone();
+    let handle = Server::start(cfg).expect("start server");
+    let load = LoadConfig {
+        sessions: args.get("sessions", 64usize),
+        jobs_per_session: args.get("jobs", 4usize),
+        def: small_def(args.get("scale", 0.02)),
+        timeout: Duration::from_secs(args.get("timeout-s", 300u64)),
+        max_attempts: args.get("attempts", 0usize),
+    };
+    println!(
+        "loadgen: {} sessions x {} jobs against {}",
+        load.sessions,
+        load.jobs_per_session,
+        handle.addr()
+    );
+    let report = loadgen::run(handle.addr(), &load);
+    handle.shutdown_graceful();
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let out = args.get("out", "BENCH_serve.json".to_string());
+    std::fs::write(&out, report.to_json()).expect("write report");
+    println!("{}", report.to_json());
+    println!("loadgen: report written to {out}");
+    assert_eq!(
+        report.jobs_ok,
+        (load.sessions * load.jobs_per_session) as u64,
+        "every job must eventually complete"
+    );
+}
+
+fn main() {
+    let args = Args::from_env();
+    if args.flag("smoke") {
+        smoke_main(&args);
+    } else if args.flag("loadgen") {
+        loadgen_main(&args);
+    } else {
+        serve_main(&args);
+    }
+}

@@ -1,0 +1,711 @@
+//! The `rlleg-serve` wire protocol: CRC-framed, length-prefixed messages.
+//!
+//! Every message is one frame:
+//!
+//! ```text
+//! +-------+------+-------------+-----------+----------------+
+//! | magic | type | payload_len | crc32     | payload        |
+//! | RLSF  | u8   | u32 LE      | u32 LE    | payload_len B  |
+//! +-------+------+-------------+-----------+----------------+
+//! ```
+//!
+//! The CRC (same IEEE CRC-32 as the PR-5 checkpoint codec,
+//! [`rl_legalizer::crc32`]) covers the payload only, so a torn or
+//! bit-flipped frame is *detected*, never guessed around. `payload_len` is
+//! validated against a caller-supplied cap before any allocation: a header
+//! declaring a multi-gigabyte payload is rejected as
+//! [`ProtoError::Oversized`] without buffering a single payload byte.
+//!
+//! Decoding is strict: unknown frame types, short payloads, trailing
+//! payload bytes, and non-UTF-8 text blocks are all hard errors. The fuzz
+//! oracle (`rlleg-fuzz --only proto`) holds the codec to "`Err`, never
+//! panic, never hang" under arbitrary mutation.
+
+use rl_legalizer::crc32;
+
+/// Frame magic: "RLSF" (RL-legalizer Serve Frame).
+pub const MAGIC: [u8; 4] = *b"RLSF";
+
+/// Fixed frame header: magic (4) + type (1) + payload length (4) + CRC (4).
+pub const HEADER_LEN: usize = 13;
+
+/// Default cap on a single frame payload (16 MiB). Servers may configure a
+/// smaller cap; the codec never accepts more than this.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Spec encoding version inside SUBMIT payloads.
+pub const SPEC_VERSION: u8 = 1;
+
+/// Why a submission was refused (payload of [`Frame::Rejected`]).
+pub mod reject {
+    /// The job's queue shard is at capacity — retry later (HTTP 429).
+    pub const QUEUE_FULL: u16 = 1;
+    /// The server is draining for shutdown and accepts no new work.
+    pub const DRAINING: u16 = 2;
+    /// The request frame or body exceeded the server's size cap.
+    pub const OVERSIZED: u16 = 3;
+    /// The request was syntactically valid but semantically unusable.
+    pub const BAD_REQUEST: u16 = 4;
+}
+
+/// What a submitted job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum JobKind {
+    /// Deterministic heuristic legalization (parallel per-Gcell solver).
+    Legalize = 0,
+    /// RL-ordered legalization with a seeded network under an
+    /// [`rl_legalizer::InferenceBudget`] watchdog.
+    RlLegalize = 1,
+    /// A (small) training run, checkpointed through
+    /// [`rl_legalizer::CheckpointStore`] and resumable across restarts.
+    Train = 2,
+}
+
+impl JobKind {
+    fn from_u8(v: u8) -> Result<Self, ProtoError> {
+        match v {
+            0 => Ok(JobKind::Legalize),
+            1 => Ok(JobKind::RlLegalize),
+            2 => Ok(JobKind::Train),
+            other => Err(ProtoError::Malformed(format!("unknown job kind {other}"))),
+        }
+    }
+}
+
+/// Chaos-injection flag bits in [`JobSpec::flags`]; honored only when the
+/// server was started with chaos injection enabled (tests and the chaos
+/// harness), ignored otherwise.
+pub mod flags {
+    /// Panic mid-execution (after parsing / after the first checkpointed
+    /// episode) — the "kill mid-job" chaos case.
+    pub const CHAOS_PANIC: u8 = 0b0000_0001;
+}
+
+/// A fully-described job: what to run, on what input, under which budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// What to run.
+    pub kind: JobKind,
+    /// Technology the DEF is parsed under: 0 = ICCAD-2017 contest,
+    /// 1 = Nangate45.
+    pub tech: u8,
+    /// Cell ordering for heuristic runs: 0 = size-descending,
+    /// 1 = x-ascending, 2 = seeded random.
+    pub ordering: u8,
+    /// Inner solver threads for the per-Gcell parallel phase
+    /// (0 = the server's configured default). Results are bit-identical
+    /// for any value; this only trades latency for throughput.
+    pub threads: u8,
+    /// Chaos-injection bits (see [`flags`]); zero in production traffic.
+    pub flags: u8,
+    /// Hidden width of the seeded network for RL / training jobs.
+    pub hidden: u16,
+    /// Episodes for training jobs.
+    pub episodes: u32,
+    /// Seed for orderings, network init, and training.
+    pub seed: u64,
+    /// [`rl_legalizer::InferenceBudget::max_steps`] (0 = unlimited).
+    pub max_steps: u64,
+    /// [`rl_legalizer::InferenceBudget::max_wall`] in ms (0 = unlimited).
+    pub max_wall_ms: u64,
+    /// Stable identity for checkpoint resume across restarts
+    /// (0 = anonymous, never checkpointed).
+    pub job_key: u64,
+    /// Optional LEF library text ("" = DEF is self-describing `MH_*`).
+    pub lef: String,
+    /// The DEF payload to legalize / train on.
+    pub def: String,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        Self {
+            kind: JobKind::Legalize,
+            tech: 0,
+            ordering: 0,
+            threads: 0,
+            flags: 0,
+            hidden: 16,
+            episodes: 0,
+            seed: 0,
+            max_steps: 0,
+            max_wall_ms: 0,
+            job_key: 0,
+            lef: String::new(),
+            def: String::new(),
+        }
+    }
+}
+
+/// One protocol message, client → server or server → client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Submit a job (client → server). Answered by `Accepted` or
+    /// `Rejected` immediately; `Progress`/`Result` stream later on the
+    /// same connection.
+    Submit(JobSpec),
+    /// Ask for a job's state (any connection).
+    Query(u64),
+    /// Cancel a queued job.
+    Cancel(u64),
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to drain in-flight jobs and exit.
+    Shutdown,
+    /// The job was queued under this id.
+    Accepted {
+        /// The assigned job id.
+        job: u64,
+    },
+    /// The job was refused (`code` from [`reject`]); backpressure, not
+    /// failure — the client may retry after a backoff.
+    Rejected {
+        /// Rejection code (see [`reject`]).
+        code: u16,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A chunk of the job's telemetry-journal progress stream (JSONL).
+    Progress {
+        /// The job the chunk belongs to.
+        job: u64,
+        /// Newline-terminated JSONL event lines.
+        chunk: String,
+    },
+    /// Terminal job outcome: the result DEF (empty on failure) plus a JSON
+    /// stats object.
+    Result {
+        /// The finished job.
+        job: u64,
+        /// `true` for a fully-legal / converged result.
+        ok: bool,
+        /// Result DEF text (model JSON for training jobs; empty on
+        /// failure).
+        def: String,
+        /// JSON stats object (`exec::JobStats`, or `{"error": ...}`).
+        stats: String,
+    },
+    /// Protocol-level error; the server closes the connection after it.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+    /// Answer to `Ping`.
+    Pong,
+    /// Answer to `Query`: job state code (see `job::state` in this crate).
+    Status {
+        /// The queried job.
+        job: u64,
+        /// State code (see `job::state`).
+        state: u8,
+    },
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Submit(_) => 0x01,
+            Frame::Query(_) => 0x02,
+            Frame::Cancel(_) => 0x03,
+            Frame::Ping => 0x04,
+            Frame::Shutdown => 0x05,
+            Frame::Accepted { .. } => 0x81,
+            Frame::Rejected { .. } => 0x82,
+            Frame::Progress { .. } => 0x83,
+            Frame::Result { .. } => 0x84,
+            Frame::Error { .. } => 0x85,
+            Frame::Pong => 0x86,
+            Frame::Status { .. } => 0x87,
+        }
+    }
+}
+
+/// Why a byte sequence is not a valid frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// More bytes are needed; `needed` is a lower bound on the total frame
+    /// size. The only *recoverable* variant — a streaming reader waits for
+    /// more input, every other variant poisons the connection.
+    Truncated {
+        /// Minimum total bytes the frame requires.
+        needed: usize,
+    },
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic,
+    /// The type byte names no known frame.
+    UnknownType(u8),
+    /// The header declares a payload larger than the cap.
+    Oversized {
+        /// Declared payload length.
+        declared: usize,
+        /// The cap it exceeded.
+        cap: usize,
+    },
+    /// The payload does not hash to the header CRC.
+    CrcMismatch {
+        /// CRC declared in the header.
+        expected: u32,
+        /// CRC computed over the payload.
+        found: u32,
+    },
+    /// The payload passed the CRC but violates the frame's layout.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated { needed } => write!(f, "truncated frame (need {needed} bytes)"),
+            ProtoError::BadMagic => write!(f, "bad frame magic"),
+            ProtoError::UnknownType(t) => write!(f, "unknown frame type {t:#04x}"),
+            ProtoError::Oversized { declared, cap } => {
+                write!(f, "frame payload {declared} bytes exceeds cap {cap}")
+            }
+            ProtoError::CrcMismatch { expected, found } => write!(
+                f,
+                "frame CRC mismatch: header {expected:#010x}, payload {found:#010x}"
+            ),
+            ProtoError::Malformed(m) => write!(f, "malformed frame payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl ProtoError {
+    /// `true` when the error only means "wait for more bytes".
+    pub fn is_truncated(&self) -> bool {
+        matches!(self, ProtoError::Truncated { .. })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload reader/writer
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian payload reader.
+struct Reader<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Self { b, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.b.len())
+            .ok_or_else(|| ProtoError::Malformed("payload shorter than declared field".into()))?;
+        let s = &self.b[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// A `u32`-length-prefixed UTF-8 string block.
+    fn str_block(&mut self) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ProtoError::Malformed("string block is not UTF-8".into()))
+    }
+
+    /// Fails unless every payload byte was consumed (trailing garbage
+    /// would otherwise round-trip differently than it was sent).
+    fn done(self) -> Result<(), ProtoError> {
+        if self.pos == self.b.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed(format!(
+                "{} trailing payload bytes",
+                self.b.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn encode_spec(out: &mut Vec<u8>, s: &JobSpec) {
+    out.push(SPEC_VERSION);
+    out.push(s.kind as u8);
+    out.push(s.tech);
+    out.push(s.ordering);
+    out.push(s.threads);
+    out.push(s.flags);
+    out.extend_from_slice(&s.hidden.to_le_bytes());
+    out.extend_from_slice(&s.episodes.to_le_bytes());
+    out.extend_from_slice(&s.seed.to_le_bytes());
+    out.extend_from_slice(&s.max_steps.to_le_bytes());
+    out.extend_from_slice(&s.max_wall_ms.to_le_bytes());
+    out.extend_from_slice(&s.job_key.to_le_bytes());
+    put_str(out, &s.lef);
+    put_str(out, &s.def);
+}
+
+fn decode_spec(r: &mut Reader<'_>) -> Result<JobSpec, ProtoError> {
+    let ver = r.u8()?;
+    if ver != SPEC_VERSION {
+        return Err(ProtoError::Malformed(format!(
+            "job spec version {ver} (this build speaks {SPEC_VERSION})"
+        )));
+    }
+    let kind = JobKind::from_u8(r.u8()?)?;
+    let tech = r.u8()?;
+    if tech > 1 {
+        return Err(ProtoError::Malformed(format!("unknown technology {tech}")));
+    }
+    let ordering = r.u8()?;
+    if ordering > 2 {
+        return Err(ProtoError::Malformed(format!(
+            "unknown ordering {ordering}"
+        )));
+    }
+    Ok(JobSpec {
+        kind,
+        tech,
+        ordering,
+        threads: r.u8()?,
+        flags: r.u8()?,
+        hidden: r.u16()?,
+        episodes: r.u32()?,
+        seed: r.u64()?,
+        max_steps: r.u64()?,
+        max_wall_ms: r.u64()?,
+        job_key: r.u64()?,
+        lef: r.str_block()?,
+        def: r.str_block()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+/// Serializes one frame.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match frame {
+        Frame::Submit(spec) => encode_spec(&mut payload, spec),
+        Frame::Query(job) | Frame::Cancel(job) => {
+            payload.extend_from_slice(&job.to_le_bytes());
+        }
+        Frame::Ping | Frame::Shutdown | Frame::Pong => {}
+        Frame::Accepted { job } => payload.extend_from_slice(&job.to_le_bytes()),
+        Frame::Rejected { code, reason } => {
+            payload.extend_from_slice(&code.to_le_bytes());
+            put_str(&mut payload, reason);
+        }
+        Frame::Progress { job, chunk } => {
+            payload.extend_from_slice(&job.to_le_bytes());
+            put_str(&mut payload, chunk);
+        }
+        Frame::Result {
+            job,
+            ok,
+            def,
+            stats,
+        } => {
+            payload.extend_from_slice(&job.to_le_bytes());
+            payload.push(u8::from(*ok));
+            put_str(&mut payload, def);
+            put_str(&mut payload, stats);
+        }
+        Frame::Error { message } => put_str(&mut payload, message),
+        Frame::Status { job, state } => {
+            payload.extend_from_slice(&job.to_le_bytes());
+            payload.push(*state);
+        }
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(frame.type_byte());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Parses one frame from the front of `bytes` (payloads capped at `cap`).
+/// Returns the frame and the number of bytes it consumed.
+///
+/// # Errors
+///
+/// [`ProtoError::Truncated`] when more bytes are needed (recoverable for a
+/// streaming reader); every other variant is a protocol violation the
+/// caller should answer with [`Frame::Error`] and a close.
+pub fn decode_frame(bytes: &[u8], cap: usize) -> Result<(Frame, usize), ProtoError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(ProtoError::Truncated { needed: HEADER_LEN });
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(ProtoError::BadMagic);
+    }
+    let ty = bytes[4];
+    let declared = u32::from_le_bytes(bytes[5..9].try_into().expect("4")) as usize;
+    let cap = cap.min(MAX_FRAME);
+    if declared > cap {
+        return Err(ProtoError::Oversized { declared, cap });
+    }
+    let total = HEADER_LEN + declared;
+    if bytes.len() < total {
+        return Err(ProtoError::Truncated { needed: total });
+    }
+    let expected = u32::from_le_bytes(bytes[9..13].try_into().expect("4"));
+    let payload = &bytes[HEADER_LEN..total];
+    let found = crc32(payload);
+    if found != expected {
+        return Err(ProtoError::CrcMismatch { expected, found });
+    }
+    let mut r = Reader::new(payload);
+    let frame = match ty {
+        0x01 => Frame::Submit(decode_spec(&mut r)?),
+        0x02 => Frame::Query(r.u64()?),
+        0x03 => Frame::Cancel(r.u64()?),
+        0x04 => Frame::Ping,
+        0x05 => Frame::Shutdown,
+        0x81 => Frame::Accepted { job: r.u64()? },
+        0x82 => Frame::Rejected {
+            code: r.u16()?,
+            reason: r.str_block()?,
+        },
+        0x83 => Frame::Progress {
+            job: r.u64()?,
+            chunk: r.str_block()?,
+        },
+        0x84 => Frame::Result {
+            job: r.u64()?,
+            ok: r.u8()? != 0,
+            def: r.str_block()?,
+            stats: r.str_block()?,
+        },
+        0x85 => Frame::Error {
+            message: r.str_block()?,
+        },
+        0x86 => Frame::Pong,
+        0x87 => Frame::Status {
+            job: r.u64()?,
+            state: r.u8()?,
+        },
+        other => return Err(ProtoError::UnknownType(other)),
+    };
+    r.done()?;
+    Ok((frame, total))
+}
+
+/// Incremental frame parser over a growing byte buffer (one per
+/// connection). Push raw socket bytes in; pull complete frames out.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    consumed: usize,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact lazily: drop already-consumed frames before growing.
+        if self.consumed > 0 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet parsed into a frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Pops the next complete frame, `Ok(None)` when more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Non-truncation [`ProtoError`]s are fatal for the stream: framing is
+    /// lost, the connection must be closed.
+    pub fn next_frame(&mut self, cap: usize) -> Result<Option<Frame>, ProtoError> {
+        if self.pending() == 0 {
+            return Ok(None);
+        }
+        match decode_frame(&self.buf[self.consumed..], cap) {
+            Ok((frame, n)) => {
+                self.consumed += n;
+                Ok(Some(frame))
+            }
+            Err(e) if e.is_truncated() => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> JobSpec {
+        JobSpec {
+            kind: JobKind::RlLegalize,
+            tech: 1,
+            ordering: 2,
+            threads: 3,
+            flags: 0,
+            hidden: 32,
+            episodes: 7,
+            seed: 0xDEAD_BEEF,
+            max_steps: 100,
+            max_wall_ms: 2_000,
+            job_key: 42,
+            lef: "LIB".into(),
+            def: "DESIGN d ; END".into(),
+        }
+    }
+
+    fn all_frames() -> Vec<Frame> {
+        vec![
+            Frame::Submit(sample_spec()),
+            Frame::Query(9),
+            Frame::Cancel(10),
+            Frame::Ping,
+            Frame::Shutdown,
+            Frame::Accepted { job: 3 },
+            Frame::Rejected {
+                code: reject::QUEUE_FULL,
+                reason: "shard 2 full".into(),
+            },
+            Frame::Progress {
+                job: 3,
+                chunk: "{\"kind\":\"job.start\"}\n".into(),
+            },
+            Frame::Result {
+                job: 3,
+                ok: true,
+                def: "DESIGN out ; END".into(),
+                stats: "{\"legalized\":5}".into(),
+            },
+            Frame::Error {
+                message: "nope".into(),
+            },
+            Frame::Pong,
+            Frame::Status { job: 3, state: 2 },
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for f in all_frames() {
+            let bytes = encode_frame(&f);
+            let (back, n) = decode_frame(&bytes, MAX_FRAME).expect("decode");
+            assert_eq!(n, bytes.len());
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn truncation_is_recoverable_not_fatal() {
+        let bytes = encode_frame(&Frame::Submit(sample_spec()));
+        for cut in [0, 4, HEADER_LEN - 1, HEADER_LEN, bytes.len() - 1] {
+            let e = decode_frame(&bytes[..cut], MAX_FRAME).unwrap_err();
+            assert!(e.is_truncated(), "cut {cut}: {e:?}");
+        }
+    }
+
+    #[test]
+    fn crc_flip_and_bad_magic_are_fatal() {
+        let mut bytes = encode_frame(&Frame::Ping);
+        bytes[0] = b'X';
+        assert_eq!(
+            decode_frame(&bytes, MAX_FRAME).unwrap_err(),
+            ProtoError::BadMagic
+        );
+        let mut bytes = encode_frame(&Frame::Accepted { job: 1 });
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            decode_frame(&bytes, MAX_FRAME).unwrap_err(),
+            ProtoError::CrcMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_declaration_is_rejected_before_buffering() {
+        let mut bytes = encode_frame(&Frame::Ping);
+        bytes[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes, 1024).unwrap_err(),
+            ProtoError::Oversized { cap: 1024, .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_rejected() {
+        // A Pong with one payload byte: layout says empty.
+        let payload = [7u8];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(0x86);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            decode_frame(&bytes, MAX_FRAME).unwrap_err(),
+            ProtoError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn streaming_reader_matches_whole_buffer_decode() {
+        let frames = all_frames();
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&encode_frame(f));
+        }
+        // Feed one byte at a time: the reader must produce the exact same
+        // frame sequence.
+        let mut rd = FrameReader::new();
+        let mut got = Vec::new();
+        for &b in &wire {
+            rd.push(&[b]);
+            while let Some(f) = rd.next_frame(MAX_FRAME).expect("stream") {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(rd.pending(), 0);
+    }
+
+    #[test]
+    fn reader_poisons_on_garbage() {
+        let mut rd = FrameReader::new();
+        rd.push(b"GARBAGE NOT A FRAME.....");
+        assert!(rd.next_frame(MAX_FRAME).is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! Sharded, bounded job queue with explicit backpressure.
+//!
+//! Jobs hash to a shard by their id; each shard holds at most `depth`
+//! queued jobs. A full shard refuses the push — the server answers with a
+//! REJECTED frame (HTTP 429) instead of buffering unboundedly, so memory
+//! under overload is capped by construction and clients get an honest
+//! retry signal. Executors pop starting at their own shard and scan the
+//! others (work conservation: a busy shard's backlog is stolen by idle
+//! executors), blocking on a condvar while every shard is empty.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The job's shard is at capacity: backpressure, retry later.
+    Full,
+    /// The queue is closed (server draining); no new work is accepted.
+    Closed,
+}
+
+/// Recovers data from a poisoned mutex: every value behind the queue's
+/// locks is updated in single statements and cannot be observed torn.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Tracks total queued items and the closed flag under one lock so
+/// blocked poppers have a single condvar to wait on.
+struct Avail {
+    count: usize,
+    closed: bool,
+}
+
+/// A bounded multi-shard FIFO of job ids.
+pub struct ShardedQueue<T> {
+    shards: Vec<Mutex<VecDeque<T>>>,
+    depth: usize,
+    avail: Mutex<Avail>,
+    ready: Condvar,
+}
+
+impl<T> ShardedQueue<T> {
+    /// A queue of `shards` shards, each bounded to `depth` items.
+    pub fn new(shards: usize, depth: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            depth: depth.max(1),
+            avail: Mutex::new(Avail {
+                count: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Maximum queued items across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.depth
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        relock(&self.avail).count
+    }
+
+    /// `true` when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shard `hint` hashes to.
+    pub fn shard_of(&self, hint: u64) -> usize {
+        // Fibonacci hash: consecutive ids spread across shards instead of
+        // clustering in one.
+        (hint.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.shards.len()
+    }
+
+    /// Enqueues `item` on the shard `hint` hashes to.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when that shard is at capacity (backpressure);
+    /// [`PushError::Closed`] once [`close`](Self::close) was called.
+    pub fn push(&self, item: T, hint: u64) -> Result<(), PushError> {
+        let shard = self.shard_of(hint);
+        {
+            let avail = relock(&self.avail);
+            if avail.closed {
+                return Err(PushError::Closed);
+            }
+            // Insert while holding `avail`: a popper that sees count > 0
+            // is guaranteed to find the item in some shard.
+            let mut q = relock(&self.shards[shard]);
+            if q.len() >= self.depth {
+                return Err(PushError::Full);
+            }
+            q.push_back(item);
+            drop(q);
+            let mut avail = avail;
+            avail.count += 1;
+        }
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pops one item, blocking while the queue is empty. Scans shards
+    /// starting at `worker` (stealing from busier shards when the home
+    /// shard is empty). Returns `None` once the queue is closed *and*
+    /// drained.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        let mut avail = relock(&self.avail);
+        loop {
+            if avail.count > 0 {
+                avail.count -= 1;
+                drop(avail);
+                // `count` was decremented under the lock, claiming one of
+                // the items inserted before it was incremented — some
+                // shard holds it and only poppers remove items, so the
+                // scan must find one.
+                loop {
+                    for i in 0..self.shards.len() {
+                        let idx = (worker + i) % self.shards.len();
+                        if let Some(item) = relock(&self.shards[idx]).pop_front() {
+                            return Some(item);
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+            }
+            if avail.closed {
+                return None;
+            }
+            avail = self
+                .ready
+                .wait(avail)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Removes the first queued item matching `pred` (used by CANCEL).
+    pub fn remove_where(&self, pred: impl Fn(&T) -> bool) -> Option<T> {
+        let mut avail = relock(&self.avail);
+        for shard in &self.shards {
+            let mut q = relock(shard);
+            if let Some(pos) = q.iter().position(&pred) {
+                avail.count -= 1;
+                return q.remove(pos);
+            }
+        }
+        None
+    }
+
+    /// Closes the queue: pending items still drain, new pushes fail, and
+    /// blocked poppers return `None` once empty.
+    pub fn close(&self) {
+        relock(&self.avail).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn per_shard_backpressure_rejects_when_full() {
+        let q = ShardedQueue::new(2, 2);
+        assert_eq!(q.capacity(), 4);
+        // Fill one shard to its depth using hints that hash to it.
+        let shard0_hints: Vec<u64> = (0..100).filter(|&h| q.shard_of(h) == 0).take(3).collect();
+        assert!(q.push(shard0_hints[0], shard0_hints[0]).is_ok());
+        assert!(q.push(shard0_hints[1], shard0_hints[1]).is_ok());
+        assert_eq!(
+            q.push(shard0_hints[2], shard0_hints[2]),
+            Err(PushError::Full),
+            "third push into a depth-2 shard must be refused"
+        );
+        // The *other* shard still accepts.
+        let other: u64 = (0..100).find(|&h| q.shard_of(h) == 1).expect("hint");
+        assert!(q.push(other, other).is_ok());
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn fifo_within_a_shard() {
+        let q = ShardedQueue::new(1, 8);
+        for i in 0..5u64 {
+            q.push(i, 0).expect("push");
+        }
+        for i in 0..5u64 {
+            assert_eq!(q.pop(0), Some(i));
+        }
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let q = ShardedQueue::new(2, 4);
+        q.push(1u64, 1).expect("push");
+        q.close();
+        assert_eq!(q.push(2, 2), Err(PushError::Closed));
+        assert_eq!(q.pop(0), Some(1), "queued work still drains after close");
+        assert_eq!(q.pop(0), None, "closed and empty");
+    }
+
+    #[test]
+    fn concurrent_producers_and_stealing_consumers_lose_nothing() {
+        let q = Arc::new(ShardedQueue::<u64>::new(4, 64));
+        let seen = Arc::new(AtomicUsize::new(0));
+        let consumers: Vec<_> = (0..3)
+            .map(|w| {
+                let q = Arc::clone(&q);
+                let seen = Arc::clone(&seen);
+                std::thread::spawn(move || {
+                    while q.pop(w).is_some() {
+                        seen.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        let total = 200u64;
+        let mut pushed = 0usize;
+        for i in 0..total {
+            // Retry on Full: consumers are draining concurrently.
+            loop {
+                match q.push(i, i) {
+                    Ok(()) => {
+                        pushed += 1;
+                        break;
+                    }
+                    Err(PushError::Full) => std::thread::yield_now(),
+                    Err(PushError::Closed) => unreachable!(),
+                }
+            }
+        }
+        // Let consumers drain, then close.
+        while !q.is_empty() {
+            std::thread::yield_now();
+        }
+        q.close();
+        for c in consumers {
+            c.join().expect("consumer");
+        }
+        assert_eq!(seen.load(Ordering::Relaxed), pushed);
+    }
+
+    #[test]
+    fn remove_where_unqueues_a_cancelled_job() {
+        let q = ShardedQueue::new(2, 4);
+        q.push(7u64, 7).expect("push");
+        q.push(8u64, 8).expect("push");
+        assert_eq!(q.remove_where(|&x| x == 7), Some(7));
+        assert_eq!(q.remove_where(|&x| x == 7), None);
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,727 @@
+//! The serve event loop: one thread multiplexing every connection.
+//!
+//! Architecture:
+//!
+//! ```text
+//!  clients ──► listener ──► event loop (poll-based, single thread)
+//!                               │ SUBMIT → JobTable + ShardedQueue
+//!                               │             │ (bounded; Full → REJECTED)
+//!                               │             ▼
+//!                               │        executor threads (fixed set)
+//!                               │             │ inner compute → pool::global()
+//!                               │             ▼
+//!                               └──◄── progress / results (per-conn cursors)
+//! ```
+//!
+//! The loop never blocks on a socket and never spawns a thread: readiness
+//! comes from [`crate::poll::wait`], compute happens on the executor set
+//! created at startup. Graceful shutdown closes the queue, lets queued and
+//! running jobs finish, streams their results to subscribers, and writes
+//! any undelivered result to `data_dir` through
+//! [`rlleg_design::fsio::write_atomic`] so nothing a client paid for is
+//! lost.
+
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rlleg_design::fsio::write_atomic;
+
+use crate::conn::{Conn, Mode};
+use crate::exec::{ExecConfig, Executors};
+use crate::http;
+use crate::job::{state, JobId, JobOutcome, JobTable};
+use crate::poll::{self, Interest};
+use crate::proto::{self, reject, Frame, JobKind, JobSpec, ProtoError};
+use crate::queue::{PushError, ShardedQueue};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Executor threads (concurrent jobs in flight). 0 = worker-pool
+    /// default ([`rlleg_legalize::pool::default_threads`]).
+    pub executors: usize,
+    /// Inner solver threads per job when the spec leaves `threads` at 0.
+    pub inner_threads: usize,
+    /// Queue shards.
+    pub shards: usize,
+    /// Queued jobs per shard before SUBMITs bounce with QUEUE_FULL.
+    pub shard_depth: usize,
+    /// Per-frame payload cap (also the HTTP body cap).
+    pub max_frame: usize,
+    /// Idle window after which a stalled (slow-loris) connection is
+    /// reaped. Connections waiting on a subscribed job are exempt.
+    pub idle_timeout: Duration,
+    /// Poll tick — the latency floor for progress delivery and sweeps.
+    pub tick: Duration,
+    /// Checkpoint stores and shutdown-drained results live here.
+    pub data_dir: PathBuf,
+    /// Honor chaos-injection flags in job specs (tests/harness only).
+    pub chaos_enabled: bool,
+    /// Checkpoint cadence for training jobs (episodes).
+    pub ckpt_every: usize,
+    /// Accepted connections beyond this are dropped at accept time.
+    pub max_conns: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            executors: 0,
+            inner_threads: 0,
+            shards: 4,
+            shard_depth: 16,
+            max_frame: proto::MAX_FRAME,
+            idle_timeout: Duration::from_secs(10),
+            tick: Duration::from_millis(5),
+            data_dir: std::env::temp_dir().join("rlleg-serve"),
+            chaos_enabled: false,
+            ckpt_every: 2,
+            max_conns: 256,
+        }
+    }
+}
+
+/// Handle over a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    table: Arc<JobTable>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of (queued, running, terminal) job counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        self.table.counts()
+    }
+
+    /// Requests a graceful drain and waits for the server to exit:
+    /// in-flight jobs finish, their results are delivered or persisted,
+    /// then every thread joins.
+    pub fn shutdown_graceful(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the server exits on its own (a client sent SHUTDOWN).
+    pub fn wait(mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The server. Construct with [`Server::start`]; interact through the
+/// returned [`ServerHandle`] and the wire protocols.
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the executor set and the event-loop thread, and
+    /// returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listen address.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        std::fs::create_dir_all(&cfg.data_dir)?;
+
+        let table = Arc::new(JobTable::new());
+        let queue = Arc::new(ShardedQueue::<JobId>::new(cfg.shards, cfg.shard_depth));
+        let executors = {
+            let n = if cfg.executors == 0 {
+                rlleg_legalize::pool::default_threads()
+            } else {
+                cfg.executors
+            };
+            Executors::spawn(
+                n,
+                ExecConfig {
+                    inner_threads: cfg.inner_threads,
+                    data_dir: cfg.data_dir.clone(),
+                    chaos_enabled: cfg.chaos_enabled,
+                    ckpt_every: cfg.ckpt_every,
+                },
+                Arc::clone(&queue),
+                Arc::clone(&table),
+            )
+        };
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut loop_state = EventLoop {
+            cfg,
+            listener,
+            conns: Vec::new(),
+            table: Arc::clone(&table),
+            queue,
+            stop: Arc::clone(&stop),
+            draining: false,
+        };
+        let thread = std::thread::Builder::new()
+            .name("rlleg-serve-loop".into())
+            .spawn(move || {
+                loop_state.run();
+                loop_state.drain(executors);
+            })?;
+        Ok(ServerHandle {
+            addr,
+            stop,
+            table,
+            thread: Some(thread),
+        })
+    }
+}
+
+struct EventLoop {
+    cfg: ServeConfig,
+    listener: TcpListener,
+    conns: Vec<Conn>,
+    table: Arc<JobTable>,
+    queue: Arc<ShardedQueue<JobId>>,
+    stop: Arc<AtomicBool>,
+    draining: bool,
+}
+
+#[cfg(unix)]
+fn raw_fd<T: std::os::unix::io::AsRawFd>(s: &T) -> i32 {
+    s.as_raw_fd()
+}
+#[cfg(not(unix))]
+fn raw_fd<T>(_s: &T) -> i32 {
+    0
+}
+
+impl EventLoop {
+    /// Runs until a drain is requested *and* all work has been delivered.
+    fn run(&mut self) {
+        loop {
+            if !self.draining && self.stop.load(Ordering::Acquire) {
+                self.begin_drain();
+            }
+            let ready = self.poll_once();
+            self.accept_ready(ready[0].readable);
+            self.service_conns(&ready[1..]);
+            self.deliver();
+            self.sweep(Instant::now());
+            if !telemetry::disabled() {
+                telemetry::gauge("serve.conns").set(self.conns.len() as i64);
+                telemetry::gauge("serve.queue_depth").set(self.queue.len() as i64);
+            }
+            if self.draining && self.drained() {
+                return;
+            }
+        }
+    }
+
+    fn poll_once(&mut self) -> Vec<poll::Readiness> {
+        let mut fds = Vec::with_capacity(1 + self.conns.len());
+        fds.push((
+            raw_fd(&self.listener),
+            Interest {
+                readable: !self.draining,
+                writable: false,
+            },
+        ));
+        for c in &self.conns {
+            fds.push((
+                raw_fd(&c.stream),
+                Interest {
+                    readable: true,
+                    writable: !c.outbuf.is_empty(),
+                },
+            ));
+        }
+        poll::wait(&fds, self.cfg.tick)
+    }
+
+    fn accept_ready(&mut self, listener_ready: bool) {
+        if !listener_ready || self.draining {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.conns.len() >= self.cfg.max_conns {
+                        if !telemetry::disabled() {
+                            telemetry::counter("serve.conns.over_capacity").inc();
+                        }
+                        drop(stream);
+                        continue;
+                    }
+                    if let Ok(conn) = Conn::new(stream) {
+                        if !telemetry::disabled() {
+                            telemetry::counter("serve.conns.accepted").inc();
+                        }
+                        self.conns.push(conn);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Reads, parses, and answers every ready connection; removes dead
+    /// ones. `ready` is index-aligned with `self.conns`.
+    fn service_conns(&mut self, ready: &[poll::Readiness]) {
+        let mut alive = Vec::with_capacity(self.conns.len());
+        for (i, mut conn) in std::mem::take(&mut self.conns).into_iter().enumerate() {
+            let r = ready.get(i).copied().unwrap_or_default();
+            let mut ok = !r.error;
+            if ok && r.readable {
+                // Buffer cap: one max frame plus framing slack.
+                ok = conn.fill(self.cfg.max_frame + proto::HEADER_LEN + 4096);
+            }
+            if ok {
+                ok = self.parse_and_handle(&mut conn);
+            }
+            if ok && (r.writable || !conn.outbuf.is_empty()) {
+                ok = conn.flush();
+            }
+            if ok && !conn.done() {
+                alive.push(conn);
+            } else if !telemetry::disabled() {
+                telemetry::counter("serve.conns.closed").inc();
+            }
+        }
+        self.conns = alive;
+    }
+
+    /// Parses whatever is buffered on `conn` and queues responses.
+    /// Returns `false` to tear the connection down.
+    fn parse_and_handle(&mut self, conn: &mut Conn) -> bool {
+        if !conn.sniff() {
+            return false;
+        }
+        match conn.mode {
+            Mode::Unknown => true,
+            Mode::Binary => self.handle_binary(conn),
+            Mode::Http => self.handle_http(conn),
+        }
+    }
+
+    fn handle_binary(&mut self, conn: &mut Conn) -> bool {
+        loop {
+            match proto::decode_frame(&conn.inbuf, self.cfg.max_frame) {
+                Ok((frame, consumed)) => {
+                    conn.inbuf.drain(..consumed);
+                    self.handle_frame(conn, frame);
+                }
+                Err(e) if e.is_truncated() => return true,
+                Err(ProtoError::Oversized { declared, cap }) => {
+                    conn.send(&proto::encode_frame(&Frame::Rejected {
+                        code: reject::OVERSIZED,
+                        reason: format!("frame of {declared} B exceeds cap of {cap} B"),
+                    }));
+                    conn.close_after_flush = true;
+                    return true;
+                }
+                Err(e) => {
+                    conn.send(&proto::encode_frame(&Frame::Error {
+                        message: format!("protocol error: {e}"),
+                    }));
+                    conn.close_after_flush = true;
+                    return true;
+                }
+            }
+        }
+    }
+
+    fn handle_frame(&mut self, conn: &mut Conn, frame: Frame) {
+        match frame {
+            Frame::Submit(spec) => match self.submit(spec) {
+                Ok(id) => {
+                    conn.subscriptions.insert(id, 0);
+                    conn.send(&proto::encode_frame(&Frame::Accepted { job: id }));
+                }
+                Err((code, reason)) => {
+                    conn.send(&proto::encode_frame(&Frame::Rejected { code, reason }));
+                }
+            },
+            Frame::Query(job) => {
+                conn.send(&proto::encode_frame(&Frame::Status {
+                    job,
+                    state: self.table.state_of(job),
+                }));
+                if let Some(result) = self.terminal_result(job) {
+                    conn.subscriptions.remove(&job);
+                    conn.send(&proto::encode_frame(&result));
+                }
+            }
+            Frame::Cancel(job) => {
+                self.queue.remove_where(|&id| id == job);
+                self.table.cancel(job);
+                conn.subscriptions.remove(&job);
+                conn.send(&proto::encode_frame(&Frame::Status {
+                    job,
+                    state: self.table.state_of(job),
+                }));
+            }
+            Frame::Ping => conn.send(&proto::encode_frame(&Frame::Pong)),
+            Frame::Shutdown => {
+                self.begin_drain();
+                conn.send(&proto::encode_frame(&Frame::Pong));
+            }
+            // Server-to-client frames arriving at the server are a
+            // protocol violation.
+            _ => {
+                conn.send(&proto::encode_frame(&Frame::Error {
+                    message: "unexpected server-role frame".into(),
+                }));
+                conn.close_after_flush = true;
+            }
+        }
+    }
+
+    /// Shared submission path for both dialects.
+    fn submit(&mut self, spec: JobSpec) -> Result<JobId, (u16, String)> {
+        if self.draining {
+            return Err((reject::DRAINING, "server is draining".into()));
+        }
+        if spec.def.is_empty() {
+            return Err((reject::BAD_REQUEST, "empty DEF payload".into()));
+        }
+        let id = self.table.insert(spec);
+        match self.queue.push(id, id) {
+            Ok(()) => {
+                if !telemetry::disabled() {
+                    telemetry::counter("serve.jobs.accepted").inc();
+                }
+                Ok(id)
+            }
+            Err(e) => {
+                self.table.cancel(id);
+                if !telemetry::disabled() {
+                    telemetry::counter("serve.jobs.rejected").inc();
+                }
+                match e {
+                    PushError::Full => Err((
+                        reject::QUEUE_FULL,
+                        format!("queue shard full (capacity {})", self.queue.capacity()),
+                    )),
+                    PushError::Closed => Err((reject::DRAINING, "server is draining".into())),
+                }
+            }
+        }
+    }
+
+    /// The RESULT frame for a terminal job, marking it delivered.
+    fn terminal_result(&self, job: JobId) -> Option<Frame> {
+        self.table.with(job, |e| match e.state {
+            state::DONE => {
+                e.delivered = true;
+                let o = e.outcome.clone().unwrap_or(JobOutcome {
+                    ok: false,
+                    def: String::new(),
+                    stats: "{}".into(),
+                });
+                Some(Frame::Result {
+                    job,
+                    ok: o.ok,
+                    def: o.def,
+                    stats: o.stats,
+                })
+            }
+            state::FAILED => {
+                e.delivered = true;
+                Some(Frame::Result {
+                    job,
+                    ok: false,
+                    def: String::new(),
+                    stats: format!("{{\"error\":{:?}}}", e.error.clone().unwrap_or_default()),
+                })
+            }
+            state::CANCELLED => {
+                e.delivered = true;
+                Some(Frame::Result {
+                    job,
+                    ok: false,
+                    def: String::new(),
+                    stats: "{\"cancelled\":true}".into(),
+                })
+            }
+            _ => None,
+        })?
+    }
+
+    /// Streams new progress lines and terminal results to subscribers.
+    fn deliver(&mut self) {
+        let mut conns = std::mem::take(&mut self.conns);
+        for conn in &mut conns {
+            let jobs: Vec<JobId> = conn.subscriptions.keys().copied().collect();
+            for job in jobs {
+                let cursor = conn.subscriptions[&job];
+                let (chunk, new_cursor) = self
+                    .table
+                    .with(job, |e| {
+                        if cursor < e.progress.len() {
+                            (e.progress[cursor..].join(""), e.progress.len())
+                        } else {
+                            (String::new(), cursor)
+                        }
+                    })
+                    .unwrap_or((String::new(), cursor));
+                if !chunk.is_empty() {
+                    conn.subscriptions.insert(job, new_cursor);
+                    conn.send(&proto::encode_frame(&Frame::Progress { job, chunk }));
+                }
+                if let Some(result) = self.terminal_result(job) {
+                    conn.subscriptions.remove(&job);
+                    conn.send(&proto::encode_frame(&result));
+                }
+            }
+        }
+        self.conns = conns;
+    }
+
+    /// Reaps stalled (slow-loris) connections.
+    fn sweep(&mut self, now: Instant) {
+        let idle = self.cfg.idle_timeout;
+        let before = self.conns.len();
+        self.conns.retain(|c| !c.is_stalled(now, idle));
+        let reaped = before - self.conns.len();
+        if reaped > 0 && !telemetry::disabled() {
+            telemetry::counter("serve.conns.reaped").add(reaped as u64);
+        }
+    }
+
+    fn begin_drain(&mut self) {
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        // Pending jobs still drain after close(); new pushes bounce.
+        self.queue.close();
+        if !telemetry::disabled() {
+            telemetry::counter("serve.drain.begun").inc();
+        }
+    }
+
+    /// Drain is complete once no work is queued or running and every
+    /// result reached its subscriber (or the subscriber left).
+    fn drained(&self) -> bool {
+        if !self.queue.is_empty() || self.table.running() > 0 {
+            return false;
+        }
+        self.conns
+            .iter()
+            .all(|c| c.subscriptions.is_empty() && c.outbuf.is_empty())
+    }
+
+    /// Post-loop teardown: persist undelivered results, flush, join.
+    fn drain(&mut self, executors: Executors) {
+        for id in self.table.undelivered_terminal() {
+            let Some((def, stats)) = self.table.with(id, |e| {
+                e.delivered = true;
+                let o = e.outcome.clone();
+                (
+                    o.as_ref().map(|o| o.def.clone()).unwrap_or_default(),
+                    o.map(|o| o.stats).unwrap_or_else(|| {
+                        format!("{{\"error\":{:?}}}", e.error.clone().unwrap_or_default())
+                    }),
+                )
+            }) else {
+                continue;
+            };
+            if !def.is_empty() {
+                let _ = write_atomic(
+                    &self.cfg.data_dir.join(format!("job-{id}.def")),
+                    def.as_bytes(),
+                );
+            }
+            let _ = write_atomic(
+                &self.cfg.data_dir.join(format!("job-{id}.stats.json")),
+                stats.as_bytes(),
+            );
+        }
+        // Best-effort flush of anything still buffered, bounded in time.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while Instant::now() < deadline && self.conns.iter().any(|c| !c.outbuf.is_empty()) {
+            for c in &mut self.conns {
+                let _ = c.flush();
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.conns.clear();
+        executors.join();
+        if !telemetry::disabled() {
+            telemetry::counter("serve.drain.completed").inc();
+        }
+    }
+
+    /// Routes one parsed HTTP request; always `Connection: close`.
+    fn handle_http(&mut self, conn: &mut Conn) -> bool {
+        match http::try_parse(&conn.inbuf, self.cfg.max_frame) {
+            Ok(None) => true,
+            Ok(Some((req, consumed))) => {
+                conn.inbuf.drain(..consumed);
+                let response = self.route_http(&req);
+                conn.send(&response);
+                conn.close_after_flush = true;
+                true
+            }
+            Err(http::HttpError::TooLarge { declared }) => {
+                conn.send(&http::json_error(
+                    413,
+                    &format!("body of {declared} B exceeds cap"),
+                ));
+                conn.close_after_flush = true;
+                true
+            }
+            Err(http::HttpError::BadRequest(msg)) => {
+                conn.send(&http::json_error(400, &msg));
+                conn.close_after_flush = true;
+                true
+            }
+        }
+    }
+
+    fn route_http(&mut self, req: &http::HttpRequest) -> Vec<u8> {
+        match (req.method.as_str(), req.path()) {
+            ("GET", "/healthz") => {
+                let (q, r, t) = self.table.counts();
+                http::response(
+                    200,
+                    "application/json",
+                    format!(
+                        "{{\"ok\":true,\"draining\":{},\"queued\":{q},\"running\":{r},\"terminal\":{t}}}",
+                        self.draining
+                    )
+                    .as_bytes(),
+                )
+            }
+            ("GET", "/metrics") => http::response(
+                200,
+                "application/json",
+                telemetry::snapshot().to_json().as_bytes(),
+            ),
+            ("POST", "/jobs") => self.http_submit(req),
+            ("GET", path) if path.starts_with("/jobs/") => self.http_job(path),
+            _ => http::json_error(404, "no such route"),
+        }
+    }
+
+    fn http_submit(&mut self, req: &http::HttpRequest) -> Vec<u8> {
+        let Ok(def) = String::from_utf8(req.body.clone()) else {
+            return http::json_error(400, "DEF body must be UTF-8");
+        };
+        let q = |k: &str| req.query(k).and_then(|v| v.parse::<u64>().ok());
+        let spec = JobSpec {
+            kind: match req.query("kind") {
+                None | Some("legalize") => JobKind::Legalize,
+                Some("rl") => JobKind::RlLegalize,
+                Some("train") => JobKind::Train,
+                Some(other) => {
+                    return http::json_error(400, &format!("unknown kind {other:?}"));
+                }
+            },
+            tech: q("tech").unwrap_or(0) as u8,
+            ordering: match req.query("ordering") {
+                None | Some("size") => 0,
+                Some("x") => 1,
+                Some("random") => 2,
+                Some(other) => {
+                    return http::json_error(400, &format!("unknown ordering {other:?}"));
+                }
+            },
+            threads: q("threads").unwrap_or(0) as u8,
+            hidden: q("hidden").unwrap_or(16) as u16,
+            episodes: q("episodes").unwrap_or(1) as u32,
+            seed: q("seed").unwrap_or(0),
+            max_steps: q("max_steps").unwrap_or(0),
+            max_wall_ms: q("max_wall_ms").unwrap_or(0),
+            job_key: q("key").unwrap_or(0),
+            def,
+            ..JobSpec::default()
+        };
+        match self.submit(spec) {
+            Ok(id) => http::response(
+                202,
+                "application/json",
+                format!("{{\"job\":{id}}}").as_bytes(),
+            ),
+            Err((code, reason)) => {
+                let status = match code {
+                    reject::QUEUE_FULL => 429,
+                    reject::DRAINING => 503,
+                    reject::OVERSIZED => 413,
+                    _ => 400,
+                };
+                http::json_error(status, &reason)
+            }
+        }
+    }
+
+    fn http_job(&mut self, path: &str) -> Vec<u8> {
+        let rest = &path["/jobs/".len()..];
+        let (id_str, want_def) = match rest.strip_suffix("/def") {
+            Some(id) => (id, true),
+            None => (rest, false),
+        };
+        let Ok(id) = id_str.parse::<JobId>() else {
+            return http::json_error(400, "bad job id");
+        };
+        let st = self.table.state_of(id);
+        if st == state::UNKNOWN {
+            return http::json_error(404, "no such job");
+        }
+        if want_def {
+            let def = self
+                .table
+                .with(id, |e| e.outcome.as_ref().map(|o| o.def.clone()))
+                .flatten();
+            return match def {
+                Some(d) if !d.is_empty() => http::response(200, "text/plain", d.as_bytes()),
+                _ => http::json_error(404, "result not available"),
+            };
+        }
+        let (stats, error) = self
+            .table
+            .with(id, |e| {
+                (e.outcome.as_ref().map(|o| o.stats.clone()), e.error.clone())
+            })
+            .unwrap_or((None, None));
+        let state_name = match st {
+            state::QUEUED => "queued",
+            state::RUNNING => "running",
+            state::DONE => "done",
+            state::FAILED => "failed",
+            state::CANCELLED => "cancelled",
+            _ => "unknown",
+        };
+        let mut body = format!("{{\"job\":{id},\"state\":\"{state_name}\"");
+        if let Some(s) = stats {
+            body.push_str(&format!(",\"stats\":{s}"));
+        }
+        if let Some(e) = error {
+            body.push_str(&format!(",\"error\":{e:?}"));
+        }
+        body.push('}');
+        http::response(200, "application/json", body.as_bytes())
+    }
+}

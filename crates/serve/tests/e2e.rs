@@ -1,0 +1,554 @@
+//! End-to-end, chaos, and determinism tests for the job server.
+//!
+//! Everything runs over real loopback sockets against an in-process
+//! server. The chaos cases (kill mid-job, checkpoint corruption,
+//! slow-loris clients, oversized frames) must all end clean: jobs may
+//! fail, the server may reap a connection, but nothing ever wedges.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use rlleg_benchgen::{find_spec, generate};
+use rlleg_design::def::{parse_def, write_def};
+use rlleg_design::{legality, Technology};
+use rlleg_serve::client::{Client, ClientError};
+use rlleg_serve::job::state;
+use rlleg_serve::proto::{self, flags, Frame, FrameReader, JobKind, JobSpec};
+use rlleg_serve::server::{ServeConfig, Server, ServerHandle};
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+fn small_def(scale: f64) -> String {
+    // Contest family: parses back under the JobSpec-default tech (0).
+    let spec = find_spec("fft_2_md2").expect("spec").scaled(scale);
+    write_def(&generate(&spec))
+}
+
+fn start(tag: &str, tweak: impl FnOnce(&mut ServeConfig)) -> (ServerHandle, std::path::PathBuf) {
+    let data_dir =
+        std::env::temp_dir().join(format!("rlleg-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let mut cfg = ServeConfig {
+        data_dir: data_dir.clone(),
+        ..ServeConfig::default()
+    };
+    tweak(&mut cfg);
+    (Server::start(cfg).expect("start server"), data_dir)
+}
+
+#[test]
+fn loopback_job_round_trip_and_graceful_shutdown() {
+    let (handle, dir) = start("rt", |_| {});
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    client.ping(TIMEOUT).expect("ping");
+    let spec = JobSpec {
+        def: small_def(0.002),
+        ..JobSpec::default()
+    };
+    let result = client.run(&spec, TIMEOUT).expect("round trip");
+    assert!(result.ok, "stats: {}", result.stats);
+    assert!(
+        result.progress.contains("job.parsed") && result.progress.contains("job.done"),
+        "progress stream must carry journal events: {:?}",
+        &result.progress[..result.progress.len().min(200)]
+    );
+    let d = parse_def(&result.def, Technology::contest()).expect("parse result");
+    assert!(
+        legality::check(&d, false).is_empty(),
+        "result must be legal"
+    );
+    handle.shutdown_graceful();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sixty_four_concurrent_sessions_none_wedged() {
+    // Capacity 16x16 = 256: all 64 jobs fit without backpressure, so
+    // every session must complete — a missing result is a wedge.
+    let (handle, dir) = start("many", |c| {
+        c.shards = 16;
+        c.shard_depth = 16;
+    });
+    let addr = handle.addr();
+    let def = small_def(0.002);
+    let sessions: Vec<_> = (0..64)
+        .map(|s| {
+            let def = def.clone();
+            std::thread::spawn(move || -> Result<bool, String> {
+                let mut client =
+                    Client::connect(addr, TIMEOUT).map_err(|e| format!("connect: {e}"))?;
+                let spec = JobSpec {
+                    seed: s as u64,
+                    def,
+                    ..JobSpec::default()
+                };
+                let r = client
+                    .run(&spec, TIMEOUT)
+                    .map_err(|e| format!("run: {e}"))?;
+                Ok(r.ok)
+            })
+        })
+        .collect();
+    let mut ok = 0;
+    for (i, s) in sessions.into_iter().enumerate() {
+        match s.join().expect("session thread") {
+            Ok(true) => ok += 1,
+            Ok(false) => panic!("session {i} job reported failure"),
+            Err(e) => panic!("session {i} wedged or errored: {e}"),
+        }
+    }
+    assert_eq!(ok, 64, "every concurrent session must complete");
+    handle.shutdown_graceful();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn result_is_byte_identical_alone_and_under_concurrency() {
+    let def = small_def(0.002);
+    let probe = JobSpec {
+        seed: 42,
+        ordering: 2, // seeded random: the most order-sensitive path
+        def: def.clone(),
+        ..JobSpec::default()
+    };
+
+    // Run the probe job alone.
+    let (handle, dir) = start("det-alone", |_| {});
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let alone = client.run(&probe, TIMEOUT).expect("alone run");
+    assert!(alone.ok);
+    handle.shutdown_graceful();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Run it again while 8 other jobs churn on the same server.
+    let (handle, dir) = start("det-busy", |c| {
+        c.shards = 8;
+        c.shard_depth = 8;
+    });
+    let addr = handle.addr();
+    let churn: Vec<_> = (0..8)
+        .map(|s| {
+            let def = def.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr, TIMEOUT).expect("connect");
+                let spec = JobSpec {
+                    seed: 1_000 + s as u64,
+                    ordering: 2,
+                    def,
+                    ..JobSpec::default()
+                };
+                c.run(&spec, TIMEOUT).expect("churn job")
+            })
+        })
+        .collect();
+    let mut client = Client::connect(addr, TIMEOUT).expect("connect");
+    let busy = client.run(&probe, TIMEOUT).expect("busy run");
+    for t in churn {
+        // Churn jobs exist to create concurrency; seeded-random ordering may
+        // legitimately leave violations (ok=false), but every job must
+        // complete — a missing result means a wedged session.
+        let _ = t.join().expect("churn thread");
+    }
+    handle.shutdown_graceful();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(busy.ok);
+    assert_eq!(
+        alone.def, busy.def,
+        "result DEF must be byte-identical alone vs under concurrency"
+    );
+}
+
+#[test]
+fn chaos_kill_mid_job_fails_the_job_not_the_server() {
+    let (handle, dir) = start("kill", |c| c.chaos_enabled = true);
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let spec = JobSpec {
+        flags: flags::CHAOS_PANIC,
+        def: small_def(0.002),
+        ..JobSpec::default()
+    };
+    let job = client.submit(&spec, TIMEOUT).expect("accepted");
+    let result = client.wait_result(job, TIMEOUT).expect("terminal result");
+    assert!(!result.ok, "a killed job must report failure");
+    assert!(
+        result.stats.contains("panicked") || result.stats.contains("chaos"),
+        "stats: {}",
+        result.stats
+    );
+    // The server survived: a healthy job still runs end to end.
+    let healthy = client
+        .run(
+            &JobSpec {
+                def: small_def(0.002),
+                ..JobSpec::default()
+            },
+            TIMEOUT,
+        )
+        .expect("healthy job after the kill");
+    assert!(healthy.ok);
+    handle.shutdown_graceful();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_checkpoint_corruption_still_resumes_training() {
+    let (handle, dir) = start("ckpt", |c| {
+        c.chaos_enabled = true;
+        c.ckpt_every = 1;
+    });
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let key = 0xC0FFEE_u64;
+    // Phase 1: training job is chaos-killed after >= 1 checkpointed
+    // episode.
+    let killed = client
+        .run(
+            &JobSpec {
+                kind: JobKind::Train,
+                episodes: 4,
+                hidden: 8,
+                job_key: key,
+                flags: flags::CHAOS_PANIC,
+                def: small_def(0.002),
+                ..JobSpec::default()
+            },
+            TIMEOUT,
+        )
+        .expect("killed training job");
+    assert!(!killed.ok, "chaos-killed training must fail");
+
+    // Phase 2: corrupt the newest checkpoint generation on disk.
+    let ckpt_dir = dir.join(format!("ckpt-{key:016x}"));
+    let mut files: Vec<_> = std::fs::read_dir(&ckpt_dir)
+        .expect("checkpoint dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    files.sort();
+    let newest = files.last().expect("at least one checkpoint");
+    let mut bytes = std::fs::read(newest).expect("read checkpoint");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(newest, &bytes).expect("corrupt checkpoint");
+
+    // Phase 3: resubmit without chaos — must resume from a surviving
+    // generation (the store skips the corrupted newest one) and finish.
+    let resumed = client
+        .run(
+            &JobSpec {
+                kind: JobKind::Train,
+                episodes: 4,
+                hidden: 8,
+                job_key: key,
+                def: small_def(0.002),
+                ..JobSpec::default()
+            },
+            TIMEOUT,
+        )
+        .expect("resumed training job");
+    assert!(resumed.ok, "stats: {}", resumed.stats);
+    assert!(
+        resumed.stats.contains("\"resumed_from_episode\":")
+            && !resumed.stats.contains("\"resumed_from_episode\":0,"),
+        "must resume from a checkpointed episode: {}",
+        resumed.stats
+    );
+    handle.shutdown_graceful();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_loris_is_reaped_and_server_stays_responsive() {
+    let (handle, dir) = start("loris", |c| {
+        c.idle_timeout = Duration::from_millis(200);
+    });
+    // The attacker: sends half a frame header, then goes silent.
+    let mut loris = TcpStream::connect(handle.addr()).expect("connect");
+    loris.write_all(b"RLSF\x01\x10").expect("half a header");
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    // The server must reap the stalled connection: the next read sees EOF.
+    let mut buf = [0u8; 64];
+    let start_wait = Instant::now();
+    loop {
+        match loris.read(&mut buf) {
+            Ok(0) => break, // reaped
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::ConnectionReset
+                    || e.kind() == std::io::ErrorKind::BrokenPipe =>
+            {
+                break
+            }
+            Err(e) => panic!("unexpected read error: {e}"),
+        }
+        assert!(
+            start_wait.elapsed() < Duration::from_secs(30),
+            "stalled connection was never reaped"
+        );
+    }
+    // A well-behaved client is unaffected.
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    client.ping(TIMEOUT).expect("server responsive after loris");
+    handle.shutdown_graceful();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oversized_frame_is_rejected_cleanly() {
+    let (handle, dir) = start("big", |c| c.max_frame = 64 * 1024);
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    // A header declaring a 1 MiB payload against a 64 KiB cap.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&proto::MAGIC);
+    wire.push(0x01);
+    wire.extend_from_slice(&(1u32 << 20).to_le_bytes());
+    wire.extend_from_slice(&0u32.to_le_bytes());
+    stream.write_all(&wire).expect("send header");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    // The server answers REJECTED(OVERSIZED) and closes — without ever
+    // buffering the declared payload.
+    let mut reader = FrameReader::new();
+    let mut got = None;
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                reader.push(&chunk[..n]);
+                if let Ok(Some(f)) = reader.next_frame(proto::MAX_FRAME) {
+                    got = Some(f);
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::ConnectionReset
+                    || e.kind() == std::io::ErrorKind::BrokenPipe =>
+            {
+                break
+            }
+            Err(e) => panic!("unexpected read error: {e}"),
+        }
+    }
+    match got {
+        Some(Frame::Rejected { code, .. }) => assert_eq!(code, proto::reject::OVERSIZED),
+        other => panic!("expected Rejected(OVERSIZED), got {other:?}"),
+    }
+    // Server is still healthy.
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    client
+        .ping(TIMEOUT)
+        .expect("responsive after oversized frame");
+    handle.shutdown_graceful();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn backpressure_rejects_with_queue_full() {
+    // One shard, depth 1, and a single executor: the first job occupies
+    // the executor, the second sits queued, the third must bounce.
+    let (handle, dir) = start("busy", |c| {
+        c.shards = 1;
+        c.shard_depth = 1;
+        c.executors = 1;
+    });
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let slow = JobSpec {
+        kind: JobKind::Train,
+        episodes: 5,
+        hidden: 8,
+        def: small_def(0.002),
+        ..JobSpec::default()
+    };
+    let _running = client.submit(&slow, TIMEOUT).expect("first accepted");
+    let _queued = client.submit(&slow, TIMEOUT).expect("second queued");
+    let mut rejected = false;
+    for _ in 0..20 {
+        match client.submit(&slow, TIMEOUT) {
+            Err(ClientError::Rejected { code, .. }) if code == proto::reject::QUEUE_FULL => {
+                rejected = true;
+                break;
+            }
+            Ok(_) => {}
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(rejected, "a full shard must answer QUEUE_FULL");
+    handle.shutdown_graceful();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancel_unqueues_a_waiting_job() {
+    let (handle, dir) = start("cancel", |c| {
+        c.shards = 1;
+        c.shard_depth = 4;
+        c.executors = 1;
+    });
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let slow = JobSpec {
+        kind: JobKind::Train,
+        episodes: 20,
+        hidden: 8,
+        def: small_def(0.002),
+        ..JobSpec::default()
+    };
+    let _running = client.submit(&slow, TIMEOUT).expect("first");
+    let queued = client.submit(&slow, TIMEOUT).expect("second");
+    let st = client.cancel(queued, TIMEOUT).expect("cancel confirmed");
+    assert_eq!(st, state::CANCELLED, "queued job must cancel");
+    handle.shutdown_graceful();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_shutdown_persists_undelivered_results() {
+    let (handle, dir) = start("drain", |_| {});
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    // A multi-episode training job: long enough that the server sees the
+    // client leave (next tick) well before the job finishes.
+    let job = client
+        .submit(
+            &JobSpec {
+                kind: JobKind::Train,
+                episodes: 10,
+                hidden: 8,
+                def: small_def(0.002),
+                ..JobSpec::default()
+            },
+            TIMEOUT,
+        )
+        .expect("accepted");
+    // Walk away without collecting the result, then drain the server.
+    drop(client);
+    handle.shutdown_graceful();
+    let def_path = dir.join(format!("job-{job}.def"));
+    let stats_path = dir.join(format!("job-{job}.stats.json"));
+    assert!(
+        def_path.exists(),
+        "undelivered result must be persisted on drain"
+    );
+    assert!(stats_path.exists(), "stats must be persisted on drain");
+    let model = std::fs::read_to_string(&def_path).expect("read drained result");
+    assert!(
+        !model.is_empty(),
+        "drained training result must carry the model"
+    );
+    let stats = std::fs::read_to_string(&stats_path).expect("read drained stats");
+    assert!(stats.contains("\"episodes\":10"), "stats: {stats}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn http_adapter_serves_health_jobs_and_metrics() {
+    let (handle, dir) = start("http", |_| {});
+    let addr = handle.addr();
+    let http = |request: String| -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(request.as_bytes()).expect("send");
+        s.set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("timeout");
+        let mut out = Vec::new();
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match s.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => out.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::ConnectionReset
+                        || e.kind() == std::io::ErrorKind::BrokenPipe =>
+                {
+                    break
+                }
+                Err(e) => panic!("read: {e}"),
+            }
+        }
+        String::from_utf8_lossy(&out).into_owned()
+    };
+
+    let health = http("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n".into());
+    assert!(health.starts_with("HTTP/1.1 200"), "healthz: {health}");
+    assert!(health.contains("\"ok\":true"));
+
+    let def = small_def(0.002);
+    let submit = http(format!(
+        "POST /jobs?seed=5 HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{def}",
+        def.len()
+    ));
+    assert!(submit.starts_with("HTTP/1.1 202"), "submit: {submit}");
+    let body = submit.split("\r\n\r\n").nth(1).expect("body");
+    let id: u64 = body
+        .trim()
+        .trim_start_matches("{\"job\":")
+        .trim_end_matches('}')
+        .parse()
+        .expect("job id");
+
+    // Poll until done.
+    let t0 = Instant::now();
+    loop {
+        let status = http(format!("GET /jobs/{id} HTTP/1.1\r\nHost: x\r\n\r\n"));
+        if status.contains("\"state\":\"done\"") {
+            break;
+        }
+        assert!(
+            !status.contains("\"state\":\"failed\""),
+            "job failed: {status}"
+        );
+        assert!(t0.elapsed() < TIMEOUT, "job never finished: {status}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let def_resp = http(format!("GET /jobs/{id}/def HTTP/1.1\r\nHost: x\r\n\r\n"));
+    assert!(def_resp.starts_with("HTTP/1.1 200"), "def: {def_resp}");
+    let def_text = def_resp.split("\r\n\r\n").nth(1).expect("def body");
+    let d = parse_def(def_text, Technology::contest()).expect("def parses");
+    assert!(legality::check(&d, false).is_empty());
+
+    let metrics = http("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n".into());
+    assert!(metrics.starts_with("HTTP/1.1 200"), "metrics: {metrics}");
+    assert!(metrics.contains("counters"));
+
+    let missing = http("GET /nope HTTP/1.1\r\nHost: x\r\n\r\n".into());
+    assert!(missing.starts_with("HTTP/1.1 404"));
+
+    handle.shutdown_graceful();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rl_job_over_the_wire_respects_budget() {
+    let (handle, dir) = start("rl", |_| {});
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let result = client
+        .run(
+            &JobSpec {
+                kind: JobKind::RlLegalize,
+                hidden: 8,
+                max_steps: 2,
+                def: small_def(0.002),
+                ..JobSpec::default()
+            },
+            TIMEOUT,
+        )
+        .expect("rl job");
+    assert!(result.ok, "stats: {}", result.stats);
+    assert!(
+        result.stats.contains("StepBudget"),
+        "budget degradation must be reported: {}",
+        result.stats
+    );
+    handle.shutdown_graceful();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn query_answers_unknown_for_bogus_ids() {
+    let (handle, dir) = start("query", |_| {});
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let st = client.query(9_999, TIMEOUT).expect("query");
+    assert_eq!(st, state::UNKNOWN);
+    handle.shutdown_graceful();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -27,6 +27,19 @@ cargo bench --no-run --workspace
 echo "==> fuzz smoke: rlleg-fuzz --iters 50 --seed 1"
 cargo run -q --release -p rlleg-fuzz -- --iters 50 --seed 1
 
+# Loopback serving smoke: start an in-process server, run one job over
+# the binary protocol end to end, verify the result DEF is legal, and
+# drain gracefully. Catches wire-format or event-loop regressions that
+# unit tests on the codec alone would miss.
+echo "==> serve smoke: rlleg-serve --smoke"
+cargo run -q --release -p rlleg-serve -- --smoke
+
+# Fixed-seed protocol fuzz smoke: 100 iterations of the proto oracle
+# alone (frame round-trips, adversarial reassembly, truncation, CRC
+# flips, splices, garbage, cap enforcement). Deterministic and fast.
+echo "==> protocol fuzz smoke: rlleg-fuzz --iters 100 --seed 1 --only proto"
+cargo run -q --release -p rlleg-fuzz -- --iters 100 --seed 1 --only proto
+
 # Fixed-seed fault-injection smoke: 200 iterations of the fault oracle
 # alone (solver panics, corrupted checkpoints, NaN weights, inference
 # stalls). Every injected fault must end in a completed run — a process
@@ -52,6 +65,9 @@ fi
 if [[ "${RLLEG_BENCH_GUARD:-0}" == "1" ]]; then
   echo "==> bench guard: cargo bench -p rlleg-bench && scripts/bench_guard.sh"
   cargo bench -p rlleg-bench
+  echo "==> serve load snapshot: rlleg-serve --loadgen"
+  cargo run -q --release -p rlleg-serve -- --loadgen --sessions 64 --jobs 4 \
+    --out BENCH_serve.json
   scripts/bench_guard.sh
 fi
 

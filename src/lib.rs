@@ -11,6 +11,7 @@
 //! - [`nn`] — the neural-network stack,
 //! - [`bayesopt`] — GP Bayesian optimization,
 //! - [`rl`] — the RL-Legalizer itself (environment, A3C, inference),
+//! - [`serve`] — legalization as a service: the async job server,
 //! - [`telemetry`] — zero-dependency metrics, spans, and event journal.
 //!
 //! # Example
@@ -33,6 +34,7 @@ pub use rlleg_design as design;
 pub use rlleg_geom as geom;
 pub use rlleg_legalize as legalize;
 pub use rlleg_nn as nn;
+pub use rlleg_serve as serve;
 pub use telemetry;
 
 /// The core RL framework (crate `rl-legalizer`).
