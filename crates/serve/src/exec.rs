@@ -333,11 +333,10 @@ impl Executors {
 
 fn executor_loop(worker: usize, cfg: &ExecConfig, queue: &ShardedQueue<JobId>, table: &JobTable) {
     while let Some(id) = queue.pop(worker) {
-        if !table.claim(id) {
-            // Cancelled while queued.
-            continue;
-        }
-        let Some(spec) = table.with(id, |e| e.spec.clone()) else {
+        // Claiming moves the spec out of the table (the DEF/LEF text now
+        // lives only with this executor); a cancelled-while-queued job
+        // yields no spec and its stale queue entry is simply discarded.
+        let Some(spec) = table.claim(id) else {
             continue;
         };
         table.progress(

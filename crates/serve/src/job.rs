@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use telemetry::journal::Event;
 
@@ -54,9 +54,16 @@ pub struct JobOutcome {
 }
 
 /// One job's full lifecycle record.
+///
+/// Memory discipline: the heavy parts of [`JobSpec`] (DEF/LEF text) are
+/// moved out by [`JobTable::claim`] when the job starts running, dropped
+/// on [`JobTable::cancel`], and the whole entry is evicted by
+/// [`JobTable::reap_terminal`] once its result was delivered — so the
+/// table's footprint is bounded by in-flight work plus a capped window of
+/// delivered results, not by the server's lifetime job count.
 #[derive(Debug)]
 pub struct JobEntry {
-    /// The submitted specification.
+    /// The submitted specification (payloads emptied once RUNNING).
     pub spec: JobSpec,
     /// Current state code (see [`state`]).
     pub state: u8,
@@ -72,6 +79,8 @@ pub struct JobEntry {
     pub delivered: bool,
     /// Submission time (for queue-latency accounting).
     pub submitted: Instant,
+    /// Time the job reached a terminal state (for eviction TTLs).
+    pub finished: Option<Instant>,
 }
 
 /// Shared registry of every job the server has accepted.
@@ -103,6 +112,7 @@ impl JobTable {
             error: None,
             delivered: false,
             submitted: Instant::now(),
+            finished: None,
         };
         relock(&self.jobs).insert(id, entry);
         id
@@ -127,12 +137,34 @@ impl JobTable {
             .count()
     }
 
-    /// Marks `id` running if it is still queued; returns `false` when the
-    /// job was cancelled in the meantime (the executor skips it).
-    pub fn claim(&self, id: JobId) -> bool {
+    /// Marks `id` running if it is still queued, moving the submitted spec
+    /// out to the claiming executor (the table keeps only the lightweight
+    /// shell, so the DEF/LEF text lives exactly once, with the job that
+    /// needs it). Returns `None` when the job was cancelled in the
+    /// meantime (the executor skips it).
+    pub fn claim(&self, id: JobId) -> Option<JobSpec> {
         self.with(id, |e| {
             if e.state == state::QUEUED {
                 e.state = state::RUNNING;
+                Some(std::mem::take(&mut e.spec))
+            } else {
+                None
+            }
+        })
+        .flatten()
+    }
+
+    /// Cancels a queued job; running/terminal jobs are left alone. The
+    /// STATUS acknowledgement the caller sends *is* the delivery, so the
+    /// entry is immediately eligible for [`reap_terminal`](Self::reap_terminal)
+    /// and its payloads are dropped here.
+    pub fn cancel(&self, id: JobId) -> bool {
+        self.with(id, |e| {
+            if e.state == state::QUEUED {
+                e.state = state::CANCELLED;
+                e.spec = JobSpec::default();
+                e.delivered = true;
+                e.finished = Some(Instant::now());
                 true
             } else {
                 false
@@ -141,17 +173,10 @@ impl JobTable {
         .unwrap_or(false)
     }
 
-    /// Cancels a queued job; running/terminal jobs are left alone.
-    pub fn cancel(&self, id: JobId) -> bool {
-        self.with(id, |e| {
-            if e.state == state::QUEUED {
-                e.state = state::CANCELLED;
-                true
-            } else {
-                false
-            }
-        })
-        .unwrap_or(false)
+    /// Removes an entry outright (submission that never entered the
+    /// queue — the id was never handed to a client).
+    pub fn remove(&self, id: JobId) {
+        relock(&self.jobs).remove(&id);
     }
 
     /// Appends a progress event to the job's stream (shedding past the
@@ -173,6 +198,7 @@ impl JobTable {
         self.with(id, |e| {
             e.state = state::DONE;
             e.outcome = Some(outcome);
+            e.finished = Some(Instant::now());
         });
     }
 
@@ -181,7 +207,36 @@ impl JobTable {
         self.with(id, |e| {
             e.state = state::FAILED;
             e.error = Some(error);
+            e.finished = Some(Instant::now());
         });
+    }
+
+    /// Evicts delivered terminal entries, bounding the table: everything
+    /// older than `ttl` goes, and at most `cap` delivered terminal entries
+    /// are kept (oldest evicted first). Undelivered results are exempt —
+    /// they are drained to disk on shutdown, never silently dropped.
+    /// Returns the number of entries evicted.
+    pub fn reap_terminal(&self, now: Instant, ttl: Duration, cap: usize) -> usize {
+        let mut jobs = relock(&self.jobs);
+        let mut reapable: Vec<(JobId, Instant)> = jobs
+            .iter()
+            .filter(|(_, e)| {
+                e.delivered && matches!(e.state, state::DONE | state::FAILED | state::CANCELLED)
+            })
+            .map(|(&id, e)| (id, e.finished.unwrap_or(e.submitted)))
+            .collect();
+        // Oldest first, so the cap keeps the most recent results around
+        // for late re-queries.
+        reapable.sort_by_key(|&(_, at)| at);
+        let over_cap = reapable.len().saturating_sub(cap);
+        let mut evicted = 0;
+        for (i, (id, at)) in reapable.iter().enumerate() {
+            if i < over_cap || now.saturating_duration_since(*at) >= ttl {
+                jobs.remove(id);
+                evicted += 1;
+            }
+        }
+        evicted
     }
 
     /// Ids of every terminal job whose result was never delivered to a
@@ -218,9 +273,9 @@ mod tests {
         let t = JobTable::new();
         let id = t.insert(JobSpec::default());
         assert_eq!(t.state_of(id), state::QUEUED);
-        assert!(t.claim(id));
+        assert!(t.claim(id).is_some());
         assert_eq!(t.state_of(id), state::RUNNING);
-        assert!(!t.claim(id), "claiming twice must fail");
+        assert!(t.claim(id).is_none(), "claiming twice must fail");
         t.finish(
             id,
             JobOutcome {
@@ -241,10 +296,93 @@ mod tests {
         let id = t.insert(JobSpec::default());
         assert!(t.cancel(id));
         assert_eq!(t.state_of(id), state::CANCELLED);
-        assert!(!t.claim(id), "cancelled job must not start");
+        assert!(t.claim(id).is_none(), "cancelled job must not start");
         let id2 = t.insert(JobSpec::default());
-        assert!(t.claim(id2));
+        assert!(t.claim(id2).is_some());
         assert!(!t.cancel(id2), "running job is not cancellable");
+    }
+
+    #[test]
+    fn claim_moves_the_spec_out_of_the_table() {
+        let t = JobTable::new();
+        let id = t.insert(JobSpec {
+            def: "DESIGN big payload".into(),
+            ..JobSpec::default()
+        });
+        let spec = t.claim(id).expect("claim");
+        assert_eq!(spec.def, "DESIGN big payload");
+        t.with(id, |e| {
+            assert!(
+                e.spec.def.is_empty(),
+                "DEF text must not be retained once RUNNING"
+            );
+        });
+    }
+
+    #[test]
+    fn reap_evicts_delivered_terminal_entries_by_ttl_and_cap() {
+        let t = JobTable::new();
+        let ttl = Duration::from_secs(60);
+        // Three delivered terminal jobs, one undelivered, one running.
+        let delivered: Vec<JobId> = (0..3)
+            .map(|_| {
+                let id = t.insert(JobSpec::default());
+                t.claim(id);
+                t.finish(
+                    id,
+                    JobOutcome {
+                        ok: true,
+                        def: String::new(),
+                        stats: "{}".into(),
+                    },
+                );
+                t.with(id, |e| e.delivered = true);
+                id
+            })
+            .collect();
+        let undelivered = t.insert(JobSpec::default());
+        t.claim(undelivered);
+        t.fail(undelivered, "boom".into());
+        let running = t.insert(JobSpec::default());
+        t.claim(running);
+
+        // Within TTL and under cap: nothing to do.
+        assert_eq!(t.reap_terminal(Instant::now(), ttl, 8), 0);
+        // Cap of 1 evicts the two oldest delivered entries.
+        assert_eq!(t.reap_terminal(Instant::now(), ttl, 1), 2);
+        assert_eq!(t.state_of(delivered[0]), state::UNKNOWN);
+        assert_eq!(t.state_of(delivered[1]), state::UNKNOWN);
+        assert_eq!(t.state_of(delivered[2]), state::DONE);
+        // TTL expiry evicts the last delivered one; the undelivered
+        // failure and the running job survive.
+        assert_eq!(t.reap_terminal(Instant::now() + ttl, ttl, 8), 1);
+        assert_eq!(t.state_of(delivered[2]), state::UNKNOWN);
+        assert_eq!(t.state_of(undelivered), state::FAILED);
+        assert_eq!(t.state_of(running), state::RUNNING);
+    }
+
+    #[test]
+    fn cancel_drops_payload_and_marks_delivered() {
+        let t = JobTable::new();
+        let id = t.insert(JobSpec {
+            def: "DESIGN payload".into(),
+            ..JobSpec::default()
+        });
+        assert!(t.cancel(id));
+        t.with(id, |e| {
+            assert!(e.spec.def.is_empty());
+            assert!(e.delivered);
+        });
+        // An immediately-reapable entry: the cancel ACK was the delivery.
+        assert_eq!(t.reap_terminal(Instant::now(), Duration::ZERO, 0), 1);
+    }
+
+    #[test]
+    fn remove_discards_a_never_queued_entry() {
+        let t = JobTable::new();
+        let id = t.insert(JobSpec::default());
+        t.remove(id);
+        assert_eq!(t.state_of(id), state::UNKNOWN);
     }
 
     #[test]
@@ -264,6 +402,6 @@ mod tests {
     fn unknown_ids_answer_unknown() {
         let t = JobTable::new();
         assert_eq!(t.state_of(99), state::UNKNOWN);
-        assert!(!t.claim(99));
+        assert!(t.claim(99).is_none());
     }
 }

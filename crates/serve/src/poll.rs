@@ -46,9 +46,15 @@ mod sys {
     pub const POLLHUP: i16 = 0x010;
     pub const POLLNVAL: i16 = 0x020;
 
+    /// `nfds_t` is `c_ulong`: pointer-width on every Unix Rust supports
+    /// (64-bit on LP64, 32-bit on ILP32 targets like armv7/i686).
+    #[cfg(target_pointer_width = "64")]
+    pub type NfdsT = u64;
+    #[cfg(not(target_pointer_width = "64"))]
+    pub type NfdsT = u32;
+
     extern "C" {
-        /// `poll(2)`; `nfds_t` is `c_ulong` on every Unix Rust supports.
-        pub fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+        pub fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: i32) -> i32;
     }
 }
 
@@ -70,7 +76,7 @@ pub fn wait(fds: &[(i32, Interest)], timeout: Duration) -> Vec<Readiness> {
         .max(0);
     // EINTR and transient failures degrade to "nothing ready this tick" —
     // the loop re-polls immediately, so no readiness is ever lost.
-    let rc = unsafe { sys::poll(pfds.as_mut_ptr(), pfds.len() as u64, timeout_ms) };
+    let rc = unsafe { sys::poll(pfds.as_mut_ptr(), pfds.len() as sys::NfdsT, timeout_ms) };
     if rc <= 0 {
         return vec![Readiness::default(); fds.len()];
     }

@@ -7,6 +7,12 @@
 //! retry signal. Executors pop starting at their own shard and scan the
 //! others (work conservation: a busy shard's backlog is stolen by idle
 //! executors), blocking on a condvar while every shard is empty.
+//!
+//! Only poppers ever remove items — that invariant is what lets `pop`
+//! claim an item by decrementing the count and then scan the shards
+//! without re-taking the count lock. Cancellation is therefore logical,
+//! not physical: a cancelled job's id stays queued and the executor that
+//! eventually pops it discards it (its `JobTable::claim` fails).
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard};
@@ -145,19 +151,6 @@ impl<T> ShardedQueue<T> {
         }
     }
 
-    /// Removes the first queued item matching `pred` (used by CANCEL).
-    pub fn remove_where(&self, pred: impl Fn(&T) -> bool) -> Option<T> {
-        let mut avail = relock(&self.avail);
-        for shard in &self.shards {
-            let mut q = relock(shard);
-            if let Some(pos) = q.iter().position(&pred) {
-                avail.count -= 1;
-                return q.remove(pos);
-            }
-        }
-        None
-    }
-
     /// Closes the queue: pending items still drain, new pushes fail, and
     /// blocked poppers return `None` once empty.
     pub fn close(&self) {
@@ -253,13 +246,58 @@ mod tests {
         assert_eq!(seen.load(Ordering::Relaxed), pushed);
     }
 
+    /// Regression for the CANCEL race: a popper that claimed the count
+    /// must always find an item, even while other threads push and pop
+    /// concurrently — nothing but `pop` may remove items, so no popper can
+    /// ever wedge in its shard scan and the count can never underflow.
     #[test]
-    fn remove_where_unqueues_a_cancelled_job() {
-        let q = ShardedQueue::new(2, 4);
-        q.push(7u64, 7).expect("push");
-        q.push(8u64, 8).expect("push");
-        assert_eq!(q.remove_where(|&x| x == 7), Some(7));
-        assert_eq!(q.remove_where(|&x| x == 7), None);
-        assert_eq!(q.len(), 1);
+    fn heavy_concurrent_push_pop_never_wedges_or_underflows() {
+        let q = Arc::new(ShardedQueue::<u64>::new(4, 16));
+        let seen = Arc::new(AtomicUsize::new(0));
+        let consumers: Vec<_> = (0..4)
+            .map(|w| {
+                let q = Arc::clone(&q);
+                let seen = Arc::clone(&seen);
+                std::thread::spawn(move || {
+                    while q.pop(w).is_some() {
+                        seen.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut pushed = 0usize;
+                    for i in 0..500u64 {
+                        loop {
+                            match q.push(p * 1_000 + i, i) {
+                                Ok(()) => {
+                                    pushed += 1;
+                                    break;
+                                }
+                                Err(PushError::Full) => std::thread::yield_now(),
+                                Err(PushError::Closed) => unreachable!(),
+                            }
+                        }
+                    }
+                    pushed
+                })
+            })
+            .collect();
+        let total: usize = producers
+            .into_iter()
+            .map(|p| p.join().expect("producer"))
+            .sum();
+        while !q.is_empty() {
+            std::thread::yield_now();
+        }
+        q.close();
+        for c in consumers {
+            c.join().expect("consumer");
+        }
+        assert_eq!(seen.load(Ordering::Relaxed), total);
+        assert!(q.is_empty());
     }
 }

@@ -67,6 +67,12 @@ pub struct ServeConfig {
     pub ckpt_every: usize,
     /// Accepted connections beyond this are dropped at accept time.
     pub max_conns: usize,
+    /// Delivered terminal jobs are evicted from the job table this long
+    /// after finishing (late re-queries answer UNKNOWN past it).
+    pub terminal_ttl: Duration,
+    /// At most this many delivered terminal jobs are retained, oldest
+    /// evicted first, so table memory is bounded even under the TTL.
+    pub max_terminal: usize,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +90,8 @@ impl Default for ServeConfig {
             chaos_enabled: false,
             ckpt_every: 2,
             max_conns: 256,
+            terminal_ttl: Duration::from_secs(300),
+            max_terminal: 1024,
         }
     }
 }
@@ -374,7 +382,9 @@ impl EventLoop {
                 }
             }
             Frame::Cancel(job) => {
-                self.queue.remove_where(|&id| id == job);
+                // Cancellation is logical only: the id stays queued (no
+                // popper/cancel race on the shard counts) and the executor
+                // that pops it discards it when its claim fails.
                 self.table.cancel(job);
                 conn.subscriptions.remove(&job);
                 conn.send(&proto::encode_frame(&Frame::Status {
@@ -415,7 +425,9 @@ impl EventLoop {
                 Ok(id)
             }
             Err(e) => {
-                self.table.cancel(id);
+                // The id never reached the client nor the queue; drop the
+                // entry outright instead of leaving a tombstone behind.
+                self.table.remove(id);
                 if !telemetry::disabled() {
                     telemetry::counter("serve.jobs.rejected").inc();
                 }
@@ -499,7 +511,9 @@ impl EventLoop {
         self.conns = conns;
     }
 
-    /// Reaps stalled (slow-loris) connections.
+    /// Reaps stalled (slow-loris) connections and evicts delivered
+    /// terminal jobs past the retention TTL/cap, keeping table memory
+    /// bounded on a long-running server.
     fn sweep(&mut self, now: Instant) {
         let idle = self.cfg.idle_timeout;
         let before = self.conns.len();
@@ -507,6 +521,12 @@ impl EventLoop {
         let reaped = before - self.conns.len();
         if reaped > 0 && !telemetry::disabled() {
             telemetry::counter("serve.conns.reaped").add(reaped as u64);
+        }
+        let evicted = self
+            .table
+            .reap_terminal(now, self.cfg.terminal_ttl, self.cfg.max_terminal);
+        if evicted > 0 && !telemetry::disabled() {
+            telemetry::counter("serve.jobs.evicted").add(evicted as u64);
         }
     }
 
@@ -627,37 +647,9 @@ impl EventLoop {
     }
 
     fn http_submit(&mut self, req: &http::HttpRequest) -> Vec<u8> {
-        let Ok(def) = String::from_utf8(req.body.clone()) else {
-            return http::json_error(400, "DEF body must be UTF-8");
-        };
-        let q = |k: &str| req.query(k).and_then(|v| v.parse::<u64>().ok());
-        let spec = JobSpec {
-            kind: match req.query("kind") {
-                None | Some("legalize") => JobKind::Legalize,
-                Some("rl") => JobKind::RlLegalize,
-                Some("train") => JobKind::Train,
-                Some(other) => {
-                    return http::json_error(400, &format!("unknown kind {other:?}"));
-                }
-            },
-            tech: q("tech").unwrap_or(0) as u8,
-            ordering: match req.query("ordering") {
-                None | Some("size") => 0,
-                Some("x") => 1,
-                Some("random") => 2,
-                Some(other) => {
-                    return http::json_error(400, &format!("unknown ordering {other:?}"));
-                }
-            },
-            threads: q("threads").unwrap_or(0) as u8,
-            hidden: q("hidden").unwrap_or(16) as u16,
-            episodes: q("episodes").unwrap_or(1) as u32,
-            seed: q("seed").unwrap_or(0),
-            max_steps: q("max_steps").unwrap_or(0),
-            max_wall_ms: q("max_wall_ms").unwrap_or(0),
-            job_key: q("key").unwrap_or(0),
-            def,
-            ..JobSpec::default()
+        let spec = match http_spec(req) {
+            Ok(spec) => spec,
+            Err(msg) => return http::json_error(400, &msg),
         };
         match self.submit(spec) {
             Ok(id) => http::response(
@@ -693,7 +685,14 @@ impl EventLoop {
         if want_def {
             let def = self
                 .table
-                .with(id, |e| e.outcome.as_ref().map(|o| o.def.clone()))
+                .with(id, |e| {
+                    let d = e.outcome.as_ref().map(|o| o.def.clone());
+                    if d.as_ref().is_some_and(|d| !d.is_empty()) {
+                        // Serving the result DEF is the delivery.
+                        e.delivered = true;
+                    }
+                    d
+                })
                 .flatten();
             return match def {
                 Some(d) if !d.is_empty() => http::response(200, "text/plain", d.as_bytes()),
@@ -703,6 +702,12 @@ impl EventLoop {
         let (stats, error) = self
             .table
             .with(id, |e| {
+                if matches!(e.state, state::FAILED | state::CANCELLED) {
+                    // No DEF will ever exist; the status answer is the
+                    // whole result. DONE stays undelivered until the def
+                    // itself is fetched (or shutdown persists it).
+                    e.delivered = true;
+                }
                 (e.outcome.as_ref().map(|o| o.stats.clone()), e.error.clone())
             })
             .unwrap_or((None, None));
@@ -724,4 +729,57 @@ impl EventLoop {
         body.push('}');
         http::response(200, "application/json", body.as_bytes())
     }
+}
+
+/// A numeric query parameter, validated to fit `T` — the HTTP dialect is
+/// exactly as strict as the binary decoder, rejecting instead of silently
+/// truncating (`threads=257` is an error, not thread count 1).
+fn http_param<T: TryFrom<u64>>(
+    req: &http::HttpRequest,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match req.query(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<u64>()
+            .ok()
+            .and_then(|n| T::try_from(n).ok())
+            .ok_or_else(|| format!("parameter {key}={v:?} is out of range")),
+    }
+}
+
+/// Builds a [`JobSpec`] from an HTTP submit request, enforcing the same
+/// value ranges as [`proto::decode_frame`]'s spec decoder.
+fn http_spec(req: &http::HttpRequest) -> Result<JobSpec, String> {
+    let def =
+        String::from_utf8(req.body.clone()).map_err(|_| "DEF body must be UTF-8".to_string())?;
+    let tech: u8 = http_param(req, "tech", 0)?;
+    if tech > 1 {
+        return Err(format!("unknown technology {tech}"));
+    }
+    Ok(JobSpec {
+        kind: match req.query("kind") {
+            None | Some("legalize") => JobKind::Legalize,
+            Some("rl") => JobKind::RlLegalize,
+            Some("train") => JobKind::Train,
+            Some(other) => return Err(format!("unknown kind {other:?}")),
+        },
+        tech,
+        ordering: match req.query("ordering") {
+            None | Some("size") => 0,
+            Some("x") => 1,
+            Some("random") => 2,
+            Some(other) => return Err(format!("unknown ordering {other:?}")),
+        },
+        threads: http_param(req, "threads", 0)?,
+        hidden: http_param(req, "hidden", 16)?,
+        episodes: http_param(req, "episodes", 1)?,
+        seed: http_param(req, "seed", 0)?,
+        max_steps: http_param(req, "max_steps", 0)?,
+        max_wall_ms: http_param(req, "max_wall_ms", 0)?,
+        job_key: http_param(req, "key", 0)?,
+        def,
+        ..JobSpec::default()
+    })
 }

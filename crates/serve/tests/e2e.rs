@@ -381,7 +381,7 @@ fn backpressure_rejects_with_queue_full() {
 }
 
 #[test]
-fn cancel_unqueues_a_waiting_job() {
+fn cancel_stops_a_waiting_job_from_running() {
     let (handle, dir) = start("cancel", |c| {
         c.shards = 1;
         c.shard_depth = 4;
