@@ -3,17 +3,25 @@
 //! Benches the word-level bitset `find_position` against the per-pixel
 //! reference (`find_position_reference`) on dense / sparse / macro-heavy
 //! occupancy grids, full-design legalization (sequential vs parallel
-//! per-Gcell), and batched vs per-state network evaluation. The custom
-//! `main` exports every measurement (mean ns + iters/sec) to
-//! `BENCH_legalize.json` at the repo root so the perf trajectory is
-//! diffable across PRs.
+//! per-Gcell), the `legalize_scale` curve (flat vs parallel at 1k/10k/100k
+//! cells, with an opt-in 1M smoke), and batched vs per-state network
+//! evaluation. The custom `main` exports every measurement (mean ns +
+//! iters/sec) to `BENCH_legalize.json` at the repo root so the perf
+//! trajectory is diffable across PRs.
+//!
+//! CLI (after `cargo bench -p rlleg-bench --`):
+//!
+//! - `--cells 1k|10k|100k|1m` — largest `legalize_scale` point (default
+//!   100k; `1m` is the million-cell smoke),
+//! - `--only-scale` — skip the micro/inference groups,
+//! - `--out <path>` — where to write the JSON snapshot.
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use rl_legalizer::CellWiseNet;
-use rlleg_benchgen::{find_spec, generate};
+use rlleg_benchgen::{find_spec, generate, parse_cells};
 use rlleg_design::{CellId, Design};
 use rlleg_legalize::{
     find_position, find_position_reference, GcellGrid, Legalizer, Ordering, SearchConfig,
@@ -113,6 +121,61 @@ fn bench_full_legalize(c: &mut Criterion) {
     group.finish();
 }
 
+/// The scale curve: flat vs parallel legalization of des_perf_b_md1 grown
+/// to explicit cell-count presets. Every iteration asserts zero failed
+/// cells, so a run that trades completeness for speed fails the bench
+/// itself, not just the guard script.
+fn bench_scale(c: &mut Criterion, max_cells: usize) {
+    let mut group = c.benchmark_group("legalize_scale");
+    group.sample_size(5);
+    let spec = find_spec("des_perf_b_md1").expect("spec");
+    let threads = rlleg_legalize::pool::default_threads();
+    for (label, cells) in [
+        ("1k", 1_000usize),
+        ("10k", 10_000),
+        ("100k", 100_000),
+        ("1m", 1_000_000),
+    ] {
+        if cells > max_cells {
+            continue;
+        }
+        let s = spec.scaled_to(cells);
+        let d = generate(&s);
+        let (nx, ny) = s.paper_gcell_grid();
+        let gcells = GcellGrid::new(&d, nx, ny);
+        group.bench_function(format!("flat/{label}"), |b| {
+            b.iter(|| {
+                let mut local = d.clone();
+                let stats = Legalizer::new(&local).run(&mut local, &Ordering::SizeDescending);
+                assert!(
+                    stats.failed.is_empty(),
+                    "flat/{label}: {} cells failed",
+                    stats.failed.len()
+                );
+                black_box(stats.legalized)
+            })
+        });
+        group.bench_function(format!("parallel/{label}"), |b| {
+            b.iter(|| {
+                let mut local = d.clone();
+                let stats = Legalizer::new(&local).run_gcells_parallel(
+                    &mut local,
+                    &Ordering::SizeDescending,
+                    &gcells,
+                    threads,
+                );
+                assert!(
+                    stats.failed.is_empty(),
+                    "parallel/{label}: {} cells failed",
+                    stats.failed.len()
+                );
+                black_box(stats.legalized)
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Batched network evaluation: one stacked matrix–matrix forward over all
 /// per-step states vs one small forward per state, and the policy-only
 /// inference path vs the full policy+value forward.
@@ -172,8 +235,25 @@ criterion_group!(
 );
 
 fn main() {
-    benches();
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_legalize.json");
-    criterion::export_json(path).expect("write BENCH_legalize.json");
+    let args: Vec<String> = std::env::args().collect();
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let max_cells = value_of("--cells").map_or(100_000, |v| {
+        parse_cells(&v)
+            .unwrap_or_else(|| panic!("--cells wants 1k|10k|100k|1m or an integer, got {v:?}"))
+    });
+    let only_scale = args.iter().any(|a| a == "--only-scale");
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_legalize.json").to_owned();
+    let path = value_of("--out").unwrap_or(default_out);
+
+    if !only_scale {
+        benches();
+    }
+    let mut c = Criterion::default();
+    bench_scale(&mut c, max_cells);
+    criterion::export_json(&path).expect("write bench snapshot");
     println!("wrote {path}");
 }

@@ -1,0 +1,24 @@
+//! Slow scale regression (opt-in: `cargo test -p rlleg-bench --release
+//! -- --ignored`): a 300k-cell contest design must fully legalize under
+//! its max-displacement constraint. Guards the macro-footprint cap in
+//! benchgen — die-proportional macros made displacement-constrained
+//! escape infeasible from ~300k cells up.
+
+use rlleg_legalize::{Legalizer, Ordering};
+
+#[test]
+#[ignore = "generates and legalizes 300k cells (~1 min in release)"]
+fn max_displacement_stays_feasible_at_300k_cells() {
+    let spec = rlleg_benchgen::find_spec("des_perf_b_md1")
+        .expect("table row")
+        .scaled_to(300_000);
+    let d = rlleg_benchgen::generate(&spec);
+    let mut local = d.clone();
+    let stats = Legalizer::new(&local).run(&mut local, &Ordering::SizeDescending);
+    assert!(
+        stats.failed.is_empty(),
+        "{} of {} cells failed under max_disp",
+        stats.failed.len(),
+        spec.num_cells
+    );
+}

@@ -71,6 +71,16 @@ pub fn generate(spec: &BenchmarkSpec) -> Design {
     // density — is preserved even at tiny scales.
     let rows = ((side / rh as f64).round() as i64).max(8);
     let sites_x = ((core_area / (rows * rh) as f64 / sw as f64).round() as i64).max(8);
+    // Million-cell presets must fail loudly, not clamp: the pixel grid
+    // addresses site×row as one flat index, so the product has to stay
+    // inside u32 (a 1M-cell contest die is ~1e8 pixels, comfortably under).
+    assert!(
+        rows.checked_mul(sites_x)
+            .is_some_and(|px| px < i64::from(u32::MAX)),
+        "{} rows x {} sites overflows the u32 pixel index space",
+        rows,
+        sites_x
+    );
 
     let mut b = DesignBuilder::new(spec.name.clone(), tech.clone(), sites_x, rows);
     if let Some(mr) = spec.max_disp_rows {
@@ -83,10 +93,20 @@ pub fn generate(spec: &BenchmarkSpec) -> Design {
     let target_macro_area = spec.macro_area_frac * core.area() as f64;
     let mut macro_area = 0.0;
     let mut attempts = 0;
+    // Macro footprints are capped in absolute terms: real macros do not
+    // grow with die area, and a die-proportional macro makes the contest
+    // 120-row max-displacement constraint infeasible for the cells that
+    // must escape it (a cell starting mid-macro needs ~half the macro
+    // height of vertical displacement; observed failing from ~300k cells
+    // up). Small dies are below the caps, so their designs are unchanged.
+    let w_hi = (sites_x / 6).clamp(3, 512);
+    let h_hi = (rows / 6).clamp(3, 64);
+    let w_lo = (sites_x / 14).clamp(2, (w_hi / 2).max(2));
+    let h_lo = (rows / 14).clamp(2, (h_hi / 2).max(2));
     while macro_area < target_macro_area && attempts < 4_000 {
         attempts += 1;
-        let w_sites = rng.gen_range((sites_x / 14).max(2)..=(sites_x / 6).max(3));
-        let h_rows = rng.gen_range((rows / 14).max(2)..=(rows / 6).max(3));
+        let w_sites = rng.gen_range(w_lo..=w_hi);
+        let h_rows = rng.gen_range(h_lo..=h_hi);
         if w_sites >= sites_x || h_rows >= rows {
             continue;
         }

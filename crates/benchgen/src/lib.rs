@@ -32,4 +32,4 @@ pub mod placement;
 pub mod spec;
 
 pub use generate::generate;
-pub use spec::{find_spec, test_suite, training_suite, BenchmarkSpec, Family};
+pub use spec::{find_spec, parse_cells, test_suite, training_suite, BenchmarkSpec, Family};

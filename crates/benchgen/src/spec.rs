@@ -58,9 +58,46 @@ impl BenchmarkSpec {
     /// together so density and the per-Gcell structure are preserved. A
     /// floor of 60 cells keeps tiny scales meaningful.
     pub fn scaled(&self, scale: f64) -> BenchmarkSpec {
+        self.scaled_to(((self.num_cells as f64 * scale).round() as usize).max(60))
+    }
+
+    /// The spec scaled to an explicit cell count (the `--cells` presets of
+    /// the bench/fuzz harnesses): area scales with the cell-count ratio so
+    /// density and per-Gcell structure are preserved, exactly like
+    /// [`scaled`](Self::scaled).
+    ///
+    /// When *growing* past the table row, the max-displacement constraint
+    /// scales with the die side (`sqrt` of the cell ratio): the table's
+    /// row budget is calibrated to the row's die, and keeping it absolute
+    /// while the die grows makes legalization infeasible wherever the
+    /// synthetic global placement clumps (observed from ~300k cells).
+    /// Shrinking keeps the row's budget, as ever.
+    ///
+    /// # Panics
+    ///
+    /// Panics instead of silently clamping when `num_cells` leaves the
+    /// `u32` id space the occupancy grid reserves (two values are
+    /// free/blocked sentinels), or when the scaled area overflows `f64`
+    /// into non-finite territory.
+    pub fn scaled_to(&self, num_cells: usize) -> BenchmarkSpec {
+        assert!(
+            num_cells < (u32::MAX - 2) as usize,
+            "{num_cells} cells exceeds the u32 cell-id space"
+        );
         let mut s = self.clone();
-        s.num_cells = ((self.num_cells as f64 * scale).round() as usize).max(60);
+        s.num_cells = num_cells.max(60);
         s.area = self.area * (s.num_cells as f64 / self.num_cells as f64);
+        assert!(
+            s.area.is_finite() && s.area > 0.0,
+            "scaled area {} is not representable",
+            s.area
+        );
+        if s.num_cells > self.num_cells {
+            if let Some(mr) = self.max_disp_rows {
+                let side_ratio = (s.num_cells as f64 / self.num_cells as f64).sqrt();
+                s.max_disp_rows = Some((mr as f64 * side_ratio).ceil() as i64);
+            }
+        }
         s
     }
 
@@ -166,6 +203,20 @@ pub fn test_suite() -> Vec<BenchmarkSpec> {
     ]
 }
 
+/// Parses a `--cells` scale preset: `1k`, `10k`, `100k`, `1m` (any case,
+/// any integer prefix with a `k`/`m` suffix), or a plain cell count.
+pub fn parse_cells(s: &str) -> Option<usize> {
+    let s = s.trim().to_ascii_lowercase();
+    let (digits, mult) = match s.strip_suffix('k') {
+        Some(d) => (d, 1_000usize),
+        None => match s.strip_suffix('m') {
+            Some(d) => (d, 1_000_000usize),
+            None => (s.as_str(), 1usize),
+        },
+    };
+    digits.parse::<usize>().ok()?.checked_mul(mult)
+}
+
 /// Looks a spec up by name across both suites.
 pub fn find_spec(name: &str) -> Option<BenchmarkSpec> {
     training_suite()
@@ -212,6 +263,59 @@ mod tests {
     fn scaling_has_floor() {
         let s = find_spec("usb_phy").expect("exists");
         assert_eq!(s.scaled(0.001).num_cells, 60);
+    }
+
+    #[test]
+    fn scaled_to_hits_exact_presets() {
+        let s = find_spec("des_perf_b_md1").expect("exists");
+        for cells in [1_000usize, 10_000, 100_000, 1_000_000] {
+            let big = s.scaled_to(cells);
+            assert_eq!(big.num_cells, cells);
+            let cells_ratio = big.num_cells as f64 / s.num_cells as f64;
+            assert!((big.area / s.area - cells_ratio).abs() < 1e-9);
+            assert_eq!(big.density, s.density);
+            assert!(big.area.is_finite());
+        }
+        // The 60-cell floor still applies to tiny explicit counts.
+        assert_eq!(s.scaled_to(3).num_cells, 60);
+    }
+
+    #[test]
+    fn growing_scales_the_displacement_budget_with_the_die_side() {
+        let s = find_spec("des_perf_b_md1").expect("exists");
+        // Growing: budget scales by sqrt(cell ratio), rounded up.
+        let big = s.scaled_to(1_000_000);
+        let side_ratio = (1_000_000.0f64 / s.num_cells as f64).sqrt();
+        let want = (120.0 * side_ratio).ceil() as i64;
+        assert_eq!(big.max_disp_rows, Some(want));
+        assert!(want > 120);
+        // Shrinking keeps the table row's budget.
+        assert_eq!(s.scaled_to(1_000).max_disp_rows, Some(120));
+        assert_eq!(s.scaled(0.05).max_disp_rows, Some(120));
+        // OpenCores rows have no constraint either way.
+        let oc = find_spec("nova").expect("exists");
+        assert_eq!(oc.scaled_to(1_000_000).max_disp_rows, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 cell-id space")]
+    fn scaled_to_rejects_id_space_overflow() {
+        let s = find_spec("des_perf_b_md1").expect("exists");
+        let _ = s.scaled_to(u32::MAX as usize);
+    }
+
+    #[test]
+    fn parse_cells_handles_presets_and_integers() {
+        assert_eq!(parse_cells("1k"), Some(1_000));
+        assert_eq!(parse_cells("10K"), Some(10_000));
+        assert_eq!(parse_cells("100k"), Some(100_000));
+        assert_eq!(parse_cells("1m"), Some(1_000_000));
+        assert_eq!(parse_cells(" 2M "), Some(2_000_000));
+        assert_eq!(parse_cells("54321"), Some(54_321));
+        assert_eq!(parse_cells(""), None);
+        assert_eq!(parse_cells("k"), None);
+        assert_eq!(parse_cells("1.5k"), None);
+        assert_eq!(parse_cells("lots"), None);
     }
 
     #[test]

@@ -52,14 +52,16 @@ impl StepOutcome {
 /// [`Backend`].
 #[derive(Debug)]
 enum BackendImpl {
-    Diamond(Legalizer),
+    // Boxed: the diamond legalizer carries the SoA hot-cell snapshot and
+    // dwarfs the Tetris variant.
+    Diamond(Box<Legalizer>),
     Tetris(TetrisLegalizer),
 }
 
 impl BackendImpl {
     fn new(kind: Backend, design: &Design) -> Self {
         match kind {
-            Backend::Diamond => BackendImpl::Diamond(Legalizer::new(design)),
+            Backend::Diamond => BackendImpl::Diamond(Box::new(Legalizer::new(design))),
             Backend::Tetris => BackendImpl::Tetris(TetrisLegalizer::new(design)),
         }
     }

@@ -94,6 +94,12 @@ impl DesignBuilder {
             height_rows,
             self.design.tech.max_height_rows
         );
+        // The occupancy grid reserves the two largest u32 values as
+        // free/blocked sentinels; ids must stay strictly below them.
+        assert!(
+            self.design.cells.len() < (u32::MAX - 2) as usize,
+            "cell count exceeds the u32 id space"
+        );
         let id = CellId(self.design.cells.len() as u32);
         self.design.cells.push(Cell {
             name: name.into(),

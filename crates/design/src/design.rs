@@ -229,6 +229,13 @@ impl Design {
         serde_json::from_str(s)
     }
 
+    /// Builds the struct-of-arrays snapshot of the immutable hot cell
+    /// attributes (see [`HotCells`](crate::HotCells)) that the legalizer's
+    /// inner loops read instead of striding over [`Cell`] structs.
+    pub fn hot_cells(&self) -> crate::HotCells {
+        crate::HotCells::new(self)
+    }
+
     /// The number of Gcells per axis the paper would use for this design:
     /// `ceil(dim / 200_000)` capped at 5 (Sec. III-E-1).
     pub fn default_gcell_grid(&self) -> (usize, usize) {

@@ -43,6 +43,7 @@ pub mod lef;
 pub mod legality;
 pub mod metrics;
 mod net;
+mod soa;
 mod tech;
 pub mod viz;
 
@@ -50,4 +51,5 @@ pub use builder::DesignBuilder;
 pub use cell::{Cell, CellId, EdgeType, RailParity};
 pub use design::{Design, Region, RegionId};
 pub use net::{Net, NetId, Pin};
+pub use soa::HotCells;
 pub use tech::Technology;

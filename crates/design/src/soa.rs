@@ -1,0 +1,221 @@
+//! Struct-of-arrays snapshot of the immutable per-cell hot attributes.
+//!
+//! Legalization's inner loops (size-ordered sort keys, diamond-search shape
+//! parameters, phase-2 merge bookkeeping) only read a handful of *immutable*
+//! cell fields — width, height, area, global-placement position, rail/fence
+//! flags. Pulling them out of the pointer-rich [`Cell`](crate::Cell) structs
+//! (which also carry a heap-allocated name and master string) into dense
+//! parallel arrays lets million-cell scans walk contiguous memory instead of
+//! striding over ~100-byte structs.
+//!
+//! [`HotCells`] is a *snapshot*: build it once per run with
+//! [`Design::hot_cells`] and share it freely across threads (everything it
+//! holds is immutable for the lifetime of a legalization run — only `pos`
+//! and `legalized` change, and those stay on the [`Cell`](crate::Cell)).
+
+use rlleg_geom::{Dbu, Point};
+
+use crate::cell::{CellId, EdgeType, RailParity};
+use crate::design::{Design, RegionId};
+
+/// Bit of [`HotCells::flags`]: the cell is fixed (macro / obstacle).
+pub const FLAG_FIXED: u8 = 1;
+/// Bit of [`HotCells::flags`]: rail parity is [`RailParity::Odd`].
+pub const FLAG_RAIL_ODD: u8 = 2;
+/// Bit of [`HotCells::flags`]: even row height, so rail parity applies.
+pub const FLAG_RAIL_CONSTRAINED: u8 = 4;
+
+/// Sentinel in the region column for "no fence region".
+const NO_REGION: u16 = u16::MAX;
+
+/// Struct-of-arrays view of the immutable hot fields of every cell.
+///
+/// Indexing follows [`CellId`]: column `i` describes `CellId(i)`.
+#[derive(Debug, Clone, Default)]
+pub struct HotCells {
+    width: Vec<Dbu>,
+    w_sites: Vec<i64>,
+    height_rows: Vec<u8>,
+    area: Vec<i64>,
+    gp_x: Vec<Dbu>,
+    gp_y: Vec<Dbu>,
+    /// Packed `FLAG_*` bits.
+    flags: Vec<u8>,
+    edge_left: Vec<u8>,
+    edge_right: Vec<u8>,
+    region: Vec<u16>,
+}
+
+impl HotCells {
+    /// Builds the snapshot for `design` (also available as
+    /// [`Design::hot_cells`]).
+    pub fn new(design: &Design) -> Self {
+        let n = design.num_cells();
+        let sw = design.tech.site_width;
+        let rh = design.tech.row_height;
+        let mut hot = Self {
+            width: Vec::with_capacity(n),
+            w_sites: Vec::with_capacity(n),
+            height_rows: Vec::with_capacity(n),
+            area: Vec::with_capacity(n),
+            gp_x: Vec::with_capacity(n),
+            gp_y: Vec::with_capacity(n),
+            flags: Vec::with_capacity(n),
+            edge_left: Vec::with_capacity(n),
+            edge_right: Vec::with_capacity(n),
+            region: Vec::with_capacity(n),
+        };
+        for c in &design.cells {
+            hot.width.push(c.width);
+            hot.w_sites.push(c.width / sw);
+            hot.height_rows.push(c.height_rows);
+            hot.area.push(c.area(rh));
+            hot.gp_x.push(c.gp_pos.x);
+            hot.gp_y.push(c.gp_pos.y);
+            let mut flags = 0u8;
+            if c.fixed {
+                flags |= FLAG_FIXED;
+            }
+            if c.rail == RailParity::Odd {
+                flags |= FLAG_RAIL_ODD;
+            }
+            if c.is_rail_constrained() {
+                flags |= FLAG_RAIL_CONSTRAINED;
+            }
+            hot.flags.push(flags);
+            hot.edge_left.push(c.edge_left.0);
+            hot.edge_right.push(c.edge_right.0);
+            hot.region.push(c.region.map_or(NO_REGION, |r| r.0));
+        }
+        hot
+    }
+
+    /// Number of cells in the snapshot.
+    pub fn len(&self) -> usize {
+        self.width.len()
+    }
+
+    /// `true` when the snapshot holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.width.is_empty()
+    }
+
+    /// Cell width in dbu.
+    pub fn width(&self, id: CellId) -> Dbu {
+        self.width[id.index()]
+    }
+
+    /// Cell width in sites.
+    pub fn w_sites(&self, id: CellId) -> i64 {
+        self.w_sites[id.index()]
+    }
+
+    /// Cell height in rows.
+    pub fn height_rows(&self, id: CellId) -> u8 {
+        self.height_rows[id.index()]
+    }
+
+    /// Cell height in rows as the `i64` the grid math wants.
+    pub fn h_rows(&self, id: CellId) -> i64 {
+        i64::from(self.height_rows[id.index()])
+    }
+
+    /// Cell area in dbu².
+    pub fn area(&self, id: CellId) -> i64 {
+        self.area[id.index()]
+    }
+
+    /// Global-placement position (lower-left).
+    pub fn gp_pos(&self, id: CellId) -> Point {
+        let i = id.index();
+        Point::new(self.gp_x[i], self.gp_y[i])
+    }
+
+    /// Global-placement x (the `XAscending` sort key).
+    pub fn gp_x(&self, id: CellId) -> Dbu {
+        self.gp_x[id.index()]
+    }
+
+    /// `true` for cells a legalizer may move.
+    pub fn is_movable(&self, id: CellId) -> bool {
+        self.flags[id.index()] & FLAG_FIXED == 0
+    }
+
+    /// `true` when the rail-parity constraint applies (even row height).
+    pub fn is_rail_constrained(&self, id: CellId) -> bool {
+        self.flags[id.index()] & FLAG_RAIL_CONSTRAINED != 0
+    }
+
+    /// Rail parity of the cell.
+    pub fn rail(&self, id: CellId) -> RailParity {
+        if self.flags[id.index()] & FLAG_RAIL_ODD != 0 {
+            RailParity::Odd
+        } else {
+            RailParity::Even
+        }
+    }
+
+    /// Left edge class.
+    pub fn edge_left(&self, id: CellId) -> EdgeType {
+        EdgeType(self.edge_left[id.index()])
+    }
+
+    /// Right edge class.
+    pub fn edge_right(&self, id: CellId) -> EdgeType {
+        EdgeType(self.edge_right[id.index()])
+    }
+
+    /// Fence region membership, if any.
+    pub fn region(&self, id: CellId) -> Option<RegionId> {
+        let r = self.region[id.index()];
+        (r != NO_REGION).then_some(RegionId(r))
+    }
+
+    /// Ids of all movable cells, in id order.
+    pub fn movable_ids(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.flags
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f & FLAG_FIXED == 0)
+            .map(|(i, _)| CellId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DesignBuilder;
+    use crate::tech::Technology;
+    use rlleg_geom::Rect;
+
+    #[test]
+    fn snapshot_matches_cells() {
+        let mut b = DesignBuilder::new("soa", Technology::contest(), 30, 8);
+        let a = b.add_cell("a", 2, 1, Point::new(350, 70));
+        let c = b.add_cell("c", 3, 2, Point::new(2_000, 4_000));
+        let m = b.add_fixed_cell("m", 4, 4, Point::new(4_000, 0));
+        let r = b.add_region("f", vec![Rect::new(0, 0, 2_000, 8_000)]);
+        b.assign_region(a, r);
+        b.set_rail(c, RailParity::Odd);
+        b.set_edges(c, EdgeType(1), EdgeType(2));
+        let d = b.build();
+        let hot = d.hot_cells();
+        assert_eq!(hot.len(), 3);
+        for id in d.cell_ids() {
+            let cell = d.cell(id);
+            assert_eq!(hot.width(id), cell.width, "{id} width");
+            assert_eq!(hot.w_sites(id), cell.width / d.tech.site_width);
+            assert_eq!(hot.height_rows(id), cell.height_rows);
+            assert_eq!(hot.area(id), cell.area(d.tech.row_height));
+            assert_eq!(hot.gp_pos(id), cell.gp_pos);
+            assert_eq!(hot.is_movable(id), cell.is_movable());
+            assert_eq!(hot.is_rail_constrained(id), cell.is_rail_constrained());
+            assert_eq!(hot.rail(id), cell.rail);
+            assert_eq!(hot.edge_left(id), cell.edge_left);
+            assert_eq!(hot.edge_right(id), cell.edge_right);
+            assert_eq!(hot.region(id), cell.region);
+        }
+        assert_eq!(hot.movable_ids().collect::<Vec<_>>(), vec![a, c]);
+        assert!(!hot.is_movable(m));
+    }
+}

@@ -100,6 +100,42 @@ proptest! {
     }
 
     #[test]
+    fn hot_cells_snapshot_is_field_exact_after_def_round_trip(
+        cells in prop::collection::vec(arb_cell(), 1..30),
+    ) {
+        // The SoA snapshot the legalizer's inner loops read must agree with
+        // the Cell structs field-for-field — including on a design that has
+        // been through a DEF write/parse cycle.
+        let d = build(&cells, &[]);
+        let text = def::write_def(&d);
+        let back = def::parse_def(&text, Technology::contest()).expect("round trip parses");
+        let hot = back.hot_cells();
+        prop_assert_eq!(hot.len(), back.num_cells());
+        let rh = back.tech.row_height;
+        let sw = back.tech.site_width;
+        for id in back.cell_ids() {
+            let c = back.cell(id);
+            prop_assert_eq!(hot.width(id), c.width);
+            prop_assert_eq!(hot.w_sites(id), c.width / sw);
+            prop_assert_eq!(hot.height_rows(id), c.height_rows);
+            prop_assert_eq!(hot.h_rows(id), i64::from(c.height_rows));
+            prop_assert_eq!(hot.area(id), c.area(rh));
+            prop_assert_eq!(hot.gp_pos(id), c.gp_pos);
+            prop_assert_eq!(hot.gp_x(id), c.gp_pos.x);
+            prop_assert_eq!(hot.is_movable(id), c.is_movable());
+            prop_assert_eq!(hot.is_rail_constrained(id), c.is_rail_constrained());
+            prop_assert_eq!(hot.rail(id), c.rail);
+            prop_assert_eq!(hot.edge_left(id), c.edge_left);
+            prop_assert_eq!(hot.edge_right(id), c.edge_right);
+            prop_assert_eq!(hot.region(id), c.region);
+        }
+        prop_assert_eq!(
+            hot.movable_ids().collect::<Vec<_>>(),
+            back.movable_ids().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn hpwl_is_translation_dominated(
         cells in prop::collection::vec(arb_cell(), 2..20),
         dx in 0i64..5_000,

@@ -4,9 +4,11 @@
 //! Ops: differential `check_place` (fast bitmap path vs per-pixel
 //! reference, error-for-error), `place`/`remove` with occupancy
 //! spot-checks, differential `find_position` (span-walk vs ring
-//! enumeration), and `extract_window` parity (the same window-restricted
+//! enumeration), `extract_window` parity (the same window-restricted
 //! search on a [`SubGrid`] snapshot and on the full grid must return the
-//! identical position).
+//! identical position), and differential `for_each_free_span` (the u64×4
+//! block scan vs a per-pixel scalar sweep, with window edges biased onto
+//! 64-bit word boundaries).
 
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -52,7 +54,7 @@ pub fn check(sc: &Scenario, op_seed: u64) -> Vec<Failure> {
         if !failures.is_empty() {
             break; // one sequence failure is enough; the shrinker takes over
         }
-        match rng.gen_range(0..6u32) {
+        match rng.gen_range(0..7u32) {
             // Differential check_place, then commit when legal.
             0 | 1 => {
                 let Some(&cell) = unplaced.choose(&mut rng) else {
@@ -132,6 +134,52 @@ pub fn check(sc: &Scenario, op_seed: u64) -> Vec<Failure> {
                             "op {op}: find_position({cell}, from=({}, {}), {cfg:?}) \
                              span-walk={a:?} reference={b:?}",
                             from.x, from.y
+                        ),
+                        &mut failures,
+                    );
+                }
+            }
+            // Differential band scan: the u64x4 block walk behind
+            // for_each_free_span vs a per-pixel scalar sweep. Edges are
+            // biased onto 64-bit word boundaries so lane clamps and
+            // partial first/last words get exercised.
+            5 => {
+                let row = rng.gen_range(0..grid.rows());
+                let h_rows = rng.gen_range(1..=(grid.rows() - row).min(4));
+                let edge = |rng: &mut ChaCha8Rng| {
+                    if rng.gen_bool(0.7) {
+                        // Straddle a word boundary by a few sites.
+                        let words = (grid.sites_x() / 64).max(1);
+                        64 * rng.gen_range(0..=words) + rng.gen_range(-3..=3i64)
+                    } else {
+                        rng.gen_range(-4..grid.sites_x() + 4)
+                    }
+                };
+                let (a, b) = (edge(&mut rng), edge(&mut rng));
+                let (lo, hi) = (a.min(b), a.max(b) + 1);
+                let mut fast = Vec::new();
+                grid.for_each_free_span(row, h_rows, lo, hi, |s, e| fast.push((s, e)));
+                let mut slow = Vec::new();
+                let mut run: Option<i64> = None;
+                for site in lo.max(0)..hi.min(grid.sites_x()) {
+                    let free = (row..row + h_rows).all(|r| grid.is_free(site, r));
+                    match (free, run) {
+                        (true, None) => run = Some(site),
+                        (false, Some(s)) => {
+                            slow.push((s, site));
+                            run = None;
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(s) = run {
+                    slow.push((s, hi.min(grid.sites_x())));
+                }
+                if fast != slow {
+                    fail(
+                        format!(
+                            "op {op}: free spans row={row} h={h_rows} [{lo}, {hi}) \
+                             block-scan={fast:?} scalar={slow:?}"
                         ),
                         &mut failures,
                     );

@@ -46,7 +46,7 @@ pub fn check(sc: &Scenario, order_seed: u64) -> Vec<Failure> {
         // Parallel runs: each must be explained AND bit-identical to the
         // single-threaded run (positions, legalized flags, failed set).
         let mut reference: Option<(Design, RunStats)> = None;
-        for threads in [1usize, 2, 4] {
+        for threads in [1usize, 2, 4, 8] {
             let mut d = sc.design.clone();
             let gcells = GcellGrid::new(&d, nx, ny);
             let stats = Legalizer::new(&d).run_gcells_parallel(&mut d, ordering, &gcells, threads);

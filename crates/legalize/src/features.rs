@@ -36,8 +36,11 @@ pub struct FeatureSpace {
     /// Area unit: one pixel (site width × row height) so squared terms stay
     /// in comfortable `f32` range.
     pixel_area: f64,
-    // Static per cell.
+    // Static per cell. Width/height are SoA columns so features 2–3 of a
+    // state matrix stream contiguously instead of striding over `Cell`s.
     net_count: Vec<f32>,
+    width_dbu: Vec<f32>,
+    height_dbu: Vec<f32>,
     gcell_of_cell: Vec<usize>,
     // Static per design.
     obstacles: RTree<u32>,
@@ -68,6 +71,8 @@ impl FeatureSpace {
             .cell_ids()
             .map(|id| design.nets_of(id).len() as f32)
             .collect();
+        let width_dbu: Vec<f32> = design.cells.iter().map(|c| c.width as f32).collect();
+        let height_dbu: Vec<f32> = design.cells.iter().map(|c| c.height(rh) as f32).collect();
 
         let mut gcell_of_cell = vec![usize::MAX; n];
         let mut gcell_count = vec![0i32; gcells.len()];
@@ -126,6 +131,8 @@ impl FeatureSpace {
             bins,
             pixel_area,
             net_count,
+            width_dbu,
+            height_dbu,
             gcell_of_cell,
             obstacles,
             gcell_count,
@@ -167,8 +174,8 @@ impl FeatureSpace {
         [
             c.pos.x as f32,
             c.pos.y as f32,
-            c.width as f32,
-            c.height(rh) as f32,
+            self.width_dbu[i],
+            self.height_dbu[i],
             self.net_count[i],
             self.overlap_count[i] as f32,
             self.obstacle_distance(design, c.rect(rh)),

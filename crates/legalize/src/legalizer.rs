@@ -7,13 +7,14 @@
 //! framework drives the same `legalize_cell` primitive but picks the order
 //! itself and uses no heuristics.
 
-use rlleg_design::{CellId, Design};
+use rlleg_design::{CellId, Design, HotCells};
 use rlleg_geom::Dbu;
 
 use crate::gcell::GcellGrid;
 use crate::order::Ordering;
 use crate::pixel::{GridPos, PixelGrid, SubGrid};
-use crate::search::{find_position, SearchConfig};
+use crate::sched::{StealQueues, TileSchedule};
+use crate::search::{find_position_hot, SearchConfig};
 
 std::thread_local! {
     /// Per-thread [`SubGrid`] scratch for Gcell solves: each pool worker
@@ -48,9 +49,10 @@ pub struct RunStats {
     pub legalized: usize,
     /// Cells for which no legal position was found, in encounter order.
     pub failed: Vec<CellId>,
-    /// Gcells whose parallel solve panicked and was contained, in
-    /// subepisode order; their cells were retried on the sequential
-    /// size-ordered fallback path. Always empty for fault-free runs.
+    /// Gcells whose parallel solve panicked and was contained, in merge
+    /// order (coarse tiles ascending, tile-local subepisode order within
+    /// each); their cells were retried on the sequential size-ordered
+    /// fallback path. Always empty for fault-free runs.
     pub quarantined: Vec<usize>,
 }
 
@@ -84,6 +86,11 @@ impl RunStats {
 #[derive(Debug, Clone)]
 pub struct Legalizer {
     grid: PixelGrid,
+    /// Struct-of-arrays snapshot of the immutable hot cell attributes,
+    /// taken at construction (like the grid raster). Orders, search shape
+    /// parameters, and merge bookkeeping read these dense columns instead
+    /// of striding over `Cell` structs.
+    hot: HotCells,
     search: SearchConfig,
 }
 
@@ -104,7 +111,11 @@ impl Legalizer {
                 grid.place(design, id, pos);
             }
         }
-        Self { grid, search }
+        Self {
+            grid,
+            hot: design.hot_cells(),
+            search,
+        }
     }
 
     /// Read access to the occupancy grid.
@@ -131,11 +142,18 @@ impl Legalizer {
         design: &mut Design,
         cell: CellId,
     ) -> Result<Dbu, PlaceCellError> {
-        let c = design.cell(cell);
-        assert!(c.is_movable(), "cannot legalize fixed cell {cell}");
-        assert!(!c.legalized, "cell {cell} already legalized");
-        let from = c.gp_pos;
-        let Some((pos, disp)) = find_position(&self.grid, design, cell, from, self.search) else {
+        assert!(
+            self.hot.is_movable(cell),
+            "cannot legalize fixed cell {cell}"
+        );
+        assert!(
+            !design.cell(cell).legalized,
+            "cell {cell} already legalized"
+        );
+        let from = self.hot.gp_pos(cell);
+        let Some((pos, disp)) =
+            find_position_hot(&self.grid, &self.hot, design, cell, from, self.search)
+        else {
             if !telemetry::disabled() {
                 telemetry::counter("legalize.cells_failed").inc();
             }
@@ -180,7 +198,7 @@ impl Legalizer {
     /// the paper reports as "\[26\] failed to legalize all cells".
     pub fn run(&mut self, design: &mut Design, ordering: &Ordering) -> RunStats {
         let _t = telemetry::span("legalize.run");
-        let order = ordering.order(design, None);
+        let order = ordering.order_hot(design, &self.hot, None);
         self.run_cells(design, &order)
     }
 
@@ -196,7 +214,7 @@ impl Legalizer {
         let _t = telemetry::span("legalize.run_gcells");
         let mut stats = RunStats::default();
         for g in gcells.subepisode_order() {
-            let order = ordering.order(design, Some(gcells.cells_of(g)));
+            let order = ordering.order_hot(design, &self.hot, Some(gcells.cells_of(g)));
             let s = self.run_cells(design, &order);
             stats.legalized += s.legalized;
             stats.failed.extend(s.failed);
@@ -219,16 +237,27 @@ impl Legalizer {
     /// the edge-spacing halo of the row index. Searches are restricted to
     /// the window, and the scratch answers them exactly as the full grid
     /// would, so workers never observe each other and the per-Gcell
-    /// outcome cannot depend on thread scheduling. Phase 2 then merges the
-    /// recorded placements sequentially in subepisode order, re-validating
-    /// each against the real grid (a placement near a window boundary can
-    /// violate edge spacing against a neighbouring Gcell's cell); rejected
-    /// or unplaced cells get a sequential retry with any caller-configured
-    /// search window cleared, so retries may use the whole grid. Every
-    /// phase after the embarrassingly-parallel solve is sequential and
-    /// ordered, which is what makes the result bit-identical for any
-    /// thread count — including the `threads == 1` fallback, which runs
-    /// the very same two phases in a plain loop.
+    /// outcome cannot depend on thread scheduling. Work is handed out as
+    /// coarse 2×2 [`TileSchedule`] tiles on per-worker stealing deques
+    /// ([`StealQueues`]), so workers stay in one region of the die and a
+    /// drained worker steals whole tiles instead of idling; stealing only
+    /// moves *where* a tile is solved, never what its solve produces.
+    ///
+    /// Phase 2 merges the recorded placements sequentially in the fixed
+    /// [`TileSchedule::merge_order`] (tiles ascending, tile-local
+    /// subepisode order). Placements whose footprint sits at least an
+    /// edge-spacing halo inside their window's x-extent are committed
+    /// directly — the windows tile disjointly and edge spacing is the
+    /// only cross-window rule, so the window-local solve already proved
+    /// them legal; only boundary-near placements are re-validated against
+    /// the real grid (they can violate edge spacing against a
+    /// neighbouring Gcell's cell). Rejected or unplaced cells get a
+    /// sequential retry with any caller-configured search window cleared,
+    /// so retries may use the whole grid. Every phase after the
+    /// embarrassingly-parallel solve is sequential and ordered, which is
+    /// what makes the result bit-identical for any thread count —
+    /// including the `threads == 1` fallback, which runs the very same
+    /// two phases in a plain loop.
     pub fn run_gcells_parallel(
         &mut self,
         design: &mut Design,
@@ -237,26 +266,29 @@ impl Legalizer {
         threads: usize,
     ) -> RunStats {
         let _t = telemetry::span("legalize.run_gcells_parallel");
+        let started = std::time::Instant::now();
         let n = gcells.len();
         // Empty or degenerate grids (no Gcells, or none holding a movable
         // cell) have nothing to solve: never enter the worker machinery.
         if n == 0 || (0..n).all(|g| gcells.cells_of(g).is_empty()) {
             return RunStats::default();
         }
+        let tiles = TileSchedule::new(gcells);
         let threads = match threads {
             0 => crate::pool::default_threads(),
             t => t,
         }
-        .min(n);
+        .min(tiles.len());
 
         // Phase 1: window-restricted, snapshot-isolated per-Gcell solves
-        // on per-worker scratch windows.
+        // on per-worker scratch windows, scheduled as coarse tiles.
         let base_grid = &self.grid;
         let search = self.search;
         let design_ro: &Design = design;
+        let hot = &self.hot;
         let solve = |scratch: &mut SubGrid, g: usize| -> GcellSolve {
             crate::fault::panic_if_planned(g);
-            let order = ordering.order(design_ro, Some(gcells.cells_of(g)));
+            let order = ordering.order_hot(design_ro, hot, Some(gcells.cells_of(g)));
             if order.is_empty() {
                 return (Vec::new(), Vec::new());
             }
@@ -274,10 +306,12 @@ impl Legalizer {
             let mut placed = Vec::new();
             let mut failed = Vec::new();
             for cell in order {
-                let c = design_ro.cell(cell);
-                assert!(c.is_movable(), "cannot legalize fixed cell {cell}");
-                assert!(!c.legalized, "cell {cell} already legalized");
-                match find_position(&*scratch, design_ro, cell, c.gp_pos, cfg) {
+                assert!(hot.is_movable(cell), "cannot legalize fixed cell {cell}");
+                assert!(
+                    !design_ro.cell(cell).legalized,
+                    "cell {cell} already legalized"
+                );
+                match find_position_hot(&*scratch, hot, design_ro, cell, hot.gp_pos(cell), cfg) {
                     Some((pos, _)) => {
                         scratch.place(design_ro, cell, pos);
                         placed.push((cell, pos));
@@ -295,64 +329,73 @@ impl Legalizer {
         // size-ordered fallback path instead of aborting the run.
         let results: Vec<std::sync::Mutex<Option<Result<GcellSolve, ()>>>> =
             (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        let queues = StealQueues::seed(tiles.len(), threads);
+        let gcells_done: Vec<std::sync::atomic::AtomicI64> = (0..threads)
+            .map(|_| std::sync::atomic::AtomicI64::new(0))
+            .collect();
         {
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            // Claim Gcells off a shared counter and solve them on this
-            // thread's scratch; returns how many this worker handled.
-            let worker_loop = || -> i64 {
+            // Claim coarse tiles from this worker's stealing deque and
+            // solve each tile's Gcells on this thread's scratch.
+            let worker_loop = |w: usize| {
                 GCELL_SCRATCH.with(|s| {
                     let mut scratch = s.borrow_mut();
                     let mut done = 0i64;
-                    loop {
-                        let g = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if g >= n {
-                            break;
+                    while let Some(t) = queues.next(w) {
+                        for &g in tiles.gcells(t) {
+                            let out =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    solve(&mut scratch, g)
+                                }))
+                                .map_err(drop);
+                            *results[g]
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
+                            done += 1;
                         }
-                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            solve(&mut scratch, g)
-                        }))
-                        .map_err(drop);
-                        *results[g]
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
-                        done += 1;
                     }
-                    done
+                    gcells_done[w].store(done, std::sync::atomic::Ordering::Relaxed);
                 })
             };
             if threads <= 1 {
-                worker_loop();
+                worker_loop(0);
             } else {
                 let pool = crate::pool::global();
                 pool.ensure_workers(threads - 1);
                 pool.scope(|s| {
                     for w in 1..threads {
                         let worker_loop = &worker_loop;
-                        s.spawn(move || {
-                            let done = worker_loop();
-                            if !telemetry::disabled() {
-                                telemetry::gauge(&format!("legalize.parallel.worker{w}.gcells"))
-                                    .set(done);
-                            }
-                        });
+                        s.spawn(move || worker_loop(w));
                     }
                     // The calling thread is worker 0; on few-core hosts
                     // this is what keeps the pool from being pure
                     // overhead.
-                    let done = worker_loop();
-                    if !telemetry::disabled() {
-                        telemetry::gauge("legalize.parallel.worker0.gcells").set(done);
-                    }
+                    worker_loop(0);
                 });
             }
         }
+        if !telemetry::disabled() {
+            let mut lo = i64::MAX;
+            let mut hi = 0i64;
+            for (w, done) in gcells_done.iter().enumerate() {
+                let done = done.load(std::sync::atomic::Ordering::Relaxed);
+                telemetry::gauge(&format!("legalize.parallel.worker{w}.gcells")).set(done);
+                lo = lo.min(done);
+                hi = hi.max(done);
+            }
+            telemetry::counter("legalize.steal.count").add(queues.steals());
+            telemetry::gauge("legalize.tile.imbalance").set(hi - lo);
+        }
 
-        // Phase 2: deterministic sequential merge in subepisode order.
+        // Phase 2: deterministic sequential merge, coarse tile by coarse
+        // tile in the fixed merge order.
         let mut stats = RunStats::default();
         let mut retry: Vec<CellId> = Vec::new();
         let mut fallback: Vec<CellId> = Vec::new();
         let mut conflicts = 0u64;
-        for g in gcells.subepisode_order() {
+        let mut fast_commits = 0u64;
+        let sw = design.tech.site_width;
+        let halo_sites = (design.tech.max_edge_spacing() + sw - 1).div_euclid(sw);
+        for g in tiles.merge_order() {
             let solved = results[g]
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -367,13 +410,27 @@ impl Legalizer {
                     // is computed here, at merge time, so it is identical
                     // for every thread count.
                     stats.quarantined.push(g);
-                    fallback
-                        .extend(Ordering::SizeDescending.order(design, Some(gcells.cells_of(g))));
+                    fallback.extend(Ordering::SizeDescending.order_hot(
+                        design,
+                        &self.hot,
+                        Some(gcells.cells_of(g)),
+                    ));
                     continue;
                 }
             };
+            let win = gcells.window_of(design, g);
             for (cell, pos) in placed {
-                if self.grid.check_place(design, cell, pos).is_ok() {
+                // Interior fast path: windows tile disjointly, footprint
+                // rows stay inside the window, and edge spacing (the only
+                // cross-window rule) reaches at most `halo_sites`; a
+                // placement that far inside its window's x-extent was
+                // fully validated by the window-local solve and cannot
+                // conflict with other Gcells' merges. `place` keeps its
+                // debug-mode `check_place` tripwire on this path.
+                let interior = pos.site - halo_sites >= win.lo_site
+                    && pos.site + self.hot.w_sites(cell) + halo_sites <= win.hi_site;
+                if interior || self.grid.check_place(design, cell, pos).is_ok() {
+                    fast_commits += interior as u64;
                     self.grid.place(design, cell, pos);
                     let p = self.grid.to_dbu(design, pos);
                     let c = design.cell_mut(cell);
@@ -389,6 +446,7 @@ impl Legalizer {
         }
         if !telemetry::disabled() {
             telemetry::counter("legalize.parallel.merge_conflicts").add(conflicts);
+            telemetry::counter("legalize.parallel.fast_commits").add(fast_commits);
             telemetry::counter("legalize.parallel.retries").add(retry.len() as u64);
             telemetry::counter("legalize.gcell.quarantined").add(stats.quarantined.len() as u64);
         }
@@ -418,6 +476,13 @@ impl Legalizer {
             telemetry::counter("legalize.gcell.fallback_ok").add(fallback_ok);
         }
         self.search.window = saved_window;
+        if !telemetry::disabled() {
+            let secs = started.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                telemetry::gauge("legalize.cells_per_sec")
+                    .set((stats.legalized as f64 / secs) as i64);
+            }
+        }
         stats
     }
 
@@ -644,8 +709,24 @@ impl Legalizer {
             if old_disp == 0 {
                 break; // sorted descending: nothing left to improve
             }
+            // A cell legally wedged between two neighbours can be the only
+            // thing keeping them apart — lifting it would expose an
+            // edge-spacing violation check_place never re-examines.
+            if !self
+                .grid
+                .vacate_safe(design, id, self.grid.to_grid(design, old_pos))
+            {
+                continue;
+            }
             self.unlegalize_cell(design, id);
-            match find_position(&self.grid, design, id, design.cell(id).gp_pos, self.search) {
+            match find_position_hot(
+                &self.grid,
+                &self.hot,
+                design,
+                id,
+                self.hot.gp_pos(id),
+                self.search,
+            ) {
                 Some((pos, disp)) if disp < old_disp => {
                     self.grid.place(design, id, pos);
                     let p = self.grid.to_dbu(design, pos);

@@ -19,6 +19,9 @@
 //!   per-Gcell solves, behind the [`GridRead`] search abstraction,
 //! - [`pool::WorkerPool`] — the persistent worker pool amortizing thread
 //!   startup across `run_gcells_parallel` calls,
+//! - [`sched::TileSchedule`] / [`sched::StealQueues`] — the two-level
+//!   coarse-tile → fine-Gcell schedule with per-worker stealing deques
+//!   that feeds the pool deterministically,
 //! - [`GcellGrid`] / [`BinGrid`] — subepisode partitioning (Sec. III-E-1),
 //! - [`FeatureSpace`] — incremental maintenance of the Table-I features.
 //!
@@ -49,6 +52,7 @@ mod legalizer;
 mod order;
 pub mod pixel;
 pub mod pool;
+pub mod sched;
 pub mod search;
 mod tetris;
 
@@ -59,5 +63,6 @@ pub use legalizer::{Legalizer, PlaceCellError, RunStats};
 pub use order::Ordering;
 pub use pixel::{GridPos, GridRead, GridWindow, PixelGrid, PlaceRejection, SubGrid};
 pub use pool::WorkerPool;
-pub use search::{find_position, find_position_reference, SearchConfig};
+pub use sched::{StealQueues, TileSchedule};
+pub use search::{find_position, find_position_hot, find_position_reference, SearchConfig};
 pub use tetris::TetrisLegalizer;

@@ -161,6 +161,114 @@ fn walk_free_spans(
     }
 }
 
+/// Word-level block test shared by the full grid and window snapshots:
+/// `true` when `bits` is all-zero over the masked word window covering
+/// sites `[site, site + w)` across `h` consecutive rows. `row0` indexes the
+/// first row into `bits` (in units of `stride` words) and `col0` shifts
+/// absolute word columns into the slice (0 for the full grid, `w_lo` for a
+/// snapshot). The hot loop ORs u64×4 blocks across rows — plain indexed
+/// array ops the autovectorizer lowers to 256-bit loads on AVX2 (128-bit
+/// pairs on NEON) — with a scalar tail for the remaining columns.
+#[inline]
+fn window_zero_words(
+    bits: &[u64],
+    stride: usize,
+    row0: usize,
+    h: usize,
+    col0: usize,
+    site: i64,
+    w: i64,
+) -> bool {
+    let lo_w = site as usize / 64;
+    let hi_w = ((site + w - 1) as usize / 64) + 1;
+    let mask_of = |wi: usize| {
+        let base = wi as i64 * 64;
+        let mut mask = !0u64;
+        if base < site {
+            mask &= !0u64 << (site - base);
+        }
+        let k = site + w - base;
+        if k < 64 {
+            mask &= (1u64 << k) - 1;
+        }
+        mask
+    };
+    let mut wi = lo_w;
+    while wi + 4 <= hi_w {
+        let mut acc = [0u64; 4];
+        for r in 0..h {
+            let rb = (row0 + r) * stride + (wi - col0);
+            let w4: &[u64; 4] = bits[rb..rb + 4].try_into().unwrap();
+            acc[0] |= w4[0];
+            acc[1] |= w4[1];
+            acc[2] |= w4[2];
+            acc[3] |= w4[3];
+        }
+        for (j, a) in acc.iter().enumerate() {
+            if a & mask_of(wi + j) != 0 {
+                return false;
+            }
+        }
+        wi += 4;
+    }
+    while wi < hi_w {
+        let mask = mask_of(wi);
+        for r in 0..h {
+            if bits[(row0 + r) * stride + (wi - col0)] & mask != 0 {
+                return false;
+            }
+        }
+        wi += 1;
+    }
+    true
+}
+
+/// Builds the row-band word supplier [`walk_free_spans`] consumes: the OR
+/// of `h` rows per word column, computed u64×4 columns at a time and cached
+/// so the strictly ascending span walk folds each block across the rows
+/// once instead of per column. `lo_w` anchors block alignment at the first
+/// queried column; `limit` is the exclusive upper bound of valid absolute
+/// word columns (`stride` for the full grid, `w_hi` for a snapshot).
+#[inline]
+fn band_words(
+    bits: &[u64],
+    stride: usize,
+    row0: usize,
+    h: usize,
+    col0: usize,
+    lo_w: usize,
+    limit: usize,
+) -> impl FnMut(usize) -> u64 + '_ {
+    let mut blk = usize::MAX;
+    let mut cache = [0u64; 4];
+    move |wi| {
+        let b = lo_w + ((wi - lo_w) & !3);
+        if b != blk {
+            blk = b;
+            cache = [0u64; 4];
+            let n = 4.min(limit - b);
+            if n == 4 {
+                for r in 0..h {
+                    let rb = (row0 + r) * stride + (b - col0);
+                    let w4: &[u64; 4] = bits[rb..rb + 4].try_into().unwrap();
+                    cache[0] |= w4[0];
+                    cache[1] |= w4[1];
+                    cache[2] |= w4[2];
+                    cache[3] |= w4[3];
+                }
+            } else {
+                for r in 0..h {
+                    let rb = (row0 + r) * stride + (b - col0);
+                    for (j, c) in cache.iter_mut().take(n).enumerate() {
+                        *c |= bits[rb + j];
+                    }
+                }
+            }
+        }
+        cache[wi - b]
+    }
+}
+
 /// Why a candidate position is not legal. Returned by
 /// [`PixelGrid::check_place`] so search heuristics can distinguish hard
 /// failures from merely occupied pixels.
@@ -355,29 +463,19 @@ impl PixelGrid {
     }
 
     /// Word-level test that `bits` is all-zero over the in-bounds window
-    /// `[site, site+w) × [row, row+h)`.
+    /// `[site, site+w) × [row, row+h)` (u64×4 blocks via
+    /// [`window_zero_words`]).
     #[inline]
     fn window_zero(&self, bits: &[u64], site: i64, row: i64, w: i64, h: i64) -> bool {
-        let wpr = self.words_per_row;
-        let lo_w = site as usize / 64;
-        let hi_w = ((site + w - 1) as usize / 64) + 1;
-        for wi in lo_w..hi_w {
-            let base = wi as i64 * 64;
-            let mut mask = !0u64;
-            if base < site {
-                mask &= !0u64 << (site - base);
-            }
-            let k = site + w - base;
-            if k < 64 {
-                mask &= (1u64 << k) - 1;
-            }
-            for r in row..row + h {
-                if bits[r as usize * wpr + wi] & mask != 0 {
-                    return false;
-                }
-            }
-        }
-        true
+        window_zero_words(
+            bits,
+            self.words_per_row,
+            row as usize,
+            h as usize,
+            0,
+            site,
+            w,
+        )
     }
 
     /// `true` when every pixel of the `w_sites × h_rows` window anchored at
@@ -437,13 +535,15 @@ impl PixelGrid {
         walk_free_spans(
             lo,
             hi,
-            |wi| {
-                let mut word = 0u64;
-                for r in row..row + h_rows {
-                    word |= self.occ_bits[r as usize * wpr + wi];
-                }
-                word
-            },
+            band_words(
+                &self.occ_bits,
+                wpr,
+                row as usize,
+                h_rows as usize,
+                0,
+                lo as usize / 64,
+                wpr,
+            ),
             f,
         );
     }
@@ -685,6 +785,38 @@ impl PixelGrid {
         }
     }
 
+    /// `true` when lifting `cell` (placed at `pos`) cannot expose an
+    /// illegal adjacency: on every row the cell spans, the placed cells to
+    /// its left and right — which become adjacent once the cell is gone —
+    /// still satisfy their mutual edge-spacing requirement.
+    ///
+    /// [`check_place`](Self::check_place) only validates a mover's *new*
+    /// spot against its new neighbours; the adjacency its departure
+    /// creates at the old spot is invisible to it. Any caller that
+    /// relocates an already-placed cell must hold this before removing
+    /// it, or two cells it was legally wedged between end up closer than
+    /// their edge types allow.
+    pub fn vacate_safe(&self, design: &Design, cell: CellId, pos: GridPos) -> bool {
+        let c = design.cell(cell);
+        let h_rows = i64::from(c.height_rows);
+        let x_lo = design.core.lo.x + pos.site * design.tech.site_width;
+        for row in pos.row..pos.row + h_rows {
+            let map = &self.row_cells[row as usize];
+            debug_assert_eq!(map.get(&x_lo).map(|&(_, id)| id), Some(cell.0));
+            if let (Some((_, &(left_hi, left_cell))), Some((&right_lo, &(_, right_cell)))) =
+                (map.range(..x_lo).next_back(), map.range(x_lo + 1..).next())
+            {
+                let lc = design.cell(CellId(left_cell));
+                let rc = design.cell(CellId(right_cell));
+                let need = design.tech.edge_spacing(lc.edge_right, rc.edge_left);
+                if right_lo - left_hi < need {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
     /// Occupant of a pixel: `Some(cell)` for a movable cell, `None` when
     /// free or blocked by a macro. Out-of-range pixels read as blocked.
     pub fn occupant(&self, site: i64, row: i64) -> Option<CellId> {
@@ -911,12 +1043,6 @@ impl SubGrid {
         self.w_hi - self.w_lo
     }
 
-    /// Copied occupancy word for a full-grid `(row, word-column)` pair.
-    #[inline]
-    fn word(&self, row: i64, wi: usize) -> u64 {
-        self.occ_bits[(row - self.win.lo_row) as usize * self.wpr() + (wi - self.w_lo)]
-    }
-
     /// Window-local pixel index for a full-grid `(site, row)`.
     #[inline]
     fn pix(&self, site: i64, row: i64) -> usize {
@@ -925,27 +1051,18 @@ impl SubGrid {
     }
 
     /// Word-level test that the in-window footprint is all-free
-    /// (mirrors [`PixelGrid::window_zero`] over the copied words).
+    /// (mirrors [`PixelGrid::window_zero`] over the copied words, same
+    /// u64×4 block path).
     fn window_zero(&self, site: i64, row: i64, w: i64, h: i64) -> bool {
-        let lo_w = site as usize / 64;
-        let hi_w = ((site + w - 1) as usize / 64) + 1;
-        for wi in lo_w..hi_w {
-            let base = wi as i64 * 64;
-            let mut mask = !0u64;
-            if base < site {
-                mask &= !0u64 << (site - base);
-            }
-            let k = site + w - base;
-            if k < 64 {
-                mask &= (1u64 << k) - 1;
-            }
-            for r in row..row + h {
-                if self.word(r, wi) & mask != 0 {
-                    return false;
-                }
-            }
-        }
-        true
+        window_zero_words(
+            &self.occ_bits,
+            self.wpr(),
+            (row - self.win.lo_row) as usize,
+            h as usize,
+            self.w_lo,
+            site,
+            w,
+        )
     }
 
     /// Per-pixel occupancy + fence loop (mirrors [`PixelGrid::pixel_loop`]
@@ -1157,13 +1274,15 @@ impl GridRead for SubGrid {
         walk_free_spans(
             lo,
             hi,
-            |wi| {
-                let mut word = 0u64;
-                for r in row..row + h_rows {
-                    word |= self.word(r, wi);
-                }
-                word
-            },
+            band_words(
+                &self.occ_bits,
+                self.wpr(),
+                (row - self.win.lo_row) as usize,
+                h_rows as usize,
+                self.w_lo,
+                lo as usize / 64,
+                self.w_hi,
+            ),
             f,
         );
     }
@@ -1280,6 +1399,33 @@ mod tests {
         assert_eq!(g.check_place(&d, c, GridPos { site: 0, row: 0 }), Ok(()));
         // Different row: no constraint.
         assert_eq!(g.check_place(&d, c, GridPos { site: 6, row: 1 }), Ok(()));
+    }
+
+    #[test]
+    fn vacate_safe_sees_the_adjacency_a_removal_would_create() {
+        // a |x| b packed tight: x's default edges need no gap on either
+        // side, but a and b (type-2 edges, 2-site mutual spacing) rely on
+        // x's body to stay apart. Lifting x must be flagged as unsafe.
+        let mut b = builder();
+        let a = b.add_cell("a", 2, 1, Point::new(0, 0));
+        let x = b.add_cell("x", 1, 1, Point::new(0, 0));
+        let c = b.add_cell("c", 2, 1, Point::new(0, 0));
+        b.set_edges(a, EdgeType(2), EdgeType(2));
+        b.set_edges(c, EdgeType(2), EdgeType(2));
+        let d = b.build();
+        let mut g = PixelGrid::new(&d);
+        g.place(&d, a, GridPos { site: 0, row: 0 });
+        g.place(&d, x, GridPos { site: 2, row: 0 });
+        g.place(&d, c, GridPos { site: 3, row: 0 });
+        assert!(!g.vacate_safe(&d, x, GridPos { site: 2, row: 0 }));
+        // Edge cells have a neighbour on one side only: always safe.
+        assert!(g.vacate_safe(&d, a, GridPos { site: 0, row: 0 }));
+        assert!(g.vacate_safe(&d, c, GridPos { site: 3, row: 0 }));
+        // With c one site further right the exposed gap is exactly the
+        // required two sites: lifting x becomes safe.
+        g.remove(&d, c, GridPos { site: 3, row: 0 });
+        g.place(&d, c, GridPos { site: 4, row: 0 });
+        assert!(g.vacate_safe(&d, x, GridPos { site: 2, row: 0 }));
     }
 
     #[test]
@@ -1553,5 +1699,156 @@ mod tests {
         // Reloading resets the scratch to the base grid's state.
         sub.load(&g, &d, win);
         assert_eq!(sub.check_place(&d, c, p), Ok(()));
+    }
+
+    /// A 300-site, 4-row die with occupancy scattered across word
+    /// boundaries: 4.69 words per row exercises the u64×4 block path, the
+    /// scalar word tail, and the padded final word at once.
+    fn wide_grid() -> (rlleg_design::Design, PixelGrid) {
+        let mut b = DesignBuilder::new("wide4", Technology::contest(), 300, 4);
+        let sites: [i64; 14] = [0, 5, 62, 63, 65, 90, 126, 128, 140, 200, 255, 256, 270, 296];
+        let mut ids = Vec::new();
+        for (i, _) in sites.iter().enumerate() {
+            ids.push(b.add_cell(
+                format!("u{i}"),
+                1 + (i as i64 % 3),
+                1 + (i as u8 % 2),
+                Point::ORIGIN,
+            ));
+        }
+        b.add_fixed_cell("m", 4, 1, Point::new(180 * 200, 3 * 2_000));
+        let d = b.build();
+        let mut g = PixelGrid::new(&d);
+        for (i, (&s, &id)) in sites.iter().zip(&ids).enumerate() {
+            let pos = GridPos {
+                site: s,
+                row: i as i64 % 3,
+            };
+            if g.check_place(&d, id, pos).is_ok() {
+                g.place(&d, id, pos);
+            }
+        }
+        (d, g)
+    }
+
+    #[test]
+    fn block_window_free_matches_per_pixel_on_wide_grids() {
+        let (_d, g) = wide_grid();
+        for (w, h) in [(1i64, 1i64), (7, 2), (70, 1), (130, 3), (300, 4)] {
+            for row in 0..=g.rows() - h {
+                for site in 0..=g.sites_x() - w {
+                    let pos = GridPos { site, row };
+                    let expect = (row..row + h).all(|r| (site..site + w).all(|s| g.is_free(s, r)));
+                    assert_eq!(
+                        g.window_free(pos, w, h),
+                        expect,
+                        "window {w}x{h} at {pos:?}"
+                    );
+                }
+            }
+        }
+        // Fixed-bitmap path: the macro at sites 180..184 of row 3.
+        assert!(g.window_has_fixed(GridPos { site: 100, row: 3 }, 90, 1));
+        assert!(!g.window_has_fixed(GridPos { site: 100, row: 3 }, 80, 1));
+        assert!(g.window_has_fixed(GridPos { site: 0, row: 0 }, 300, 4));
+    }
+
+    #[test]
+    fn block_free_spans_match_per_pixel_on_wide_grids() {
+        let (_d, g) = wide_grid();
+        let reference = |row: i64, h: i64, lo: i64, hi: i64| {
+            let (lo, hi) = (lo.max(0), hi.min(g.sites_x()));
+            let mut out = Vec::new();
+            let mut open = -1i64;
+            for s in lo..hi {
+                let free = (row..row + h).all(|r| g.is_free(s, r));
+                if free && open < 0 {
+                    open = s;
+                } else if !free && open >= 0 {
+                    out.push((open, s));
+                    open = -1;
+                }
+            }
+            if open >= 0 {
+                out.push((open, hi));
+            }
+            out
+        };
+        for h in 1..=3i64 {
+            for row in 0..=g.rows() - h {
+                // Ranges chosen to start/end mid-word, on word boundaries,
+                // inside the same block, and across the block seam.
+                for (lo, hi) in [
+                    (0, 300),
+                    (1, 299),
+                    (63, 65),
+                    (60, 130),
+                    (64, 256),
+                    (128, 192),
+                    (200, 300),
+                    (5, 62),
+                ] {
+                    let mut got = Vec::new();
+                    g.for_each_free_span(row, h, lo, hi, |a, b| got.push((a, b)));
+                    assert_eq!(got, reference(row, h, lo, hi), "band {row}+{h} [{lo},{hi})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subgrid_block_scans_match_full_grid_on_wide_windows() {
+        let (d, g) = wide_grid();
+        // Windows cutting mid-word on both edges, wide enough to hold
+        // full u64×4 blocks, plus a narrow one that never fills a block.
+        for win in [
+            GridWindow {
+                lo_site: 33,
+                lo_row: 0,
+                hi_site: 290,
+                hi_row: 4,
+            },
+            GridWindow {
+                lo_site: 70,
+                lo_row: 1,
+                hi_site: 258,
+                hi_row: 4,
+            },
+            GridWindow {
+                lo_site: 120,
+                lo_row: 0,
+                hi_site: 150,
+                hi_row: 3,
+            },
+        ] {
+            let sub = g.extract_window(&d, win);
+            for h in 1..=2i64 {
+                for row in win.lo_row..=win.hi_row - h {
+                    let mut got = Vec::new();
+                    sub.for_each_free_span(row, h, win.lo_site, win.hi_site, |a, b| {
+                        got.push((a, b))
+                    });
+                    let mut want = Vec::new();
+                    g.for_each_free_span(row, h, win.lo_site, win.hi_site, |a, b| {
+                        want.push((a, b))
+                    });
+                    assert_eq!(got, want, "win {win:?} band {row}+{h}");
+                }
+            }
+            for id in d.movable_ids() {
+                let c = d.cell(id);
+                let (w, h) = (c.width / d.tech.site_width, i64::from(c.height_rows));
+                for row in win.lo_row..=win.hi_row - h {
+                    for site in win.lo_site..=win.hi_site - w {
+                        let pos = GridPos { site, row };
+                        assert_eq!(
+                            sub.check_place(&d, id, pos),
+                            g.check_place(&d, id, pos),
+                            "cell {id} at {pos:?} in {win:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

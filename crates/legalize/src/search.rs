@@ -16,7 +16,7 @@
 //! ends its row and the first-beaten row ends the search — while the result
 //! (position *and* tie-break) stays bit-identical to the reference.
 
-use rlleg_design::{CellId, Design};
+use rlleg_design::{CellId, Design, HotCells, RailParity};
 use rlleg_geom::{Dbu, Point};
 
 use crate::pixel::{GridPos, GridRead, GridWindow, PixelGrid};
@@ -37,12 +37,43 @@ pub struct SearchConfig {
     pub window: Option<GridWindow>,
 }
 
+/// The immutable shape parameters the diamond search reads per cell,
+/// gathered up front so the inner loops never touch the `Cell` struct.
+#[derive(Debug, Clone, Copy)]
+struct CellShape {
+    w_sites: i64,
+    h_rows: i64,
+    rail_constrained: bool,
+    rail: RailParity,
+}
+
+impl CellShape {
+    fn of(design: &Design, cell: CellId) -> Self {
+        let c = design.cell(cell);
+        Self {
+            w_sites: c.width / design.tech.site_width,
+            h_rows: i64::from(c.height_rows),
+            rail_constrained: c.is_rail_constrained(),
+            rail: c.rail,
+        }
+    }
+
+    fn of_hot(hot: &HotCells, cell: CellId) -> Self {
+        Self {
+            w_sites: hot.w_sites(cell),
+            h_rows: hot.h_rows(cell),
+            rail_constrained: hot.is_rail_constrained(cell),
+            rail: hot.rail(cell),
+        }
+    }
+}
+
 /// Pixel-Manhattan search bound shared by both search implementations.
-fn search_bound(grid: &impl GridRead, cfg: SearchConfig, design: &Design, cell: CellId) -> i64 {
-    let c = design.cell(cell);
+fn search_bound(grid: &impl GridRead, cfg: SearchConfig, design: &Design, shape: CellShape) -> i64 {
     let sw = design.tech.site_width;
-    let w_sites = c.width / sw;
-    let h_rows = i64::from(c.height_rows);
+    let CellShape {
+        w_sites, h_rows, ..
+    } = shape;
     let limit = cfg.displacement_limit.or(design.max_displacement);
     cfg.max_radius.unwrap_or_else(|| {
         let from_limit = limit.map(|l| l / sw + 2);
@@ -70,13 +101,38 @@ pub fn find_position<G: GridRead>(
     from: Point,
     cfg: SearchConfig,
 ) -> Option<(GridPos, Dbu)> {
-    let c = design.cell(cell);
+    find_position_shaped(grid, design, cell, CellShape::of(design, cell), from, cfg)
+}
+
+/// [`find_position`] with the cell's shape read from a [`HotCells`]
+/// snapshot instead of the `Cell` struct — the hot path for big runs.
+/// Bit-identical to `find_position` for a snapshot of the same design.
+pub fn find_position_hot<G: GridRead>(
+    grid: &G,
+    hot: &HotCells,
+    design: &Design,
+    cell: CellId,
+    from: Point,
+    cfg: SearchConfig,
+) -> Option<(GridPos, Dbu)> {
+    find_position_shaped(grid, design, cell, CellShape::of_hot(hot, cell), from, cfg)
+}
+
+fn find_position_shaped<G: GridRead>(
+    grid: &G,
+    design: &Design,
+    cell: CellId,
+    shape: CellShape,
+    from: Point,
+    cfg: SearchConfig,
+) -> Option<(GridPos, Dbu)> {
     let sw = design.tech.site_width;
     let rh = design.tech.row_height;
-    let w_sites = c.width / sw;
-    let h_rows = i64::from(c.height_rows);
+    let CellShape {
+        w_sites, h_rows, ..
+    } = shape;
     let limit = cfg.displacement_limit.or(design.max_displacement);
-    let bound = search_bound(grid, cfg, design, cell);
+    let bound = search_bound(grid, cfg, design, shape);
 
     // Diamond centre, clamped into the representable placement range.
     let raw = GridPos {
@@ -164,7 +220,7 @@ pub fn find_position<G: GridRead>(
                     break;
                 }
             }
-            if c.is_rail_constrained() && !c.rail.allows_row(row) {
+            if shape.rail_constrained && !shape.rail.allows_row(row) {
                 continue;
             }
             // Diamond width at this row plus the displacement-limit budget.
@@ -267,14 +323,15 @@ pub fn find_position_reference(
     from: Point,
     cfg: SearchConfig,
 ) -> Option<(GridPos, Dbu)> {
-    let c = design.cell(cell);
     let sw = design.tech.site_width;
     let rh = design.tech.row_height;
-    let w_sites = c.width / sw;
-    let h_rows = i64::from(c.height_rows);
+    let shape = CellShape::of(design, cell);
+    let CellShape {
+        w_sites, h_rows, ..
+    } = shape;
 
     let limit = cfg.displacement_limit.or(design.max_displacement);
-    let bound = search_bound(grid, cfg, design, cell);
+    let bound = search_bound(grid, cfg, design, shape);
 
     // Clamp the ring centre into the representable placement range.
     let raw = grid.to_grid(design, from);

@@ -20,6 +20,14 @@ cargo test -q --workspace
 echo "==> cargo bench --no-run (benches must keep building)"
 cargo bench --no-run --workspace
 
+# Small scale points of the legalize_scale curve, run unconditionally:
+# every iteration asserts zero failed cells, so this is a correctness
+# smoke at 1k/10k cells, not a timing gate (the snapshot goes to target/
+# to keep the tracked BENCH_legalize.json a full-suite artifact).
+echo "==> legalize scale smoke: cargo bench -p rlleg-bench -- --only-scale --cells 10k"
+cargo bench -p rlleg-bench --bench legalize -- --only-scale --cells 10k \
+  --out "$PWD/target/BENCH_scale_smoke.json"
+
 # Fixed-seed fuzz smoke: 50 iterations of the differential oracles
 # (legalize configurations, DEF/LEF round-trip + mutation, grid ops,
 # trainer invariants). Deterministic, budgeted well under 30 s in

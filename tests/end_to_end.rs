@@ -27,6 +27,23 @@ fn generate_legalize_verify_all_orderings() {
 }
 
 #[test]
+fn heuristic_passes_keep_the_placement_legal() {
+    // Regression: rearrange_pass used to lift a cell that was the only
+    // thing separating two type-2-edge neighbours, exposing an
+    // edge-spacing violation check_place never re-examines. This design
+    // and scale reproduced it deterministically.
+    let spec = find_spec("pci_bridge32_a_md2").expect("spec").scaled(0.01);
+    let mut d = generate(&spec);
+    let mut lg = Legalizer::new(&d);
+    let stats = lg.run(&mut d, &Ordering::SizeDescending);
+    assert!(stats.is_complete());
+    lg.swap_pass(&mut d);
+    assert!(legality::is_legal(&d), "swap_pass produced violations");
+    lg.rearrange_pass(&mut d);
+    assert!(legality::is_legal(&d), "rearrange_pass produced violations");
+}
+
+#[test]
 fn def_round_trip_then_legalize() {
     use rlleg_suite::design::def;
     let spec = find_spec("des_perf_b_md2").expect("spec").scaled(0.003);
