@@ -4,8 +4,9 @@
 //! reference (`find_position_reference`) on dense / sparse / macro-heavy
 //! occupancy grids, full-design legalization (sequential vs parallel
 //! per-Gcell), the `legalize_scale` curve (flat vs parallel at 1k/10k/100k
-//! cells, with an opt-in 1M smoke), and batched vs per-state network
-//! evaluation. The custom `main` exports every measurement (mean ns +
+//! cells, with an opt-in 1M smoke), batched vs per-state network
+//! evaluation, and async vs round-robin training throughput on a 10k-cell
+//! design. The custom `main` exports every measurement (mean ns +
 //! iters/sec) to `BENCH_legalize.json` at the repo root so the perf
 //! trajectory is diffable across PRs.
 //!
@@ -20,7 +21,7 @@ use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use rl_legalizer::CellWiseNet;
+use rl_legalizer::{train, CellWiseNet, RlConfig, Trainer};
 use rlleg_benchgen::{find_spec, generate, parse_cells};
 use rlleg_design::{CellId, Design};
 use rlleg_legalize::{
@@ -227,11 +228,45 @@ fn bench_inference(c: &mut Criterion) {
     group.finish();
 }
 
+/// Training throughput: the asynchronous pool-scheduled trainer (batched
+/// policy forwards across Gcells, lock-free parameter snapshots) vs the
+/// deterministic round-robin `Trainer` on the same 10k-cell design and
+/// config. Both run `agents × episodes` full episodes, so mean time per
+/// iteration is directly comparable as steps/sec; `bench_guard.sh` asserts
+/// async ≥ round-robin whenever the host has ≥ 2 cores.
+fn bench_train_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_throughput");
+    group.sample_size(10);
+    let spec = find_spec("des_perf_b_md1").expect("spec");
+    let d = generate(&spec.scaled_to(10_000));
+    let designs = std::slice::from_ref(&d);
+    let cfg = RlConfig {
+        hidden_dim: 16,
+        agents: 2,
+        episodes: 1,
+        pretrain_episodes: 0,
+        seed: 7,
+        ..RlConfig::default()
+    };
+    group.bench_function("async2/10k", |b| {
+        b.iter(|| black_box(train(designs, &cfg).history.len()))
+    });
+    group.bench_function("roundrobin2/10k", |b| {
+        b.iter(|| {
+            let mut t = Trainer::new(designs, &cfg);
+            while t.run_episode() {}
+            black_box(t.finish().history.len())
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_find_position,
     bench_full_legalize,
-    bench_inference
+    bench_inference,
+    bench_train_throughput
 );
 
 fn main() {

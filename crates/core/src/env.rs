@@ -190,6 +190,23 @@ impl LegalizeEnv {
         Matrix::from_vec(cells.len(), NUM_FEATURES, raw)
     }
 
+    /// [`state`](Self::state) written into `out` through the `scratch`
+    /// feature buffer, reusing both allocations.
+    ///
+    /// Training loops call this for states that are consumed immediately
+    /// (bootstrap-tail value estimates) rather than stored in a batch, so
+    /// the per-step allocations drop out of the hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cells` is empty.
+    pub fn state_into(&self, cells: &[CellId], scratch: &mut Vec<f32>, out: &mut Matrix) {
+        assert!(!cells.is_empty(), "state of zero cells");
+        self.features.state_into(&self.design, cells, scratch);
+        ops::l2_normalize_columns(scratch, NUM_FEATURES);
+        out.copy_from(cells.len(), NUM_FEATURES, scratch);
+    }
+
     /// Legalizes `cell` (the agent's action) and returns the Eq.-2 reward.
     ///
     /// On failure the caller must terminate the subepisode, as the paper
@@ -276,6 +293,20 @@ mod tests {
                 .sum::<f32>()
                 .sqrt();
             assert!(norm < 1.0 + 1e-4, "column {c} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn state_into_matches_state_and_reuses_buffers() {
+        let mut e = env();
+        let mut scratch = Vec::new();
+        let mut out = rlleg_nn::Matrix::zeros(0, 0);
+        for _ in 0..3 {
+            let cells = e.remaining_in(0);
+            let fresh = e.state(&cells);
+            e.state_into(&cells, &mut scratch, &mut out);
+            assert_eq!(out, fresh, "scratch path must be bit-identical");
+            e.step(cells[0]);
         }
     }
 

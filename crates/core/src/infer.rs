@@ -195,6 +195,11 @@ impl RlLegalizer {
         let mut degraded: Option<DegradeReason> = None;
         let mut degraded_cells = 0usize;
         let mut steps = 0u64;
+        // State buffers reused across every step of the run: feature
+        // extraction dominates inference time, and reallocating an n×13
+        // matrix per step added avoidable churn on top.
+        let mut state_raw: Vec<f32> = Vec::new();
+        let mut state = rlleg_nn::Matrix::zeros(0, 0);
         for g in env.subepisode_order() {
             let mut remaining = env.remaining_in(g);
             while !remaining.is_empty() {
@@ -231,13 +236,13 @@ impl RlLegalizer {
                     std::thread::sleep(stall);
                 }
                 let tf = Instant::now();
-                let state = env.state(&remaining);
+                env.state_into(&remaining, &mut state_raw, &mut state);
                 feature_time += tf.elapsed();
                 let tn = Instant::now();
                 // Policy-only batched forward: one matrix–matrix pass over
                 // all candidate cells; the value head is never needed for
                 // action selection.
-                let logits = self.model.forward_policy(&state);
+                let mut logits = self.model.forward_policy(&state);
                 network_time += tn.elapsed();
                 network_rows += state.rows();
                 network_evals += 1;
@@ -258,7 +263,10 @@ impl RlLegalizer {
                         .max_by(|x, y| x.1.total_cmp(y.1))
                         .map(|(i, _)| i)
                         .unwrap_or(0),
-                    Selection::Sample(_) => sample(&ops::softmax(&logits), &mut rng),
+                    Selection::Sample(_) => {
+                        ops::softmax_in_place(&mut logits);
+                        sample(&logits, &mut rng)
+                    }
                 };
                 let cell = remaining[a];
                 let outcome = env.step(cell);

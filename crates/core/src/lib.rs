@@ -45,6 +45,7 @@ mod env;
 mod infer;
 mod model;
 mod reward;
+mod store;
 mod train;
 mod trainer;
 
@@ -56,5 +57,6 @@ pub use env::{LegalizeEnv, StepOutcome};
 pub use infer::{DegradeReason, InferenceBudget, InferenceReport, RlLegalizer, Selection};
 pub use model::{CellWiseNet, Forward};
 pub use reward::{RewardParams, FAIL_REWARD};
+pub use store::ParamStore;
 pub use train::{train, TrainResult, TrainSample};
 pub use trainer::{RestoreError, Trainer};

@@ -81,6 +81,16 @@ impl CellWiseNet {
         self.policy_head.forward_inference(&emb).as_slice().to_vec()
     }
 
+    /// Stacks `states` into one `(Σ rowsᵢ) × 13` matrix after validating
+    /// each state's shape.
+    fn stack_states(states: &[&Matrix]) -> Matrix {
+        for s in states {
+            assert!(s.rows() > 0, "empty state");
+            assert_eq!(s.cols(), NUM_FEATURES, "state must have 13 features");
+        }
+        Matrix::stack(states)
+    }
+
     /// Batched value estimates: stacks every state into one
     /// `(Σ rowsᵢ) × 13` matrix, runs a single trunk + value-head forward,
     /// and returns the per-state means — one `V(sᵢ)` per input.
@@ -96,14 +106,7 @@ impl CellWiseNet {
         if states.is_empty() {
             return Vec::new();
         }
-        let total: usize = states.iter().map(|s| s.rows()).sum();
-        let mut data = Vec::with_capacity(total * NUM_FEATURES);
-        for s in states {
-            assert!(s.rows() > 0, "empty state");
-            assert_eq!(s.cols(), NUM_FEATURES, "state must have 13 features");
-            data.extend_from_slice(s.as_slice());
-        }
-        let stacked = Matrix::from_vec(total, NUM_FEATURES, data);
+        let stacked = Self::stack_states(states);
         let emb = self.trunk.forward_inference(&stacked);
         let vals = self.value_head.forward_inference(&emb);
         let flat = vals.as_slice();
@@ -112,6 +115,40 @@ impl CellWiseNet {
         for s in states {
             let n = s.rows();
             out.push(flat[off..off + n].iter().sum::<f32>() / n as f32);
+            off += n;
+        }
+        out
+    }
+
+    /// Batched policy logits: one trunk + policy-head forward over all
+    /// candidate cells of all `states` at once, split back into one logit
+    /// vector per state.
+    ///
+    /// This is the action-selection analogue of
+    /// [`values_batch`](Self::values_batch): the asynchronous trainer
+    /// gathers the per-Gcell states of one macro-step and evaluates them
+    /// in a single blocked-GEMM pass. The per-cell network is applied
+    /// row-wise, and the register-tiled kernel is bit-identical to the
+    /// naive per-state path, so each returned vector equals the
+    /// corresponding [`forward_policy`](Self::forward_policy) call bit
+    /// for bit (proptested in `tests/batch_prop.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when any state is empty or has the wrong column count.
+    pub fn forward_policy_batch(&self, states: &[&Matrix]) -> Vec<Vec<f32>> {
+        if states.is_empty() {
+            return Vec::new();
+        }
+        let stacked = Self::stack_states(states);
+        let emb = self.trunk.forward_inference(&stacked);
+        let logits = self.policy_head.forward_inference(&emb);
+        let flat = logits.as_slice();
+        let mut out = Vec::with_capacity(states.len());
+        let mut off = 0usize;
+        for s in states {
+            let n = s.rows();
+            out.push(flat[off..off + n].to_vec());
             off += n;
         }
         out
@@ -343,6 +380,22 @@ mod tests {
             assert_eq!(net.forward_inference(s).value, v);
         }
         assert!(net.values_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn forward_policy_batch_matches_per_state_forwards() {
+        let net = CellWiseNet::new(16, &mut rng());
+        // Small states individually (naive kernel) but a large stack
+        // (blocked kernel): the bit-identity of the two kernels is what
+        // makes the batched logits exact.
+        let states = [state(1), state(4), state(9), state(13)];
+        let refs: Vec<&Matrix> = states.iter().collect();
+        let batched = net.forward_policy_batch(&refs);
+        assert_eq!(batched.len(), 4);
+        for (s, logits) in states.iter().zip(&batched) {
+            assert_eq!(&net.forward_policy(s), logits);
+        }
+        assert!(net.forward_policy_batch(&[]).is_empty());
     }
 
     #[test]

@@ -6,6 +6,24 @@
 //! over its trajectory slice, backpropagates through its *local* network,
 //! clips the gradient to a global norm of 0.1, applies one shared-Adam
 //! update to the global parameters, and refreshes its local copy.
+//!
+//! Two mechanisms make the loop genuinely asynchronous and batched:
+//!
+//! - Global parameters live in a [`ParamStore`] — a versioned,
+//!   double-buffered seqlock. Gradient applications stay serialized (Adam
+//!   moments are sequential) but agents syncing `θ' ← θ` copy the active
+//!   buffer lock-free, so a slow reader never stalls a writer and vice
+//!   versa. Agents run as persistent jobs on the
+//!   [`rlleg_legalize::pool`] worker pool.
+//! - Policy evaluation is batched across subepisodes:
+//!   [`run_episode_batched`] advances every active Gcell of an episode in
+//!   lockstep macro-steps and evaluates all of their states through one
+//!   [`CellWiseNet::forward_policy_batch`] blocked-GEMM forward. The
+//!   batched logits are bit-identical to per-state forwards, so only the
+//!   *interleaving* of environment steps differs from the sequential
+//!   trainer — which is why equivalence with the deterministic
+//!   [`Trainer`](crate::trainer::Trainer) is distributional (cost and
+//!   failure bands over seeds, `tests/distributional.rs`), not bit-exact.
 
 use parking_lot::Mutex;
 use rand::Rng;
@@ -19,6 +37,7 @@ use rlleg_nn::{ops, optim::Adam, Matrix};
 use crate::config::{ReturnMode, RlConfig, StateMode};
 use crate::env::LegalizeEnv;
 use crate::model::CellWiseNet;
+use crate::store::ParamStore;
 
 /// One point of the learning curve.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,18 +93,79 @@ impl TrainResult {
 }
 
 pub(crate) struct Shared {
-    /// Global parameters + shared Adam state.
-    pub(crate) net: Mutex<(Vec<f32>, Adam)>,
+    /// Versioned global parameters: serialized writers, lock-free readers.
+    pub(crate) store: ParamStore,
+    /// Shared Adam moments, locked only while applying one gradient.
+    pub(crate) opt: Mutex<Adam>,
     pub(crate) history: Mutex<Vec<TrainSample>>,
-    /// Best (cost, parameter snapshot) over all agents and episodes.
+    /// Best `(cost, episode-start parameter snapshot)` over all agents and
+    /// episodes. The snapshot is the parameter version the recorded
+    /// episode actually *ran under* (its `θ' ← θ` sync), not the drifted
+    /// post-episode globals.
     pub(crate) best: Mutex<(f64, Vec<f32>)>,
+}
+
+impl Shared {
+    /// A fresh training state: `params` published as version 0 and seeded
+    /// as the incumbent best snapshot.
+    pub(crate) fn fresh(params: Vec<f32>, lr: f32) -> Self {
+        let n = params.len();
+        Self {
+            store: ParamStore::new(params.clone()),
+            opt: Mutex::new(Adam::new(n, lr)),
+            history: Mutex::new(Vec::new()),
+            best: Mutex::new((f64::INFINITY, params)),
+        }
+    }
+}
+
+/// Selectable-cell set of a masked-mode subepisode, one bit per cell.
+///
+/// Every `Step` snapshots the mask it acted under; with `Vec<bool>` that
+/// retained `n` bytes × `n` steps = O(n²) bytes per subepisode on an
+/// `n`-cell Gcell. One bit per cell cuts the constant 8× and keeps clones
+/// cheap (`masked_steps_retain_bits_not_bytes` pins the bound).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Mask {
+    len: usize,
+    words: Box<[u64]>,
+}
+
+impl Mask {
+    /// A mask of `len` selectable cells.
+    pub(crate) fn all_set(len: usize) -> Self {
+        Self {
+            len,
+            words: vec![u64::MAX; len.div_ceil(64)].into_boxed_slice(),
+        }
+    }
+
+    /// Whether cell `i` is still selectable.
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Marks cell `i` unselectable.
+    #[inline]
+    pub(crate) fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Heap + inline bytes one snapshot retains.
+    #[cfg(test)]
+    pub(crate) fn retained_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.words.len() * std::mem::size_of::<u64>()
+    }
 }
 
 /// One step stored in the mini-batch.
 pub(crate) struct Step {
     state: Matrix,
     /// Selectable-cell mask (None in reduced mode: everything selectable).
-    mask: Option<Vec<bool>>,
+    mask: Option<Mask>,
     action: usize,
     reward: f32,
     /// The pick failed to legalize (see `RlConfig::blame_failed_pick`).
@@ -105,15 +185,21 @@ fn sample_categorical(probs: &[f32], rng: &mut impl Rng) -> usize {
     probs.len() - 1
 }
 
-fn masked_logits(logits: &[f32], mask: Option<&Vec<bool>>) -> Vec<f32> {
-    match mask {
-        None => logits.to_vec(),
-        Some(m) => logits
-            .iter()
-            .zip(m)
-            .map(|(&l, &ok)| if ok { l } else { -1e9 })
-            .collect(),
+/// Suppresses unselectable cells' logits to an effective −∞.
+fn apply_mask(logits: &mut [f32], mask: &Mask) {
+    for (i, l) in logits.iter_mut().enumerate() {
+        if !mask.get(i) {
+            *l = -1e9;
+        }
     }
+}
+
+fn masked_logits(logits: &[f32], mask: Option<&Mask>) -> Vec<f32> {
+    let mut out = logits.to_vec();
+    if let Some(m) = mask {
+        apply_mask(&mut out, m);
+    }
+    out
 }
 
 /// Discounted returns over `rewards`, seeded with `tail` past the horizon
@@ -202,19 +288,20 @@ pub(crate) fn update(
         if !telemetry::disabled() {
             telemetry::counter("train.nonfinite_updates_skipped").inc();
         }
-        let snapshot = shared.net.lock().0.clone();
-        local.set_params_flat(&snapshot);
+        local.set_params_flat(&shared.store.snapshot());
         return;
     }
     rlleg_nn::optim::clip_global_norm(&mut grads, cfg.grad_clip);
 
-    let mut g = shared.net.lock();
-    let (params, adam) = &mut *g;
-    adam.lr = lr;
-    adam.step(params, &grads);
-    let snapshot = params.clone();
-    drop(g);
-    local.set_params_flat(&snapshot);
+    {
+        let mut opt = shared.opt.lock();
+        opt.lr = lr;
+        let opt = &mut *opt;
+        shared.store.update(|params| opt.step(params, &grads));
+    }
+    // Refresh from the store rather than the just-written master: if a
+    // sibling agent published meanwhile, the fresher version wins.
+    local.set_params_flat(&shared.store.snapshot());
     if !telemetry::disabled() {
         telemetry::counter("train.global_updates").inc();
     }
@@ -225,6 +312,10 @@ pub(crate) fn update(
 /// `(failures, steps)`: the number of legalization failures encountered
 /// (with the paper's terminate-on-failure semantics this is 0 or 1) and the
 /// number of environment steps taken.
+///
+/// This is the sequential reference path used by the deterministic
+/// [`Trainer`](crate::trainer::Trainer); [`train`] runs the batched
+/// equivalent [`run_episode_batched`].
 pub(crate) fn run_subepisode(
     env: &mut LegalizeEnv,
     g: usize,
@@ -241,6 +332,10 @@ pub(crate) fn run_subepisode(
     let mut batch: Vec<Step> = Vec::new();
     let mut failures = 0usize;
     let mut steps = 0usize;
+    // Bootstrap-tail states are consumed immediately; route them through
+    // one scratch pair instead of allocating per step.
+    let mut tail_raw: Vec<f32> = Vec::new();
+    let mut tail_state = Matrix::zeros(0, 0);
     match cfg.state_mode {
         StateMode::Reduced => {
             let mut remaining = all;
@@ -271,7 +366,8 @@ pub(crate) fn run_subepisode(
                     && !done
                     && batch.len() >= cfg.batch_size;
                 let tail = if need_tail {
-                    local.forward_inference(&env.state(&remaining)).value
+                    env.state_into(&remaining, &mut tail_raw, &mut tail_state);
+                    local.forward_inference(&tail_state).value
                 } else {
                     0.0
                 };
@@ -282,7 +378,7 @@ pub(crate) fn run_subepisode(
             }
         }
         StateMode::Masked => {
-            let mut mask = vec![true; all.len()];
+            let mut mask = Mask::all_set(all.len());
             let mut left = all.len();
             while left > 0 {
                 let state = env.state(&all);
@@ -304,7 +400,7 @@ pub(crate) fn run_subepisode(
                     terminate = cfg.terminate_on_failure;
                 }
                 if !terminate {
-                    mask[a] = false;
+                    mask.clear(a);
                     left -= 1;
                 }
                 let done = terminate || left == 0;
@@ -312,7 +408,8 @@ pub(crate) fn run_subepisode(
                     && !done
                     && batch.len() >= cfg.batch_size;
                 let tail = if need_tail {
-                    local.forward_inference(&env.state(&all)).value
+                    env.state_into(&all, &mut tail_raw, &mut tail_state);
+                    local.forward_inference(&tail_state).value
                 } else {
                     0.0
                 };
@@ -321,6 +418,121 @@ pub(crate) fn run_subepisode(
                     break;
                 }
             }
+        }
+    }
+    (failures, steps)
+}
+
+/// One live Gcell subepisode inside [`run_episode_batched`].
+struct SubEpisode {
+    /// Reduced mode: the shrinking remaining list. Masked mode: the fixed
+    /// full cell list of the Gcell.
+    cells: Vec<rlleg_design::CellId>,
+    /// Masked mode only: selectable cells.
+    mask: Option<Mask>,
+    /// Masked mode only: cells not yet legalized.
+    left: usize,
+    batch: Vec<Step>,
+    done: bool,
+}
+
+/// Runs one agent's whole episode with policy evaluation batched across
+/// Gcells: every macro-step gathers the current state of each live
+/// subepisode and evaluates all of them through one
+/// [`CellWiseNet::forward_policy_batch`] blocked-GEMM forward, then
+/// samples, steps, and flushes each subepisode against its logit slice.
+/// Returns `(failures, steps)` like [`run_subepisode`].
+///
+/// Per-subepisode semantics (sampling, masking, batching, flushing) are
+/// identical to [`run_subepisode`]; what changes is the *order* of
+/// environment steps — subepisodes advance in lockstep instead of one
+/// after another — so dynamic features observed by one Gcell may reflect
+/// fewer sibling placements than under the sequential schedule. That
+/// reordering is the whole speedup and the reason async-vs-deterministic
+/// equivalence is tested distributionally.
+pub(crate) fn run_episode_batched(
+    env: &mut LegalizeEnv,
+    local: &mut CellWiseNet,
+    shared: &Shared,
+    cfg: &RlConfig,
+    lr: f32,
+    rng: &mut impl Rng,
+) -> (usize, usize) {
+    let mut subs: Vec<SubEpisode> = env
+        .subepisode_order()
+        .into_iter()
+        .filter_map(|g| {
+            let cells = env.remaining_in(g);
+            if cells.is_empty() {
+                return None;
+            }
+            let n = cells.len();
+            Some(SubEpisode {
+                cells,
+                mask: (cfg.state_mode == StateMode::Masked).then(|| Mask::all_set(n)),
+                left: n,
+                batch: Vec::new(),
+                done: false,
+            })
+        })
+        .collect();
+    let mut failures = 0usize;
+    let mut steps = 0usize;
+    let mut tail_raw: Vec<f32> = Vec::new();
+    let mut tail_state = Matrix::zeros(0, 0);
+    loop {
+        let active: Vec<usize> = (0..subs.len()).filter(|&i| !subs[i].done).collect();
+        if active.is_empty() {
+            break;
+        }
+        // Gather every live subepisode's state, then one batched forward.
+        let states: Vec<Matrix> = active.iter().map(|&i| env.state(&subs[i].cells)).collect();
+        let logit_slices = {
+            let refs: Vec<&Matrix> = states.iter().collect();
+            local.forward_policy_batch(&refs)
+        };
+        for ((&i, state), mut logits) in active.iter().zip(states).zip(logit_slices) {
+            let sub = &mut subs[i];
+            if let Some(m) = &sub.mask {
+                apply_mask(&mut logits, m);
+            }
+            ops::softmax_in_place(&mut logits);
+            let a = sample_categorical(&logits, rng);
+            let outcome = env.step(sub.cells[a]);
+            steps += 1;
+            sub.batch.push(Step {
+                state,
+                mask: sub.mask.clone(),
+                action: a,
+                reward: outcome.reward(),
+                failed: outcome.is_failure(),
+            });
+            let mut terminate = false;
+            if outcome.is_failure() {
+                failures += 1;
+                terminate = cfg.terminate_on_failure;
+            }
+            if !terminate {
+                match &mut sub.mask {
+                    Some(m) => m.clear(a),
+                    None => {
+                        sub.cells.remove(a);
+                    }
+                }
+                sub.left -= 1;
+            }
+            let done = terminate || sub.left == 0;
+            let need_tail = cfg.return_mode == ReturnMode::BatchBootstrap
+                && !done
+                && sub.batch.len() >= cfg.batch_size;
+            let tail = if need_tail {
+                env.state_into(&sub.cells, &mut tail_raw, &mut tail_state);
+                local.forward_inference(&tail_state).value
+            } else {
+                0.0
+            };
+            flush(local, shared, &mut sub.batch, done, tail, cfg, lr);
+            sub.done = done;
         }
     }
     (failures, steps)
@@ -433,7 +645,9 @@ pub(crate) fn pretrain(global: &mut CellWiseNet, designs: &[Design], cfg: &RlCon
 
 /// Trains the cell-wise network on `designs` with `cfg.agents` asynchronous
 /// agents (Algorithm 1). Agents cycle through the designs round-robin, one
-/// design per episode.
+/// design per episode, run on the shared
+/// [`rlleg_legalize::pool`] worker pool, and batch each macro-step's
+/// policy evaluation across all active Gcells.
 ///
 /// # Panics
 ///
@@ -446,18 +660,11 @@ pub fn train(designs: &[Design], cfg: &RlConfig) -> TrainResult {
     if cfg.pretrain_episodes > 0 {
         pretrain(&mut global, designs, cfg);
     }
-    let n_params = global.num_params();
-    let initial_params = global.params_flat();
-    let shared = Shared {
-        net: Mutex::new((
-            initial_params.clone(),
-            Adam::new(n_params, cfg.learning_rate),
-        )),
-        history: Mutex::new(Vec::new()),
-        best: Mutex::new((f64::INFINITY, initial_params)),
-    };
+    let shared = Shared::fresh(global.params_flat(), cfg.learning_rate);
 
-    std::thread::scope(|scope| {
+    let workers = cfg.agents.min(rlleg_legalize::pool::default_threads());
+    let pool = rlleg_legalize::pool::with_workers(workers);
+    pool.scope(|scope| {
         for agent in 0..cfg.agents {
             let shared = &shared;
             let cfg = cfg.clone();
@@ -474,30 +681,37 @@ pub fn train(designs: &[Design], cfg: &RlConfig) -> TrainResult {
                         LegalizeEnv::with_options(d.clone(), gcells, cfg.backend)
                     })
                     .collect();
+                // Pre-interned rate gauge: `format!`-ing a metric name per
+                // episode re-hashed the registry every time; the handle is
+                // created once and held.
+                let gauge_name = format!("train.agent.{agent}.millisteps_per_sec");
+                let mut sps_gauge: Option<telemetry::Gauge> = None;
+                // Reused episode-start snapshot buffer (cloned only into
+                // `shared.best` on improvement).
+                let mut ep_params: Vec<f32> = Vec::new();
                 for episode in 0..cfg.episodes {
                     let di = (agent + episode) % envs.len();
                     let env = &mut envs[di];
                     env.reset();
+                    // Algorithm 1: θ' ← θ at episode start. The snapshot is
+                    // also what `shared.best` records if this episode sets a
+                    // new best cost — it is the parameter version the
+                    // episode's behaviour came from.
+                    shared.store.read_into(&mut ep_params);
+                    local.set_params_flat(&ep_params);
                     let lr = cfg.learning_rate * cfg.lr_decay.powi(episode as i32);
-                    let mut failures = 0;
-                    let mut steps = 0usize;
                     let t_ep = std::time::Instant::now();
-                    for g in env.subepisode_order() {
-                        let (f, s) = run_subepisode(env, g, &mut local, shared, &cfg, lr, &mut rng);
-                        failures += f;
-                        steps += s;
-                    }
+                    let (failures, steps) =
+                        run_episode_batched(env, &mut local, shared, &cfg, lr, &mut rng);
                     let cost = env.legalization_cost();
                     if !telemetry::disabled() {
                         telemetry::counter("train.steps").add(steps as u64);
                         telemetry::counter("train.episodes").inc();
                         telemetry::histogram("train.episode_cost", telemetry::buckets::MAGNITUDE)
                             .record(cost);
-                        let secs = t_ep.elapsed().as_secs_f64();
-                        if secs > 0.0 {
-                            telemetry::gauge(&format!("train.agent.{agent}.steps_per_sec"))
-                                .set((steps as f64 / secs) as i64);
-                        }
+                        sps_gauge
+                            .get_or_insert_with(|| telemetry::gauge(&gauge_name))
+                            .set_rate_milli(steps as f64, t_ep.elapsed().as_secs_f64());
                     }
                     let sample = TrainSample {
                         agent,
@@ -508,19 +722,22 @@ pub fn train(designs: &[Design], cfg: &RlConfig) -> TrainResult {
                         qor: env.qor(),
                     };
                     shared.history.lock().push(sample);
-                    // Validation-style checkpointing: snapshot the global
-                    // parameters whenever an episode sets a new best cost.
+                    // Validation-style checkpointing: record the episode's
+                    // *starting* parameters on a new best cost. (The old
+                    // code stored the post-episode locals, i.e. parameters
+                    // that never produced the recorded cost.)
                     let mut best = shared.best.lock();
                     if cost < best.0 {
                         best.0 = cost;
-                        best.1 = local.params_flat();
+                        best.1.clear();
+                        best.1.extend_from_slice(&ep_params);
                     }
                 }
             });
         }
     });
 
-    let (params, _) = shared.net.into_inner();
+    let params = shared.store.into_inner();
     let (_, best_params) = shared.best.into_inner();
     let mut best_model = global.clone();
     best_model.set_params_flat(&best_params);
@@ -644,12 +861,7 @@ mod tests {
             entropy_coeff: 0.001,
             ..RlConfig::default()
         };
-        let n = net.num_params();
-        let shared = Shared {
-            net: Mutex::new((net.params_flat(), Adam::new(n, cfg.learning_rate))),
-            history: Mutex::new(Vec::new()),
-            best: Mutex::new((f64::INFINITY, Vec::new())),
-        };
+        let shared = Shared::fresh(net.params_flat(), cfg.learning_rate);
         let state = {
             // Distinct rows (a cell-wise net cannot separate identical
             // feature vectors).
@@ -685,13 +897,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let mut net = CellWiseNet::new(8, &mut rng);
         let cfg = RlConfig::default();
-        let n = net.num_params();
         let before = net.params_flat();
-        let shared = Shared {
-            net: Mutex::new((before.clone(), Adam::new(n, cfg.learning_rate))),
-            history: Mutex::new(Vec::new()),
-            best: Mutex::new((f64::INFINITY, Vec::new())),
-        };
+        let shared = Shared::fresh(before.clone(), cfg.learning_rate);
         let f = rlleg_legalize::NUM_FEATURES;
         let state = Matrix::from_vec(
             2,
@@ -720,9 +927,17 @@ mod tests {
             bits(&before),
             "local params must be untouched"
         );
-        let g = shared.net.lock();
-        assert_eq!(bits(&g.0), bits(&before), "global params must be untouched");
-        assert_eq!(g.1.steps(), 0, "no Adam step must have been applied");
+        assert_eq!(
+            bits(&shared.store.snapshot()),
+            bits(&before),
+            "global params must be untouched"
+        );
+        assert_eq!(shared.store.version(), 0, "no version must be published");
+        assert_eq!(
+            shared.opt.lock().steps(),
+            0,
+            "no Adam step must have been applied"
+        );
     }
 
     #[test]
@@ -766,10 +981,49 @@ mod tests {
     #[test]
     fn masked_logits_suppress() {
         let l = [1.0f32, 2.0, 3.0];
-        let m = vec![true, false, true];
+        let mut m = Mask::all_set(3);
+        m.clear(1);
         let out = masked_logits(&l, Some(&m));
         let p = ops::softmax(&out);
         assert!(p[1] < 1e-6);
         assert!((p[0] + p[2] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mask_bit_ops() {
+        let mut m = Mask::all_set(130);
+        assert!(m.get(0) && m.get(64) && m.get(129));
+        m.clear(64);
+        assert!(!m.get(64));
+        assert!(m.get(63) && m.get(65), "neighbours untouched");
+        m.clear(129);
+        assert!(!m.get(129));
+        let l: Vec<f32> = vec![0.0; 130];
+        let masked = masked_logits(&l, Some(&m));
+        assert_eq!(
+            masked.iter().filter(|&&x| x == -1e9).count(),
+            2,
+            "exactly the cleared bits are suppressed"
+        );
+    }
+
+    #[test]
+    fn masked_steps_retain_bits_not_bytes() {
+        // A 1024-cell Gcell in masked mode keeps one mask snapshot per
+        // step: with `Vec<bool>` that retained n² = 1 MiB of mask bytes
+        // per subepisode. The bitmask bound is n²/8 plus per-step struct
+        // overhead — pinned here at a quarter of the old cost so a
+        // regression back to byte-per-cell storage fails loudly.
+        let n = 1024usize;
+        let per_step = Mask::all_set(n).retained_bytes();
+        assert!(
+            per_step <= n / 8 + 64,
+            "one snapshot must be ~n/8 bytes, got {per_step}"
+        );
+        let subepisode_total = n * per_step;
+        assert!(
+            subepisode_total <= n * n / 4,
+            "whole-subepisode mask retention {subepisode_total} regressed toward O(n²) bytes"
+        );
     }
 }

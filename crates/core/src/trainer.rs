@@ -123,16 +123,7 @@ impl Trainer {
         if cfg.pretrain_episodes > 0 {
             pretrain(&mut template, designs, cfg);
         }
-        let n_params = template.num_params();
-        let initial_params = template.params_flat();
-        let shared = Shared {
-            net: Mutex::new((
-                initial_params.clone(),
-                Adam::new(n_params, cfg.learning_rate),
-            )),
-            history: Mutex::new(Vec::new()),
-            best: Mutex::new((f64::INFINITY, initial_params)),
-        };
+        let shared = Shared::fresh(template.params_flat(), cfg.learning_rate);
         let rngs = (0..cfg.agents)
             .map(|agent| ChaCha8Rng::seed_from_u64(cfg.seed ^ ((agent as u64 + 1) * 0x9E37)))
             .collect();
@@ -185,10 +176,11 @@ impl Trainer {
             // Fresh local copy of the current global parameters — the
             // deterministic analogue of the async agents' refresh-after-
             // update, and what keeps the checkpoint state minimal (locals
-            // never need to be persisted).
+            // never need to be persisted). Kept around as the snapshot
+            // `shared.best` records if this episode sets a new best cost.
             let mut local = self.template.clone();
-            let snapshot = self.shared.net.lock().0.clone();
-            local.set_params_flat(&snapshot);
+            let ep_params = self.shared.store.snapshot();
+            local.set_params_flat(&ep_params);
             self.envs[di].reset();
             let mut failures = 0usize;
             let mut steps = 0usize;
@@ -222,10 +214,14 @@ impl Trainer {
                 qor: self.envs[di].qor(),
             };
             self.shared.history.lock().push(sample);
+            // Record the parameters the episode *started* from — the ones
+            // that actually produced the recorded cost. (The old code
+            // stored the post-update locals, a strictly newer version the
+            // episode never ran with.)
             let mut best = self.shared.best.lock();
             if cost < best.0 {
                 best.0 = cost;
-                best.1 = local.params_flat();
+                best.1 = ep_params;
             }
         }
         self.episode += 1;
@@ -248,14 +244,14 @@ impl Trainer {
     /// Captures the complete training state, bit-exactly. Valid at any
     /// episode boundary.
     pub fn state(&self) -> TrainerState {
-        let g = self.shared.net.lock();
+        let params = self.shared.store.snapshot();
         let best = self.shared.best.lock();
         TrainerState {
             cfg: self.cfg.clone(),
             episode: self.episode,
             steps: self.steps,
-            params_bits: g.0.iter().map(|x| x.to_bits()).collect(),
-            adam: g.1.to_raw(),
+            params_bits: params.iter().map(|x| x.to_bits()).collect(),
+            adam: self.shared.opt.lock().to_raw(),
             rng_words: self.rngs.iter().flat_map(|r| r.state()).collect(),
             best_cost_bits: best.0.to_bits(),
             best_params_bits: best.1.iter().map(|x| x.to_bits()).collect(),
@@ -314,7 +310,8 @@ impl Trainer {
             .map(|&b| f32::from_bits(b))
             .collect();
         let shared = Shared {
-            net: Mutex::new((params, Adam::from_raw(&state.adam))),
+            store: crate::store::ParamStore::new(params),
+            opt: Mutex::new(Adam::from_raw(&state.adam)),
             history: Mutex::new(state.history.clone()),
             best: Mutex::new((f64::from_bits(state.best_cost_bits), best_params)),
         };
@@ -340,7 +337,7 @@ impl Trainer {
     /// Finalizes training into the same [`TrainResult`] shape
     /// [`train`](crate::train::train) produces.
     pub fn finish(self) -> TrainResult {
-        let (params, _) = self.shared.net.into_inner();
+        let params = self.shared.store.into_inner();
         let (_, best_params) = self.shared.best.into_inner();
         let mut model = self.template.clone();
         let mut best_model = self.template;
@@ -436,6 +433,39 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(costs(&r_full), costs(&r_resumed));
+    }
+
+    #[test]
+    fn best_model_is_the_episode_start_snapshot_of_the_best_episode() {
+        // The best-model snapshot must be the parameters the winning
+        // episode *ran under* (its episode-start sync), not whatever the
+        // agent's local net drifted to by episode end. With one agent the
+        // episode-start parameters are exactly the globals at each
+        // `run_episode` boundary, so we can capture them from `state()`.
+        let designs = [toy_design(4)];
+        let cfg = RlConfig {
+            agents: 1,
+            episodes: 4,
+            ..tiny_cfg()
+        };
+        let mut t = Trainer::new(&designs, &cfg);
+        let mut boundary_params: Vec<Vec<u32>> = Vec::new();
+        while !t.done() {
+            boundary_params.push(t.state().params_bits.clone());
+            t.run_episode();
+        }
+        let state = t.state();
+        let r = t.finish();
+        let best_ep = r
+            .history
+            .iter()
+            .min_by(|a, b| a.cost.total_cmp(&b.cost))
+            .expect("history nonempty")
+            .episode;
+        assert_eq!(
+            state.best_params_bits, boundary_params[best_ep],
+            "best snapshot must be the start-of-episode-{best_ep} parameters"
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@
 //! 6. [`oracle_proto`] — the serving wire protocol: valid frames
 //!    round-trip and reassemble from adversarial chunk sizes, while
 //!    mutated, truncated, spliced, or garbage byte streams return `Err`
-//!    — never panic, hang, or mis-frame.
+//!    — never panic, hang, or mis-frame;
+//! 7. [`oracle_params`] — the asynchronous trainer's
+//!    [`rl_legalizer::ParamStore`] seqlock under writer/reader thread
+//!    contention: snapshots are never torn, the reported epoch always
+//!    names the publish actually read (no ABA), and epochs are monotone.
 //!
 //! Failing designs are minimized by the greedy [`shrink`]er and written to
 //! `crates/fuzz/corpus/`, which doubles as the regression suite replayed by
@@ -43,6 +47,7 @@ pub mod oracle_fault;
 pub mod oracle_grid;
 pub mod oracle_legalize;
 pub mod oracle_nn;
+pub mod oracle_params;
 pub mod oracle_parse;
 pub mod oracle_proto;
 pub mod scenario;
@@ -63,6 +68,8 @@ pub enum Artifact {
     Lef(String),
     /// A hex dump of the protocol bytes that triggered the failure.
     FrameHex(String),
+    /// A `key=value` [`oracle_params::Case`] that triggered the failure.
+    ParamsCase(String),
 }
 
 impl Artifact {
@@ -73,6 +80,7 @@ impl Artifact {
             Artifact::Def(_) => "def",
             Artifact::Lef(_) => "lef",
             Artifact::FrameHex(_) => "hex",
+            Artifact::ParamsCase(_) => "params",
         }
     }
 
@@ -82,7 +90,8 @@ impl Artifact {
             Artifact::DesignJson(s)
             | Artifact::Def(s)
             | Artifact::Lef(s)
-            | Artifact::FrameHex(s) => s,
+            | Artifact::FrameHex(s)
+            | Artifact::ParamsCase(s) => s,
         }
     }
 }
@@ -91,7 +100,7 @@ impl Artifact {
 #[derive(Debug, Clone)]
 pub struct Failure {
     /// Which oracle fired (`legalize`, `parse`, `grid`, `nn`, `fault`,
-    /// `proto`).
+    /// `proto`, `params`).
     pub oracle: &'static str,
     /// Scenario label (generator family + parameters).
     pub scenario: String,
@@ -110,16 +119,16 @@ impl std::fmt::Display for Failure {
 /// Budget for shrinker predicate evaluations per failing iteration.
 const SHRINK_BUDGET: usize = 200;
 
-/// Runs one full fuzz iteration (scenario + all six oracles) and returns
+/// Runs one full fuzz iteration (scenario + all seven oracles) and returns
 /// every invariant failure. Deterministic in `(seed, iter)`.
 pub fn run_iteration(seed: u64, iter: u64) -> Vec<Failure> {
     run_iteration_filtered(seed, iter, None)
 }
 
 /// [`run_iteration`], restricted to the oracle named by `only` when given
-/// (`legalize`, `parse`, `grid`, `nn`, `fault`, `proto`). Seed derivation
-/// is shared with the unfiltered run, so `--only` repros match full-run
-/// failures.
+/// (`legalize`, `parse`, `grid`, `nn`, `fault`, `proto`, `params`). Seed
+/// derivation is shared with the unfiltered run, so `--only` repros match
+/// full-run failures.
 pub fn run_iteration_filtered(seed: u64, iter: u64, only: Option<&str>) -> Vec<Failure> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ iter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let sc = scenario::generate(&mut rng);
@@ -199,6 +208,11 @@ pub fn run_iteration_filtered(seed: u64, iter: u64, only: Option<&str>) -> Vec<F
     let proto_seed: u64 = rng.gen();
     if wants("proto") {
         failures.extend(timed("proto", || oracle_proto::check(&sc, proto_seed)));
+    }
+
+    let params_seed: u64 = rng.gen();
+    if wants("params") {
+        failures.extend(timed("params", || oracle_params::check(&sc, params_seed)));
     }
 
     if !failures.is_empty() {

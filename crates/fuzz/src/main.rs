@@ -51,7 +51,7 @@ fn main() {
              --iters N     iterations to run (default 100)\n\
              --seed S      base seed (default 1)\n\
              --corpus DIR  where failing repros are written (default crates/fuzz/corpus)\n\
-             --only ORACLE run a single oracle: legalize|parse|grid|nn|fault|proto\n\
+             --only ORACLE run a single oracle: legalize|parse|grid|nn|fault|proto|params\n\
              --quiet       suppress the per-failure log lines"
         );
         return;
@@ -66,8 +66,14 @@ fn main() {
     let only = args.get("--only", String::new());
     let only = (!only.is_empty()).then_some(only);
     if let Some(o) = &only {
-        if !["legalize", "parse", "grid", "nn", "fault", "proto"].contains(&o.as_str()) {
-            eprintln!("rlleg-fuzz: unknown oracle `{o}` (legalize|parse|grid|nn|fault|proto)");
+        if ![
+            "legalize", "parse", "grid", "nn", "fault", "proto", "params",
+        ]
+        .contains(&o.as_str())
+        {
+            eprintln!(
+                "rlleg-fuzz: unknown oracle `{o}` (legalize|parse|grid|nn|fault|proto|params)"
+            );
             std::process::exit(2);
         }
     }
@@ -98,17 +104,19 @@ fn main() {
     }
 
     let elapsed = t0.elapsed().as_secs_f64();
-    let per_oracle: Vec<String> = ["legalize", "parse", "grid", "nn", "fault", "proto"]
-        .iter()
-        .map(|o| {
-            let h = telemetry::histogram(
-                &format!("fuzz.oracle.{o}.seconds"),
-                telemetry::buckets::SECONDS,
-            )
-            .snapshot();
-            format!("{o} p50 {:.1}ms", h.quantile(0.5) * 1e3)
-        })
-        .collect();
+    let per_oracle: Vec<String> = [
+        "legalize", "parse", "grid", "nn", "fault", "proto", "params",
+    ]
+    .iter()
+    .map(|o| {
+        let h = telemetry::histogram(
+            &format!("fuzz.oracle.{o}.seconds"),
+            telemetry::buckets::SECONDS,
+        )
+        .snapshot();
+        format!("{o} p50 {:.1}ms", h.quantile(0.5) * 1e3)
+    })
+    .collect();
     println!(
         "rlleg-fuzz: {iters} iterations, seed {seed}, {elapsed:.1}s ({})",
         per_oracle.join(", ")

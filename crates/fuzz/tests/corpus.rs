@@ -14,7 +14,11 @@
 //! - `*.hex` — hostile serving-protocol byte streams (truncated headers,
 //!   bad magic, CRC flips, declared-length overflows, trailing garbage);
 //!   `decode_frame` must classify each as its pinned [`ProtoError`], and
-//!   a byte-at-a-time [`FrameReader`] feed must never yield a frame.
+//!   a byte-at-a-time [`FrameReader`] feed must never yield a frame;
+//! - `*.params` — `ParamStore` contention cases (writer/reader counts,
+//!   vector length, publish budget); the seqlock invariants — untorn
+//!   snapshots, epoch/stamp coherence, monotone epochs — must hold on
+//!   each replay.
 
 use std::path::PathBuf;
 
@@ -22,7 +26,7 @@ use rl_legalizer::{decode, CheckpointError, CheckpointStore};
 use rlleg_design::def::parse_def;
 use rlleg_design::lef::Library;
 use rlleg_design::{Design, Technology};
-use rlleg_fuzz::{oracle_grid, oracle_legalize, oracle_proto, scenario::Scenario};
+use rlleg_fuzz::{oracle_grid, oracle_legalize, oracle_params, oracle_proto, scenario::Scenario};
 use rlleg_serve::proto::{decode_frame, FrameReader, ProtoError, MAX_FRAME};
 
 fn corpus_dir() -> PathBuf {
@@ -192,6 +196,25 @@ fn hex_corpus_frames_are_classified_not_accepted() {
                 Err(_) => poisoned = true,
             }
         }
+    }
+}
+
+#[test]
+fn params_corpus_cases_hold_the_store_invariants() {
+    let files = corpus_files("params");
+    assert!(!files.is_empty(), "no .params corpus cases committed");
+    for path in files {
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        let failures = oracle_params::replay(&text);
+        assert!(
+            failures.is_empty(),
+            "{}: {:?}",
+            path.display(),
+            failures
+                .iter()
+                .map(|f| f.message.clone())
+                .collect::<Vec<_>>()
+        );
     }
 }
 

@@ -191,11 +191,22 @@ impl FeatureSpace {
     /// Row-major `cells.len() × 13` state matrix (unnormalized; the RL
     /// framework applies feature-wise L2 normalization).
     pub fn state(&self, design: &Design, cells: &[CellId]) -> Vec<f32> {
-        let mut out = Vec::with_capacity(cells.len() * NUM_FEATURES);
+        let mut out = Vec::new();
+        self.state_into(design, cells, &mut out);
+        out
+    }
+
+    /// [`state`](Self::state) written into `out`, reusing its allocation.
+    ///
+    /// The trainer recomputes same-shaped states every step of a
+    /// subepisode; routing those through one scratch buffer removes a
+    /// `cells.len() × 13` allocation per step.
+    pub fn state_into(&self, design: &Design, cells: &[CellId], out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(cells.len() * NUM_FEATURES);
         for &c in cells {
             out.extend_from_slice(&self.features_of(design, c));
         }
-        out
     }
 
     /// Average Manhattan distance of the two nearest obstacles or design

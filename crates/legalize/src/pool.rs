@@ -243,6 +243,18 @@ pub fn global() -> &'static WorkerPool {
     POOL.get_or_init(WorkerPool::new)
 }
 
+/// The global pool, grown to at least `n` workers (minimum one).
+///
+/// One-liner entry point for callers that scope jobs immediately — the
+/// asynchronous trainer parks its agents here so repeated `train()` calls
+/// (benches, the serve loop) reuse the same threads instead of spawning
+/// per call.
+pub fn with_workers(n: usize) -> &'static WorkerPool {
+    let pool = global();
+    pool.ensure_workers(n.max(1));
+    pool
+}
+
 /// Resolves a `RLLEG_THREADS`-style override string: a positive integer
 /// wins, everything else (absent, empty, zero, garbage) falls back to the
 /// machine's available parallelism. Factored out of [`default_threads`] so

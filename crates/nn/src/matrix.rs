@@ -76,6 +76,53 @@ impl Matrix {
         Self { rows, cols, data }
     }
 
+    /// Stacks matrices with a common column count vertically into one
+    /// `(Σ rowsᵢ) × cols` matrix.
+    ///
+    /// This is the batching primitive: stacking many per-state matrices
+    /// and running one forward pushes the row count past
+    /// [`BLOCKED_MIN_ROWS`], so the whole batch goes through the
+    /// register-tiled kernel instead of many naive small products — with
+    /// bit-identical per-row results, because the tiled and naive kernels
+    /// produce identical sums for every row independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mats` is empty or the column counts disagree.
+    pub fn stack(mats: &[&Matrix]) -> Self {
+        assert!(!mats.is_empty(), "stack needs at least one matrix");
+        let cols = mats[0].cols;
+        let total: usize = mats.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(total * cols);
+        for m in mats {
+            assert_eq!(m.cols, cols, "stack: column mismatch");
+            data.extend_from_slice(&m.data);
+        }
+        Self {
+            rows: total,
+            cols,
+            data,
+        }
+    }
+
+    /// Overwrites this matrix with `rows × cols` values from `data`,
+    /// reusing the existing allocation when it is large enough.
+    ///
+    /// Hot loops that recompute a same-shaped matrix every step (the
+    /// masked-mode trainer's bootstrap states) use this instead of
+    /// building a fresh [`Matrix::from_vec`] per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn copy_from(&mut self, rows: usize, cols: usize, data: &[f32]) {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.extend_from_slice(data);
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -417,5 +464,34 @@ mod tests {
         let c = a.matmul_t(&b);
         assert_eq!((c.rows(), c.cols()), (20, 6));
         assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn stack_concatenates_rows() {
+        let a = ramp(2, 3, 5);
+        let b = ramp(4, 3, 7);
+        let s = Matrix::stack(&[&a, &b]);
+        assert_eq!((s.rows(), s.cols()), (6, 3));
+        assert_eq!(s.row(1), a.row(1));
+        assert_eq!(s.row(5), b.row(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "column mismatch")]
+    fn stack_rejects_ragged_columns() {
+        let a = ramp(2, 3, 5);
+        let b = ramp(2, 4, 5);
+        let _ = Matrix::stack(&[&a, &b]);
+    }
+
+    #[test]
+    fn copy_from_reuses_the_allocation() {
+        let mut m = ramp(8, 4, 3);
+        let cap = m.data.capacity();
+        let small = [1.0f32, 2.0, 3.0, 4.0];
+        m.copy_from(2, 2, &small);
+        assert_eq!((m.rows(), m.cols()), (2, 2));
+        assert_eq!(m.as_slice(), &small);
+        assert_eq!(m.data.capacity(), cap, "no reallocation for smaller fills");
     }
 }

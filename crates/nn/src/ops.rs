@@ -20,6 +20,25 @@ pub fn softmax(logits: &[f32]) -> Vec<f32> {
     exps.into_iter().map(|e| e / sum).collect()
 }
 
+/// [`softmax`] computed in place, avoiding the intermediate allocation.
+///
+/// Per-step action sampling in training and inference calls this in the
+/// hot loop; the separate exp/sum passes match [`softmax`] exactly, so the
+/// two variants are interchangeable bit for bit.
+pub fn softmax_in_place(logits: &mut [f32]) {
+    if logits.is_empty() {
+        return;
+    }
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    for v in logits.iter_mut() {
+        *v = (*v - max).exp();
+    }
+    let sum: f32 = logits.iter().sum();
+    for v in logits.iter_mut() {
+        *v /= sum;
+    }
+}
+
 /// Shannon entropy `−Σ p·ln p` of a probability vector (0·ln 0 = 0).
 pub fn entropy(probs: &[f32]) -> f32 {
     -probs
@@ -93,6 +112,18 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn softmax_in_place_is_bit_identical_to_softmax() {
+        let logits = [0.25f32, -3.0, 7.5, 0.0, 1e3];
+        let reference = softmax(&logits);
+        let mut buf = logits;
+        softmax_in_place(&mut buf);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&buf), bits(&reference));
+        let mut empty: [f32; 0] = [];
+        softmax_in_place(&mut empty);
     }
 
     #[test]

@@ -103,6 +103,20 @@ impl Gauge {
         self.value.fetch_add(delta, Relaxed);
     }
 
+    /// Sets the gauge to the rate `count / secs` in milliunits per second
+    /// (rounded). No-op when `secs` is not positive.
+    ///
+    /// Integer gauges truncate: a slow producer at 0.7 events/sec stored
+    /// via `set(rate as i64)` reports 0 forever. Rate-style gauges should
+    /// store milli-rates through this helper instead, keeping three
+    /// decimal digits of resolution in an integer metric.
+    #[inline]
+    pub fn set_rate_milli(&self, count: f64, secs: f64) {
+        if secs > 0.0 {
+            self.set((count * 1000.0 / secs).round() as i64);
+        }
+    }
+
     /// Current value.
     pub fn value(&self) -> i64 {
         self.value.load(Relaxed)
@@ -398,6 +412,22 @@ mod tests {
         });
         assert_eq!(c.value(), 4_000);
         assert_eq!(reg.snapshot().counters["t.count"], 4_000);
+    }
+
+    #[test]
+    fn gauge_rate_milli_keeps_sub_unit_rates() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("t.rate");
+        with_enabled(|| {
+            // 0.7 events/sec would truncate to 0 as a plain integer rate.
+            g.set_rate_milli(7.0, 10.0);
+            assert_eq!(g.value(), 700);
+            g.set_rate_milli(12_345.0, 1.0);
+            assert_eq!(g.value(), 12_345_000);
+            // Degenerate elapsed time leaves the last value in place.
+            g.set_rate_milli(5.0, 0.0);
+            assert_eq!(g.value(), 12_345_000);
+        });
     }
 
     #[test]

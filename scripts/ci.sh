@@ -55,6 +55,13 @@ cargo run -q --release -p rlleg-fuzz -- --iters 100 --seed 1 --only proto
 echo "==> fault-injection smoke: rlleg-fuzz --iters 200 --seed 7 --only fault"
 cargo run -q --release -p rlleg-fuzz -- --iters 200 --seed 7 --only fault
 
+# Fixed-seed parameter-store smoke: 200 iterations of the params oracle
+# alone (ParamStore seqlock under writer/reader contention: torn
+# snapshots, epoch/stamp coherence, monotone epochs). The store carries
+# the asynchronous trainer, so this runs unconditionally.
+echo "==> param-store fuzz smoke: rlleg-fuzz --iters 200 --seed 3 --only params"
+cargo run -q --release -p rlleg-fuzz -- --iters 200 --seed 3 --only params
+
 if [[ "${RLLEG_FUZZ_LONG:-0}" == "1" ]]; then
   echo "==> fuzz long: rlleg-fuzz --iters 1000, seeds 1-4"
   for s in 1 2 3 4; do
@@ -64,6 +71,12 @@ if [[ "${RLLEG_FUZZ_LONG:-0}" == "1" ]]; then
   for s in 5 6 7 8; do
     cargo run -q --release -p rlleg-fuzz -- --iters 1000 --seed "$s" --only fault
   done
+  echo "==> param-store long: rlleg-fuzz --iters 2000 --only params, seeds 9-10"
+  for s in 9 10; do
+    cargo run -q --release -p rlleg-fuzz -- --iters 2000 --seed "$s" --only params
+  done
+  echo "==> distributional sweep: async vs round-robin cost bands (wide)"
+  cargo test -q --release -p rl-legalizer --test distributional -- --ignored
 fi
 
 # Opt-in performance gate: regenerate the bench snapshot and fail on the
