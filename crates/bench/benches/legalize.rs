@@ -4,9 +4,11 @@
 //! reference (`find_position_reference`) on dense / sparse / macro-heavy
 //! occupancy grids, full-design legalization (sequential vs parallel
 //! per-Gcell), the `legalize_scale` curve (flat vs parallel at 1k/10k/100k
-//! cells, with an opt-in 1M smoke), batched vs per-state network
-//! evaluation, and async vs round-robin training throughput on a 10k-cell
-//! design. The custom `main` exports every measurement (mean ns +
+//! cells, with an opt-in 1M smoke), the analytical global placer (wall
+//! time, overflow-trajectory endpoints, and post-legalization HPWL from
+//! gplace vs the synthetic benchgen perturbation), batched vs per-state
+//! network evaluation, and async vs round-robin training throughput on a
+//! 10k-cell design. The custom `main` exports every measurement (mean ns +
 //! iters/sec) to `BENCH_legalize.json` at the repo root so the perf
 //! trajectory is diffable across PRs.
 //!
@@ -14,7 +16,9 @@
 //!
 //! - `--cells 1k|10k|100k|1m` — largest `legalize_scale` point (default
 //!   100k; `1m` is the million-cell smoke),
-//! - `--only-scale` — skip the micro/inference groups,
+//! - `--only-scale` — run only the `legalize_scale` curve,
+//! - `--only-gplace` — run only the `gplace` and `legalize_from_gp`
+//!   groups (the ci.sh global-placement smoke),
 //! - `--out <path>` — where to write the JSON snapshot.
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
@@ -23,7 +27,8 @@ use rand_chacha::ChaCha8Rng;
 
 use rl_legalizer::{train, CellWiseNet, RlConfig, Trainer};
 use rlleg_benchgen::{find_spec, generate, parse_cells};
-use rlleg_design::{CellId, Design};
+use rlleg_design::{metrics, CellId, Design};
+use rlleg_gplace::{place, GpConfig};
 use rlleg_legalize::{
     find_position, find_position_reference, GcellGrid, Legalizer, Ordering, SearchConfig,
     NUM_FEATURES,
@@ -177,6 +182,93 @@ fn bench_scale(c: &mut Criterion, max_cells: usize) {
     group.finish();
 }
 
+/// Analytical global placement at the scale-curve presets: wall time of
+/// the full `place` pipeline (quadratic solves + diffusion spreading +
+/// the legalization-aware finalist round) plus its bin-overflow trajectory
+/// endpoints as raw scalars. `bench_guard.sh` asserts the overflow
+/// decreases at 10k cells.
+fn bench_gplace(c: &mut Criterion, max_cells: usize) {
+    let mut group = c.benchmark_group("gplace");
+    group.sample_size(2);
+    let spec = find_spec("des_perf_b_md1").expect("spec");
+    let cfg = GpConfig::default();
+    for (label, cells) in [("1k", 1_000usize), ("10k", 10_000), ("100k", 100_000)] {
+        if cells > max_cells {
+            continue;
+        }
+        let d = generate(&spec.scaled_to(cells));
+        let mut last = None;
+        group.bench_function(format!("place/{label}"), |b| {
+            b.iter(|| {
+                let mut local = d.clone();
+                last = Some(place(&mut local, &cfg));
+            })
+        });
+        let stats = last.expect("bench ran");
+        let start = stats.overflow.first().copied().unwrap_or(0.0);
+        let end = stats.overflow.last().copied().unwrap_or(0.0);
+        criterion::record_value("gplace", format!("overflow_start/{label}"), start);
+        criterion::record_value("gplace", format!("overflow_end/{label}"), end);
+    }
+    group.finish();
+}
+
+/// The QoR comparison the placer exists for: legalize the same netlist
+/// once from the synthetic benchgen perturbation and once from the gplace
+/// output, and record post-legalization HPWL plus failed-cell counts as
+/// raw scalars. `bench_guard.sh` asserts zero failed cells from gplace
+/// and a strictly lower HPWL than the synthetic baseline at 10k cells.
+fn bench_legalize_from_gp(c: &mut Criterion, max_cells: usize) {
+    let mut group = c.benchmark_group("legalize_from_gp");
+    group.sample_size(2);
+    let spec = find_spec("des_perf_b_md1").expect("spec");
+    let threads = rlleg_legalize::pool::default_threads();
+    let cfg = GpConfig::default();
+    for (label, cells) in [("1k", 1_000usize), ("10k", 10_000), ("100k", 100_000)] {
+        if cells > max_cells {
+            continue;
+        }
+        let d = generate(&spec.scaled_to(cells));
+        let mut placed = d.clone();
+        place(&mut placed, &cfg);
+        for (variant, input) in [("synthetic", &d), ("gp", &placed)] {
+            let gcells = GcellGrid::auto(input);
+            let mut failed = 0usize;
+            let mut hpwl = 0i64;
+            group.bench_function(format!("{variant}/{label}"), |b| {
+                b.iter(|| {
+                    let mut local = input.clone();
+                    let stats = Legalizer::new(&local).run_gcells_parallel(
+                        &mut local,
+                        &Ordering::SizeDescending,
+                        &gcells,
+                        threads,
+                    );
+                    assert!(
+                        stats.failed.is_empty(),
+                        "{variant}/{label}: {} cells failed",
+                        stats.failed.len()
+                    );
+                    failed = stats.failed.len();
+                    hpwl = metrics::total_hpwl(&local);
+                    black_box(stats.legalized)
+                })
+            });
+            criterion::record_value(
+                "legalize_from_gp",
+                format!("failed_{variant}/{label}"),
+                failed as f64,
+            );
+            criterion::record_value(
+                "legalize_from_gp",
+                format!("hpwl_{variant}/{label}"),
+                hpwl as f64,
+            );
+        }
+    }
+    group.finish();
+}
+
 /// Batched network evaluation: one stacked matrix–matrix forward over all
 /// per-step states vs one small forward per state, and the policy-only
 /// inference path vs the full policy+value forward.
@@ -281,14 +373,21 @@ fn main() {
             .unwrap_or_else(|| panic!("--cells wants 1k|10k|100k|1m or an integer, got {v:?}"))
     });
     let only_scale = args.iter().any(|a| a == "--only-scale");
+    let only_gplace = args.iter().any(|a| a == "--only-gplace");
     let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_legalize.json").to_owned();
     let path = value_of("--out").unwrap_or(default_out);
 
-    if !only_scale {
+    let mut c = Criterion::default();
+    if !only_scale && !only_gplace {
         benches();
     }
-    let mut c = Criterion::default();
-    bench_scale(&mut c, max_cells);
+    if !only_scale {
+        bench_gplace(&mut c, max_cells);
+        bench_legalize_from_gp(&mut c, max_cells);
+    }
+    if !only_gplace {
+        bench_scale(&mut c, max_cells);
+    }
     criterion::export_json(&path).expect("write bench snapshot");
     println!("wrote {path}");
 }

@@ -15,10 +15,23 @@ use crate::cell::CellId;
 use crate::design::Design;
 use crate::net::NetId;
 
-/// Half-perimeter wirelength of one net given current cell positions.
-///
-/// Nets with fewer than two pins contribute zero.
-pub fn net_hpwl(design: &Design, net: NetId) -> Dbu {
+/// Saturates a wide accumulator back into `Dbu`, counting every clamp in
+/// the `design.metrics_saturated` telemetry counter. Adversarial
+/// coordinates (cells parked near `i64::MAX`) must degrade to a pinned
+/// extreme, not wrap or abort.
+fn saturate_dbu(v: i128) -> Dbu {
+    if v > Dbu::MAX as i128 || v < Dbu::MIN as i128 {
+        telemetry::counter("design.metrics_saturated").add(1);
+        v.clamp(Dbu::MIN as i128, Dbu::MAX as i128) as Dbu
+    } else {
+        v as Dbu
+    }
+}
+
+/// Half-perimeter wirelength of one net in a 128-bit accumulator: spans of
+/// `i64`-extreme coordinates exceed `i64`, so all arithmetic is widened
+/// first and saturated once at the public boundary.
+fn net_hpwl_wide(design: &Design, net: NetId) -> i128 {
     let pins = &design.net(net).pins;
     if pins.len() < 2 {
         return 0;
@@ -32,26 +45,39 @@ pub fn net_hpwl(design: &Design, net: NetId) -> Dbu {
         hi.x = hi.x.max(pos.x);
         hi.y = hi.y.max(pos.y);
     }
-    (hi.x - lo.x) + (hi.y - lo.y)
+    (hi.x as i128 - lo.x as i128) + (hi.y as i128 - lo.y as i128)
 }
 
-/// Total HPWL over all nets.
+/// Half-perimeter wirelength of one net given current cell positions.
+///
+/// Nets with fewer than two pins contribute zero. Saturates to the `Dbu`
+/// extremes on overflow (see `design.metrics_saturated`).
+pub fn net_hpwl(design: &Design, net: NetId) -> Dbu {
+    saturate_dbu(net_hpwl_wide(design, net))
+}
+
+/// Total HPWL over all nets. Accumulated in 128 bits and saturated to the
+/// `Dbu` extremes on overflow (see `design.metrics_saturated`).
 pub fn total_hpwl(design: &Design) -> Dbu {
     let _t = telemetry::span("design.total_hpwl");
-    (0..design.num_nets() as u32)
-        .map(|i| net_hpwl(design, NetId(i)))
-        .sum()
+    saturate_dbu(
+        (0..design.num_nets() as u32)
+            .map(|i| net_hpwl_wide(design, NetId(i)))
+            .sum(),
+    )
 }
 
 /// HPWL summed over the nets incident to `cell` — the only nets whose length
 /// can change when `cell` moves. Used to compute the ΔHPWL term of the
 /// paper's reward (Eq. 2) without rescanning the whole netlist.
 pub fn hpwl_around(design: &Design, cell: CellId) -> Dbu {
-    design
-        .nets_of(cell)
-        .iter()
-        .map(|&n| net_hpwl(design, n))
-        .sum()
+    saturate_dbu(
+        design
+            .nets_of(cell)
+            .iter()
+            .map(|&n| net_hpwl_wide(design, n))
+            .sum(),
+    )
 }
 
 /// Displacement and wirelength summary of a placement.
@@ -78,26 +104,27 @@ pub struct Qor {
 impl Qor {
     /// Measures the current state of `design`.
     pub fn measure(design: &Design) -> Qor {
-        let mut total = 0;
+        let mut total: i128 = 0;
         let mut max = 0;
         let mut n = 0usize;
         let mut unplaced = 0usize;
-        let mut disps = Vec::new();
+        // Percentiles via the telemetry histogram machinery: same buckets as
+        // the live `legalize.displacement_dbu` histogram, so table output and
+        // snapshot output agree on resolution. Observations stream straight
+        // into the buckets — no per-cell buffer, so a measurement's
+        // allocations don't grow with the design.
+        let mut hist = telemetry::HistogramSnapshot::empty(telemetry::buckets::DISPLACEMENT_DBU);
         for c in design.cells.iter().filter(|c| c.is_movable()) {
             let d = c.displacement();
-            total += d;
+            total += d as i128;
             max = max.max(d);
             n += 1;
             if !c.legalized {
                 unplaced += 1;
             }
-            disps.push(d as f64);
+            hist.accumulate(d as f64);
         }
-        // Percentiles via the telemetry histogram machinery: same buckets as
-        // the live `legalize.displacement_dbu` histogram, so table output and
-        // snapshot output agree on resolution.
-        let hist =
-            telemetry::HistogramSnapshot::from_values(telemetry::buckets::DISPLACEMENT_DBU, disps);
+        let total = saturate_dbu(total);
         Qor {
             avg_displacement: if n == 0 { 0.0 } else { total as f64 / n as f64 },
             max_displacement: max,
@@ -210,6 +237,40 @@ mod tests {
         let clean = Qor::measure(&design());
         assert_eq!(clean.disp_p50, 0.0);
         assert_eq!(clean.disp_p95, 0.0);
+    }
+
+    #[test]
+    fn adversarial_coordinates_saturate_instead_of_overflowing() {
+        telemetry::enable();
+        let read = || {
+            telemetry::snapshot()
+                .counters
+                .get("design.metrics_saturated")
+                .copied()
+                .unwrap_or(0)
+        };
+        let before = read();
+        let mut b = DesignBuilder::new("adv", Technology::contest(), 50, 10);
+        let far = Dbu::MAX / 2;
+        let a = b.add_cell("a", 1, 1, Point::new(0, 0));
+        let c = b.add_cell("c", 1, 1, Point::new(0, 0));
+        b.add_net("n0", vec![(a, 0, 0), (c, 0, 0)]);
+        b.add_net("n1", vec![(a, 0, 0), (c, 0, 0)]);
+        b.add_net("n2", vec![(a, 0, 0), (c, 0, 0)]);
+        let mut d = b.build();
+        d.cell_mut(a).pos = Point::new(-far, -far);
+        d.cell_mut(c).pos = Point::new(far, far);
+        // A single net already spans ~2·i64::MAX; every aggregate can only
+        // be reported pinned at the Dbu extreme, never wrapped.
+        assert_eq!(net_hpwl(&d, NetId(0)), Dbu::MAX);
+        assert_eq!(total_hpwl(&d), Dbu::MAX);
+        assert_eq!(hpwl_around(&d, a), Dbu::MAX);
+        let q = Qor::measure(&d);
+        assert_eq!(q.hpwl, Dbu::MAX);
+        // Two cells each displaced by ~i64::MAX sites: the total saturates.
+        assert_eq!(q.total_displacement, Dbu::MAX);
+        assert!(q.avg_displacement > 0.0);
+        assert!(read() > before, "saturation must be counted in telemetry");
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Regression: `Qor::measure` must not allocate proportionally to the
+//! design — it used to buffer every displacement into a `Vec<f64>` before
+//! bucketing. Observations now stream into the histogram, so measuring a
+//! 64× larger design performs the same number of allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rlleg_design::metrics::Qor;
+use rlleg_design::{Design, DesignBuilder, Technology};
+use rlleg_geom::Point;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn chain(cells: usize) -> Design {
+    let mut b = DesignBuilder::new("alloc", Technology::contest(), 4 * cells as i64, 16);
+    let ids: Vec<_> = (0..cells)
+        .map(|i| b.add_cell(format!("c{i}"), 2, 1, Point::new(4 * i as i64, 0)))
+        .collect();
+    for w in ids.windows(2) {
+        b.add_net(format!("n{}", w[0].0), vec![(w[0], 0, 0), (w[1], 0, 0)]);
+    }
+    let mut d = b.build();
+    // Displace every cell so the histogram sees a non-trivial spread.
+    for (i, &id) in ids.iter().enumerate() {
+        let c = d.cell_mut(id);
+        c.pos = Point::new(c.pos.x + (i % 7) as i64 * 10, c.pos.y);
+    }
+    d
+}
+
+fn allocations_during_measure(d: &Design) -> u64 {
+    let start = ALLOCS.load(Ordering::Relaxed);
+    let q = Qor::measure(d);
+    std::hint::black_box(q);
+    ALLOCS.load(Ordering::Relaxed) - start
+}
+
+#[test]
+fn measure_allocations_do_not_grow_with_design_size() {
+    let small = chain(64);
+    let large = chain(4096);
+    // Warm up lazy telemetry state (span registry, histogram names) so the
+    // measured passes only see steady-state behavior.
+    let _ = Qor::measure(&small);
+    let _ = Qor::measure(&large);
+
+    let a_small = allocations_during_measure(&small);
+    let a_large = allocations_during_measure(&large);
+    assert!(
+        a_large <= a_small,
+        "Qor::measure allocations grew with design size: {a_small} (64 cells) \
+         -> {a_large} (4096 cells)"
+    );
+}

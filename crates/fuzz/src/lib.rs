@@ -35,7 +35,12 @@
 //! 7. [`oracle_params`] — the asynchronous trainer's
 //!    [`rl_legalizer::ParamStore`] seqlock under writer/reader thread
 //!    contention: snapshots are never torn, the reported epoch always
-//!    names the publish actually read (no ABA), and epochs are monotone.
+//!    names the publish actually read (no ABA), and epochs are monotone;
+//! 8. [`oracle_gplace`] — the analytical global placer: output positions
+//!    are finite and on-die, fixed cells never move, the overflow
+//!    trajectory is non-increasing, runs are bit-deterministic for a
+//!    fixed seed, and benchmark-spec scenarios always legalize with zero
+//!    failed cells and an empty legality check.
 //!
 //! Failing designs are minimized by the greedy [`shrink`]er and written to
 //! `crates/fuzz/corpus/`, which doubles as the regression suite replayed by
@@ -44,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod oracle_fault;
+pub mod oracle_gplace;
 pub mod oracle_grid;
 pub mod oracle_legalize;
 pub mod oracle_nn;
@@ -100,7 +106,7 @@ impl Artifact {
 #[derive(Debug, Clone)]
 pub struct Failure {
     /// Which oracle fired (`legalize`, `parse`, `grid`, `nn`, `fault`,
-    /// `proto`, `params`).
+    /// `proto`, `params`, `gplace`).
     pub oracle: &'static str,
     /// Scenario label (generator family + parameters).
     pub scenario: String,
@@ -119,14 +125,15 @@ impl std::fmt::Display for Failure {
 /// Budget for shrinker predicate evaluations per failing iteration.
 const SHRINK_BUDGET: usize = 200;
 
-/// Runs one full fuzz iteration (scenario + all seven oracles) and returns
+/// Runs one full fuzz iteration (scenario + all eight oracles) and returns
 /// every invariant failure. Deterministic in `(seed, iter)`.
 pub fn run_iteration(seed: u64, iter: u64) -> Vec<Failure> {
     run_iteration_filtered(seed, iter, None)
 }
 
 /// [`run_iteration`], restricted to the oracle named by `only` when given
-/// (`legalize`, `parse`, `grid`, `nn`, `fault`, `proto`, `params`). Seed
+/// (`legalize`, `parse`, `grid`, `nn`, `fault`, `proto`, `params`,
+/// `gplace`). Seed
 /// derivation is shared with the unfiltered run, so `--only` repros match
 /// full-run failures.
 pub fn run_iteration_filtered(seed: u64, iter: u64, only: Option<&str>) -> Vec<Failure> {
@@ -213,6 +220,27 @@ pub fn run_iteration_filtered(seed: u64, iter: u64, only: Option<&str>) -> Vec<F
     let params_seed: u64 = rng.gen();
     if wants("params") {
         failures.extend(timed("params", || oracle_params::check(&sc, params_seed)));
+    }
+
+    let gplace_seed: u64 = rng.gen();
+    let mut gpl = if wants("gplace") {
+        timed("gplace", || oracle_gplace::check(&sc, gplace_seed))
+    } else {
+        Vec::new()
+    };
+    if !gpl.is_empty() {
+        let json = minimized_json(&sc, &mut |d| {
+            let probe = scenario::Scenario {
+                label: sc.label.clone(),
+                design: d.clone(),
+            };
+            !oracle_gplace::check(&probe, gplace_seed).is_empty()
+        });
+        for f in &mut gpl {
+            f.artifact
+                .get_or_insert_with(|| Artifact::DesignJson(json.clone()));
+        }
+        failures.extend(gpl);
     }
 
     if !failures.is_empty() {

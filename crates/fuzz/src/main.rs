@@ -51,7 +51,7 @@ fn main() {
              --iters N     iterations to run (default 100)\n\
              --seed S      base seed (default 1)\n\
              --corpus DIR  where failing repros are written (default crates/fuzz/corpus)\n\
-             --only ORACLE run a single oracle: legalize|parse|grid|nn|fault|proto|params\n\
+             --only ORACLE run a single oracle: legalize|parse|grid|nn|fault|proto|params|gplace\n\
              --quiet       suppress the per-failure log lines"
         );
         return;
@@ -67,12 +67,12 @@ fn main() {
     let only = (!only.is_empty()).then_some(only);
     if let Some(o) = &only {
         if ![
-            "legalize", "parse", "grid", "nn", "fault", "proto", "params",
+            "legalize", "parse", "grid", "nn", "fault", "proto", "params", "gplace",
         ]
         .contains(&o.as_str())
         {
             eprintln!(
-                "rlleg-fuzz: unknown oracle `{o}` (legalize|parse|grid|nn|fault|proto|params)"
+                "rlleg-fuzz: unknown oracle `{o}` (legalize|parse|grid|nn|fault|proto|params|gplace)"
             );
             std::process::exit(2);
         }
@@ -105,7 +105,7 @@ fn main() {
 
     let elapsed = t0.elapsed().as_secs_f64();
     let per_oracle: Vec<String> = [
-        "legalize", "parse", "grid", "nn", "fault", "proto", "params",
+        "legalize", "parse", "grid", "nn", "fault", "proto", "params", "gplace",
     ]
     .iter()
     .map(|o| {

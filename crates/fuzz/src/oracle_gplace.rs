@@ -1,0 +1,112 @@
+//! Oracle 8: the analytical global placer's output contract.
+//!
+//! For every scenario, [`rlleg_gplace::place`] must produce a placement
+//! that is finite (integer positions, finite stats), keeps fixed cells
+//! exactly where they were, keeps every movable cell that fits the core
+//! fully on-die, reports a non-increasing overflow trajectory, and is
+//! bit-deterministic for a fixed seed. For benchmark-spec scenarios
+//! (`spec:` labels — realistic netlists inside the generator envelope) the
+//! output must additionally legalize with zero failed cells and an empty
+//! [`legality::check`]; hostile scenarios (cells wider than the core,
+//! degenerate fences) are exempt from that last clause, matching the
+//! legalizer oracle's "explained failure" stance.
+
+use rlleg_design::legality;
+use rlleg_gplace::{place, GpConfig};
+use rlleg_legalize::{GcellGrid, Legalizer, Ordering};
+
+use crate::scenario::Scenario;
+use crate::Failure;
+
+/// Runs the placer invariants on clones of the scenario design.
+/// Deterministic in `seed`.
+pub fn check(sc: &Scenario, seed: u64) -> Vec<Failure> {
+    let mut failures = Vec::new();
+    let fail = |message: String| {
+        vec![Failure {
+            oracle: "gplace",
+            scenario: sc.label.clone(),
+            message,
+            artifact: None,
+        }]
+    };
+
+    let cfg = GpConfig {
+        seed,
+        ..GpConfig::default()
+    };
+    let mut a = sc.design.clone();
+    let sa = place(&mut a, &cfg);
+
+    // Finite stats and a non-increasing overflow trajectory.
+    if sa.hpwl < 0 {
+        return fail(format!("negative placement hpwl {}", sa.hpwl));
+    }
+    for w in sa.overflow.windows(2) {
+        if w[1] > w[0] || !w[1].is_finite() {
+            return fail(format!(
+                "overflow trajectory not monotone/finite: {:?}",
+                sa.overflow
+            ));
+        }
+    }
+
+    let rh = a.tech.row_height;
+    for (before, after) in sc.design.cells.iter().zip(a.cells.iter()) {
+        if !before.is_movable() {
+            if before.pos != after.pos || before.gp_pos != after.gp_pos {
+                return fail(format!("fixed cell {} moved to {}", before.name, after.pos));
+            }
+            continue;
+        }
+        let r = after.rect(rh);
+        let fits = r.width() <= a.core.width() && r.height() <= a.core.height();
+        if fits && !a.core.contains(&r) {
+            return fail(format!(
+                "movable cell {} at {} off-die",
+                after.name, after.pos
+            ));
+        }
+    }
+
+    // Bit-deterministic for the same seed: positions and stats identical.
+    let mut b = sc.design.clone();
+    let sb = place(&mut b, &cfg);
+    if sa.hpwl != sb.hpwl || sa.overflow != sb.overflow {
+        return fail(format!(
+            "stats diverge across identical runs: hpwl {} vs {}, overflow {:?} vs {:?}",
+            sa.hpwl, sb.hpwl, sa.overflow, sb.overflow
+        ));
+    }
+    for (ca, cb) in a.cells.iter().zip(b.cells.iter()) {
+        if ca.pos != cb.pos || ca.gp_pos != cb.gp_pos {
+            return fail(format!(
+                "cell {} position diverges across identical runs: {} vs {}",
+                ca.name, ca.pos, cb.pos
+            ));
+        }
+    }
+
+    // Realistic netlists must stay fully legalizable after placement.
+    if sc.label.starts_with("spec:") {
+        let gcells = GcellGrid::auto(&a);
+        let run =
+            Legalizer::new(&a).run_gcells_parallel(&mut a, &Ordering::SizeDescending, &gcells, 2);
+        if !run.failed.is_empty() {
+            failures.extend(fail(format!(
+                "gplace output failed {} cells under legalization",
+                run.failed.len()
+            )));
+        } else {
+            let violations = legality::check(&a, true);
+            if !violations.is_empty() {
+                failures.extend(fail(format!(
+                    "gplace output legalized with {} violations (first: {:?})",
+                    violations.len(),
+                    violations[0]
+                )));
+            }
+        }
+    }
+    failures
+}

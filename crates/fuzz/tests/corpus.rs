@@ -5,8 +5,13 @@
 //!   overtall / overflowing masters, truncated sections, zero-row dies);
 //! - `*.lef` — same contract for `Library::parse` (truncated UNITS/SITE
 //!   sections used to hang, overtall macros used to truncate silently);
-//! - `*.json` — minimized failing designs; the legalize and grid oracles
-//!   must hold on them at HEAD;
+//! - `*.json` — minimized failing designs; the legalize, grid, and gplace
+//!   oracles must hold on them at HEAD (`regress_gplace_fence_offdie`
+//!   pins the placer writing fenced cells into an off-core fence rect,
+//!   `regress_gplace_overwide_spread` pins the inverted-clamp panic on
+//!   cells wider than the spreading grid); `regress_metrics_saturation`
+//!   is exempt from the oracles and instead pins `Qor::measure` /
+//!   `total_hpwl` saturating (not wrapping) on adversarial coordinates;
 //! - `*.rlc` — damaged training checkpoints (torn write, body bit flip
 //!   behind a valid header, version skew); `rl_legalizer::decode` must
 //!   classify each one as the matching error, and a [`CheckpointStore`]
@@ -26,7 +31,9 @@ use rl_legalizer::{decode, CheckpointError, CheckpointStore};
 use rlleg_design::def::parse_def;
 use rlleg_design::lef::Library;
 use rlleg_design::{Design, Technology};
-use rlleg_fuzz::{oracle_grid, oracle_legalize, oracle_params, oracle_proto, scenario::Scenario};
+use rlleg_fuzz::{
+    oracle_gplace, oracle_grid, oracle_legalize, oracle_params, oracle_proto, scenario::Scenario,
+};
 use rlleg_serve::proto::{decode_frame, FrameReader, ProtoError, MAX_FRAME};
 
 fn corpus_dir() -> PathBuf {
@@ -174,7 +181,9 @@ fn hex_corpus_frames_are_classified_not_accepted() {
             "proto_unknown_type.hex" => matches!(err, ProtoError::UnknownType(0x7f)),
             "proto_crc_bitflip.hex" => matches!(err, ProtoError::CrcMismatch { .. }),
             "proto_len_overflow.hex" => matches!(err, ProtoError::Oversized { .. }),
-            "proto_trailing_garbage.hex" | "proto_spec_version_skew.hex" => {
+            "proto_trailing_garbage.hex"
+            | "proto_spec_version_skew.hex"
+            | "proto_unknown_job_kind.hex" => {
                 matches!(err, ProtoError::Malformed(_))
             }
             _ => true, // future cases: rejection alone is the contract
@@ -221,6 +230,15 @@ fn params_corpus_cases_hold_the_store_invariants() {
 #[test]
 fn json_corpus_designs_hold_all_oracles() {
     for path in corpus_files("json") {
+        // The saturation case deliberately carries near-i64::MAX positions
+        // that no placement/legalization oracle is specified over; it is
+        // replayed by `json_metrics_saturation_case_saturates` instead.
+        if path
+            .file_name()
+            .is_some_and(|n| n.to_string_lossy().starts_with("regress_metrics"))
+        {
+            continue;
+        }
         let text = std::fs::read_to_string(&path).expect("readable corpus file");
         let design = Design::from_json(&text)
             .unwrap_or_else(|e| panic!("{} is not a design: {e}", path.display()));
@@ -231,6 +249,7 @@ fn json_corpus_designs_hold_all_oracles() {
         for seed in [1u64, 2] {
             let mut failures = oracle_legalize::check(&sc, seed);
             failures.extend(oracle_grid::check(&sc, seed));
+            failures.extend(oracle_gplace::check(&sc, seed));
             assert!(
                 failures.is_empty(),
                 "{}: {:?}",
@@ -242,4 +261,32 @@ fn json_corpus_designs_hold_all_oracles() {
             );
         }
     }
+}
+
+#[test]
+fn json_metrics_saturation_case_saturates() {
+    telemetry::enable();
+    let path = corpus_dir().join("regress_metrics_saturation.json");
+    let text = std::fs::read_to_string(&path).expect("committed saturation case");
+    let design = Design::from_json(&text).expect("saturation case is a design");
+    // Spans between the near-extreme cells overflow i64; the metrics must
+    // clamp to the Dbu extremes (wrapping here used to flip HPWL negative)
+    // and count the event.
+    let before = saturation_count();
+    let total = rlleg_design::metrics::total_hpwl(&design);
+    assert_eq!(total, i64::MAX, "overflowing HPWL must saturate");
+    let qor = rlleg_design::metrics::Qor::measure(&design);
+    assert!(qor.hpwl >= 0 && qor.total_displacement >= 0 && qor.max_displacement >= 0);
+    assert!(
+        saturation_count() > before,
+        "saturation must be counted in telemetry"
+    );
+}
+
+fn saturation_count() -> u64 {
+    telemetry::snapshot()
+        .counters
+        .get("design.metrics_saturated")
+        .copied()
+        .unwrap_or(0)
 }

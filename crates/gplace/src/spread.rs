@@ -1,0 +1,366 @@
+//! Bin-grid density accounting and diffusion-based spreading.
+//!
+//! The placer deposits movable-cell area into a uniform bin grid, measures
+//! *overflow* (the fraction of movable area sitting above bin capacity),
+//! and — when overflow is too high — integrates cell positions through a
+//! few steps of a density diffusion field to obtain spread targets. The
+//! targets feed back into the quadratic solve as anchored pseudo-pins.
+
+use rlleg_design::{Design, HotCells};
+use rlleg_geom::Rect;
+
+/// Uniform bin grid over the core with per-bin capacity (placeable area
+/// times target density).
+#[derive(Debug)]
+pub struct BinGrid {
+    nx: usize,
+    ny: usize,
+    /// Bin width/height in dbu.
+    bw: f64,
+    bh: f64,
+    /// Core lower-left corner.
+    x0: f64,
+    y0: f64,
+    /// Per-bin usable capacity in dbu² (already scaled by target density).
+    cap: Vec<f64>,
+    /// Per-bin deposited movable area in dbu².
+    usage: Vec<f64>,
+}
+
+impl BinGrid {
+    /// Builds the grid, subtracting fixed-cell (macro) area from bin
+    /// capacity.
+    pub fn new(design: &Design, nx: usize, ny: usize, target_density: f64) -> BinGrid {
+        let core = design.core;
+        let (nx, ny) = (nx.max(1), ny.max(1));
+        let bw = core.width() as f64 / nx as f64;
+        let bh = core.height() as f64 / ny as f64;
+        let mut cap = vec![bw * bh; nx * ny];
+        let rh = design.tech.row_height;
+        for c in design.cells.iter().filter(|c| !c.is_movable()) {
+            let Some(r) = c.rect(rh).intersection(&core) else {
+                continue;
+            };
+            subtract_rect(&mut cap, nx, ny, bw, bh, core, &r);
+        }
+        for c in cap.iter_mut() {
+            *c = (*c).max(0.0) * target_density;
+        }
+        BinGrid {
+            nx,
+            ny,
+            bw,
+            bh,
+            x0: core.lo.x as f64,
+            y0: core.lo.y as f64,
+            cap,
+            usage: vec![0.0; nx * ny],
+        }
+    }
+
+    /// Bin count per axis.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Per-bin capacity in dbu², row-major.
+    pub fn capacity(&self) -> &[f64] {
+        &self.cap
+    }
+
+    /// Per-bin deposited movable area in dbu², row-major.
+    pub fn usage(&self) -> &[f64] {
+        &self.usage
+    }
+
+    /// Core lower-left corner and bin pitch: `(x0, y0, bw, bh)`.
+    pub fn geometry(&self) -> (f64, f64, f64, f64) {
+        (self.x0, self.y0, self.bw, self.bh)
+    }
+
+    /// Deposits every movable cell's area into the grid at the given
+    /// positions (`xs`/`ys` indexed by placer variable).
+    pub fn deposit(
+        &mut self,
+        design: &Design,
+        hot: &HotCells,
+        var_of: &[u32],
+        xs: &[f64],
+        ys: &[f64],
+    ) {
+        self.usage.iter_mut().for_each(|u| *u = 0.0);
+        let rh = design.tech.row_height as f64;
+        for id in hot.movable_ids() {
+            let v = var_of[id.index()] as usize;
+            let w = hot.width(id) as f64;
+            let h = hot.h_rows(id) as f64 * rh;
+            self.add_area(xs[v], ys[v], w, h);
+        }
+    }
+
+    fn add_area(&mut self, x: f64, y: f64, w: f64, h: f64) {
+        let fx0 = (x - self.x0) / self.bw;
+        let fx1 = (x + w - self.x0) / self.bw;
+        let fy0 = (y - self.y0) / self.bh;
+        let fy1 = (y + h - self.y0) / self.bh;
+        let bx0 = (fx0.floor().max(0.0) as usize).min(self.nx - 1);
+        let bx1 = (fx1.ceil().max(1.0) as usize).min(self.nx);
+        let by0 = (fy0.floor().max(0.0) as usize).min(self.ny - 1);
+        let by1 = (fy1.ceil().max(1.0) as usize).min(self.ny);
+        for by in by0..by1 {
+            let oy = overlap_1d(fy0, fy1, by as f64, by as f64 + 1.0) * self.bh;
+            if oy <= 0.0 {
+                continue;
+            }
+            for bx in bx0..bx1 {
+                let ox = overlap_1d(fx0, fx1, bx as f64, bx as f64 + 1.0) * self.bw;
+                if ox > 0.0 {
+                    self.usage[by * self.nx + bx] += ox * oy;
+                }
+            }
+        }
+    }
+
+    /// Overflow fraction: movable area above bin capacity divided by total
+    /// movable area (0 when the grid is empty).
+    pub fn overflow(&self) -> f64 {
+        let total: f64 = self.usage.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let over: f64 = self
+            .usage
+            .iter()
+            .zip(&self.cap)
+            .map(|(&u, &c)| (u - c).max(0.0))
+            .sum();
+        over / total
+    }
+
+    /// Integrates cell positions through their *own* density diffusion
+    /// field until peak utilization flattens below `stop_util` (or
+    /// `max_steps`), returning spread targets. `nu` is the diffusion
+    /// coefficient (stable for `nu <= 0.25`; face velocities are bounded by
+    /// `2 * nu` bins per step).
+    ///
+    /// Every step re-deposits the moved cells and advects them along the
+    /// continuity-equation velocity of the resulting utilization field
+    /// `rho = usage / capacity` — a Lagrangian integration of
+    /// `d rho / dt = nu * lap(rho)`. Re-depositing each step is load-bearing:
+    /// diffusing a *fixed* field while tracers lag lets the field flatten
+    /// underneath a collapsed cluster whose center never feels a gradient,
+    /// leaving the cells stuck. Here the field is always the cells' actual
+    /// density, so gradients persist exactly until the cells have moved.
+    /// The smooth flow preserves relative cell order (and with it most of
+    /// the wirelength).
+    /// `jitter` is a deterministic per-variable sub-site offset applied to
+    /// the starting targets: exactly-coincident cells would otherwise see
+    /// identical velocities and move in lockstep forever.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spread_targets(
+        &mut self,
+        design: &Design,
+        hot: &HotCells,
+        var_of: &[u32],
+        xs: &[f64],
+        ys: &[f64],
+        jitter: &[(f64, f64)],
+        max_steps: usize,
+        stop_util: f64,
+        nu: f64,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let (nx, ny) = (self.nx, self.ny);
+        // Zero-capacity bins (fully blocked by macros) read as highly
+        // over-full so cells flow out of them.
+        let floor = 0.01 * self.bw * self.bh;
+        let mut tx = xs.to_vec();
+        let mut ty = ys.to_vec();
+        for id in hot.movable_ids() {
+            let v = var_of[id.index()] as usize;
+            let (jx, jy) = jitter.get(v).copied().unwrap_or((0.0, 0.0));
+            tx[v] += jx;
+            ty[v] += jy;
+        }
+        let mut rho = vec![0.0f64; nx * ny];
+        for _ in 0..max_steps {
+            self.deposit(design, hot, var_of, &tx, &ty);
+            for (r, (&u, &c)) in rho.iter_mut().zip(self.usage.iter().zip(&self.cap)) {
+                *r = u / c.max(floor);
+            }
+            let peak = rho.iter().cloned().fold(0.0f64, f64::max);
+            if peak <= stop_util {
+                break;
+            }
+            let rh = design.tech.row_height as f64;
+            for id in hot.movable_ids() {
+                let v = var_of[id.index()] as usize;
+                // Sample the velocity at the cell *center*: a corner sample
+                // biases the flow and lets a cell's own deposited mass push
+                // it sideways once cells are comparable to bin size.
+                let hw = hot.width(id) as f64 * 0.5;
+                let hh = hot.h_rows(id) as f64 * rh * 0.5;
+                let fx = ((tx[v] + hw - self.x0) / self.bw).clamp(0.0, nx as f64 - 1e-9);
+                let fy = ((ty[v] + hh - self.y0) / self.bh).clamp(0.0, ny as f64 - 1e-9);
+                let (vx, vy) = self.velocity(&rho, fx, fy, nu);
+                // A cell wider/taller than the whole grid inverts the clamp
+                // range; pin such cells to the grid origin instead.
+                let hi_x = (self.x0 + nx as f64 * self.bw - 2.0 * hw).max(self.x0);
+                let hi_y = (self.y0 + ny as f64 * self.bh - 2.0 * hh).max(self.y0);
+                tx[v] = (tx[v] + vx * self.bw).clamp(self.x0, hi_x);
+                ty[v] = (ty[v] + vy * self.bh).clamp(self.y0, hi_y);
+            }
+        }
+        (tx, ty)
+    }
+
+    /// Face-flux continuity velocity (in bins per step) at fractional bin
+    /// coordinates.
+    ///
+    /// The flux across each bin face is `-nu * (rho_hi - rho_lo)`, the face
+    /// velocity is flux over face density, and a cell interpolates between
+    /// its bin's two face velocities by its intra-bin position. At a density
+    /// peak the left face flows left and the right face flows right, so
+    /// cells at a cluster center still split apart — a centered-gradient
+    /// sample would be zero there by symmetry and leave them stuck.
+    fn velocity(&self, rho: &[f64], fx: f64, fy: f64, nu: f64) -> (f64, f64) {
+        let (nx, ny) = (self.nx, self.ny);
+        let bx = (fx.floor() as usize).min(nx - 1);
+        let by = (fy.floor() as usize).min(ny - 1);
+        let ax = fx - bx as f64;
+        let ay = fy - by as f64;
+        let floor = 0.05;
+        // Die-boundary faces carry no flux.
+        let face = |lo: f64, hi: f64| -nu * (hi - lo) / ((lo + hi) * 0.5).max(floor);
+        let c = rho[by * nx + bx];
+        let vx_lo = if bx == 0 {
+            0.0
+        } else {
+            face(rho[by * nx + bx - 1], c)
+        };
+        let vx_hi = if bx + 1 >= nx {
+            0.0
+        } else {
+            face(c, rho[by * nx + bx + 1])
+        };
+        let vy_lo = if by == 0 {
+            0.0
+        } else {
+            face(rho[(by - 1) * nx + bx], c)
+        };
+        let vy_hi = if by + 1 >= ny {
+            0.0
+        } else {
+            face(c, rho[(by + 1) * nx + bx])
+        };
+        (
+            vx_lo * (1.0 - ax) + vx_hi * ax,
+            vy_lo * (1.0 - ay) + vy_hi * ay,
+        )
+    }
+}
+
+/// Overlap length of `[a0, a1)` and `[b0, b1)` in bin units.
+fn overlap_1d(a0: f64, a1: f64, b0: f64, b1: f64) -> f64 {
+    (a1.min(b1) - a0.max(b0)).max(0.0)
+}
+
+fn subtract_rect(cap: &mut [f64], nx: usize, ny: usize, bw: f64, bh: f64, core: Rect, r: &Rect) {
+    let fx0 = (r.lo.x - core.lo.x) as f64 / bw;
+    let fx1 = (r.hi.x - core.lo.x) as f64 / bw;
+    let fy0 = (r.lo.y - core.lo.y) as f64 / bh;
+    let fy1 = (r.hi.y - core.lo.y) as f64 / bh;
+    let bx0 = (fx0.floor().max(0.0) as usize).min(nx - 1);
+    let bx1 = (fx1.ceil().max(1.0) as usize).min(nx);
+    let by0 = (fy0.floor().max(0.0) as usize).min(ny - 1);
+    let by1 = (fy1.ceil().max(1.0) as usize).min(ny);
+    for by in by0..by1 {
+        let oy = overlap_1d(fy0, fy1, by as f64, by as f64 + 1.0) * bh;
+        for bx in bx0..bx1 {
+            let ox = overlap_1d(fx0, fx1, bx as f64, bx as f64 + 1.0) * bw;
+            cap[by * nx + bx] -= ox * oy;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlleg_design::{DesignBuilder, Technology};
+    use rlleg_geom::Point;
+
+    #[test]
+    fn deposit_conserves_area_and_reports_overflow() {
+        let mut b = DesignBuilder::new("t", Technology::contest(), 100, 10);
+        for i in 0..4 {
+            b.add_cell(format!("c{i}"), 2, 1, Point::new(0, 0));
+        }
+        let d = b.build();
+        let hot = d.hot_cells();
+        let var_of: Vec<u32> = (0..4).collect();
+        let mut g = BinGrid::new(&d, 4, 4, 1.0);
+        // All four cells stacked on one spot: usage concentrates, so some
+        // overflow only if the bin is smaller than 4 cells; capacity of one
+        // bin here is 25 sites x 2.5 rows, far more than 8 sites of cells.
+        let xs = vec![0.0; 4];
+        let ys = vec![0.0; 4];
+        g.deposit(&d, &hot, &var_of, &xs, &ys);
+        let rh = d.tech.row_height as f64;
+        let sw = d.tech.site_width as f64;
+        let total: f64 = g.usage.iter().sum();
+        assert!((total - 4.0 * 2.0 * sw * rh).abs() < 1e-6, "area conserved");
+        assert_eq!(g.overflow(), 0.0);
+        // Shrink capacity to force overflow.
+        let mut tight = BinGrid::new(&d, 100, 10, 0.001);
+        tight.deposit(&d, &hot, &var_of, &xs, &ys);
+        assert!(tight.overflow() > 0.5, "overflow {}", tight.overflow());
+    }
+
+    #[test]
+    fn macros_eat_capacity() {
+        let mut b = DesignBuilder::new("t", Technology::contest(), 100, 10);
+        b.add_fixed_cell("m", 50, 4, Point::new(0, 0));
+        let d = b.build();
+        let g = BinGrid::new(&d, 2, 2, 1.0);
+        // Lower-left quadrant is half-covered by the macro.
+        assert!(
+            g.cap[0] < g.cap[1],
+            "macro bin {} vs free {}",
+            g.cap[0],
+            g.cap[1]
+        );
+    }
+
+    #[test]
+    fn spreading_moves_cells_apart() {
+        // Many cells stacked in the middle of the die must diffuse out
+        // until peak utilization reaches the stop threshold.
+        let mut b = DesignBuilder::new("t", Technology::contest(), 120, 40);
+        for i in 0..64 {
+            b.add_cell(format!("c{i}"), 4, 1, Point::new(0, 0));
+        }
+        let d = b.build();
+        let hot = d.hot_cells();
+        let var_of: Vec<u32> = (0..64).collect();
+        let mut g = BinGrid::new(&d, 8, 8, 0.2);
+        let cx = g.x0 + 4.0 * g.bw;
+        let cy = g.y0 + 4.0 * g.bh;
+        // Tiny deterministic stagger so coincident cells pick directions.
+        let xs: Vec<f64> = (0..64).map(|i| cx + (i % 8) as f64 - 3.5).collect();
+        let ys: Vec<f64> = (0..64).map(|i| cy + (i / 8) as f64 - 3.5).collect();
+        g.deposit(&d, &hot, &var_of, &xs, &ys);
+        let before = g.overflow();
+        assert!(before > 0.3, "start must be congested, overflow {before}");
+        let (tx, ty) = g.spread_targets(&d, &hot, &var_of, &xs, &ys, &[], 400, 1.0, 0.2);
+        g.deposit(&d, &hot, &var_of, &tx, &ty);
+        let after = g.overflow();
+        assert!(
+            after < 0.05,
+            "spreading must flatten the pile-up: {before} -> {after}"
+        );
+        // The flow is outward: the spread of x positions strictly grows.
+        let span = |v: &[f64]| {
+            v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min)
+        };
+        assert!(span(&tx) > span(&xs) && span(&ty) > span(&ys));
+    }
+}

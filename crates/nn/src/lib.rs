@@ -10,7 +10,9 @@
 //! - [`Linear`] / [`Relu`] / [`Mlp`] — layers with cached-activation
 //!   backpropagation and accumulated (mini-batch) gradients,
 //! - [`ops`] — softmax, entropy, smooth-L1, feature-wise L2 normalization,
-//! - [`optim`] — Adam and global-norm gradient clipping.
+//! - [`optim`] — Adam and global-norm gradient clipping,
+//! - [`sparse`] — CSR matrices, SpMV, and a Jacobi-preconditioned conjugate
+//!   gradient solver for the global placer's quadratic wirelength systems.
 //!
 //! Everything is deterministic given a seeded RNG and serializable with
 //! serde, so trained policies can be saved and reloaded (the paper trains
@@ -49,6 +51,7 @@ mod matrix;
 mod mlp;
 pub mod ops;
 pub mod optim;
+pub mod sparse;
 
 pub use layer::{Linear, Relu};
 pub use matrix::{Matrix, BLOCKED_MIN_ROWS};

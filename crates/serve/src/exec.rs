@@ -62,6 +62,12 @@ pub struct JobStats {
     pub degraded_cells: usize,
     /// Episodes completed (training kind).
     pub episodes: usize,
+    /// Post-global-placement HPWL in dbu (gplace kind).
+    pub gp_hpwl: i64,
+    /// Final bin-overflow fraction of the global placement (gplace kind).
+    pub gp_overflow: f64,
+    /// Outer solve→spread iterations the placer ran (gplace kind).
+    pub gp_iterations: usize,
     /// Episode the run resumed from (0 = fresh start).
     pub resumed_from_episode: usize,
     /// Wall-clock of the execution phase in milliseconds.
@@ -134,6 +140,7 @@ pub fn run_job(
     };
     let outcome = match spec.kind {
         JobKind::Legalize => run_legalize(table, id, design, spec, threads, &mut stats),
+        JobKind::Gplace => run_gplace(table, id, design, spec, threads, &mut stats),
         JobKind::RlLegalize => run_rl(table, id, design, spec, &mut stats),
         JobKind::Train => run_train(cfg, table, id, design, spec, chaos_kill, &mut stats)?,
     };
@@ -177,6 +184,38 @@ fn run_legalize(
             .with("failed", run.failed.len()),
     );
     (run.is_complete() && stats.legal, write_def(&design))
+}
+
+/// Global placement followed by deterministic legalization: the submitted
+/// DEF's positions are treated as the warm-start placement, refined by
+/// `rlleg_gplace::place`, and the result is legalized exactly like a
+/// [`JobKind::Legalize`] job.
+fn run_gplace(
+    table: &JobTable,
+    id: JobId,
+    mut design: Design,
+    spec: &JobSpec,
+    threads: usize,
+    stats: &mut JobStats,
+) -> (bool, String) {
+    let gp = rlleg_gplace::place(
+        &mut design,
+        &rlleg_gplace::GpConfig {
+            seed: spec.seed,
+            ..rlleg_gplace::GpConfig::default()
+        },
+    );
+    stats.gp_hpwl = gp.hpwl;
+    stats.gp_overflow = gp.overflow.last().copied().unwrap_or(0.0);
+    stats.gp_iterations = gp.iterations;
+    table.progress(
+        id,
+        Event::new("job.gplaced")
+            .with("job", id)
+            .with("hpwl", gp.hpwl)
+            .with("iterations", gp.iterations),
+    );
+    run_legalize(table, id, design, spec, threads, stats)
 }
 
 fn run_rl(
@@ -427,6 +466,23 @@ mod tests {
         // the in-memory `legalized` flags.
         assert!(legality::check(&d, false).is_empty());
         assert!(out.stats.contains("\"legalized\""));
+    }
+
+    #[test]
+    fn gplace_job_refines_then_legalizes() {
+        let table = JobTable::new();
+        let spec = JobSpec {
+            kind: JobKind::Gplace,
+            def: small_def(),
+            seed: 7,
+            ..JobSpec::default()
+        };
+        let id = table.insert(spec.clone());
+        let out = run_job(&exec_cfg("gp"), &table, id, &spec).expect("run");
+        assert!(out.ok, "stats: {}", out.stats);
+        let d = parse_def(&out.def, Technology::contest()).expect("result parses");
+        assert!(legality::check(&d, false).is_empty());
+        assert!(out.stats.contains("\"gp_hpwl\""), "stats: {}", out.stats);
     }
 
     #[test]

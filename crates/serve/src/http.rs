@@ -183,8 +183,13 @@ mod tests {
     fn parses_post_with_body_incrementally() {
         let wire = b"POST /jobs?seed=7 HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nHELLO extra";
         // Head only: need more.
-        assert_eq!(try_parse(&wire[..20], 1024).unwrap(), None);
-        let (req, consumed) = try_parse(wire, 1024).unwrap().expect("complete");
+        assert_eq!(
+            try_parse(&wire[..20], 1024).expect("partial head parses clean"),
+            None
+        );
+        let (req, consumed) = try_parse(wire, 1024)
+            .expect("well-formed request parses clean")
+            .expect("complete");
         assert_eq!(req.method, "POST");
         assert_eq!(req.path(), "/jobs");
         assert_eq!(req.query("seed"), Some("7"));
@@ -219,7 +224,8 @@ mod tests {
 
     #[test]
     fn response_has_length_and_close() {
-        let r = String::from_utf8(response(200, "application/json", b"{}")).unwrap();
+        let r = String::from_utf8(response(200, "application/json", b"{}"))
+            .expect("response builder emits ASCII");
         assert!(r.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(r.contains("content-length: 2\r\n"));
         assert!(r.contains("connection: close"));

@@ -43,7 +43,7 @@
 //! client.ping(Duration::from_secs(5)).expect("pong");
 //! let spec = JobSpec {
 //!     def: rlleg_design::def::write_def(&rlleg_benchgen::generate(
-//!         &rlleg_benchgen::find_spec("fft_2_md2").unwrap().scaled(0.002),
+//!         &rlleg_benchgen::find_spec("fft_2_md2").expect("table row").scaled(0.002),
 //!     )),
 //!     ..JobSpec::default()
 //! };

@@ -60,6 +60,9 @@ pub enum JobKind {
     /// A (small) training run, checkpointed through
     /// [`rl_legalizer::CheckpointStore`] and resumable across restarts.
     Train = 2,
+    /// Analytical global placement (`rlleg-gplace` warm refinement) of the
+    /// submitted DEF, followed by deterministic legalization of the result.
+    Gplace = 3,
 }
 
 impl JobKind {
@@ -68,6 +71,7 @@ impl JobKind {
             0 => Ok(JobKind::Legalize),
             1 => Ok(JobKind::RlLegalize),
             2 => Ok(JobKind::Train),
+            3 => Ok(JobKind::Gplace),
             other => Err(ProtoError::Malformed(format!("unknown job kind {other}"))),
         }
     }
@@ -592,6 +596,10 @@ mod tests {
     fn all_frames() -> Vec<Frame> {
         vec![
             Frame::Submit(sample_spec()),
+            Frame::Submit(JobSpec {
+                kind: JobKind::Gplace,
+                ..sample_spec()
+            }),
             Frame::Query(9),
             Frame::Cancel(10),
             Frame::Ping,
@@ -627,6 +635,27 @@ mod tests {
             assert_eq!(n, bytes.len());
             assert_eq!(back, f);
         }
+    }
+
+    #[test]
+    fn job_kind_3_decodes_and_4_is_malformed() {
+        let spec = JobSpec {
+            kind: JobKind::Gplace,
+            ..sample_spec()
+        };
+        let bytes = encode_frame(&Frame::Submit(spec.clone()));
+        let (back, _) = decode_frame(&bytes, MAX_FRAME).expect("gplace kind decodes");
+        assert_eq!(back, Frame::Submit(spec));
+        // The next unassigned kind byte must stay a hard error. Payload
+        // layout: [version, kind, ...]; re-seal the CRC after corrupting.
+        let mut bytes = encode_frame(&Frame::Submit(sample_spec()));
+        bytes[HEADER_LEN + 1] = 4;
+        let crc = crc32(&bytes[HEADER_LEN..]);
+        bytes[9..13].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes, MAX_FRAME).unwrap_err(),
+            ProtoError::Malformed(_)
+        ));
     }
 
     #[test]

@@ -763,6 +763,7 @@ fn http_spec(req: &http::HttpRequest) -> Result<JobSpec, String> {
             None | Some("legalize") => JobKind::Legalize,
             Some("rl") => JobKind::RlLegalize,
             Some("train") => JobKind::Train,
+            Some("gplace") => JobKind::Gplace,
             Some(other) => return Err(format!("unknown kind {other:?}")),
         },
         tech,

@@ -518,6 +518,82 @@ fn http_adapter_serves_health_jobs_and_metrics() {
 }
 
 #[test]
+fn gplace_job_over_http_and_unknown_kind_is_400() {
+    let (handle, dir) = start("gphttp", |_| {});
+    let addr = handle.addr();
+    let http = |request: String| -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(request.as_bytes()).expect("send");
+        s.set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("timeout");
+        let mut out = Vec::new();
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match s.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => out.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::ConnectionReset
+                        || e.kind() == std::io::ErrorKind::BrokenPipe =>
+                {
+                    break
+                }
+                Err(e) => panic!("read: {e}"),
+            }
+        }
+        String::from_utf8_lossy(&out).into_owned()
+    };
+
+    let def = small_def(0.002);
+    // Regression pin: an unrecognized kind is a 400 error response, never
+    // a connection drop or a panic.
+    let bad = http(format!(
+        "POST /jobs?kind=warp HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{def}",
+        def.len()
+    ));
+    assert!(bad.starts_with("HTTP/1.1 400"), "bad kind: {bad}");
+
+    let submit = http(format!(
+        "POST /jobs?kind=gplace&seed=3 HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{def}",
+        def.len()
+    ));
+    assert!(submit.starts_with("HTTP/1.1 202"), "submit: {submit}");
+    let body = submit.split("\r\n\r\n").nth(1).expect("body");
+    let id: u64 = body
+        .trim()
+        .trim_start_matches("{\"job\":")
+        .trim_end_matches('}')
+        .parse()
+        .expect("job id");
+
+    let t0 = Instant::now();
+    let status = loop {
+        let status = http(format!("GET /jobs/{id} HTTP/1.1\r\nHost: x\r\n\r\n"));
+        if status.contains("\"state\":\"done\"") {
+            break status;
+        }
+        assert!(
+            !status.contains("\"state\":\"failed\""),
+            "job failed: {status}"
+        );
+        assert!(t0.elapsed() < TIMEOUT, "job never finished: {status}");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(
+        status.contains("gp_hpwl"),
+        "gplace stats must surface the placement wirelength: {status}"
+    );
+    let def_resp = http(format!("GET /jobs/{id}/def HTTP/1.1\r\nHost: x\r\n\r\n"));
+    assert!(def_resp.starts_with("HTTP/1.1 200"), "def: {def_resp}");
+    let def_text = def_resp.split("\r\n\r\n").nth(1).expect("def body");
+    let d = parse_def(def_text, Technology::contest()).expect("def parses");
+    assert!(legality::check(&d, false).is_empty());
+
+    handle.shutdown_graceful();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn rl_job_over_the_wire_respects_budget() {
     let (handle, dir) = start("rl", |_| {});
     let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");

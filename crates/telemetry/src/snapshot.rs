@@ -31,26 +31,39 @@ impl HistogramSnapshot {
     /// reporting (e.g. the displacement percentiles of a finished run)
     /// without going through global state.
     pub fn from_values(bounds: &[f64], values: impl IntoIterator<Item = f64>) -> Self {
-        let mut s = Self {
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
+        let mut s = Self::empty(bounds);
+        for v in values {
+            s.accumulate(v);
+        }
+        s
+    }
+
+    /// An empty histogram over `bounds`, ready for streaming observations
+    /// via [`accumulate`](Self::accumulate). Equivalent to
+    /// [`from_values`](Self::from_values) with no values.
+    pub fn empty(bounds: &[f64]) -> Self {
+        Self {
             bounds: bounds.to_vec(),
             bucket_counts: vec![0; bounds.len() + 1],
             ..Self::default()
-        };
-        for v in values {
-            let i = bounds.partition_point(|&b| b < v);
-            s.bucket_counts[i] += 1;
-            s.count += 1;
-            s.sum += v;
-            s.min = s.min.min(v);
-            s.max = s.max.max(v);
         }
-        if s.count == 0 {
-            s.min = 0.0;
-            s.max = 0.0;
+    }
+
+    /// Folds one observation into the snapshot. Allocation-free, so hot
+    /// paths can stream values one at a time instead of buffering them
+    /// into a `Vec` for [`from_values`](Self::from_values).
+    pub fn accumulate(&mut self, v: f64) {
+        let i = self.bounds.partition_point(|&b| b < v);
+        self.bucket_counts[i] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
         }
-        s
+        self.count += 1;
+        self.sum += v;
     }
 
     /// Mean observed value, or 0 when empty.

@@ -28,6 +28,15 @@ echo "==> legalize scale smoke: cargo bench -p rlleg-bench -- --only-scale --cel
 cargo bench -p rlleg-bench --bench legalize -- --only-scale --cells 10k \
   --out "$PWD/target/BENCH_scale_smoke.json"
 
+# Global-placement smoke at 1k cells, run unconditionally: wall time plus
+# QoR scalars for the gplace -> legalize pipeline vs the synthetic
+# baseline. The bench asserts zero failed cells on both paths, so this is
+# a correctness gate, not a timing one (snapshot goes to target/ like the
+# scale smoke). GpConfig's default seed makes the run fixed-seed.
+echo "==> gplace smoke: cargo bench -p rlleg-bench -- --only-gplace --cells 1k"
+cargo bench -p rlleg-bench --bench legalize -- --only-gplace --cells 1k \
+  --out "$PWD/target/BENCH_gplace_smoke.json"
+
 # Fixed-seed fuzz smoke: 50 iterations of the differential oracles
 # (legalize configurations, DEF/LEF round-trip + mutation, grid ops,
 # trainer invariants). Deterministic, budgeted well under 30 s in
@@ -61,6 +70,13 @@ cargo run -q --release -p rlleg-fuzz -- --iters 200 --seed 7 --only fault
 # the asynchronous trainer, so this runs unconditionally.
 echo "==> param-store fuzz smoke: rlleg-fuzz --iters 200 --seed 3 --only params"
 cargo run -q --release -p rlleg-fuzz -- --iters 200 --seed 3 --only params
+
+# Fixed-seed global-placer fuzz smoke: 100 iterations of the gplace
+# oracle alone (finite on-die output, fixed cells pinned, non-increasing
+# overflow, bit-determinism, and zero-failed legalization on spec
+# scenarios). Runs unconditionally like the proto/fault/params smokes.
+echo "==> gplace fuzz smoke: rlleg-fuzz --iters 100 --seed 1 --only gplace"
+cargo run -q --release -p rlleg-fuzz -- --iters 100 --seed 1 --only gplace
 
 if [[ "${RLLEG_FUZZ_LONG:-0}" == "1" ]]; then
   echo "==> fuzz long: rlleg-fuzz --iters 1000, seeds 1-4"

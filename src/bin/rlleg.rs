@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! rlleg generate --design des_perf_b_md1 --scale 0.01 --out gp.def [--svg gp.svg]
+//! rlleg gplace   --def gp.def [--seed S] [--legalize] [--out placed.def]
 //! rlleg legalize --def gp.def [--lef lib.lef] [--order size|x|random:SEED]
 //!                [--heuristics] [--out legal.def] [--svg legal.svg]
 //! rlleg check    --def legal.def [--lef lib.lef]
@@ -134,6 +135,45 @@ fn cmd_legalize(args: &Args) -> Result<bool, String> {
     Ok(ok && stats.is_complete())
 }
 
+fn cmd_gplace(args: &Args) -> Result<bool, String> {
+    let mut design = load_design(args)?;
+    let cfg = GpConfig {
+        seed: args.get("seed", 1),
+        ..GpConfig::default()
+    };
+    let before = Qor::measure(&design);
+    let t = std::time::Instant::now();
+    let stats = place(&mut design, &cfg);
+    println!(
+        "global-placed {} cells in {:.2}s: hpwl {}, overflow {:.3} -> {:.3} \
+         ({} iterations, {} cg steps, target density {:.2})",
+        design.num_movable(),
+        t.elapsed().as_secs_f64(),
+        stats.hpwl,
+        stats.overflow.first().copied().unwrap_or(0.0),
+        stats.overflow.last().copied().unwrap_or(0.0),
+        stats.iterations,
+        stats.cg_iterations,
+        stats.target_density,
+    );
+    println!("before: {before}");
+    println!("after:  {}", Qor::measure(&design));
+    let mut ok = true;
+    if args.flag("legalize") {
+        let mut lg = Legalizer::new(&design);
+        let run_stats = lg.run(&mut design, &Ordering::SizeDescending);
+        println!(
+            "legalized {}/{} cells",
+            run_stats.legalized,
+            run_stats.legalized + run_stats.failed.len()
+        );
+        println!("legal:  {}", Qor::measure(&design));
+        ok = report_legality(&design) && run_stats.is_complete();
+    }
+    save_outputs(&design, args)?;
+    Ok(ok)
+}
+
 fn cmd_check(args: &Args) -> Result<bool, String> {
     let design = load_design(args)?;
     println!("{}", Qor::measure(&design));
@@ -236,13 +276,14 @@ fn cmd_bench_list() -> Result<bool, String> {
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
     let Some(cmd) = argv.next() else {
-        eprintln!("usage: rlleg <generate|legalize|check|train|apply|bench-list> [flags]");
+        eprintln!("usage: rlleg <generate|gplace|legalize|check|train|apply|bench-list> [flags]");
         eprintln!("see the module docs (`cargo doc`) or README.md for flag details");
         return ExitCode::FAILURE;
     };
     let args = Args::from_env();
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&args),
+        "gplace" => cmd_gplace(&args),
         "legalize" => cmd_legalize(&args),
         "check" => cmd_check(&args),
         "train" => cmd_train(&args),

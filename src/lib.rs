@@ -7,6 +7,7 @@
 //! - [`geom`] — geometry primitives and the R-tree,
 //! - [`design`] — the mixed-height design model, DEF I/O, metrics, DRC,
 //! - [`benchgen`] — synthetic ICCAD-2017/OpenCores-style benchmarks,
+//! - [`gplace`] — the analytical global placer (quadratic + diffusion),
 //! - [`legalize`] — the pixel-wise search legalizer, Gcells, features,
 //! - [`nn`] — the neural-network stack,
 //! - [`bayesopt`] — GP Bayesian optimization,
@@ -32,6 +33,7 @@ pub use rlleg_bayesopt as bayesopt;
 pub use rlleg_benchgen as benchgen;
 pub use rlleg_design as design;
 pub use rlleg_geom as geom;
+pub use rlleg_gplace as gplace;
 pub use rlleg_legalize as legalize;
 pub use rlleg_nn as nn;
 pub use rlleg_serve as serve;
@@ -45,6 +47,7 @@ pub mod prelude {
     pub use crate::benchgen::{find_spec, generate, test_suite, training_suite};
     pub use crate::design::{legality, metrics::Qor, Design, DesignBuilder, Technology};
     pub use crate::geom::{Point, Rect};
+    pub use crate::gplace::{place, GpConfig};
     pub use crate::legalize::{GcellGrid, Legalizer, Ordering};
     pub use crate::rl::{train, RlConfig, RlLegalizer};
 }

@@ -1,0 +1,125 @@
+//! Integration tests of the netlist → global placement → legalization
+//! pipeline: invariants of `gplace::place` (proptest) and corpus-pinned
+//! end-to-end runs at 1k and 10k cells.
+
+use proptest::prelude::*;
+use rlleg_suite::design::{legality, metrics, Design};
+use rlleg_suite::gplace::{place, GpConfig};
+use rlleg_suite::prelude::*;
+
+/// Runs the deterministic parallel Gcell legalizer the way the serve
+/// executor does, returning the run stats.
+fn legalize(design: &mut Design) -> rlleg_suite::legalize::RunStats {
+    let gcells = GcellGrid::auto(design);
+    let mut lg = Legalizer::new(design);
+    lg.run_gcells_parallel(design, &Ordering::SizeDescending, &gcells, 2)
+}
+
+/// End-to-end pipeline at one scale: generate the netlist, global-place it,
+/// legalize, and require a fully legal result. Returns the post-legalization
+/// HPWL of the gplace pipeline and of the synthetic-perturbation baseline.
+fn pipeline_at(cells: usize) -> (i64, i64) {
+    let spec = find_spec("des_perf_b_md1")
+        .expect("table row")
+        .scaled_to(cells);
+    let synthetic = generate(&spec);
+
+    // gplace pipeline: warm refinement of the generated placement — the
+    // anchored quadratic solves tighten wirelength, and the
+    // legalization-aware finalist round guarantees the result never
+    // legalizes worse than the input.
+    let mut gp = synthetic.clone();
+    let stats = place(&mut gp, &GpConfig::default());
+    assert!(
+        stats.overflow.last().expect("iterations") <= &stats.overflow[0],
+        "overflow must not increase: {:?}",
+        stats.overflow
+    );
+    let run = legalize(&mut gp);
+    assert!(
+        run.failed.is_empty(),
+        "gplace pipeline failed {} cells at {cells}",
+        run.failed.len()
+    );
+    let violations = legality::check(&gp, true);
+    assert!(
+        violations.is_empty(),
+        "gplace pipeline produced violations at {cells}: {:?}",
+        &violations[..violations.len().min(5)]
+    );
+
+    // Synthetic-perturbation baseline: legalize the benchgen placement.
+    let mut base = synthetic;
+    let run = legalize(&mut base);
+    assert!(run.failed.is_empty(), "baseline failed at {cells}");
+
+    (metrics::total_hpwl(&gp), metrics::total_hpwl(&base))
+}
+
+#[test]
+fn gp_then_legalize_1k_is_legal() {
+    let (gp_hpwl, base_hpwl) = pipeline_at(1_000);
+    // The analytical placer must beat the synthetic construction on
+    // post-legalization wirelength — that is the point of having it.
+    assert!(
+        gp_hpwl < base_hpwl,
+        "gplace HPWL {gp_hpwl} not below synthetic baseline {base_hpwl} at 1k"
+    );
+}
+
+#[test]
+fn gp_then_legalize_10k_is_legal() {
+    let (gp_hpwl, base_hpwl) = pipeline_at(10_000);
+    assert!(
+        gp_hpwl < base_hpwl,
+        "gplace HPWL {gp_hpwl} not below synthetic baseline {base_hpwl} at 10k"
+    );
+}
+
+/// Small random designs for the invariant properties.
+fn arb_design() -> impl Strategy<Value = (Design, u64)> {
+    const NAMES: [&str; 4] = ["usb_phy", "spi_top", "des_perf_b_md1", "fft_2_md2"];
+    (0usize..NAMES.len(), 1u64..500, 1u64..u64::MAX).prop_map(|(name_idx, seed, gp_seed)| {
+        let mut spec = find_spec(NAMES[name_idx]).expect("table spec").scaled(0.0);
+        spec.seed = seed;
+        (generate(&spec), gp_seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn place_invariants((design, gp_seed) in arb_design()) {
+        let cfg = GpConfig { seed: gp_seed, ..GpConfig::default() };
+        let mut a = design.clone();
+        let sa = place(&mut a, &cfg);
+        let rh = a.tech.row_height;
+
+        // 1. Fixed cells never move.
+        for (before, after) in design.cells.iter().zip(a.cells.iter()) {
+            if !before.is_movable() {
+                prop_assert_eq!(before.pos, after.pos);
+                prop_assert_eq!(before.gp_pos, after.gp_pos);
+            }
+        }
+        // 2. Every movable cell is fully on-die (when it fits the core).
+        for c in a.cells.iter().filter(|c| c.is_movable()) {
+            let r = c.rect(rh);
+            prop_assert!(
+                a.core.contains(&r),
+                "cell {} at {} off-die", c.name, c.pos
+            );
+        }
+        // 3. Bit-deterministic for a fixed seed: a second run from the same
+        // input is identical in every position and every stat.
+        let mut b = design.clone();
+        let sb = place(&mut b, &cfg);
+        prop_assert_eq!(sa.hpwl, sb.hpwl);
+        prop_assert_eq!(&sa.overflow, &sb.overflow);
+        for (ca, cb) in a.cells.iter().zip(b.cells.iter()) {
+            prop_assert_eq!(ca.pos, cb.pos);
+            prop_assert_eq!(ca.gp_pos, cb.gp_pos);
+        }
+    }
+}

@@ -44,6 +44,22 @@ pub fn records() -> Vec<Record> {
     RECORDS.lock().expect("records lock").clone()
 }
 
+/// Records a raw scalar measurement (a QoR value such as a wirelength or
+/// an overflow ratio, rather than a timing) under `group/id`. The value is
+/// carried in the `mean_ns` field so exported snapshots keep the single
+/// `{"group", "id", "mean_ns"}` schema; consumers read such groups' values
+/// directly rather than as nanoseconds.
+pub fn record_value(group: impl Into<String>, id: impl Into<String>, value: f64) {
+    let group = group.into();
+    let id = id.into();
+    println!("{group}/{id:<40} {value:>16.4}");
+    RECORDS.lock().expect("records lock").push(Record {
+        group,
+        id,
+        mean_ns: value,
+    });
+}
+
 /// Writes every recorded measurement as a JSON document:
 /// `{"cases": [{"group", "id", "mean_ns", "iters_per_sec"}, ...]}`.
 ///
@@ -56,7 +72,7 @@ pub fn export_json(path: &str) -> std::io::Result<()> {
     for (i, r) in recs.iter().enumerate() {
         let sep = if i + 1 == recs.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"group\": {:?}, \"id\": {:?}, \"mean_ns\": {:.1}, \"iters_per_sec\": {:.1}}}{sep}\n",
+            "    {{\"group\": {:?}, \"id\": {:?}, \"mean_ns\": {:.4}, \"iters_per_sec\": {:.1}}}{sep}\n",
             r.group,
             r.id,
             r.mean_ns,
@@ -263,5 +279,16 @@ mod tests {
         assert!(recs.iter().any(|r| r.id == "sum/8"));
         let r = recs.iter().find(|r| r.id == "count").unwrap();
         assert!(r.mean_ns >= 0.0 && r.iters_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn record_value_round_trips_raw_scalars() {
+        record_value("qor", "hpwl/1k", 12345.0);
+        let recs = records();
+        let r = recs
+            .iter()
+            .find(|r| r.group == "qor" && r.id == "hpwl/1k")
+            .unwrap();
+        assert_eq!(r.mean_ns, 12345.0);
     }
 }
