@@ -40,7 +40,12 @@
 //!    are finite and on-die, fixed cells never move, the overflow
 //!    trajectory is non-increasing, runs are bit-deterministic for a
 //!    fixed seed, and benchmark-spec scenarios always legalize with zero
-//!    failed cells and an empty legality check.
+//!    failed cells and an empty legality check;
+//! 9. [`oracle_wal`] — crash-durability of the serving write-ahead job
+//!    journal: after a kill at a seeded point (torn tail, garbage tail,
+//!    or mid-rotation), every durably acknowledged job is either
+//!    recovered for re-run or its persisted result served bit-identically
+//!    — checked differentially against an independent replay model.
 //!
 //! Failing designs are minimized by the greedy [`shrink`]er and written to
 //! `crates/fuzz/corpus/`, which doubles as the regression suite replayed by
@@ -56,6 +61,7 @@ pub mod oracle_nn;
 pub mod oracle_params;
 pub mod oracle_parse;
 pub mod oracle_proto;
+pub mod oracle_wal;
 pub mod scenario;
 pub mod shrink;
 
@@ -76,6 +82,9 @@ pub enum Artifact {
     FrameHex(String),
     /// A `key=value` [`oracle_params::Case`] that triggered the failure.
     ParamsCase(String),
+    /// A hex dump of a write-ahead-journal segment left by a failing
+    /// crash-recovery run.
+    WalSegmentHex(String),
 }
 
 impl Artifact {
@@ -87,6 +96,7 @@ impl Artifact {
             Artifact::Lef(_) => "lef",
             Artifact::FrameHex(_) => "hex",
             Artifact::ParamsCase(_) => "params",
+            Artifact::WalSegmentHex(_) => "wal",
         }
     }
 
@@ -97,7 +107,8 @@ impl Artifact {
             | Artifact::Def(s)
             | Artifact::Lef(s)
             | Artifact::FrameHex(s)
-            | Artifact::ParamsCase(s) => s,
+            | Artifact::ParamsCase(s)
+            | Artifact::WalSegmentHex(s) => s,
         }
     }
 }
@@ -106,7 +117,7 @@ impl Artifact {
 #[derive(Debug, Clone)]
 pub struct Failure {
     /// Which oracle fired (`legalize`, `parse`, `grid`, `nn`, `fault`,
-    /// `proto`, `params`, `gplace`).
+    /// `proto`, `params`, `gplace`, `wal`).
     pub oracle: &'static str,
     /// Scenario label (generator family + parameters).
     pub scenario: String,
@@ -125,7 +136,7 @@ impl std::fmt::Display for Failure {
 /// Budget for shrinker predicate evaluations per failing iteration.
 const SHRINK_BUDGET: usize = 200;
 
-/// Runs one full fuzz iteration (scenario + all eight oracles) and returns
+/// Runs one full fuzz iteration (scenario + all nine oracles) and returns
 /// every invariant failure. Deterministic in `(seed, iter)`.
 pub fn run_iteration(seed: u64, iter: u64) -> Vec<Failure> {
     run_iteration_filtered(seed, iter, None)
@@ -133,7 +144,7 @@ pub fn run_iteration(seed: u64, iter: u64) -> Vec<Failure> {
 
 /// [`run_iteration`], restricted to the oracle named by `only` when given
 /// (`legalize`, `parse`, `grid`, `nn`, `fault`, `proto`, `params`,
-/// `gplace`). Seed
+/// `gplace`, `wal`). Seed
 /// derivation is shared with the unfiltered run, so `--only` repros match
 /// full-run failures.
 pub fn run_iteration_filtered(seed: u64, iter: u64, only: Option<&str>) -> Vec<Failure> {
@@ -241,6 +252,11 @@ pub fn run_iteration_filtered(seed: u64, iter: u64, only: Option<&str>) -> Vec<F
                 .get_or_insert_with(|| Artifact::DesignJson(json.clone()));
         }
         failures.extend(gpl);
+    }
+
+    let wal_seed: u64 = rng.gen();
+    if wants("wal") {
+        failures.extend(timed("wal", || oracle_wal::check(&sc, wal_seed)));
     }
 
     if !failures.is_empty() {

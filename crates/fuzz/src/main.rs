@@ -13,7 +13,12 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use rlleg_fuzz::run_iteration_filtered;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rlleg_fuzz::{run_iteration_filtered, Artifact, Failure};
+use rlleg_serve::job::{state, JobOutcome};
+use rlleg_serve::proto::JobSpec;
+use rlleg_serve::wal::Wal;
 
 struct Args {
     raw: Vec<String>,
@@ -51,10 +56,13 @@ fn main() {
              --iters N     iterations to run (default 100)\n\
              --seed S      base seed (default 1)\n\
              --corpus DIR  where failing repros are written (default crates/fuzz/corpus)\n\
-             --only ORACLE run a single oracle: legalize|parse|grid|nn|fault|proto|params|gplace\n\
+             --only ORACLE run a single oracle: legalize|parse|grid|nn|fault|proto|params|gplace|wal\n\
              --quiet       suppress the per-failure log lines"
         );
         return;
+    }
+    if args.raw.iter().any(|a| a == "--wal-victim") {
+        wal_victim_main(&args);
     }
     let iters: u64 = args.get("--iters", 100);
     let seed: u64 = args.get("--seed", 1);
@@ -67,12 +75,13 @@ fn main() {
     let only = (!only.is_empty()).then_some(only);
     if let Some(o) = &only {
         if ![
-            "legalize", "parse", "grid", "nn", "fault", "proto", "params", "gplace",
+            "legalize", "parse", "grid", "nn", "fault", "proto", "params", "gplace", "wal",
         ]
         .contains(&o.as_str())
         {
             eprintln!(
-                "rlleg-fuzz: unknown oracle `{o}` (legalize|parse|grid|nn|fault|proto|params|gplace)"
+                "rlleg-fuzz: unknown oracle `{o}` \
+                 (legalize|parse|grid|nn|fault|proto|params|gplace|wal)"
             );
             std::process::exit(2);
         }
@@ -84,7 +93,14 @@ fn main() {
     let mut failing_iters = 0u64;
 
     for iter in 0..iters {
-        let failures = run_iteration_filtered(seed, iter, only.as_deref());
+        let mut failures = run_iteration_filtered(seed, iter, only.as_deref());
+        // The in-process wal oracle simulates kills; a sampled subset of
+        // iterations also SIGKILLs a real child process mid-append and
+        // audits the journal it left behind.
+        let wants_wal = only.as_deref().is_none_or(|o| o == "wal");
+        if wants_wal && iter.is_multiple_of(16) {
+            failures.extend(wal_kill_check(seed, iter));
+        }
         if failures.is_empty() {
             continue;
         }
@@ -105,7 +121,7 @@ fn main() {
 
     let elapsed = t0.elapsed().as_secs_f64();
     let per_oracle: Vec<String> = [
-        "legalize", "parse", "grid", "nn", "fault", "proto", "params", "gplace",
+        "legalize", "parse", "grid", "nn", "fault", "proto", "params", "gplace", "wal",
     ]
     .iter()
     .map(|o| {
@@ -131,6 +147,202 @@ fn main() {
         );
         std::process::exit(1);
     }
+}
+
+/// The deterministic result a victim job `id` produces — the parent
+/// recomputes it to detect a divergent re-run after recovery.
+fn victim_outcome(id: u64, seed: u64) -> JobOutcome {
+    JobOutcome {
+        ok: true,
+        def: format!("RESULT-{id}-{seed}"),
+        stats: format!("{{\"id\":{id}}}"),
+    }
+}
+
+/// Child half of the kill test: journals job lifecycles as fast as it can,
+/// reporting each *durably acknowledged* transition on stdout (`A`/`D`/`F`
+/// after the fsynced append returns, `c` *before* a cancel append so the
+/// parent can tell an unreported-but-persisted cancel from a lost job).
+/// The parent SIGKILLs it at an arbitrary point; everything this process
+/// printed must be recoverable from the journal it left behind.
+fn wal_victim_main(args: &Args) -> ! {
+    let dir = PathBuf::from(args.get("--wal-victim", String::new()));
+    let seed: u64 = args.get("--seed", 1);
+    let (wal, _, _) = Wal::open(&dir, 8192).expect("victim: journal open");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut say = |line: String| {
+        // Line-by-line flush: anything the parent reads back was written
+        // strictly after the corresponding fsync returned.
+        writeln!(out, "{line}").expect("victim stdout");
+        out.flush().expect("victim stdout flush");
+    };
+    for id in 1..=100_000u64 {
+        let spec = JobSpec {
+            def: format!("VICTIM-{id}-{seed}"),
+            ..JobSpec::default()
+        };
+        wal.append_accepted(id, 1_700_000_000_000 + id, &spec)
+            .expect("victim: accepted append");
+        say(format!("A {id}"));
+        wal.append_running(id, 1);
+        match rng.gen_range(0..4u32) {
+            0 => {} // left running: recovery must re-queue it
+            1 => {
+                wal.append_done(id, &victim_outcome(id, seed));
+                say(format!("D {id}"));
+            }
+            2 => {
+                wal.append_failed(id, "victim failure");
+                say(format!("F {id}"));
+            }
+            _ => {
+                say(format!("c {id}"));
+                wal.append_cancelled(id);
+                say(format!("C {id}"));
+            }
+        }
+        wal.maybe_rotate();
+    }
+    std::process::exit(0);
+}
+
+/// Parent half: spawn the victim, SIGKILL it mid-stream at a seeded delay,
+/// replay the journal it left, and hold the durability invariant — every
+/// acknowledged job is re-queued or served with a bit-identical result;
+/// none disappears, none diverges.
+fn wal_kill_check(seed: u64, iter: u64) -> Vec<Failure> {
+    let fail = |message: String, segment: Vec<u8>| Failure {
+        oracle: "wal",
+        scenario: format!("kill-victim i{iter}"),
+        message,
+        artifact: Some(Artifact::WalSegmentHex(rlleg_fuzz::oracle_proto::to_hex(
+            &segment,
+        ))),
+    };
+    let dir = std::env::temp_dir().join(format!(
+        "rlleg-fuzz-walkill-{}-{seed}-{iter}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let child_seed = seed ^ iter.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => return vec![fail(format!("current_exe: {e}"), Vec::new())],
+    };
+    let mut child = match std::process::Command::new(exe)
+        .arg("--wal-victim")
+        .arg(&dir)
+        .arg("--seed")
+        .arg(child_seed.to_string())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+    {
+        Ok(c) => c,
+        Err(e) => return vec![fail(format!("spawn victim: {e}"), Vec::new())],
+    };
+    // A seeded few milliseconds of journalling, then SIGKILL — no drain,
+    // no flush, exactly the crash the journal exists for.
+    std::thread::sleep(std::time::Duration::from_millis(2 + child_seed % 40));
+    let _ = child.kill();
+    let output = match child.wait_with_output() {
+        Ok(o) => o,
+        Err(e) => return vec![fail(format!("reap victim: {e}"), Vec::new())],
+    };
+    let ledger = String::from_utf8_lossy(&output.stdout).into_owned();
+    let mut acked: Vec<u64> = Vec::new();
+    let mut done = std::collections::BTreeSet::new();
+    let mut failed = std::collections::BTreeSet::new();
+    let mut cancel_intent = std::collections::BTreeSet::new();
+    for line in ledger.lines() {
+        let mut w = line.split_whitespace();
+        let (Some(tag), Some(id)) = (w.next(), w.next().and_then(|s| s.parse::<u64>().ok())) else {
+            continue;
+        };
+        match tag {
+            "A" => acked.push(id),
+            "D" => {
+                done.insert(id);
+            }
+            "F" => {
+                failed.insert(id);
+            }
+            "c" | "C" => {
+                cancel_intent.insert(id);
+            }
+            _ => {}
+        }
+    }
+    let segment = || {
+        std::fs::read_dir(&dir)
+            .ok()
+            .and_then(|rd| {
+                let mut segs: Vec<_> = rd.filter_map(Result::ok).map(|e| e.path()).collect();
+                segs.sort();
+                segs.pop()
+            })
+            .and_then(|p| std::fs::read(p).ok())
+            .unwrap_or_default()
+    };
+    let mut failures = Vec::new();
+    match Wal::open(&dir, 8192) {
+        Ok((_, recovered, _)) => {
+            let live: std::collections::BTreeMap<u64, _> =
+                recovered.into_iter().map(|j| (j.id, j)).collect();
+            for id in &acked {
+                let Some(job) = live.get(id) else {
+                    if !cancel_intent.contains(id) {
+                        failures.push(fail(
+                            format!("acknowledged job {id} lost after SIGKILL"),
+                            segment(),
+                        ));
+                    }
+                    continue;
+                };
+                if done.contains(id)
+                    && (job.state != state::DONE
+                        || job.outcome.as_ref() != Some(&victim_outcome(*id, child_seed)))
+                {
+                    failures.push(fail(
+                        format!(
+                            "job {id}: acknowledged result lost or divergent after SIGKILL \
+                             (state {}, outcome {:?})",
+                            job.state, job.outcome
+                        ),
+                        segment(),
+                    ));
+                }
+                if failed.contains(id) && job.state != state::FAILED {
+                    failures.push(fail(
+                        format!(
+                            "job {id}: acknowledged failure forgotten after SIGKILL (state {})",
+                            job.state
+                        ),
+                        segment(),
+                    ));
+                }
+                // Even when the DONE ack never reached the parent, a
+                // recovered result must be the deterministic one — a
+                // different outcome means the job ran twice and diverged.
+                if job.state == state::DONE
+                    && job.outcome.as_ref() != Some(&victim_outcome(*id, child_seed))
+                {
+                    failures.push(fail(
+                        format!("job {id}: recovered outcome diverges: {:?}", job.outcome),
+                        segment(),
+                    ));
+                }
+            }
+        }
+        Err(e) => failures.push(fail(
+            format!("recovery open failed after SIGKILL: {e}"),
+            segment(),
+        )),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    failures
 }
 
 fn write_artifact(

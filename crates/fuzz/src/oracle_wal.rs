@@ -1,0 +1,421 @@
+//! Oracle 9: crash-durability of the serve write-ahead job journal
+//! ([`rlleg_serve::wal`]).
+//!
+//! Simulates a SIGKILL at a seeded point: drives a random job-lifecycle
+//! record sequence through a real [`Wal`], tracking a *shadow log* of every
+//! record with the segment offset where it ends and whether the append was
+//! durably acknowledged (fsynced). The "crash" drops the journal handle
+//! and truncates — or truncates and appends garbage to — the final segment
+//! at a seeded cut no earlier than the durability watermark (an fsynced
+//! record can never be lost by a process kill), then reopens and asserts:
+//!
+//! 1. **No acknowledged loss, no divergent re-run** — the recovered live
+//!    set equals an independent replay of exactly the records that
+//!    survived the cut: non-terminal jobs come back `QUEUED` (they will
+//!    re-run), terminal undelivered jobs come back with a bit-identical
+//!    outcome (they will be *served*, never run a second time), cancelled
+//!    and delivered jobs are forgotten. The expected set is computed by a
+//!    second, independent implementation of the replay semantics, so this
+//!    is a differential check, not a self-check.
+//! 2. **Mid-rotation crash window** — a crash after the compacted segment
+//!    is written but before the old segments are deleted (the widest
+//!    window rotation has) recovers to the identical live set, and a
+//!    second reopen right after is idempotent.
+//!
+//! Failing runs leave the surviving segment bytes as a hex artifact
+//! ([`Artifact::WalSegmentHex`]), replayable by `tests/corpus.rs` (`.wal`
+//! corpus entries are decoded, written back as a segment, and reopened —
+//! recovery must succeed without error).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use rlleg_serve::job::{state, JobOutcome};
+use rlleg_serve::proto::JobSpec;
+use rlleg_serve::wal::{LiveJob, Wal};
+
+use crate::oracle_proto::to_hex;
+use crate::scenario::Scenario;
+use crate::{Artifact, Failure};
+
+/// Jobs whose lifecycles are journalled per iteration.
+const JOBS: u64 = 8;
+
+fn fail(sc: &Scenario, message: String, segment: &[u8]) -> Failure {
+    Failure {
+        oracle: "wal",
+        scenario: sc.label.clone(),
+        message,
+        artifact: Some(Artifact::WalSegmentHex(to_hex(segment))),
+    }
+}
+
+/// One journalled transition, as the shadow model sees it.
+#[derive(Debug, Clone)]
+enum SRec {
+    Accepted { id: u64, unix_ms: u64, def: String },
+    Running { id: u64, attempt: u32 },
+    Requeued { id: u64, attempt: u32 },
+    Done { id: u64, outcome: JobOutcome },
+    Failed { id: u64, error: String },
+    Cancelled { id: u64 },
+    Delivered { id: u64 },
+}
+
+/// The shadow model's view of one recovered job.
+#[derive(Debug, Clone, PartialEq)]
+struct SJob {
+    unix_ms: u64,
+    attempt: u32,
+    state: u8,
+    def: Option<String>,
+    outcome: Option<JobOutcome>,
+    error: Option<String>,
+}
+
+/// Independent reimplementation of the journal's replay semantics: the
+/// differential half of the oracle. Kept deliberately separate from
+/// `wal::apply` — agreement between two implementations is the invariant.
+fn shadow_replay(records: &[SRec]) -> BTreeMap<u64, SJob> {
+    let mut live: BTreeMap<u64, SJob> = BTreeMap::new();
+    for r in records {
+        match r {
+            SRec::Accepted { id, unix_ms, def } => {
+                live.insert(
+                    *id,
+                    SJob {
+                        unix_ms: *unix_ms,
+                        attempt: 0,
+                        state: state::QUEUED,
+                        def: Some(def.clone()),
+                        outcome: None,
+                        error: None,
+                    },
+                );
+            }
+            SRec::Running { id, attempt } | SRec::Requeued { id, attempt } => {
+                if let Some(j) = live.get_mut(id) {
+                    j.attempt = *attempt;
+                    // A crash mid-run and a crash mid-backoff recover the
+                    // same way: the job goes back in the queue.
+                    j.state = state::QUEUED;
+                }
+            }
+            SRec::Done { id, outcome } => {
+                if let Some(j) = live.get_mut(id) {
+                    j.state = state::DONE;
+                    j.outcome = Some(outcome.clone());
+                    j.def = None;
+                }
+            }
+            SRec::Failed { id, error } => {
+                if let Some(j) = live.get_mut(id) {
+                    j.state = state::FAILED;
+                    j.error = Some(error.clone());
+                    j.def = None;
+                }
+            }
+            SRec::Cancelled { id } => {
+                live.remove(id);
+            }
+            SRec::Delivered { id } => {
+                let terminal = live
+                    .get(id)
+                    .is_some_and(|j| matches!(j.state, state::DONE | state::FAILED));
+                if terminal {
+                    live.remove(id);
+                }
+            }
+        }
+    }
+    live
+}
+
+/// Compares the journal's recovered jobs against the shadow model.
+fn diff(recovered: &[LiveJob], expected: &BTreeMap<u64, SJob>) -> Option<String> {
+    if recovered.len() != expected.len() {
+        return Some(format!(
+            "recovered {} jobs, shadow model expects {} (recovered ids {:?}, expected ids {:?})",
+            recovered.len(),
+            expected.len(),
+            recovered.iter().map(|j| j.id).collect::<Vec<_>>(),
+            expected.keys().collect::<Vec<_>>(),
+        ));
+    }
+    for job in recovered {
+        let Some(want) = expected.get(&job.id) else {
+            return Some(format!(
+                "job {} recovered but never durably journalled",
+                job.id
+            ));
+        };
+        if job.state != want.state {
+            return Some(format!(
+                "job {} recovered in state {} but shadow model says {}",
+                job.id, job.state, want.state
+            ));
+        }
+        if job.accepted_unix_ms != want.unix_ms || job.attempt != want.attempt {
+            return Some(format!(
+                "job {} stamps diverge: recovered (ms {}, attempt {}) vs shadow (ms {}, attempt {})",
+                job.id, job.accepted_unix_ms, job.attempt, want.unix_ms, want.attempt
+            ));
+        }
+        let got_def = job.spec.as_ref().map(|s| s.def.clone());
+        if got_def != want.def {
+            return Some(format!(
+                "job {} spec diverges after recovery: {:?} vs {:?}",
+                job.id, got_def, want.def
+            ));
+        }
+        if job.outcome != want.outcome {
+            return Some(format!(
+                "job {} would re-run to a divergent result: recovered outcome {:?} vs acknowledged {:?}",
+                job.id, job.outcome, want.outcome
+            ));
+        }
+        if job.error != want.error {
+            return Some(format!(
+                "job {} error text diverges: {:?} vs {:?}",
+                job.id, job.error, want.error
+            ));
+        }
+    }
+    None
+}
+
+/// Drives `JOBS` random lifecycles through `wal`, mirroring every append
+/// into a shadow log of `(end_offset, fsynced, record)`.
+fn drive(wal: &Wal, rng: &mut ChaCha8Rng, base_ms: u64) -> Vec<(u64, bool, SRec)> {
+    let mut log: Vec<(u64, bool, SRec)> = Vec::new();
+    let push = |wal: &Wal, fsynced: bool, r: SRec, log: &mut Vec<(u64, bool, SRec)>| {
+        log.push((wal.current_segment_len(), fsynced, r));
+    };
+    for id in 1..=JOBS {
+        let unix_ms = base_ms + id;
+        let spec = JobSpec {
+            def: format!("DEF job-{id} seed-{}", rng.gen::<u32>()),
+            deadline_ms: rng.gen_range(0..5_000),
+            max_retries: rng.gen_range(0..3),
+            seed: rng.gen(),
+            ..JobSpec::default()
+        };
+        if wal.append_accepted(id, unix_ms, &spec).is_err() {
+            continue;
+        }
+        push(
+            wal,
+            true,
+            SRec::Accepted {
+                id,
+                unix_ms,
+                def: spec.def.clone(),
+            },
+            &mut log,
+        );
+        let mut attempt = 0u32;
+        // Walk a random number of claim/requeue rounds before the final
+        // disposition so RUNNING/REQUEUED records land between the
+        // fsynced ones.
+        for _ in 0..rng.gen_range(0..3u32) {
+            attempt += 1;
+            wal.append_running(id, attempt);
+            push(wal, false, SRec::Running { id, attempt }, &mut log);
+            if rng.gen_bool(0.5) {
+                wal.append_requeued(id, attempt);
+                push(wal, false, SRec::Requeued { id, attempt }, &mut log);
+            }
+        }
+        match rng.gen_range(0..5u32) {
+            // Still queued at the crash.
+            0 => {}
+            1 | 2 => {
+                let outcome = JobOutcome {
+                    ok: rng.gen_bool(0.8),
+                    def: format!("RESULT job-{id} {}", rng.gen::<u32>()),
+                    stats: format!("{{\"job\":{id},\"n\":{}}}", rng.gen::<u16>()),
+                };
+                wal.append_done(id, &outcome);
+                push(wal, true, SRec::Done { id, outcome }, &mut log);
+                if rng.gen_bool(0.4) {
+                    wal.append_delivered(id);
+                    push(wal, false, SRec::Delivered { id }, &mut log);
+                }
+            }
+            3 => {
+                let error = format!("injected failure {}", rng.gen::<u16>());
+                wal.append_failed(id, &error);
+                push(wal, true, SRec::Failed { id, error }, &mut log);
+                if rng.gen_bool(0.4) {
+                    wal.append_delivered(id);
+                    push(wal, false, SRec::Delivered { id }, &mut log);
+                }
+            }
+            _ => {
+                wal.append_cancelled(id);
+                push(wal, true, SRec::Cancelled { id }, &mut log);
+            }
+        }
+        // A stray DELIVERED for a non-terminal (or unknown) job must be
+        // ignored by replay.
+        if rng.gen_bool(0.1) {
+            let stray = rng.gen_range(1..=JOBS + 2);
+            wal.append_delivered(stray);
+            push(wal, false, SRec::Delivered { id: stray }, &mut log);
+        }
+    }
+    log
+}
+
+/// A scratch directory unique to this (seed, phase) so concurrent fuzz
+/// processes never collide.
+fn scratch_dir(seed: u64, phase: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "rlleg-fuzz-wal-{}-{seed:016x}-{phase}",
+        std::process::id()
+    ))
+}
+
+fn read_segment(dir: &Path) -> (std::path::PathBuf, Vec<u8>) {
+    // The final (highest-numbered) segment is the only one a crash can
+    // tear; earlier segments were sealed by a completed rotation.
+    let mut segs: Vec<_> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "wal"))
+                .collect()
+        })
+        .unwrap_or_default();
+    segs.sort();
+    let path = segs.pop().unwrap_or_else(|| dir.join("seg-000000.wal"));
+    let bytes = std::fs::read(&path).unwrap_or_default();
+    (path, bytes)
+}
+
+/// Runs the crash-durability oracle for one scenario.
+pub fn check(sc: &Scenario, seed: u64) -> Vec<Failure> {
+    let mut failures = Vec::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let base_ms = 1_700_000_000_000 + (seed % 1_000_000);
+
+    // ---- Phase 1: kill at a seeded point; torn / garbage tail. ----
+    let dir = scratch_dir(seed, "tail");
+    let _ = std::fs::remove_dir_all(&dir);
+    let log = match Wal::open(&dir, 1 << 20) {
+        Ok((wal, recovered, _)) => {
+            if !recovered.is_empty() {
+                failures.push(fail(
+                    sc,
+                    format!("fresh journal recovered {} jobs", recovered.len()),
+                    &[],
+                ));
+            }
+            drive(&wal, &mut rng, base_ms)
+        }
+        Err(e) => {
+            failures.push(fail(sc, format!("journal open failed: {e}"), &[]));
+            let _ = std::fs::remove_dir_all(&dir);
+            return failures;
+        }
+    };
+    // The durability watermark: nothing at or below the last fsynced
+    // record's end offset may be lost by a kill.
+    let watermark = log
+        .iter()
+        .filter(|(_, fsynced, _)| *fsynced)
+        .map(|(end, _, _)| *end)
+        .max()
+        .unwrap_or(0);
+    let (seg_path, seg_bytes) = read_segment(&dir);
+    let len = seg_bytes.len() as u64;
+    let cut = rng.gen_range(watermark..=len);
+    let mut survived = seg_bytes[..cut as usize].to_vec();
+    if rng.gen_bool(0.5) {
+        // Garbage past the cut: a torn rewrite instead of a clean
+        // truncation. Replay must discard it just the same.
+        let garbage: Vec<u8> = (0..rng.gen_range(1..48)).map(|_| rng.gen()).collect();
+        survived.extend_from_slice(&garbage);
+    }
+    std::fs::write(&seg_path, &survived).expect("rewrite torn segment");
+
+    let expected = shadow_replay(
+        &log.iter()
+            .filter(|(end, _, _)| *end <= cut)
+            .map(|(_, _, r)| r.clone())
+            .collect::<Vec<_>>(),
+    );
+    match Wal::open(&dir, 1 << 20) {
+        Ok((_, recovered, _)) => {
+            if let Some(msg) = diff(&recovered, &expected) {
+                failures.push(fail(
+                    sc,
+                    format!("kill at byte {cut}/{len} (watermark {watermark}): {msg}"),
+                    &survived,
+                ));
+            }
+        }
+        Err(e) => failures.push(fail(
+            sc,
+            format!("recovery open failed after kill at byte {cut}/{len}: {e}"),
+            &survived,
+        )),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- Phase 2: kill inside the rotation crash window. ----
+    let dir = scratch_dir(seed, "rot");
+    let _ = std::fs::remove_dir_all(&dir);
+    match Wal::open(&dir, 4096) {
+        Ok((wal, _, _)) => {
+            let log = drive(&wal, &mut rng, base_ms);
+            let expected =
+                shadow_replay(&log.iter().map(|(_, _, r)| r.clone()).collect::<Vec<_>>());
+            // Crash window: the compacted segment exists, the old ones
+            // were never deleted.
+            if let Err(e) = wal.rotate(false) {
+                failures.push(fail(sc, format!("rotation failed: {e}"), &[]));
+            }
+            drop(wal);
+            for reopen in 0..2 {
+                match Wal::open(&dir, 4096) {
+                    Ok((w, recovered, report)) => {
+                        if let Some(msg) = diff(&recovered, &expected) {
+                            failures.push(fail(
+                                sc,
+                                format!("mid-rotation crash, reopen {reopen}: {msg}"),
+                                &read_segment(&dir).1,
+                            ));
+                        }
+                        if report.corrupt > 0 {
+                            failures.push(fail(
+                                sc,
+                                format!(
+                                    "mid-rotation crash, reopen {reopen}: {} corrupt records in a clean journal",
+                                    report.corrupt
+                                ),
+                                &read_segment(&dir).1,
+                            ));
+                        }
+                        drop(w);
+                    }
+                    Err(e) => {
+                        failures.push(fail(
+                            sc,
+                            format!("mid-rotation recovery open failed (reopen {reopen}): {e}"),
+                            &read_segment(&dir).1,
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+        Err(e) => failures.push(fail(sc, format!("journal open failed: {e}"), &[])),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    failures
+}

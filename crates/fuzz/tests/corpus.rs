@@ -23,7 +23,11 @@
 //! - `*.params` — `ParamStore` contention cases (writer/reader counts,
 //!   vector length, publish budget); the seqlock invariants — untorn
 //!   snapshots, epoch/stamp coherence, monotone epochs — must hold on
-//!   each replay.
+//!   each replay;
+//! - `*.wal` — hex dumps of write-ahead-journal segments left behind by a
+//!   kill (`wal_truncated_tail.wal` pins a final record torn mid-payload);
+//!   recovery must succeed without error, discard only the torn tail, and
+//!   be idempotent across a second open.
 
 use std::path::PathBuf;
 
@@ -205,6 +209,47 @@ fn hex_corpus_frames_are_classified_not_accepted() {
                 Err(_) => poisoned = true,
             }
         }
+    }
+}
+
+#[test]
+fn wal_corpus_segments_recover_without_error_and_idempotently() {
+    let files = corpus_files("wal");
+    assert!(!files.is_empty(), "no .wal corpus cases committed");
+    for path in files {
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        let bytes = oracle_proto::from_hex(&text)
+            .unwrap_or_else(|| panic!("{} is not valid hex", path.display()));
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let dir = std::env::temp_dir().join(format!(
+            "rlleg-corpus-wal-{}-{}",
+            std::process::id(),
+            path.file_stem().unwrap().to_string_lossy()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("corpus scratch dir");
+        std::fs::write(dir.join("seg-000001.wal"), &bytes).expect("plant segment");
+        let (wal, recovered, report) = rlleg_serve::wal::Wal::open(&dir, 1 << 20)
+            .unwrap_or_else(|e| panic!("{name}: recovery must not error: {e}"));
+        if name == "wal_truncated_tail.wal" {
+            // The committed case ends in a record cut mid-payload: exactly
+            // one torn tail, no corrupt records, and the complete prefix
+            // replays.
+            assert_eq!(report.torn_tail, 1, "{name}: torn tail not detected");
+            assert_eq!(report.corrupt, 0, "{name}: clean prefix read as corrupt");
+            assert!(report.records > 0, "{name}: complete records discarded");
+        }
+        drop(wal);
+        let (_, recovered2, report2) = rlleg_serve::wal::Wal::open(&dir, 1 << 20)
+            .unwrap_or_else(|e| panic!("{name}: second recovery must not error: {e}"));
+        assert_eq!(
+            recovered.len(),
+            recovered2.len(),
+            "{name}: recovery is not idempotent"
+        );
+        assert_eq!(report2.torn_tail, 0, "{name}: compaction left a torn tail");
+        assert_eq!(report2.corrupt, 0, "{name}: compaction left corruption");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

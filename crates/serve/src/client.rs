@@ -9,7 +9,75 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
-use crate::proto::{encode_frame, Frame, FrameReader, JobSpec, MAX_FRAME};
+use crate::admission::retry_after_hint;
+use crate::proto::{encode_frame, reject, Frame, FrameReader, JobSpec, MAX_FRAME};
+
+/// Capped exponential backoff with deterministic jitter for retrying
+/// `QUEUE_FULL`/`SHED` rejections.
+///
+/// The schedule is `base × 2^attempt`, capped, with ±25% jitter drawn
+/// from a splitmix64 stream seeded at construction — deterministic for a
+/// given seed (tests pin it) while different clients, seeded differently,
+/// decorrelate instead of retrying in lockstep and re-creating the very
+/// overload spike that shed them.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    attempt: u32,
+    rng_state: u64,
+}
+
+impl Backoff {
+    /// A schedule starting at `base_ms`, doubling, capped at `cap_ms`.
+    pub fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Self {
+        Self {
+            base_ms: base_ms.max(1),
+            cap_ms: cap_ms.max(base_ms.max(1)),
+            attempt: 0,
+            rng_state: seed,
+        }
+    }
+
+    /// The default submit schedule: 10ms → 1.28s, cap 2s.
+    pub fn for_submit(seed: u64) -> Self {
+        Self::new(10, 2000, seed)
+    }
+
+    /// Attempts consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64: tiny, seedable, plenty for jitter.
+        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next delay: exponential-capped with ±25% jitter, or exactly
+    /// the server's `retry_after_ms` hint when one was given (the server
+    /// already sized it to the overload).
+    pub fn next_delay(&mut self, hinted_ms: Option<u64>) -> Duration {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << self.attempt.min(20))
+            .min(self.cap_ms);
+        self.attempt += 1;
+        let ms = match hinted_ms {
+            Some(h) => h,
+            None => {
+                // Jitter in [-25%, +25%] of the exponential step.
+                let span = (exp / 2).max(1);
+                exp - exp / 4 + self.next_u64() % span
+            }
+        };
+        Duration::from_millis(ms.min(self.cap_ms))
+    }
+}
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -210,6 +278,42 @@ impl Client {
         }
     }
 
+    /// [`submit`](Self::submit) with retry: `QUEUE_FULL` and `SHED`
+    /// rejections back off (honoring the server's `retry_after_ms` hint
+    /// when it sent one) and retry until the deadline; other rejections
+    /// surface immediately.
+    ///
+    /// # Errors
+    ///
+    /// The final rejection when the deadline expires before an
+    /// acceptance; non-backpressure errors immediately.
+    pub fn submit_with_backoff(
+        &mut self,
+        spec: &JobSpec,
+        timeout: Duration,
+        backoff: &mut Backoff,
+    ) -> Result<u64, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(ClientError::Timeout);
+            }
+            match self.submit(spec, left) {
+                Err(ClientError::Rejected { code, reason })
+                    if code == reject::QUEUE_FULL || code == reject::SHED =>
+                {
+                    let delay = backoff.next_delay(retry_after_hint(&reason));
+                    if Instant::now() + delay >= deadline {
+                        return Err(ClientError::Rejected { code, reason });
+                    }
+                    std::thread::sleep(delay);
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// Submit-and-wait in one call.
     ///
     /// # Errors
@@ -288,5 +392,60 @@ impl Client {
     /// Socket errors only; the acknowledging PONG is not awaited.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.send(&Frame::Shutdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_pinned_for_a_fixed_seed() {
+        // The exact schedule for seed 42 (base 10ms, cap 2s). Pinned so
+        // an accidental change to the jitter formula or rng shows up as
+        // a test diff, not as a fleet-wide retry-storm surprise.
+        let mut b = Backoff::for_submit(42);
+        let got: Vec<u64> = (0..9)
+            .map(|_| b.next_delay(None).as_millis() as u64)
+            .collect();
+        assert_eq!(got, vec![11, 16, 48, 64, 170, 342, 765, 1508, 1505]);
+        assert_eq!(b.attempts(), 9);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_decorrelated_across_seeds() {
+        let mut a = Backoff::for_submit(7);
+        let mut b = Backoff::for_submit(7);
+        let mut c = Backoff::for_submit(8);
+        let sa: Vec<_> = (0..6).map(|_| a.next_delay(None)).collect();
+        let sb: Vec<_> = (0..6).map(|_| b.next_delay(None)).collect();
+        let sc: Vec<_> = (0..6).map(|_| c.next_delay(None)).collect();
+        assert_eq!(sa, sb, "same seed, same schedule");
+        assert_ne!(sa, sc, "different seeds must not retry in lockstep");
+    }
+
+    #[test]
+    fn backoff_stays_in_the_jitter_band_and_caps() {
+        for seed in 0..32 {
+            let mut b = Backoff::new(10, 2000, seed);
+            for attempt in 0..12u32 {
+                let exp = (10u64 << attempt.min(20)).min(2000);
+                let d = b.next_delay(None).as_millis() as u64;
+                assert!(
+                    d >= exp - exp / 4 && d <= exp + exp / 4 + 1,
+                    "seed {seed} attempt {attempt}: {d}ms outside ±25% of {exp}ms"
+                );
+                assert!(d <= 2000, "cap violated: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn server_hint_overrides_the_exponential_step() {
+        let mut b = Backoff::for_submit(1);
+        assert_eq!(b.next_delay(Some(777)), Duration::from_millis(777));
+        // The hint still counts as an attempt and is still capped.
+        assert_eq!(b.attempts(), 1);
+        assert_eq!(b.next_delay(Some(99_999)), Duration::from_millis(2000));
     }
 }

@@ -26,9 +26,11 @@ use rlleg_design::{legality, Design, Technology};
 use rlleg_legalize::{GcellGrid, Legalizer, Ordering};
 use telemetry::journal::Event;
 
-use crate::job::{JobId, JobOutcome, JobTable};
+use crate::admission::Admission;
+use crate::job::{unix_ms_now, JobId, JobOutcome, JobTable};
 use crate::proto::{flags, JobKind, JobSpec};
 use crate::queue::ShardedQueue;
+use crate::wal::Wal;
 
 /// Executor-side configuration (a slice of the server config).
 #[derive(Debug, Clone)]
@@ -96,12 +98,31 @@ fn ordering_of(spec: &JobSpec) -> Ordering {
     }
 }
 
-fn budget_of(spec: &JobSpec) -> InferenceBudget {
+/// The job's inference budget, with the wall limit clamped to whatever
+/// remains of its deadline — the existing watchdog *is* the in-run
+/// deadline enforcement (it degrades to the fallback path instead of
+/// overshooting); the executor's post-run check is the hard backstop.
+fn budget_of(spec: &JobSpec, remaining_ms: Option<u64>) -> InferenceBudget {
+    let wall_ms = match (spec.max_wall_ms, remaining_ms) {
+        (0, None) => 0,
+        (0, Some(r)) => r,
+        (w, None) => w,
+        (w, Some(r)) => w.min(r),
+    };
     InferenceBudget {
         max_steps: (spec.max_steps > 0).then_some(spec.max_steps),
-        max_wall: (spec.max_wall_ms > 0)
-            .then(|| std::time::Duration::from_millis(spec.max_wall_ms)),
+        max_wall: (wall_ms > 0).then(|| std::time::Duration::from_millis(wall_ms)),
     }
+}
+
+/// Milliseconds left before the job's deadline (`None` = no deadline;
+/// `Some(0)` = already expired).
+fn remaining_ms(accepted_unix_ms: u64, spec: &JobSpec) -> Option<u64> {
+    (spec.deadline_ms > 0).then(|| {
+        accepted_unix_ms
+            .saturating_add(spec.deadline_ms)
+            .saturating_sub(unix_ms_now())
+    })
 }
 
 /// Runs one job to completion. Pure with respect to server state: all
@@ -116,6 +137,7 @@ pub fn run_job(
     table: &JobTable,
     id: JobId,
     spec: &JobSpec,
+    remaining_ms: Option<u64>,
 ) -> Result<JobOutcome, String> {
     let t0 = Instant::now();
     let mut stats = JobStats {
@@ -141,7 +163,7 @@ pub fn run_job(
     let outcome = match spec.kind {
         JobKind::Legalize => run_legalize(table, id, design, spec, threads, &mut stats),
         JobKind::Gplace => run_gplace(table, id, design, spec, threads, &mut stats),
-        JobKind::RlLegalize => run_rl(table, id, design, spec, &mut stats),
+        JobKind::RlLegalize => run_rl(table, id, design, spec, remaining_ms, &mut stats),
         JobKind::Train => run_train(cfg, table, id, design, spec, chaos_kill, &mut stats)?,
     };
     stats.wall_ms = t0.elapsed().as_millis() as u64;
@@ -223,12 +245,13 @@ fn run_rl(
     id: JobId,
     mut design: Design,
     spec: &JobSpec,
+    remaining_ms: Option<u64>,
     stats: &mut JobStats,
 ) -> (bool, String) {
     let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
     let net = CellWiseNet::new(spec.hidden.max(1) as usize, &mut rng);
     let report = RlLegalizer::new(net)
-        .with_budget(budget_of(spec))
+        .with_budget(budget_of(spec, remaining_ms))
         .legalize(&mut design);
     stats.legalized = report.legalized;
     stats.failed = report.failed.len();
@@ -341,21 +364,27 @@ pub struct Executors {
 }
 
 impl Executors {
-    /// Spawns `n` executor threads draining `queue` into `table`.
+    /// Spawns `n` executor threads draining `queue` into `table`,
+    /// journalling transitions through `wal` and releasing admission
+    /// cost on terminal states.
     pub fn spawn(
         n: usize,
         cfg: ExecConfig,
         queue: Arc<ShardedQueue<JobId>>,
         table: Arc<JobTable>,
+        wal: Arc<Wal>,
+        admission: Arc<Admission>,
     ) -> Self {
         let handles = (0..n.max(1))
             .map(|w| {
                 let cfg = cfg.clone();
                 let queue = Arc::clone(&queue);
                 let table = Arc::clone(&table);
+                let wal = Arc::clone(&wal);
+                let admission = Arc::clone(&admission);
                 std::thread::Builder::new()
                     .name(format!("rlleg-serve-exec-{w}"))
-                    .spawn(move || executor_loop(w, &cfg, &queue, &table))
+                    .spawn(move || executor_loop(w, &cfg, &queue, &table, &wal, &admission))
                     .expect("spawn executor")
             })
             .collect();
@@ -370,61 +399,172 @@ impl Executors {
     }
 }
 
-fn executor_loop(worker: usize, cfg: &ExecConfig, queue: &ShardedQueue<JobId>, table: &JobTable) {
+/// What one execution attempt ended as, before the retry decision.
+enum Attempt {
+    Done(JobOutcome),
+    /// `(error, transient)` — transient failures are retry candidates.
+    Failed(String, bool),
+}
+
+/// `true` when the failed outcome looks transient: some Gcells were
+/// quarantined (a flaky solver panic isolated by PR 5's fault layer), so
+/// a re-run on a healthy executor may succeed.
+fn quarantined_failure(outcome: &JobOutcome) -> bool {
+    if outcome.ok {
+        return false;
+    }
+    serde_json::from_str::<serde::Value>(&outcome.stats)
+        .ok()
+        .and_then(|v| match v.as_object()?.get("quarantined")? {
+            serde::Value::Int(n) => Some(*n > 0),
+            serde::Value::UInt(n) => Some(*n > 0),
+            _ => None,
+        })
+        .unwrap_or(false)
+}
+
+/// Exponential backoff before retry `attempt + 1`: 50ms doubling, capped
+/// at 2s.
+fn backoff_ms(attempt: u32) -> u64 {
+    (50u64 << attempt.saturating_sub(1).min(5)).min(2000)
+}
+
+/// Journals a terminal failure and records it in the table.
+fn fail_job(table: &JobTable, wal: &Wal, id: JobId, error: String, counter: &str) {
+    if !telemetry::disabled() {
+        telemetry::counter(counter).inc();
+    }
+    table.progress(
+        id,
+        Event::new("job.error")
+            .with("job", id)
+            .with("error", error.as_str()),
+    );
+    wal.append_failed(id, &error);
+    table.fail(id, error);
+}
+
+fn executor_loop(
+    worker: usize,
+    cfg: &ExecConfig,
+    queue: &ShardedQueue<JobId>,
+    table: &JobTable,
+    wal: &Wal,
+    admission: &Admission,
+) {
     while let Some(id) = queue.pop(worker) {
         // Claiming moves the spec out of the table (the DEF/LEF text now
         // lives only with this executor); a cancelled-while-queued job
         // yields no spec and its stale queue entry is simply discarded.
-        let Some(spec) = table.claim(id) else {
+        let Some(claimed) = table.claim(id) else {
             continue;
         };
+        let spec = claimed.spec;
+        let left = remaining_ms(claimed.accepted_unix_ms, &spec);
+        if left == Some(0) {
+            // The deadline passed while the job sat in the queue: fail it
+            // without burning executor time on a result nobody wants.
+            fail_job(
+                table,
+                wal,
+                id,
+                "deadline exceeded before start".into(),
+                "serve.jobs.deadline",
+            );
+            admission.release(table.cost_of(id));
+            continue;
+        }
+        wal.append_running(id, claimed.attempt);
         table.progress(
             id,
             Event::new("job.start")
                 .with("job", id)
-                .with("worker", worker),
+                .with("worker", worker)
+                .with("attempt", u64::from(claimed.attempt)),
         );
         let t0 = Instant::now();
-        let out = catch_unwind(AssertUnwindSafe(|| run_job(cfg, table, id, &spec)));
+        let out = catch_unwind(AssertUnwindSafe(|| run_job(cfg, table, id, &spec, left)));
         if !telemetry::disabled() {
             telemetry::histogram("serve.job.wall_seconds", telemetry::buckets::SECONDS)
                 .record(t0.elapsed().as_secs_f64());
         }
-        match out {
+        let retries_left = claimed.attempt <= u32::from(spec.max_retries);
+        let attempt = match out {
             Ok(Ok(outcome)) => {
-                if !telemetry::disabled() {
-                    telemetry::counter("serve.jobs.done").inc();
+                // Hard executor-side timeout: the watchdog should have kept
+                // the run inside its deadline, but if it still overshot the
+                // late result is discarded — clients were promised the
+                // deadline, not a stale answer.
+                if remaining_ms(claimed.accepted_unix_ms, &spec) == Some(0) {
+                    Attempt::Failed("deadline exceeded (hard timeout)".into(), false)
+                } else if retries_left && quarantined_failure(&outcome) {
+                    // Without a retry budget the degraded result is still
+                    // delivered (ok=false) exactly as before; with one, a
+                    // re-run on a healthy executor may place everything.
+                    Attempt::Failed("quarantined Gcells left cells unplaced".into(), true)
+                } else {
+                    Attempt::Done(outcome)
                 }
-                table.finish(id, outcome);
             }
-            Ok(Err(e)) => {
-                if !telemetry::disabled() {
-                    telemetry::counter("serve.jobs.failed").inc();
-                }
-                table.progress(
-                    id,
-                    Event::new("job.error")
-                        .with("job", id)
-                        .with("error", e.as_str()),
-                );
-                table.fail(id, e);
-            }
+            Ok(Err(e)) => Attempt::Failed(e, false),
             Err(panic) => {
                 let msg = panic
                     .downcast_ref::<&str>()
                     .map(|s| (*s).to_string())
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "job panicked".into());
-                if !telemetry::disabled() {
-                    telemetry::counter("serve.jobs.panicked").inc();
-                }
                 table.progress(
                     id,
                     Event::new("job.panic")
                         .with("job", id)
                         .with("error", msg.as_str()),
                 );
-                table.fail(id, format!("job panicked: {msg}"));
+                Attempt::Failed(format!("job panicked: {msg}"), true)
+            }
+        };
+        match attempt {
+            Attempt::Done(outcome) => {
+                if !telemetry::disabled() {
+                    telemetry::counter("serve.jobs.done").inc();
+                }
+                // Journal (fsynced) before the table flips to DONE: once a
+                // client can see the result, it is already durable.
+                wal.append_done(id, &outcome);
+                table.finish(id, outcome);
+                admission.release(table.cost_of(id));
+            }
+            Attempt::Failed(error, transient) => {
+                let retryable = transient
+                    && retries_left
+                    && remaining_ms(claimed.accepted_unix_ms, &spec) != Some(0);
+                if retryable {
+                    if !telemetry::disabled() {
+                        telemetry::counter("serve.jobs.retried").inc();
+                    }
+                    table.progress(
+                        id,
+                        Event::new("job.retry")
+                            .with("job", id)
+                            .with("attempt", u64::from(claimed.attempt))
+                            .with("error", error.as_str()),
+                    );
+                    wal.append_requeued(id, claimed.attempt);
+                    let at = Instant::now()
+                        + std::time::Duration::from_millis(backoff_ms(claimed.attempt));
+                    if !table.requeue(id, spec, at) {
+                        // Lost the race with a teardown; surface the error.
+                        fail_job(table, wal, id, error, "serve.jobs.failed");
+                        admission.release(table.cost_of(id));
+                    }
+                } else {
+                    let counter = if transient {
+                        "serve.jobs.panicked"
+                    } else {
+                        "serve.jobs.failed"
+                    };
+                    fail_job(table, wal, id, error, counter);
+                    admission.release(table.cost_of(id));
+                }
             }
         }
     }
@@ -459,7 +599,7 @@ mod tests {
             ..JobSpec::default()
         };
         let id = table.insert(spec.clone());
-        let out = run_job(&exec_cfg("leg"), &table, id, &spec).expect("run");
+        let out = run_job(&exec_cfg("leg"), &table, id, &spec, None).expect("run");
         assert!(out.ok, "stats: {}", out.stats);
         let d = parse_def(&out.def, Technology::contest()).expect("result parses");
         // `require_committed = false`: a parsed DEF carries positions, not
@@ -478,7 +618,7 @@ mod tests {
             ..JobSpec::default()
         };
         let id = table.insert(spec.clone());
-        let out = run_job(&exec_cfg("gp"), &table, id, &spec).expect("run");
+        let out = run_job(&exec_cfg("gp"), &table, id, &spec, None).expect("run");
         assert!(out.ok, "stats: {}", out.stats);
         let d = parse_def(&out.def, Technology::contest()).expect("result parses");
         assert!(legality::check(&d, false).is_empty());
@@ -496,7 +636,7 @@ mod tests {
             ..JobSpec::default()
         };
         let id = table.insert(spec.clone());
-        let out = run_job(&exec_cfg("rl"), &table, id, &spec).expect("run");
+        let out = run_job(&exec_cfg("rl"), &table, id, &spec, None).expect("run");
         assert!(out.ok, "stats: {}", out.stats);
         assert!(out.stats.contains("StepBudget"), "stats: {}", out.stats);
     }
@@ -515,7 +655,7 @@ mod tests {
             ..JobSpec::default()
         };
         let id = table.insert(spec.clone());
-        let out = run_job(&cfg, &table, id, &spec).expect("train");
+        let out = run_job(&cfg, &table, id, &spec, None).expect("train");
         assert!(out.ok);
         assert!(out.def.contains("\"hidden_dim\"") || !out.def.is_empty());
         // Resubmit with a larger budget under the same key: must resume.
@@ -524,7 +664,7 @@ mod tests {
             ..spec
         };
         let id2 = table.insert(spec2.clone());
-        let out2 = run_job(&cfg, &table, id2, &spec2).expect("resume");
+        let out2 = run_job(&cfg, &table, id2, &spec2, None).expect("resume");
         assert!(
             out2.stats.contains("\"resumed_from_episode\": 2")
                 || out2.stats.contains("\"resumed_from_episode\":2"),
@@ -542,6 +682,6 @@ mod tests {
             ..JobSpec::default()
         };
         let id = table.insert(spec.clone());
-        assert!(run_job(&exec_cfg("bad"), &table, id, &spec).is_err());
+        assert!(run_job(&exec_cfg("bad"), &table, id, &spec, None).is_err());
     }
 }

@@ -175,6 +175,19 @@ pub fn json_error(status: u16, message: &str) -> Vec<u8> {
     )
 }
 
+/// [`json_error`] plus a `Retry-After: <seconds>` header — the admission
+/// layer's shed hint in the standard HTTP vocabulary.
+pub fn json_error_retry_after(status: u16, message: &str, retry_after_s: u64) -> Vec<u8> {
+    let mut out = json_error(status, message);
+    // Splice the header before the blank line; the response builder
+    // always emits "\r\n\r\n" exactly once.
+    if let Some(pos) = out.windows(4).position(|w| w == b"\r\n\r\n") {
+        let header = format!("\r\nretry-after: {retry_after_s}");
+        out.splice(pos..pos, header.into_bytes());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +233,20 @@ mod tests {
         assert!(looks_like_http(b"GET /healthz HTTP/1.1"));
         assert!(looks_like_http(b"POST /jobs"));
         assert!(!looks_like_http(&crate::proto::MAGIC));
+    }
+
+    #[test]
+    fn retry_after_header_is_spliced_in() {
+        let r = String::from_utf8(json_error_retry_after(429, "overloaded", 2))
+            .expect("ASCII response");
+        assert!(r.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(r.contains("\r\nretry-after: 2\r\n"), "got: {r}");
+        assert!(r.ends_with("{\"error\":\"overloaded\"}"));
+        // The body and its declared length still agree.
+        assert!(r.contains(&format!(
+            "content-length: {}\r\n",
+            "{\"error\":\"overloaded\"}".len()
+        )));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 use telemetry::journal::Event;
 
@@ -40,6 +40,27 @@ pub mod state {
 /// Cap on buffered progress lines per job; beyond it lines are shed and
 /// counted, mirroring the journal's backpressure-by-shedding contract.
 const PROGRESS_CAP: usize = 256;
+
+/// Current wall clock as Unix milliseconds — the time base for
+/// journalled acceptance stamps and [`crate::proto::JobSpec::deadline_ms`]
+/// deadlines (both must survive restarts, so `Instant` cannot carry them).
+pub fn unix_ms_now() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// What an executor receives when it claims a job.
+#[derive(Debug)]
+pub struct Claimed {
+    /// The submitted specification, moved out of the table.
+    pub spec: JobSpec,
+    /// This execution attempt, counting from 1.
+    pub attempt: u32,
+    /// Acceptance stamp (Unix ms) the deadline is measured from.
+    pub accepted_unix_ms: u64,
+}
 
 /// Terminal output of a job.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +102,17 @@ pub struct JobEntry {
     pub submitted: Instant,
     /// Time the job reached a terminal state (for eviction TTLs).
     pub finished: Option<Instant>,
+    /// Acceptance wall clock (Unix ms); deadlines measure from here.
+    pub accepted_unix_ms: u64,
+    /// Execution attempts started (0 until first claim).
+    pub attempt: u32,
+    /// Admission-control cost charged for this job (released when it
+    /// reaches a terminal state).
+    pub cost: u64,
+    /// When set, the job is queued *logically* but not in a shard — it is
+    /// backing off after a transient failure; the sweep re-enqueues it
+    /// once this instant passes.
+    pub retry_at: Option<Instant>,
 }
 
 /// Shared registry of every job the server has accepted.
@@ -102,6 +134,12 @@ impl JobTable {
 
     /// Registers a new queued job and returns its id.
     pub fn insert(&self, spec: JobSpec) -> JobId {
+        self.insert_with(spec, 0, unix_ms_now())
+    }
+
+    /// [`insert`](Self::insert) with an explicit admission cost and
+    /// acceptance stamp (what the server journals).
+    pub fn insert_with(&self, spec: JobSpec, cost: u64, accepted_unix_ms: u64) -> JobId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         let entry = JobEntry {
             spec,
@@ -113,9 +151,50 @@ impl JobTable {
             delivered: false,
             submitted: Instant::now(),
             finished: None,
+            accepted_unix_ms,
+            attempt: 0,
+            cost,
+            retry_at: None,
         };
         relock(&self.jobs).insert(id, entry);
         id
+    }
+
+    /// Re-registers a journal-recovered job under its *original* id, so
+    /// clients polling an id they were given before the crash still find
+    /// it. The id counter is bumped past it; terminal recoveries carry
+    /// their outcome/error and count as undelivered (a late `GET
+    /// /jobs/<id>` serves them).
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_recovered(
+        &self,
+        id: JobId,
+        spec: JobSpec,
+        job_state: u8,
+        outcome: Option<JobOutcome>,
+        error: Option<String>,
+        attempt: u32,
+        accepted_unix_ms: u64,
+        cost: u64,
+    ) {
+        self.next_id.fetch_max(id, Ordering::Relaxed);
+        let terminal = matches!(job_state, state::DONE | state::FAILED | state::CANCELLED);
+        let entry = JobEntry {
+            spec,
+            state: job_state,
+            progress: Vec::new(),
+            progress_dropped: 0,
+            outcome,
+            error,
+            delivered: false,
+            submitted: Instant::now(),
+            finished: terminal.then(Instant::now),
+            accepted_unix_ms,
+            attempt,
+            cost,
+            retry_at: None,
+        };
+        relock(&self.jobs).insert(id, entry);
     }
 
     /// Runs `f` on the entry for `id` (no-op returning `None` when the id
@@ -140,18 +219,81 @@ impl JobTable {
     /// Marks `id` running if it is still queued, moving the submitted spec
     /// out to the claiming executor (the table keeps only the lightweight
     /// shell, so the DEF/LEF text lives exactly once, with the job that
-    /// needs it). Returns `None` when the job was cancelled in the
-    /// meantime (the executor skips it).
-    pub fn claim(&self, id: JobId) -> Option<JobSpec> {
+    /// needs it). Increments the attempt counter. Returns `None` when the
+    /// job was cancelled in the meantime (the executor skips it) or is
+    /// parked for a retry backoff the sweep has not released yet.
+    pub fn claim(&self, id: JobId) -> Option<Claimed> {
         self.with(id, |e| {
-            if e.state == state::QUEUED {
+            if e.state == state::QUEUED && e.retry_at.is_none() {
                 e.state = state::RUNNING;
-                Some(std::mem::take(&mut e.spec))
+                e.attempt += 1;
+                Some(Claimed {
+                    spec: std::mem::take(&mut e.spec),
+                    attempt: e.attempt,
+                    accepted_unix_ms: e.accepted_unix_ms,
+                })
             } else {
                 None
             }
         })
         .flatten()
+    }
+
+    /// Puts a transiently-failed job back to QUEUED with its spec
+    /// restored and a backoff stamp; the sweep re-enqueues it once
+    /// `retry_at` passes. Returns `false` when the job is no longer
+    /// RUNNING (e.g. the table was torn down around it).
+    pub fn requeue(&self, id: JobId, spec: JobSpec, retry_at: Instant) -> bool {
+        self.with(id, |e| {
+            if e.state == state::RUNNING {
+                e.state = state::QUEUED;
+                e.spec = spec;
+                e.retry_at = Some(retry_at);
+                true
+            } else {
+                false
+            }
+        })
+        .unwrap_or(false)
+    }
+
+    /// Re-arms the backoff stamp of a queued job (used when the shard
+    /// queue is full at re-enqueue time).
+    pub fn schedule_retry(&self, id: JobId, at: Instant) {
+        self.with(id, |e| {
+            if e.state == state::QUEUED {
+                e.retry_at = Some(at);
+            }
+        });
+    }
+
+    /// Ids whose backoff expired: clears their stamps and returns them
+    /// for the sweep to push into the shard queue.
+    pub fn take_due_retries(&self, now: Instant) -> Vec<JobId> {
+        let mut jobs = relock(&self.jobs);
+        let mut due = Vec::new();
+        for (&id, e) in jobs.iter_mut() {
+            if e.state == state::QUEUED && e.retry_at.is_some_and(|at| at <= now) {
+                e.retry_at = None;
+                due.push(id);
+            }
+        }
+        due
+    }
+
+    /// Ids currently parked on a backoff stamp (failed at drain time
+    /// instead of being left to dangle).
+    pub fn pending_retries(&self) -> Vec<JobId> {
+        relock(&self.jobs)
+            .iter()
+            .filter(|(_, e)| e.state == state::QUEUED && e.retry_at.is_some())
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// The admission cost charged for `id` (0 for unknown ids).
+    pub fn cost_of(&self, id: JobId) -> u64 {
+        self.with(id, |e| e.cost).unwrap_or(0)
     }
 
     /// Cancels a queued job; running/terminal jobs are left alone. The
@@ -309,8 +451,9 @@ mod tests {
             def: "DESIGN big payload".into(),
             ..JobSpec::default()
         });
-        let spec = t.claim(id).expect("claim");
-        assert_eq!(spec.def, "DESIGN big payload");
+        let claimed = t.claim(id).expect("claim");
+        assert_eq!(claimed.spec.def, "DESIGN big payload");
+        assert_eq!(claimed.attempt, 1);
         t.with(id, |e| {
             assert!(
                 e.spec.def.is_empty(),
@@ -403,5 +546,68 @@ mod tests {
         let t = JobTable::new();
         assert_eq!(t.state_of(99), state::UNKNOWN);
         assert!(t.claim(99).is_none());
+    }
+
+    #[test]
+    fn requeue_parks_the_job_until_the_backoff_expires() {
+        let t = JobTable::new();
+        let id = t.insert(JobSpec {
+            def: "DESIGN d ; END".into(),
+            ..JobSpec::default()
+        });
+        let claimed = t.claim(id).expect("first claim");
+        let at = Instant::now() + Duration::from_millis(50);
+        assert!(t.requeue(id, claimed.spec, at));
+        assert_eq!(t.state_of(id), state::QUEUED);
+        assert!(
+            t.claim(id).is_none(),
+            "parked jobs must not be claimable before the sweep releases them"
+        );
+        assert!(t.take_due_retries(Instant::now()).is_empty());
+        assert_eq!(t.pending_retries(), vec![id]);
+        let due = t.take_due_retries(at + Duration::from_millis(1));
+        assert_eq!(due, vec![id]);
+        assert!(t.pending_retries().is_empty());
+        let second = t.claim(id).expect("second claim");
+        assert_eq!(second.attempt, 2);
+        assert_eq!(second.spec.def, "DESIGN d ; END");
+    }
+
+    #[test]
+    fn recovered_jobs_keep_their_id_and_bump_the_counter() {
+        let t = JobTable::new();
+        t.insert_recovered(
+            7,
+            JobSpec::default(),
+            state::QUEUED,
+            None,
+            None,
+            2,
+            1234,
+            10,
+        );
+        assert_eq!(t.state_of(7), state::QUEUED);
+        assert_eq!(t.cost_of(7), 10);
+        let claimed = t.claim(7).expect("claim recovered");
+        assert_eq!(claimed.attempt, 3);
+        assert_eq!(claimed.accepted_unix_ms, 1234);
+        let fresh = t.insert(JobSpec::default());
+        assert!(fresh > 7, "id counter must move past recovered ids");
+        // A recovered terminal result is undelivered until someone asks.
+        t.insert_recovered(
+            3,
+            JobSpec::default(),
+            state::DONE,
+            Some(JobOutcome {
+                ok: true,
+                def: "DEF".into(),
+                stats: "{}".into(),
+            }),
+            None,
+            1,
+            99,
+            0,
+        );
+        assert!(t.undelivered_terminal().contains(&3));
     }
 }

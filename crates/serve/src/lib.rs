@@ -18,13 +18,24 @@
 //!   REJECTED (HTTP 429) instead of buffering unboundedly,
 //! - [`job`] — the job table: states, progress streams (telemetry-journal
 //!   JSONL), terminal outcomes,
+//! - [`wal`] — the write-ahead job journal: every acknowledgment is
+//!   fsynced before it is sent, so a SIGKILL'd server restarted on the
+//!   same data directory re-runs interrupted jobs and serves persisted
+//!   results bit-identically,
+//! - [`admission`] — cost-based load shedding (cells × job-kind weight)
+//!   with machine-readable `retry_after_ms` hints; refusing work is
+//!   allowed, losing accepted work is not,
 //! - [`exec`] — the executor threads; every job runs under
-//!   `catch_unwind`, chaos kills fail the job and never the server,
-//! - [`server`] — the event loop, graceful drain (undelivered results are
-//!   persisted through [`rlleg_design::fsio::write_atomic`]), slow-loris
-//!   sweep, and the HTTP routes,
-//! - [`client`] — a blocking client for tests and tooling,
-//! - [`loadgen`] — the closed-loop load harness behind `BENCH_serve.json`.
+//!   `catch_unwind`, chaos kills fail the job and never the server, with
+//!   per-job deadlines and journalled bounded retries,
+//! - [`server`] — the event loop, WAL replay on startup, graceful drain
+//!   (undelivered results are persisted through
+//!   [`rlleg_design::fsio::write_atomic`]), slow-loris sweep, and the
+//!   HTTP routes,
+//! - [`client`] — a blocking client for tests and tooling, with jittered
+//!   exponential [`client::Backoff`] that honors server retry hints,
+//! - [`loadgen`] — the three-phase load harness behind `BENCH_serve.json`
+//!   (closed loop, overload shedding, SIGKILL/restart recovery audit).
 //!
 //! # Example
 //!
@@ -54,6 +65,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod client;
 pub mod conn;
 pub mod exec;
@@ -64,6 +76,7 @@ pub mod poll;
 pub mod proto;
 pub mod queue;
 pub mod server;
+pub mod wal;
 
 pub use client::{Client, JobResult};
 pub use proto::{Frame, JobKind, JobSpec};

@@ -40,6 +40,9 @@ mod sys {
         pub revents: i16,
     }
 
+    /// `EINTR`: 4 on every Unix (POSIX pins the classic errno values).
+    pub const EINTR: i32 = 4;
+
     pub const POLLIN: i16 = 0x001;
     pub const POLLOUT: i16 = 0x004;
     pub const POLLERR: i16 = 0x008;
@@ -71,12 +74,28 @@ pub fn wait(fds: &[(i32, Interest)], timeout: Duration) -> Vec<Readiness> {
             revents: 0,
         })
         .collect();
-    let timeout_ms = i32::try_from(timeout.as_millis())
+    let deadline = std::time::Instant::now() + timeout;
+    // A signal (the kill/restart harness delivers plenty) interrupts
+    // poll(2) with EINTR before the timeout; retry with the remaining
+    // window instead of reporting a spurious empty tick. Other failures
+    // still degrade to "nothing ready" — the loop re-polls immediately,
+    // so no readiness is ever lost.
+    let rc = loop {
+        let timeout_ms = i32::try_from(
+            deadline
+                .saturating_duration_since(std::time::Instant::now())
+                .as_millis(),
+        )
         .unwrap_or(i32::MAX)
         .max(0);
-    // EINTR and transient failures degrade to "nothing ready this tick" —
-    // the loop re-polls immediately, so no readiness is ever lost.
-    let rc = unsafe { sys::poll(pfds.as_mut_ptr(), pfds.len() as sys::NfdsT, timeout_ms) };
+        let rc = unsafe { sys::poll(pfds.as_mut_ptr(), pfds.len() as sys::NfdsT, timeout_ms) };
+        let interrupted = rc == -1
+            && std::io::Error::last_os_error().raw_os_error() == Some(sys::EINTR)
+            && timeout_ms > 0;
+        if !interrupted {
+            break rc;
+        }
+    };
     if rc <= 0 {
         return vec![Readiness::default(); fds.len()];
     }

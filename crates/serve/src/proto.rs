@@ -33,8 +33,14 @@ pub const HEADER_LEN: usize = 13;
 /// smaller cap; the codec never accepts more than this.
 pub const MAX_FRAME: usize = 16 << 20;
 
-/// Spec encoding version inside SUBMIT payloads.
-pub const SPEC_VERSION: u8 = 1;
+/// Spec encoding version inside SUBMIT payloads. Version 3 appends
+/// `deadline_ms`/`max_retries` after `job_key`; version 1 (without them)
+/// still decodes, defaulting both to 0. Version 2 was never shipped and
+/// stays a hard error (pinned by `proto_spec_version_skew.hex`).
+pub const SPEC_VERSION: u8 = 3;
+
+/// The legacy spec version still accepted on decode.
+pub const SPEC_VERSION_V1: u8 = 1;
 
 /// Why a submission was refused (payload of [`Frame::Rejected`]).
 pub mod reject {
@@ -46,6 +52,9 @@ pub mod reject {
     pub const OVERSIZED: u16 = 3;
     /// The request was syntactically valid but semantically unusable.
     pub const BAD_REQUEST: u16 = 4;
+    /// Admission control shed the job under overload. The reason carries a
+    /// `retry_after_ms=N` hint (HTTP 429 + `Retry-After`).
+    pub const SHED: u16 = 5;
 }
 
 /// What a submitted job runs.
@@ -116,6 +125,12 @@ pub struct JobSpec {
     /// Stable identity for checkpoint resume across restarts
     /// (0 = anonymous, never checkpointed).
     pub job_key: u64,
+    /// Wall-clock deadline in ms, measured from acceptance
+    /// (0 = none). Past it the job fails with "deadline exceeded"
+    /// instead of starting (or its late result is discarded).
+    pub deadline_ms: u64,
+    /// Transient-failure retries before FAILED surfaces (0 = none).
+    pub max_retries: u8,
     /// Optional LEF library text ("" = DEF is self-describing `MH_*`).
     pub lef: String,
     /// The DEF payload to legalize / train on.
@@ -136,6 +151,8 @@ impl Default for JobSpec {
             max_steps: 0,
             max_wall_ms: 0,
             job_key: 0,
+            deadline_ms: 0,
+            max_retries: 0,
             lef: String::new(),
             def: String::new(),
         }
@@ -366,15 +383,17 @@ fn encode_spec(out: &mut Vec<u8>, s: &JobSpec) {
     out.extend_from_slice(&s.max_steps.to_le_bytes());
     out.extend_from_slice(&s.max_wall_ms.to_le_bytes());
     out.extend_from_slice(&s.job_key.to_le_bytes());
+    out.extend_from_slice(&s.deadline_ms.to_le_bytes());
+    out.push(s.max_retries);
     put_str(out, &s.lef);
     put_str(out, &s.def);
 }
 
 fn decode_spec(r: &mut Reader<'_>) -> Result<JobSpec, ProtoError> {
     let ver = r.u8()?;
-    if ver != SPEC_VERSION {
+    if ver != SPEC_VERSION && ver != SPEC_VERSION_V1 {
         return Err(ProtoError::Malformed(format!(
-            "job spec version {ver} (this build speaks {SPEC_VERSION})"
+            "job spec version {ver} (this build speaks {SPEC_VERSION} and legacy {SPEC_VERSION_V1})"
         )));
     }
     let kind = JobKind::from_u8(r.u8()?)?;
@@ -388,21 +407,60 @@ fn decode_spec(r: &mut Reader<'_>) -> Result<JobSpec, ProtoError> {
             "unknown ordering {ordering}"
         )));
     }
+    let threads = r.u8()?;
+    let flags = r.u8()?;
+    let hidden = r.u16()?;
+    let episodes = r.u32()?;
+    let seed = r.u64()?;
+    let max_steps = r.u64()?;
+    let max_wall_ms = r.u64()?;
+    let job_key = r.u64()?;
+    // v3 appends the durability fields here; a v1 spec has neither and
+    // decodes with both at their "disabled" defaults.
+    let (deadline_ms, max_retries) = if ver >= SPEC_VERSION {
+        (r.u64()?, r.u8()?)
+    } else {
+        (0, 0)
+    };
     Ok(JobSpec {
         kind,
         tech,
         ordering,
-        threads: r.u8()?,
-        flags: r.u8()?,
-        hidden: r.u16()?,
-        episodes: r.u32()?,
-        seed: r.u64()?,
-        max_steps: r.u64()?,
-        max_wall_ms: r.u64()?,
-        job_key: r.u64()?,
+        threads,
+        flags,
+        hidden,
+        episodes,
+        seed,
+        max_steps,
+        max_wall_ms,
+        job_key,
+        deadline_ms,
+        max_retries,
         lef: r.str_block()?,
         def: r.str_block()?,
     })
+}
+
+/// Serializes a [`JobSpec`] standalone (the same layout a SUBMIT payload
+/// carries) — the write-ahead journal reuses this codec so a replayed spec
+/// is bit-identical to the submitted one.
+pub fn encode_spec_bytes(s: &JobSpec) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_spec(&mut out, s);
+    out
+}
+
+/// Decodes a standalone [`JobSpec`] produced by [`encode_spec_bytes`].
+///
+/// # Errors
+///
+/// [`ProtoError::Malformed`] on layout violations, exactly like a SUBMIT
+/// payload.
+pub fn decode_spec_bytes(bytes: &[u8]) -> Result<JobSpec, ProtoError> {
+    let mut r = Reader::new(bytes);
+    let spec = decode_spec(&mut r)?;
+    r.done()?;
+    Ok(spec)
 }
 
 // ---------------------------------------------------------------------------
@@ -588,9 +646,43 @@ mod tests {
             max_steps: 100,
             max_wall_ms: 2_000,
             job_key: 42,
+            deadline_ms: 30_000,
+            max_retries: 2,
             lef: "LIB".into(),
             def: "DESIGN d ; END".into(),
         }
+    }
+
+    /// Encodes `s` with the legacy v1 layout (no durability fields).
+    fn encode_spec_v1(s: &JobSpec) -> Vec<u8> {
+        let mut out = vec![
+            SPEC_VERSION_V1,
+            s.kind as u8,
+            s.tech,
+            s.ordering,
+            s.threads,
+            s.flags,
+        ];
+        out.extend_from_slice(&s.hidden.to_le_bytes());
+        out.extend_from_slice(&s.episodes.to_le_bytes());
+        out.extend_from_slice(&s.seed.to_le_bytes());
+        out.extend_from_slice(&s.max_steps.to_le_bytes());
+        out.extend_from_slice(&s.max_wall_ms.to_le_bytes());
+        out.extend_from_slice(&s.job_key.to_le_bytes());
+        put_str(&mut out, &s.lef);
+        put_str(&mut out, &s.def);
+        out
+    }
+
+    /// Wraps a raw SUBMIT payload in a sealed frame.
+    fn frame_submit_payload(payload: &[u8]) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(0x01);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        bytes
     }
 
     fn all_frames() -> Vec<Frame> {
@@ -656,6 +748,52 @@ mod tests {
             decode_frame(&bytes, MAX_FRAME).unwrap_err(),
             ProtoError::Malformed(_)
         ));
+    }
+
+    #[test]
+    fn legacy_v1_spec_decodes_with_durability_defaults() {
+        let sent = sample_spec();
+        let bytes = frame_submit_payload(&encode_spec_v1(&sent));
+        let (frame, _) = decode_frame(&bytes, MAX_FRAME).expect("v1 decodes");
+        let Frame::Submit(got) = frame else {
+            panic!("not a submit");
+        };
+        assert_eq!(got.deadline_ms, 0, "v1 has no deadline");
+        assert_eq!(got.max_retries, 0, "v1 has no retry budget");
+        assert_eq!(
+            got,
+            JobSpec {
+                deadline_ms: 0,
+                max_retries: 0,
+                ..sent
+            }
+        );
+    }
+
+    #[test]
+    fn spec_version_2_stays_malformed() {
+        // Version 2 was never shipped; the corpus pins it as a hard error
+        // and a v3 decoder must not resurrect it.
+        let mut payload = encode_spec_v1(&sample_spec());
+        payload[0] = 2;
+        let bytes = frame_submit_payload(&payload);
+        assert!(matches!(
+            decode_frame(&bytes, MAX_FRAME).unwrap_err(),
+            ProtoError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn spec_bytes_round_trip_standalone() {
+        let s = sample_spec();
+        let bytes = encode_spec_bytes(&s);
+        assert_eq!(decode_spec_bytes(&bytes).expect("round trip"), s);
+        // Trailing garbage after the spec is a layout violation.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_spec_bytes(&long).is_err());
+        // A truncated spec is malformed, never a panic.
+        assert!(decode_spec_bytes(&bytes[..bytes.len() - 3]).is_err());
     }
 
     #[test]

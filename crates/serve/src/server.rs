@@ -30,13 +30,15 @@ use std::time::{Duration, Instant};
 
 use rlleg_design::fsio::write_atomic;
 
+use crate::admission::{self, Admission, Verdict};
 use crate::conn::{Conn, Mode};
 use crate::exec::{ExecConfig, Executors};
 use crate::http;
-use crate::job::{state, JobId, JobOutcome, JobTable};
+use crate::job::{state, unix_ms_now, JobId, JobOutcome, JobTable};
 use crate::poll::{self, Interest};
 use crate::proto::{self, reject, Frame, JobKind, JobSpec, ProtoError};
 use crate::queue::{PushError, ShardedQueue};
+use crate::wal::Wal;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -73,6 +75,13 @@ pub struct ServeConfig {
     /// At most this many delivered terminal jobs are retained, oldest
     /// evicted first, so table memory is bounded even under the TTL.
     pub max_terminal: usize,
+    /// Write-ahead journal segment size; past it the sweep compacts into
+    /// a fresh segment.
+    pub wal_segment_bytes: u64,
+    /// Admission-control hard watermark: total in-flight cost (cells ×
+    /// job-kind weight) above which submissions shed with RETRY_AFTER.
+    /// Low-priority (training) work sheds at half of it.
+    pub max_inflight_cost: u64,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +101,10 @@ impl Default for ServeConfig {
             max_conns: 256,
             terminal_ttl: Duration::from_secs(300),
             max_terminal: 1024,
+            wal_segment_bytes: 1 << 20,
+            // Default: roughly eight concurrent 500k-cell legalizations
+            // (or a quarter as many training runs) before shedding.
+            max_inflight_cost: 8_000_000,
         }
     }
 }
@@ -161,6 +174,61 @@ impl Server {
 
         let table = Arc::new(JobTable::new());
         let queue = Arc::new(ShardedQueue::<JobId>::new(cfg.shards, cfg.shard_depth));
+        let admission = Arc::new(Admission::new(cfg.max_inflight_cost));
+
+        // Replay the write-ahead journal before accepting traffic: every
+        // job acknowledged by a previous process either re-enters the
+        // queue (training jobs resume from their checkpoint store) or has
+        // its persisted result served from the table.
+        let (wal, recovered, report) = Wal::open(&cfg.data_dir.join("wal"), cfg.wal_segment_bytes)?;
+        let wal = Arc::new(wal);
+        if !telemetry::disabled() && report.records > 0 {
+            telemetry::counter("serve.wal.replayed_records").add(report.records);
+            telemetry::counter("serve.wal.torn_tails").add(report.torn_tail);
+            telemetry::counter("serve.wal.corrupt_records").add(report.corrupt);
+        }
+        for job in recovered {
+            let terminal = matches!(job.state, state::DONE | state::FAILED);
+            if terminal {
+                // Persisted-but-undelivered result: serve it to whoever
+                // still holds the id; never re-run it.
+                table.insert_recovered(
+                    job.id,
+                    JobSpec::default(),
+                    job.state,
+                    job.outcome,
+                    job.error,
+                    job.attempt,
+                    job.accepted_unix_ms,
+                    0,
+                );
+                if !telemetry::disabled() {
+                    telemetry::counter("serve.wal.recovered_results").inc();
+                }
+            } else if let Some(spec) = job.spec {
+                let cost = admission::cost_of(&spec);
+                admission.charge(cost);
+                table.insert_recovered(
+                    job.id,
+                    spec,
+                    state::QUEUED,
+                    None,
+                    None,
+                    job.attempt,
+                    job.accepted_unix_ms,
+                    cost,
+                );
+                if queue.push(job.id, job.id).is_err() {
+                    // More recovered work than shard capacity: park the
+                    // overflow; the sweep re-enqueues it as slots free up.
+                    table.schedule_retry(job.id, Instant::now());
+                }
+                if !telemetry::disabled() {
+                    telemetry::counter("serve.wal.recovered_requeued").inc();
+                }
+            }
+        }
+
         let executors = {
             let n = if cfg.executors == 0 {
                 rlleg_legalize::pool::default_threads()
@@ -177,6 +245,8 @@ impl Server {
                 },
                 Arc::clone(&queue),
                 Arc::clone(&table),
+                Arc::clone(&wal),
+                Arc::clone(&admission),
             )
         };
 
@@ -189,6 +259,8 @@ impl Server {
             queue,
             stop: Arc::clone(&stop),
             draining: false,
+            wal,
+            admission,
         };
         let thread = std::thread::Builder::new()
             .name("rlleg-serve-loop".into())
@@ -213,6 +285,8 @@ struct EventLoop {
     queue: Arc<ShardedQueue<JobId>>,
     stop: Arc<AtomicBool>,
     draining: bool,
+    wal: Arc<Wal>,
+    admission: Arc<Admission>,
 }
 
 #[cfg(unix)]
@@ -385,7 +459,13 @@ impl EventLoop {
                 // Cancellation is logical only: the id stays queued (no
                 // popper/cancel race on the shard counts) and the executor
                 // that pops it discards it when its claim fails.
-                self.table.cancel(job);
+                if self.table.cancel(job) {
+                    // Journalled (fsynced) before the CANCELLED ack below,
+                    // so a restart never re-runs a job the client was told
+                    // was cancelled.
+                    self.wal.append_cancelled(job);
+                    self.admission.release(self.table.cost_of(job));
+                }
                 conn.subscriptions.remove(&job);
                 conn.send(&proto::encode_frame(&Frame::Status {
                     job,
@@ -408,7 +488,11 @@ impl EventLoop {
         }
     }
 
-    /// Shared submission path for both dialects.
+    /// Shared submission path for both dialects. Order matters: the
+    /// admission check sheds first (cheapest), then the journal append
+    /// (fsynced) makes the job durable, and only then does the id go to
+    /// the queue and back to the client — an acknowledged id is always a
+    /// journalled one.
     fn submit(&mut self, spec: JobSpec) -> Result<JobId, (u16, String)> {
         if self.draining {
             return Err((reject::DRAINING, "server is draining".into()));
@@ -416,7 +500,39 @@ impl EventLoop {
         if spec.def.is_empty() {
             return Err((reject::BAD_REQUEST, "empty DEF payload".into()));
         }
-        let id = self.table.insert(spec);
+        let cost = admission::cost_of(&spec);
+        match self
+            .admission
+            .admit(cost, admission::low_priority(spec.kind))
+        {
+            Verdict::Admit => {}
+            Verdict::Shed { retry_after_ms } => {
+                if !telemetry::disabled() {
+                    telemetry::counter("serve.jobs.shed").inc();
+                }
+                return Err((
+                    reject::SHED,
+                    format!("overloaded, shedding: retry_after_ms={retry_after_ms}"),
+                ));
+            }
+        }
+        let accepted_unix_ms = unix_ms_now();
+        let id = self.table.insert_with(spec, cost, accepted_unix_ms);
+        let journalled = self
+            .table
+            .with(id, |e| {
+                self.wal.append_accepted(id, accepted_unix_ms, &e.spec)
+            })
+            .unwrap_or(Ok(()));
+        if let Err(e) = journalled {
+            // Un-journalled acks are lies; reject instead.
+            self.table.remove(id);
+            self.admission.release(cost);
+            if !telemetry::disabled() {
+                telemetry::counter("serve.wal.append_failed").inc();
+            }
+            return Err((reject::BAD_REQUEST, format!("journal write failed: {e}")));
+        }
         match self.queue.push(id, id) {
             Ok(()) => {
                 if !telemetry::disabled() {
@@ -425,9 +541,12 @@ impl EventLoop {
                 Ok(id)
             }
             Err(e) => {
-                // The id never reached the client nor the queue; drop the
-                // entry outright instead of leaving a tombstone behind.
+                // The id never reached the client nor the queue; journal
+                // the cancellation and drop the entry outright instead of
+                // leaving a tombstone behind.
+                self.wal.append_cancelled(id);
                 self.table.remove(id);
+                self.admission.release(cost);
                 if !telemetry::disabled() {
                     telemetry::counter("serve.jobs.rejected").inc();
                 }
@@ -442,9 +561,11 @@ impl EventLoop {
         }
     }
 
-    /// The RESULT frame for a terminal job, marking it delivered.
+    /// The RESULT frame for a terminal job, marking it delivered (in the
+    /// table and the journal — a delivered result is not re-served after
+    /// a restart).
     fn terminal_result(&self, job: JobId) -> Option<Frame> {
-        self.table.with(job, |e| match e.state {
+        let frame = self.table.with(job, |e| match e.state {
             state::DONE => {
                 e.delivered = true;
                 let o = e.outcome.clone().unwrap_or(JobOutcome {
@@ -478,7 +599,11 @@ impl EventLoop {
                 })
             }
             _ => None,
-        })?
+        })?;
+        if frame.is_some() {
+            self.wal.append_delivered(job);
+        }
+        frame
     }
 
     /// Streams new progress lines and terminal results to subscribers.
@@ -528,6 +653,26 @@ impl EventLoop {
         if evicted > 0 && !telemetry::disabled() {
             telemetry::counter("serve.jobs.evicted").add(evicted as u64);
         }
+        // Backed-off retries whose stamps expired go back into the shard
+        // queue; while draining they fail instead (the queue is closed
+        // and nothing would ever run them).
+        if self.draining {
+            for id in self.table.pending_retries() {
+                self.wal.append_failed(id, "server draining before retry");
+                self.table.fail(id, "server draining before retry".into());
+                self.admission.release(self.table.cost_of(id));
+            }
+        } else {
+            for id in self.table.take_due_retries(now) {
+                if self.queue.push(id, id).is_err() {
+                    // Shards full right now: park it a little longer.
+                    self.table
+                        .schedule_retry(id, now + Duration::from_millis(50));
+                }
+            }
+        }
+        // Compact the journal once the live segment outgrows its cap.
+        self.wal.maybe_rotate();
     }
 
     fn begin_drain(&mut self) {
@@ -578,6 +723,9 @@ impl EventLoop {
                 &self.cfg.data_dir.join(format!("job-{id}.stats.json")),
                 stats.as_bytes(),
             );
+            // The atomic persist above is the delivery; journal it so a
+            // restart does not serve (or re-run) the job again.
+            self.wal.append_delivered(id);
         }
         // Best-effort flush of anything still buffered, bounded in time.
         let deadline = Instant::now() + Duration::from_secs(2);
@@ -659,12 +807,21 @@ impl EventLoop {
             ),
             Err((code, reason)) => {
                 let status = match code {
-                    reject::QUEUE_FULL => 429,
+                    reject::QUEUE_FULL | reject::SHED => 429,
                     reject::DRAINING => 503,
                     reject::OVERSIZED => 413,
                     _ => 400,
                 };
-                http::json_error(status, &reason)
+                // Shed rejections carry a machine-readable wait hint;
+                // surface it in the standard header (rounded up to whole
+                // seconds, minimum 1 — Retry-After has no sub-second
+                // form).
+                match admission::retry_after_hint(&reason) {
+                    Some(ms) => {
+                        http::json_error_retry_after(status, &reason, ms.div_ceil(1000).max(1))
+                    }
+                    None => http::json_error(status, &reason),
+                }
             }
         }
     }
@@ -695,7 +852,10 @@ impl EventLoop {
                 })
                 .flatten();
             return match def {
-                Some(d) if !d.is_empty() => http::response(200, "text/plain", d.as_bytes()),
+                Some(d) if !d.is_empty() => {
+                    self.wal.append_delivered(id);
+                    http::response(200, "text/plain", d.as_bytes())
+                }
                 _ => http::json_error(404, "result not available"),
             };
         }
@@ -711,6 +871,9 @@ impl EventLoop {
                 (e.outcome.as_ref().map(|o| o.stats.clone()), e.error.clone())
             })
             .unwrap_or((None, None));
+        if matches!(st, state::FAILED | state::CANCELLED) {
+            self.wal.append_delivered(id);
+        }
         let state_name = match st {
             state::QUEUED => "queued",
             state::RUNNING => "running",

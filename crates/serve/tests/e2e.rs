@@ -619,6 +619,163 @@ fn rl_job_over_the_wire_respects_budget() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Spawns the real `rlleg-serve` binary over `data_dir` and parses the
+/// bound address off its banner (flushed before any work, so a later
+/// SIGKILL cannot hide it).
+fn spawn_server(data_dir: &std::path::Path) -> (std::process::Child, std::net::SocketAddr) {
+    use std::io::BufRead as _;
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_rlleg-serve"))
+        .args(["--addr", "127.0.0.1:0", "--executors", "2", "--data-dir"])
+        .arg(data_dir)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn server child");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("child exited before banner")
+            .expect("read banner");
+        if let Some(rest) = line.strip_prefix("rlleg-serve listening on ") {
+            break rest.trim().parse().expect("banner addr");
+        }
+    };
+    std::thread::spawn(move || for _ in lines.by_ref() {});
+    (child, addr)
+}
+
+fn http_to(addr: std::net::SocketAddr, request: String) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(request.as_bytes()).expect("send");
+    s.set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match s.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => out.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::ConnectionReset
+                    || e.kind() == std::io::ErrorKind::BrokenPipe =>
+            {
+                break
+            }
+            Err(e) => panic!("read: {e}"),
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn poll_done(addr: std::net::SocketAddr, id: u64) -> String {
+    let t0 = Instant::now();
+    loop {
+        let st = http_to(addr, format!("GET /jobs/{id} HTTP/1.1\r\nHost: x\r\n\r\n"));
+        if st.contains("\"state\":\"done\"") {
+            return st;
+        }
+        assert!(
+            !st.contains("\"state\":\"failed\"") && !st.contains("\"state\":\"cancelled\""),
+            "job {id} failed: {st}"
+        );
+        assert!(t0.elapsed() < TIMEOUT, "job {id} never finished: {st}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn sigkill_restart_recovers_every_acknowledged_http_job() {
+    let data_dir =
+        std::env::temp_dir().join(format!("rlleg-serve-e2e-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let (mut child, addr) = spawn_server(&data_dir);
+
+    // Submit four jobs over HTTP: HTTP acks without subscribing, so no
+    // delivery can retire them — after a crash, the journal owes all four.
+    let def = small_def(0.002);
+    let ids: Vec<u64> = (0..4)
+        .map(|seed| {
+            let resp = http_to(
+                addr,
+                format!(
+                    "POST /jobs?seed={seed} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{def}",
+                    def.len()
+                ),
+            );
+            assert!(resp.starts_with("HTTP/1.1 202"), "submit: {resp}");
+            let body = resp.split("\r\n\r\n").nth(1).expect("body");
+            body.trim()
+                .trim_start_matches("{\"job\":")
+                .trim_end_matches('}')
+                .parse()
+                .expect("job id")
+        })
+        .collect();
+
+    // Read the first job's terminal status before the crash, so the
+    // restarted server can be held to reproducing it. Fetching the status
+    // (not the def) keeps the job undelivered and therefore owed: only a
+    // `/def` fetch journals a delivery and may retire the job.
+    let before = poll_done(addr, ids[0]);
+    let before_stats = before
+        .split_once("\"stats\":")
+        .expect("pre-kill done status carries stats")
+        .1
+        .to_string();
+
+    // Crash: SIGKILL, no drain, no flush. Then tear the journal tail the
+    // way a crash mid-append would: garbage bytes after the last record.
+    child.kill().expect("sigkill");
+    let _ = child.wait();
+    let wal_dir = data_dir.join("wal");
+    let mut segs: Vec<_> = std::fs::read_dir(&wal_dir)
+        .expect("wal dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "wal"))
+        .collect();
+    segs.sort();
+    let newest = segs.last().expect("at least one segment");
+    let mut bytes = std::fs::read(newest).expect("read segment");
+    bytes.extend_from_slice(&[0xAB; 17]);
+    std::fs::write(newest, &bytes).expect("tear segment tail");
+
+    // Restart on the same data directory: every acknowledged job must
+    // reach a terminal state again — served from the journal or re-run.
+    let (mut child, addr) = spawn_server(&data_dir);
+    let mut after = String::new();
+    for &id in &ids {
+        let st = poll_done(addr, id);
+        if id == ids[0] {
+            after = st;
+        }
+    }
+    // The job whose result was journalled `done` before the crash must be
+    // served back with byte-identical stats, not re-run to a new answer.
+    let after_stats = after
+        .split_once("\"stats\":")
+        .expect("post-kill done status carries stats")
+        .1;
+    assert_eq!(
+        before_stats, after_stats,
+        "recovered result must be byte-identical to the acknowledged one"
+    );
+    // And its DEF payload survived the crash intact.
+    let def_resp = http_to(
+        addr,
+        format!("GET /jobs/{}/def HTTP/1.1\r\nHost: x\r\n\r\n", ids[0]),
+    );
+    assert!(def_resp.starts_with("HTTP/1.1 200"), "def: {def_resp}");
+    let def_text = def_resp.split("\r\n\r\n").nth(1).expect("def body");
+    let d = parse_def(def_text, Technology::contest()).expect("recovered def parses");
+    assert!(legality::check(&d, false).is_empty());
+
+    child.kill().expect("kill restarted server");
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
 #[test]
 fn query_answers_unknown_for_bogus_ids() {
     let (handle, dir) = start("query", |_| {});

@@ -214,6 +214,108 @@ impl std::fmt::Debug for Journal {
     }
 }
 
+/// A size-capped, rotating file writer for the JSONL journal.
+///
+/// A long-lived server must not grow its journal without bound. When the
+/// current file reaches `max_bytes` — checked only at line boundaries, so
+/// every file holds complete JSONL records — it is renamed to `<path>.1`,
+/// shifting `<path>.1` to `<path>.2` and so on, and anything past `keep`
+/// rotated generations is deleted. Each rotation increments the counter
+/// `telemetry.journal.rotated`.
+///
+/// A failed rotation (e.g. a permissions race on the directory) degrades
+/// to continuing in the oversized current file rather than erroring the
+/// drainer: losing the cap beats losing the events.
+pub struct RotatingFile {
+    path: std::path::PathBuf,
+    max_bytes: u64,
+    keep: usize,
+    file: std::fs::File,
+    len: u64,
+    at_line_boundary: bool,
+}
+
+impl RotatingFile {
+    /// Opens (appending) or creates the journal file at `path`, rotating
+    /// once it exceeds `max_bytes` and keeping at most `keep` rotated
+    /// generations (`keep` is floored at 1; `max_bytes` at 1 KiB).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying open/metadata failure.
+    pub fn create(
+        path: impl Into<std::path::PathBuf>,
+        max_bytes: u64,
+        keep: usize,
+    ) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        Ok(Self {
+            path,
+            max_bytes: max_bytes.max(1024),
+            keep: keep.max(1),
+            file,
+            len,
+            at_line_boundary: true,
+        })
+    }
+
+    /// Numbered path of rotated generation `n` (`<path>.1` is newest).
+    fn generation(&self, n: usize) -> std::path::PathBuf {
+        let mut os = self.path.clone().into_os_string();
+        os.push(format!(".{n}"));
+        os.into()
+    }
+
+    fn rotate(&mut self) -> std::io::Result<()> {
+        let _ = self.file.flush();
+        let _ = std::fs::remove_file(self.generation(self.keep));
+        for n in (1..self.keep).rev() {
+            let from = self.generation(n);
+            if from.exists() {
+                std::fs::rename(&from, self.generation(n + 1))?;
+            }
+        }
+        std::fs::rename(&self.path, self.generation(1))?;
+        self.file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        self.len = 0;
+        crate::counter("telemetry.journal.rotated").inc();
+        Ok(())
+    }
+}
+
+impl Write for RotatingFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.at_line_boundary && self.len >= self.max_bytes {
+            // Best-effort: a failed rotation keeps appending to the
+            // current (oversized) file.
+            let _ = self.rotate();
+        }
+        let n = self.file.write(buf)?;
+        self.len += n as u64;
+        if n > 0 {
+            self.at_line_boundary = buf[n - 1] == b'\n';
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.file.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +383,55 @@ mod tests {
         // 20 emitted; at most one in the drainer plus two in the channel
         // got through.
         assert!((17..=18).contains(&dropped), "dropped {dropped}");
+    }
+
+    #[test]
+    fn rotating_file_caps_and_shifts_generations() {
+        let _g = crate::test_lock();
+        crate::set_enabled(true);
+        let dir = std::env::temp_dir().join(format!("rlleg-journal-rot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("events.jsonl");
+        let rotated_before = crate::counter("telemetry.journal.rotated").value();
+        {
+            let sink = RotatingFile::create(&path, 1024, 2).expect("create rotating file");
+            let j = Journal::new(sink, 4096);
+            // ~90 bytes per line; a few hundred lines forces several
+            // rotations past the 1 KiB floor.
+            for i in 0..200u64 {
+                j.emit(
+                    Event::new("rotation-probe")
+                        .with("i", i)
+                        .with("pad", "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"),
+                );
+            }
+            assert_eq!(j.finish(), 0, "capacity 4096 must not shed");
+        }
+        let rotations = crate::counter("telemetry.journal.rotated").value() - rotated_before;
+        assert!(rotations >= 2, "expected >= 2 rotations, got {rotations}");
+        // The live file plus both kept generations exist; nothing beyond
+        // `keep` survives.
+        for p in [
+            path.clone(),
+            dir.join("events.jsonl.1"),
+            dir.join("events.jsonl.2"),
+        ] {
+            assert!(p.exists(), "missing {}", p.display());
+            let text = std::fs::read_to_string(&p).expect("read journal file");
+            // Rotation happens only at line boundaries: every kept file is
+            // whole lines, each parsing as JSON.
+            assert!(
+                text.ends_with('\n') || text.is_empty(),
+                "torn line in {}",
+                p.display()
+            );
+            for line in text.lines() {
+                let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
+                assert!(v.as_object().is_some());
+            }
+        }
+        assert!(!dir.join("events.jsonl.3").exists(), "keep=2 must prune .3");
+        crate::set_enabled(false);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

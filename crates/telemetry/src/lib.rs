@@ -41,7 +41,7 @@ pub mod registry;
 pub mod snapshot;
 mod span;
 
-pub use journal::{Event, FieldValue, Journal};
+pub use journal::{Event, FieldValue, Journal, RotatingFile};
 pub use registry::{buckets, Counter, Gauge, Histogram, MetricsRegistry, SHARDS};
 pub use snapshot::{HistogramSnapshot, Snapshot};
 pub use span::{current_stack, Span};

@@ -71,6 +71,19 @@ cargo run -q --release -p rlleg-fuzz -- --iters 200 --seed 7 --only fault
 echo "==> param-store fuzz smoke: rlleg-fuzz --iters 200 --seed 3 --only params"
 cargo run -q --release -p rlleg-fuzz -- --iters 200 --seed 3 --only params
 
+# Fixed-seed WAL fuzz smoke: 100 iterations of the wal oracle alone
+# (crash-point differential replay of the write-ahead job journal: torn
+# tails, garbage tails, mid-rotation kills), plus the sampled real-SIGKILL
+# child-process check every 16th iteration. Deterministic in the seed.
+echo "==> wal fuzz smoke: rlleg-fuzz --iters 100 --seed 1 --only wal"
+cargo run -q --release -p rlleg-fuzz -- --iters 100 --seed 1 --only wal
+
+# Kill/restart/recover smoke: submit a batch against a real server child,
+# SIGKILL it mid-flight, restart on the same data directory, and audit
+# every acknowledged job over HTTP — zero lost, zero divergent.
+echo "==> recover smoke: rlleg-serve --recover-smoke"
+cargo run -q --release -p rlleg-serve -- --recover-smoke
+
 # Fixed-seed global-placer fuzz smoke: 100 iterations of the gplace
 # oracle alone (finite on-die output, fixed cells pinned, non-increasing
 # overflow, bit-determinism, and zero-failed legalization on spec
